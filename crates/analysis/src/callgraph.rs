@@ -1,0 +1,203 @@
+//! Direct call graph with argument/parameter links (paper Algorithm 5's
+//! `Callers(f)` and `c.arg(p)` accessors).
+
+use std::collections::HashMap;
+
+use ade_ir::{FuncId, InstId, InstKind, Module, ValueId};
+
+/// One direct call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallSite {
+    /// The calling function.
+    pub caller: FuncId,
+    /// The call instruction inside the caller.
+    pub inst: InstId,
+    /// The callee.
+    pub callee: FuncId,
+}
+
+impl CallSite {
+    /// The SSA value passed for parameter `p` (by position) at this call,
+    /// ignoring any nesting path.
+    pub fn arg(&self, module: &Module, p: usize) -> ValueId {
+        module.func(self.caller).inst(self.inst).operands[p].base
+    }
+}
+
+/// The module's direct call graph.
+///
+/// # Examples
+///
+/// ```
+/// use ade_analysis::CallGraph;
+/// use ade_ir::parse::parse_module;
+///
+/// let m = parse_module(
+///     "fn @main() -> void {
+///        %x = const 1u64
+///        call @1(%x)
+///        ret
+///      }
+///      fn @leaf(%a: u64) -> void { ret }",
+/// ).expect("parses");
+/// let cg = CallGraph::compute(&m);
+/// let leaf = m.function_by_name("leaf").expect("leaf");
+/// assert_eq!(cg.callers(leaf).len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    sites: Vec<CallSite>,
+    by_callee: HashMap<FuncId, Vec<usize>>,
+    by_caller: HashMap<FuncId, Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Scans the module for direct calls.
+    pub fn compute(module: &Module) -> Self {
+        let mut g = CallGraph::default();
+        for (fidx, func) in module.funcs.iter().enumerate() {
+            let caller = FuncId::from_index(fidx);
+            for inst_id in func.all_insts() {
+                if let InstKind::Call(callee) = func.inst(inst_id).kind {
+                    let idx = g.sites.len();
+                    g.sites.push(CallSite {
+                        caller,
+                        inst: inst_id,
+                        callee,
+                    });
+                    g.by_callee.entry(callee).or_default().push(idx);
+                    g.by_caller.entry(caller).or_default().push(idx);
+                }
+            }
+        }
+        g
+    }
+
+    /// All call sites targeting `f`.
+    pub fn callers(&self, f: FuncId) -> Vec<CallSite> {
+        self.by_callee
+            .get(&f)
+            .map(|v| v.iter().map(|&i| self.sites[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// All call sites inside `f`.
+    pub fn calls_from(&self, f: FuncId) -> Vec<CallSite> {
+        self.by_caller
+            .get(&f)
+            .map(|v| v.iter().map(|&i| self.sites[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Every call site in the module.
+    pub fn sites(&self) -> &[CallSite] {
+        &self.sites
+    }
+
+    /// Whether `f` participates in a cycle (is recursive, directly or
+    /// mutually) — the case where the paper reuses the enumeration across
+    /// invocations (§III-F).
+    pub fn is_recursive(&self, f: FuncId) -> bool {
+        // DFS from f through callees looking for f again.
+        let mut stack = vec![f];
+        let mut seen = Vec::new();
+        while let Some(cur) = stack.pop() {
+            for site in self.calls_from(cur) {
+                if site.callee == f {
+                    return true;
+                }
+                if !seen.contains(&site.callee) {
+                    seen.push(site.callee);
+                    stack.push(site.callee);
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ade_ir::parse::parse_module;
+
+    fn sample() -> Module {
+        parse_module(
+            r#"
+fn @main() -> void {
+  %x = const 1u64
+  %r = call @1(%x)
+  %s = call @1(%r)
+  ret
+}
+
+fn @double(%a: u64) -> u64 {
+  %b = add %a, %a
+  ret %b
+}
+
+fn @loopy(%n: u64) -> u64 {
+  %r = call @2(%n)
+  ret %r
+}
+"#,
+        )
+        .expect("parses")
+    }
+
+    #[test]
+    fn finds_all_sites() {
+        let m = sample();
+        let cg = CallGraph::compute(&m);
+        assert_eq!(cg.sites().len(), 3);
+        let double = m.function_by_name("double").expect("double");
+        assert_eq!(cg.callers(double).len(), 2);
+        let main = m.function_by_name("main").expect("main");
+        assert_eq!(cg.calls_from(main).len(), 2);
+    }
+
+    #[test]
+    fn arg_links_positionally() {
+        let m = sample();
+        let cg = CallGraph::compute(&m);
+        let double = m.function_by_name("double").expect("double");
+        let site = cg.callers(double)[0];
+        let arg = site.arg(&m, 0);
+        let caller = m.func(site.caller);
+        // First call passes %x, a const result.
+        assert!(matches!(
+            caller.value(arg).def,
+            ade_ir::ValueDef::InstResult { .. }
+        ));
+    }
+
+    #[test]
+    fn detects_self_recursion() {
+        let m = sample();
+        let cg = CallGraph::compute(&m);
+        let loopy = m.function_by_name("loopy").expect("loopy");
+        let double = m.function_by_name("double").expect("double");
+        assert!(cg.is_recursive(loopy));
+        assert!(!cg.is_recursive(double));
+    }
+
+    #[test]
+    fn detects_mutual_recursion() {
+        let m = parse_module(
+            r#"
+fn @a(%n: u64) -> u64 {
+  %r = call @1(%n)
+  ret %r
+}
+fn @b(%n: u64) -> u64 {
+  %r = call @0(%n)
+  ret %r
+}
+"#,
+        )
+        .expect("parses");
+        let cg = CallGraph::compute(&m);
+        assert!(cg.is_recursive(FuncId(0)));
+        assert!(cg.is_recursive(FuncId(1)));
+    }
+}

@@ -1,0 +1,25 @@
+//! Program analyses over the ADE IR.
+//!
+//! These are the analysis ingredients the paper's algorithms consume:
+//!
+//! * [`redefs`] — the `Redefs(v)` chains of Algorithm 1: every SSA value
+//!   that names a state of the same underlying collection;
+//! * [`escape`] — which collections escape analyzable scope (paper
+//!   §III-F: escaping collections are never transformed);
+//! * [`callgraph`] — direct call sites with argument/parameter links, the
+//!   `Callers(f)` / `c.arg(p)` accessors of Algorithm 5;
+//! * [`unionfind`] — the union-find structure used by Algorithm 5 to
+//!   unify collections that must share an enumeration.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod callgraph;
+pub mod escape;
+pub mod redefs;
+pub mod unionfind;
+
+pub use callgraph::{CallGraph, CallSite};
+pub use escape::EscapeAnalysis;
+pub use redefs::RedefChains;
+pub use unionfind::UnionFind;

@@ -1,0 +1,40 @@
+//! End-to-end benchmarks: wall-clock execution of representative
+//! evaluation programs under MEMOIR and ADE (interpreter included —
+//! the relative comparison is what matters, see `DESIGN.md`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ade_interp::Interpreter;
+use ade_workloads::bench::benchmark_by_abbrev;
+use ade_workloads::{Config, ConfigKind};
+
+const SCALE: u32 = 6;
+
+fn end_to_end(c: &mut Criterion) {
+    for abbrev in ["BFS", "SSSP", "PTA", "TC"] {
+        let bench = benchmark_by_abbrev(abbrev).expect("known benchmark");
+        let mut g = c.benchmark_group(format!("e2e_{abbrev}"));
+        g.sample_size(10);
+        for kind in [ConfigKind::Memoir, ConfigKind::Ade] {
+            let config = Config::new(kind);
+            let mut module = (bench.build)(SCALE);
+            config.compile(&mut module);
+            g.bench_function(BenchmarkId::new(kind.name(), SCALE), |b| {
+                b.iter(|| {
+                    // run_inline avoids a per-iteration thread spawn that
+                    // would skew the memoir/ade ratio; these benchmark
+                    // programs are not deeply recursive.
+                    Interpreter::new(&module, config.exec.clone())
+                        .run_inline("main")
+                        .expect("runs")
+                        .output
+                        .len()
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Regenerates the paper's tables and figures (the artifact's
+//! `make all` equivalent).
+//!
+//! ```text
+//! reproduce [--scale N] [--trials N] [fig4|fig5|fig6|fig7|fig8|fig9|table2|table3|rq4|all]
+//! ```
+//!
+//! The default scale (9: ≈512-node graphs with thousands of edges) runs
+//! the full suite in minutes; the paper-fidelity claims are about the
+//! *shape* of the results (who wins, roughly by how much), which is
+//! stable across scales.
+
+use ade_bench::figures::Session;
+
+fn main() {
+    let mut scale = 9u32;
+    let mut trials = 1u32;
+    let mut targets: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("missing value for --scale"));
+            }
+            "--trials" => {
+                trials = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("missing value for --trials"));
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".to_string());
+    }
+    let mut session = Session::with_trials(scale, trials);
+    for target in &targets {
+        match target.as_str() {
+            "fig4" => print!("{}", session.fig4()),
+            "fig5" => print!("{}", session.fig5_or_6(false)),
+            "fig6" => print!("{}", session.fig5_or_6(true)),
+            "fig7" => print!("{}", session.fig7()),
+            "fig8" => print!("{}", session.fig8()),
+            "fig9" | "fig10" => print!("{}", session.fig9_10()),
+            "table2" => print!("{}", session.table2()),
+            "table3" => print!("{}", session.table3()),
+            "rq4" => print!("{}", session.rq4()),
+            "all" => {
+                for part in [
+                    session.fig4(),
+                    session.fig5_or_6(false),
+                    session.fig5_or_6(true),
+                    session.table2(),
+                    session.table3(),
+                    session.fig7(),
+                    session.fig8(),
+                    session.fig9_10(),
+                    session.rq4(),
+                ] {
+                    println!("{part}");
+                }
+            }
+            other => usage(&format!("unknown target `{other}`")),
+        }
+        println!();
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: reproduce [--scale N] [--trials N] [fig4|fig5|fig6|fig7|fig8|fig9|table2|table3|rq4|all]"
+    );
+    std::process::exit(2);
+}

@@ -1,0 +1,128 @@
+//! Executes one (benchmark, configuration) pair and collects every
+//! measurement the figures need.
+
+use ade_interp::cost::CostModel;
+use ade_interp::{Interpreter, Phase, Stats};
+use ade_workloads::{Benchmark, Config, ConfigKind};
+
+/// The measurements from one run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Benchmark abbreviation.
+    pub abbrev: &'static str,
+    /// Configuration that produced this run.
+    pub config: ConfigKind,
+    /// Program output (used to cross-check configurations agree).
+    pub output: String,
+    /// Full interpreter statistics.
+    pub stats: Stats,
+}
+
+impl RunResult {
+    /// Modeled whole-program time under a cost model, in nanoseconds.
+    pub fn modeled_total_ns(&self, model: &CostModel) -> f64 {
+        model.time_ns(&self.stats.totals())
+    }
+
+    /// Modeled region-of-interest time, in nanoseconds.
+    pub fn modeled_roi_ns(&self, model: &CostModel) -> f64 {
+        model.time_ns(self.stats.phase(Phase::Roi))
+    }
+
+    /// Peak tracked memory in bytes.
+    pub fn peak_bytes(&self) -> usize {
+        self.stats.peak_bytes
+    }
+}
+
+/// Runs `bench` at `scale` under `kind`.
+///
+/// # Panics
+///
+/// Panics if the program fails to verify or execute — benchmark modules
+/// are trusted inputs here.
+pub fn run_benchmark(bench: &Benchmark, kind: ConfigKind, scale: u32) -> RunResult {
+    run_benchmark_trials(bench, kind, scale, 1)
+}
+
+/// Runs `bench` `trials` times (the artifact's `TRIALS` knob), keeping
+/// the fastest wall-clock observation. Operation counts and memory are
+/// deterministic across trials, so only the wall times vary.
+///
+/// # Panics
+///
+/// Panics if the program fails to verify or execute, or `trials == 0`.
+pub fn run_benchmark_trials(
+    bench: &Benchmark,
+    kind: ConfigKind,
+    scale: u32,
+    trials: u32,
+) -> RunResult {
+    assert!(trials > 0, "at least one trial");
+    let config = Config::new(kind);
+    let mut module = (bench.build)(scale);
+    config.compile(&mut module);
+    ade_ir::verify::verify_module(&module)
+        .unwrap_or_else(|e| panic!("[{} {}] verify: {e}", bench.abbrev, kind.name()));
+    let mut best: Option<ade_interp::Outcome> = None;
+    for _ in 0..trials {
+        let outcome = Interpreter::new(&module, config.exec.clone())
+            .run("main")
+            .unwrap_or_else(|e| panic!("[{} {}] run: {e}", bench.abbrev, kind.name()));
+        let better = best
+            .as_ref()
+            .is_none_or(|b| outcome.stats.wall_total_ns() < b.stats.wall_total_ns());
+        if better {
+            best = Some(outcome);
+        }
+    }
+    let outcome = best.expect("ran at least once");
+    RunResult {
+        abbrev: bench.abbrev,
+        config: kind,
+        output: outcome.output,
+        stats: outcome.stats,
+    }
+}
+
+/// Geometric mean of a sequence of ratios.
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        1.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ade_workloads::bench::benchmark_by_abbrev;
+
+    #[test]
+    fn geomean_of_ratios() {
+        assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(std::iter::empty()), 1.0);
+    }
+
+    #[test]
+    fn memoir_and_ade_agree_and_ade_is_modeled_faster_on_bfs() {
+        let bench = benchmark_by_abbrev("BFS").expect("bfs");
+        let memoir = run_benchmark(&bench, ConfigKind::Memoir, 6);
+        let ade = run_benchmark(&bench, ConfigKind::Ade, 6);
+        assert_eq!(memoir.output, ade.output);
+        let model = CostModel::intel_x64();
+        assert!(
+            ade.modeled_roi_ns(&model) < memoir.modeled_roi_ns(&model),
+            "ADE must win the BFS ROI: {} vs {}",
+            ade.modeled_roi_ns(&model),
+            memoir.modeled_roi_ns(&model)
+        );
+    }
+}

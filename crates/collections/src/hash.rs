@@ -1,0 +1,422 @@
+//! Separate-chaining hash table: the `HashSet`/`HashMap` selections of
+//! Table I, standing in for `std::unordered_set`/`std::unordered_map`.
+//!
+//! Like the C++ standard containers these chain colliding entries and
+//! rehash at a load factor of 1.0, which is what gives swiss tables (one
+//! contiguous probe sequence, no per-node indirection) their edge in the
+//! paper's Table III microbenchmarks.
+
+use std::fmt;
+use std::hash::Hash;
+
+use crate::fx::hash_one;
+use crate::HeapSize;
+
+const MIN_BUCKETS: usize = 8;
+
+/// A hash map with separate chaining.
+///
+/// # Examples
+///
+/// ```
+/// use ade_collections::ChainedHashMap;
+///
+/// let mut m = ChainedHashMap::new();
+/// m.insert("a", 1);
+/// m.insert("b", 2);
+/// assert_eq!(m.get(&"a"), Some(&1));
+/// assert_eq!(m.insert("a", 10), Some(1));
+/// assert_eq!(m.len(), 2);
+/// ```
+#[derive(Clone)]
+pub struct ChainedHashMap<K, V> {
+    buckets: Vec<Vec<(K, V)>>,
+    len: usize,
+}
+
+impl<K, V> Default for ChainedHashMap<K, V> {
+    fn default() -> Self {
+        Self {
+            buckets: Vec::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<K: Hash + Eq, V> ChainedHashMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty map with room for `cap` entries at load factor 1.
+    pub fn with_capacity(cap: usize) -> Self {
+        let buckets = cap.next_power_of_two().max(MIN_BUCKETS);
+        Self {
+            buckets: (0..buckets).map(|_| Vec::new()).collect(),
+            len: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the map contains no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes all entries, keeping the bucket array.
+    pub fn clear(&mut self) {
+        self.buckets.iter_mut().for_each(Vec::clear);
+        self.len = 0;
+    }
+
+    #[inline]
+    fn bucket_of(&self, key: &K) -> usize {
+        debug_assert!(!self.buckets.is_empty());
+        (hash_one(key) as usize) & (self.buckets.len() - 1)
+    }
+
+    fn grow_if_needed(&mut self) {
+        if self.buckets.is_empty() {
+            self.buckets = (0..MIN_BUCKETS).map(|_| Vec::new()).collect();
+            return;
+        }
+        if self.len < self.buckets.len() {
+            return;
+        }
+        let new_size = self.buckets.len() * 2;
+        let old = std::mem::take(&mut self.buckets);
+        self.buckets = (0..new_size).map(|_| Vec::new()).collect();
+        for (k, v) in old.into_iter().flatten() {
+            let b = (hash_one(&k) as usize) & (new_size - 1);
+            self.buckets[b].push((k, v));
+        }
+    }
+
+    /// Returns a reference to the value for `key`, if present.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        if self.buckets.is_empty() {
+            return None;
+        }
+        let b = self.bucket_of(key);
+        self.buckets[b].iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Returns a mutable reference to the value for `key`, if present.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        if self.buckets.is_empty() {
+            return None;
+        }
+        let b = self.bucket_of(key);
+        self.buckets[b]
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Returns `true` if `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Inserts `key → value`, returning the previous value if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        self.grow_if_needed();
+        let b = self.bucket_of(&key);
+        let chain = &mut self.buckets[b];
+        if let Some((_, v)) = chain.iter_mut().find(|(k, _)| *k == key) {
+            return Some(std::mem::replace(v, value));
+        }
+        chain.push((key, value));
+        self.len += 1;
+        None
+    }
+
+    /// Removes `key`, returning its value if it was present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        if self.buckets.is_empty() {
+            return None;
+        }
+        let b = self.bucket_of(key);
+        let chain = &mut self.buckets[b];
+        let pos = chain.iter().position(|(k, _)| k == key)?;
+        self.len -= 1;
+        Some(chain.swap_remove(pos).1)
+    }
+
+    /// A constant-time estimate of [`HeapSize::heap_bytes`]: the bucket
+    /// array plus roughly two slots of chain capacity per entry. Used for
+    /// incremental memory accounting where the exact walk would be
+    /// quadratic over a run.
+    pub fn heap_bytes_fast(&self) -> usize {
+        self.buckets.capacity() * std::mem::size_of::<Vec<(K, V)>>()
+            + self.len * std::mem::size_of::<(K, V)>() * 2
+    }
+
+    /// Iterates over `(key, value)` pairs in unspecified (but
+    /// deterministic for a fixed insertion history) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.buckets.iter().flatten().map(|(k, v)| (k, v))
+    }
+
+    /// Iterates over keys.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.iter().map(|(k, _)| k)
+    }
+
+    /// Iterates over values.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.iter().map(|(_, v)| v)
+    }
+}
+
+impl<K: fmt::Debug, V: fmt::Debug> fmt::Debug for ChainedHashMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map()
+            .entries(self.buckets.iter().flatten().map(|(k, v)| (k, v)))
+            .finish()
+    }
+}
+
+impl<K: Hash + Eq, V> FromIterator<(K, V)> for ChainedHashMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut map = Self::new();
+        map.extend(iter);
+        map
+    }
+}
+
+impl<K: Hash + Eq, V> Extend<(K, V)> for ChainedHashMap<K, V> {
+    fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+impl<K: HeapSize, V: HeapSize> HeapSize for ChainedHashMap<K, V> {
+    fn heap_bytes(&self) -> usize {
+        let bucket_array = self.buckets.capacity() * std::mem::size_of::<Vec<(K, V)>>();
+        let chains: usize = self
+            .buckets
+            .iter()
+            .map(|c| {
+                c.capacity() * std::mem::size_of::<(K, V)>()
+                    + c.iter()
+                        .map(|(k, v)| k.heap_bytes() + v.heap_bytes())
+                        .sum::<usize>()
+            })
+            .sum();
+        bucket_array + chains
+    }
+}
+
+/// A hash set with separate chaining (a [`ChainedHashMap`] with unit
+/// values).
+///
+/// # Examples
+///
+/// ```
+/// use ade_collections::ChainedHashSet;
+///
+/// let mut s = ChainedHashSet::new();
+/// assert!(s.insert(7));
+/// assert!(!s.insert(7));
+/// assert!(s.contains(&7));
+/// assert!(s.remove(&7));
+/// assert!(s.is_empty());
+/// ```
+#[derive(Clone)]
+pub struct ChainedHashSet<T> {
+    map: ChainedHashMap<T, ()>,
+}
+
+impl<T> Default for ChainedHashSet<T> {
+    fn default() -> Self {
+        Self {
+            map: ChainedHashMap::default(),
+        }
+    }
+}
+
+impl<T: Hash + Eq> ChainedHashSet<T> {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty set with room for `cap` elements.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            map: ChainedHashMap::with_capacity(cap),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` if the set contains no elements.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Returns `true` if `value` is in the set.
+    pub fn contains(&self, value: &T) -> bool {
+        self.map.contains_key(value)
+    }
+
+    /// Adds `value`. Returns `true` if it was not already present.
+    pub fn insert(&mut self, value: T) -> bool {
+        self.map.insert(value, ()).is_none()
+    }
+
+    /// Removes `value`. Returns `true` if it was present.
+    pub fn remove(&mut self, value: &T) -> bool {
+        self.map.remove(value).is_some()
+    }
+
+    /// Constant-time estimate of the heap footprint (see
+    /// [`ChainedHashMap::heap_bytes_fast`]).
+    pub fn heap_bytes_fast(&self) -> usize {
+        self.map.heap_bytes_fast()
+    }
+
+    /// Iterates over the elements in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.map.keys()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for ChainedHashSet<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set()
+            .entries(self.map.buckets.iter().flatten().map(|(k, _)| k))
+            .finish()
+    }
+}
+
+impl<T: Hash + Eq> FromIterator<T> for ChainedHashSet<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut set = Self::new();
+        set.extend(iter);
+        set
+    }
+}
+
+impl<T: Hash + Eq> Extend<T> for ChainedHashSet<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.insert(v);
+        }
+    }
+}
+
+impl<T: HeapSize> HeapSize for ChainedHashSet<T> {
+    fn heap_bytes(&self) -> usize {
+        self.map.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_insert_get_update_remove() {
+        let mut m = ChainedHashMap::new();
+        assert_eq!(m.insert(1u64, "one"), None);
+        assert_eq!(m.insert(2, "two"), None);
+        assert_eq!(m.insert(1, "uno"), Some("one"));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(&1), Some(&"uno"));
+        assert_eq!(m.remove(&1), Some("uno"));
+        assert_eq!(m.remove(&1), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn map_grows_past_initial_buckets() {
+        let mut m = ChainedHashMap::new();
+        for i in 0..10_000u64 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 10_000);
+        for i in 0..10_000u64 {
+            assert_eq!(m.get(&i), Some(&(i * 2)));
+        }
+        assert_eq!(m.get(&10_000), None);
+    }
+
+    #[test]
+    fn map_get_mut_updates_in_place() {
+        let mut m = ChainedHashMap::new();
+        m.insert("k", 1);
+        *m.get_mut(&"k").expect("present") += 10;
+        assert_eq!(m.get(&"k"), Some(&11));
+        assert_eq!(m.get_mut(&"missing"), None);
+    }
+
+    #[test]
+    fn map_iter_yields_all_entries() {
+        let m: ChainedHashMap<u32, u32> = (0..100).map(|i| (i, i + 1)).collect();
+        let mut pairs: Vec<(u32, u32)> = m.iter().map(|(k, v)| (*k, *v)).collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs.len(), 100);
+        assert_eq!(pairs[3], (3, 4));
+    }
+
+    #[test]
+    fn map_clear_keeps_buckets() {
+        let mut m: ChainedHashMap<u32, u32> = (0..100).map(|i| (i, i)).collect();
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.get(&5), None);
+        m.insert(5, 5);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn empty_map_queries() {
+        let m: ChainedHashMap<u32, u32> = ChainedHashMap::new();
+        assert_eq!(m.get(&1), None);
+        assert!(!m.contains_key(&1));
+        let mut m = m;
+        assert_eq!(m.remove(&1), None);
+    }
+
+    #[test]
+    fn set_basic_operations() {
+        let mut s = ChainedHashSet::new();
+        assert!(s.insert("x"));
+        assert!(!s.insert("x"));
+        assert!(s.contains(&"x"));
+        assert!(!s.contains(&"y"));
+        assert!(s.remove(&"x"));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn set_from_iterator_dedups() {
+        let s: ChainedHashSet<u32> = [1, 2, 2, 3, 3, 3].into_iter().collect();
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn heap_bytes_grows_with_contents() {
+        let empty: ChainedHashMap<u64, u64> = ChainedHashMap::new();
+        let full: ChainedHashMap<u64, u64> = (0..1000).map(|i| (i, i)).collect();
+        assert!(full.heap_bytes() > empty.heap_bytes());
+        assert!(full.heap_bytes() >= 1000 * 16);
+    }
+}

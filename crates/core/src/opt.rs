@@ -1,0 +1,307 @@
+//! Post-ADE cleanup passes: dead code elimination and constant folding.
+//!
+//! ADE's patching and the peephole rewrites can leave behind unused pure
+//! instructions (constants materialized for path indices, forwarded
+//! translations, duplicated comparisons). These passes clean them up.
+//!
+//! DCE only removes *pure* instructions. Collection updates are never
+//! removed even when their result is unused: the runtime mutates in
+//! place, and nested aliases (`read` results) can observe the effect —
+//! exactly the aliasing the paper's reference semantics allow (§III-A).
+//! `add`/`enumadd` are also kept: growing the enumeration is a side
+//! effect later `enc`s may rely on.
+
+use std::collections::HashMap;
+
+use ade_ir::{BinOp, CmpOp, ConstVal, Function, InstKind, Module, ValueId};
+
+/// Runs DCE then constant folding to a fixed point over the module.
+/// Returns the number of instructions removed.
+pub fn cleanup(module: &mut Module) -> usize {
+    let mut removed = 0;
+    for func in &mut module.funcs {
+        loop {
+            let folded = fold_constants(func);
+            let dead = eliminate_dead(func);
+            removed += dead;
+            if folded == 0 && dead == 0 {
+                break;
+            }
+        }
+    }
+    removed
+}
+
+/// Whether an instruction may be deleted when its results are unused.
+fn is_pure(kind: &InstKind) -> bool {
+    matches!(
+        kind,
+        InstKind::Const(_)
+            | InstKind::Bin(_)
+            | InstKind::Cmp(_)
+            | InstKind::Not
+            | InstKind::Cast(_)
+            | InstKind::Size
+            | InstKind::Has
+            | InstKind::Enc(_)
+            | InstKind::Dec(_)
+    )
+}
+
+/// Removes pure instructions whose results are never used. Returns the
+/// count removed.
+pub fn eliminate_dead(func: &mut Function) -> usize {
+    let mut used = vec![false; func.values.len()];
+    for inst in &func.insts {
+        for v in inst.used_values() {
+            used[v.index()] = true;
+        }
+    }
+    let mut removed = 0;
+    let insts = &func.insts;
+    for region in &mut func.regions {
+        let before = region.insts.len();
+        region.insts.retain(|&i| {
+            let inst = &insts[i.index()];
+            !(is_pure(&inst.kind) && inst.results.iter().all(|r| !used[r.index()]))
+        });
+        removed += before - region.insts.len();
+    }
+    removed
+}
+
+/// Folds arithmetic and comparisons whose operands are constants,
+/// rewriting uses to point at a folded constant instruction. Returns the
+/// number of instructions folded.
+pub fn fold_constants(func: &mut Function) -> usize {
+    // Value → constant payload, for plain (non-path) operand bases.
+    let mut consts: HashMap<ValueId, ConstVal> = HashMap::new();
+    for inst in &func.insts {
+        if let InstKind::Const(c) = &inst.kind {
+            consts.insert(inst.results[0], c.clone());
+        }
+    }
+    let mut folded = 0;
+    for idx in 0..func.insts.len() {
+        let inst = &func.insts[idx];
+        if !inst.operands.iter().all(|op| op.path.is_empty()) {
+            continue;
+        }
+        let folded_const = match &inst.kind {
+            InstKind::Bin(op) => {
+                let (Some(a), Some(b)) = (
+                    inst.operands.first().and_then(|o| consts.get(&o.base)),
+                    inst.operands.get(1).and_then(|o| consts.get(&o.base)),
+                ) else {
+                    continue;
+                };
+                fold_bin(*op, a, b)
+            }
+            InstKind::Cmp(op) => {
+                let (Some(a), Some(b)) = (
+                    inst.operands.first().and_then(|o| consts.get(&o.base)),
+                    inst.operands.get(1).and_then(|o| consts.get(&o.base)),
+                ) else {
+                    continue;
+                };
+                fold_cmp(*op, a, b).map(ConstVal::Bool)
+            }
+            InstKind::Not => {
+                let Some(ConstVal::Bool(a)) =
+                    inst.operands.first().and_then(|o| consts.get(&o.base))
+                else {
+                    continue;
+                };
+                Some(ConstVal::Bool(!a))
+            }
+            _ => None,
+        };
+        if let Some(c) = folded_const {
+            let result = func.insts[idx].results[0];
+            consts.insert(result, c.clone());
+            func.insts[idx].kind = InstKind::Const(c);
+            func.insts[idx].operands.clear();
+            folded += 1;
+        }
+    }
+    folded
+}
+
+fn fold_bin(op: BinOp, a: &ConstVal, b: &ConstVal) -> Option<ConstVal> {
+    match (a, b) {
+        (ConstVal::U64(x), ConstVal::U64(y)) => {
+            let v = match op {
+                BinOp::Add => x.wrapping_add(*y),
+                BinOp::Sub => x.wrapping_sub(*y),
+                BinOp::Mul => x.wrapping_mul(*y),
+                BinOp::Div => x.checked_div(*y)?,
+                BinOp::Rem => x.checked_rem(*y)?,
+                BinOp::Min => *x.min(y),
+                BinOp::Max => *x.max(y),
+                BinOp::And => x & y,
+                BinOp::Or => x | y,
+                BinOp::Xor => x ^ y,
+                BinOp::Shl => x.wrapping_shl(*y as u32),
+                BinOp::Shr => x.wrapping_shr(*y as u32),
+            };
+            Some(ConstVal::U64(v))
+        }
+        (ConstVal::I64(x), ConstVal::I64(y)) => {
+            let v = match op {
+                BinOp::Add => x.wrapping_add(*y),
+                BinOp::Sub => x.wrapping_sub(*y),
+                BinOp::Mul => x.wrapping_mul(*y),
+                BinOp::Div => x.checked_div(*y)?,
+                BinOp::Rem => x.checked_rem(*y)?,
+                BinOp::Min => *x.min(y),
+                BinOp::Max => *x.max(y),
+                BinOp::And => x & y,
+                BinOp::Or => x | y,
+                BinOp::Xor => x ^ y,
+                BinOp::Shl => x.wrapping_shl(*y as u32),
+                BinOp::Shr => x.wrapping_shr(*y as u32),
+            };
+            Some(ConstVal::I64(v))
+        }
+        (ConstVal::F64(x), ConstVal::F64(y)) => {
+            let v = match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => x / y,
+                BinOp::Rem => x % y,
+                BinOp::Min => x.min(*y),
+                BinOp::Max => x.max(*y),
+                _ => return None,
+            };
+            Some(ConstVal::F64(v))
+        }
+        (ConstVal::Bool(x), ConstVal::Bool(y)) => {
+            let v = match op {
+                BinOp::And => *x && *y,
+                BinOp::Or => *x || *y,
+                BinOp::Xor => x != y,
+                _ => return None,
+            };
+            Some(ConstVal::Bool(v))
+        }
+        _ => None,
+    }
+}
+
+fn fold_cmp(op: CmpOp, a: &ConstVal, b: &ConstVal) -> Option<bool> {
+    use std::cmp::Ordering;
+    let ord = match (a, b) {
+        (ConstVal::U64(x), ConstVal::U64(y)) => x.cmp(y),
+        (ConstVal::I64(x), ConstVal::I64(y)) => x.cmp(y),
+        (ConstVal::F64(x), ConstVal::F64(y)) => x.partial_cmp(y)?,
+        (ConstVal::Bool(x), ConstVal::Bool(y)) => x.cmp(y),
+        (ConstVal::Str(x), ConstVal::Str(y)) => x.cmp(y),
+        _ => return None,
+    };
+    Some(match op {
+        CmpOp::Eq => ord == Ordering::Equal,
+        CmpOp::Ne => ord != Ordering::Equal,
+        CmpOp::Lt => ord == Ordering::Less,
+        CmpOp::Le => ord != Ordering::Greater,
+        CmpOp::Gt => ord == Ordering::Greater,
+        CmpOp::Ge => ord != Ordering::Less,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ade_ir::parse::parse_module;
+    use ade_ir::print::print_module;
+
+    fn clean(text: &str) -> (Module, usize) {
+        let mut m = parse_module(text).expect("parses");
+        let removed = cleanup(&mut m);
+        ade_ir::verify::verify_module(&m).expect("verifies after cleanup");
+        (m, removed)
+    }
+
+    #[test]
+    fn folds_arithmetic_chains_and_removes_dead() {
+        let (m, removed) = clean(
+            "fn @main() -> void {\n  %a = const 2u64\n  %b = const 3u64\n  %c = mul %a, %b\n  %dead = add %a, %b\n  print %c\n  ret\n}\n",
+        );
+        assert!(removed >= 1, "dead add removed");
+        let text = print_module(&m);
+        assert!(text.contains("const 6u64"), "{text}");
+        assert!(!text.contains("mul"), "{text}");
+    }
+
+    #[test]
+    fn folds_comparisons_and_not() {
+        let (m, _) = clean(
+            "fn @main() -> void {\n  %a = const 2u64\n  %b = const 3u64\n  %lt = lt %a, %b\n  %n = not %lt\n  print %n\n  ret\n}\n",
+        );
+        let text = print_module(&m);
+        assert!(text.contains("const false"), "{text}");
+    }
+
+    #[test]
+    fn division_by_zero_is_not_folded() {
+        let (m, _) = clean(
+            "fn @main() -> void {\n  %a = const 2u64\n  %z = const 0u64\n  %d = div %a, %z\n  print %d\n  ret\n}\n",
+        );
+        let text = print_module(&m);
+        assert!(text.contains("div"), "UB must stay visible: {text}");
+    }
+
+    #[test]
+    fn collection_updates_survive_even_when_unused() {
+        let (m, _) = clean(
+            "fn @main() -> void {\n  %s = new Set<u64>\n  %x = const 1u64\n  %s1 = insert %s, %x\n  ret\n}\n",
+        );
+        let text = print_module(&m);
+        assert!(text.contains("insert"), "{text}");
+        // The constant feeding it survives too.
+        assert!(text.contains("const 1u64"), "{text}");
+    }
+
+    #[test]
+    fn dead_reads_and_sizes_are_removed() {
+        let (m, removed) = clean(
+            "fn @main() -> void {\n  %s = new Seq<u64>\n  %n = size %s\n  %x = const 1u64\n  %s1 = insert %s, %n, %x\n  %dead = size %s1\n  ret\n}\n",
+        );
+        assert_eq!(removed, 1);
+        let text = print_module(&m);
+        assert_eq!(text.matches("size").count(), 1, "{text}");
+    }
+
+    #[test]
+    fn execution_is_preserved_by_cleanup() {
+        use ade_interp::{ExecConfig, Interpreter};
+        let text = r#"
+fn @main() -> void {
+  %lo = const 0u64
+  %hi = const 10u64
+  %zero = const 0u64
+  %sum = forrange %lo, %hi carry(%zero) as (%i: u64, %acc: u64) {
+    %two = const 2u64
+    %three = const 3u64
+    %six = mul %two, %three
+    %x = mul %i, %six
+    %a = add %acc, %x
+    %unused = sub %a, %x
+    yield %a
+  }
+  print %sum
+  ret
+}
+"#;
+        let before_m = parse_module(text).expect("parses");
+        let before = Interpreter::new(&before_m, ExecConfig::default())
+            .run("main")
+            .expect("runs");
+        let (after_m, removed) = clean(text);
+        assert!(removed >= 1);
+        let after = Interpreter::new(&after_m, ExecConfig::default())
+            .run("main")
+            .expect("runs");
+        assert_eq!(before.output, after.output);
+    }
+}

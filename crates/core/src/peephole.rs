@@ -1,0 +1,317 @@
+//! IR-level redundant-translation rewrites (paper §III-C) and local
+//! translation CSE.
+//!
+//! The planning-level Algorithm 2 avoids inserting most redundant
+//! translations in the first place; this pass mops up whatever remains
+//! after composition across enumerations:
+//!
+//! * `enc(e, dec(e, x)) → x` (dec is the inverse of enc);
+//! * `add(e, dec(e, x)) → x` (decoded values are already enumerated);
+//! * `dec(e, enc(e, x)) → x` and `dec(e, add(e, x)) → x`;
+//! * `eq(dec(e, x), dec(e, y)) → eq(x, y)` (dec is injective);
+//! * within a region, duplicate `enc`/`add`/`dec` of the same value and
+//!   enumeration reuse the first result (identifiers are stable because
+//!   values are never removed from an enumeration).
+
+use std::collections::{BTreeMap, HashMap};
+
+use ade_ir::{CmpOp, EnumId, Function, InstKind, Module, Operand, RegionId, ValueId};
+
+/// Runs the peephole rewrites over the whole module. Returns the number
+/// of translations removed.
+pub fn run(module: &mut Module) -> usize {
+    let mut removed = 0;
+    for func in &mut module.funcs {
+        removed += run_function(func);
+    }
+    removed
+}
+
+/// Runs the peephole rewrites over one function.
+pub fn run_function(func: &mut Function) -> usize {
+    let mut removed = 0;
+    // Map: translation result value → (kind, enum, operand value).
+    let mut defs: HashMap<ValueId, (TransKind, EnumId, ValueId)> = HashMap::new();
+    for inst_id in func.all_insts() {
+        if let Some((kind, e)) = translation_of(&func.inst(inst_id).kind) {
+            let arg = func.inst(inst_id).operands[0].base;
+            defs.insert(func.inst(inst_id).results[0], (kind, e, arg));
+        }
+    }
+
+    // Inverse rewrites: a translation whose argument is the opposite
+    // translation over the same enumeration forwards the original value.
+    let mut replace: BTreeMap<ValueId, ValueId> = BTreeMap::new();
+    for inst_id in func.all_insts() {
+        let inst = func.inst(inst_id);
+        let Some((kind, e)) = translation_of(&inst.kind) else {
+            continue;
+        };
+        let arg = inst.operands[0].base;
+        if let Some(&(arg_kind, arg_e, original)) = defs.get(&arg) {
+            if arg_e != e {
+                continue;
+            }
+            let cancels = match (arg_kind, kind) {
+                (TransKind::Dec, TransKind::Enc | TransKind::Add) => true,
+                (TransKind::Enc | TransKind::Add, TransKind::Dec) => true,
+                _ => false,
+            };
+            if cancels {
+                replace.insert(inst.results[0], original);
+                removed += 1;
+            }
+        }
+    }
+
+    // eq(dec(e,x), dec(e,y)) → eq(x, y).
+    for inst_id in func.all_insts() {
+        let inst = func.inst(inst_id);
+        if !matches!(inst.kind, InstKind::Cmp(CmpOp::Eq) | InstKind::Cmp(CmpOp::Ne)) {
+            continue;
+        }
+        if inst.operands.len() != 2
+            || !inst.operands[0].path.is_empty()
+            || !inst.operands[1].path.is_empty()
+        {
+            continue;
+        }
+        let a = resolve(&replace, inst.operands[0].base);
+        let b = resolve(&replace, inst.operands[1].base);
+        if let (Some(&(TransKind::Dec, ea, xa)), Some(&(TransKind::Dec, eb, xb))) =
+            (defs.get(&a), defs.get(&b))
+        {
+            if ea == eb {
+                func.inst_mut(inst_id).operands = vec![Operand::value(xa), Operand::value(xb)];
+                removed += 2;
+            }
+        }
+    }
+
+    // Local CSE per region: duplicate translations of the same value.
+    let regions: Vec<RegionId> = (0..func.regions.len())
+        .map(RegionId::from_index)
+        .collect();
+    for r in regions {
+        // Per identifier-producing entry we remember whether it was a
+        // plain `enc`: `enc` results are only stable until the *next*
+        // add to the same enumeration (an absent key encodes to a
+        // sentinel), so enc entries are invalidated at adds, calls and
+        // control flow; `add` and `dec` results are stable forever.
+        let mut seen: HashMap<(u8, EnumId, ValueId), (ValueId, TransKind)> = HashMap::new();
+        let insts = func.region(r).insts.clone();
+        for inst_id in insts {
+            let inst = func.inst(inst_id);
+            let Some((kind, e)) = translation_of(&inst.kind) else {
+                if matches!(inst.kind, InstKind::Call(_)) || inst.kind.is_control() {
+                    // Callees and nested regions may add to enumerations.
+                    seen.retain(|_, (_, k)| *k != TransKind::Enc);
+                }
+                continue;
+            };
+            let arg = resolve(&replace, inst.operands[0].base);
+            let class = match kind {
+                TransKind::Enc | TransKind::Add => 0u8,
+                TransKind::Dec => 1,
+            };
+            if kind == TransKind::Add {
+                // Invalidate every enc of this enumeration except a
+                // same-value one, which the add strengthens below.
+                seen.retain(|(_, se, sv), (_, k)| {
+                    !(*k == TransKind::Enc && *se == e && *sv != arg)
+                });
+            }
+            match seen.get(&(class, e, arg)).copied() {
+                Some((prev, prev_kind)) => {
+                    if kind == TransKind::Add && prev_kind == TransKind::Enc {
+                        // enc-then-add must keep the add (the enc may
+                        // have produced a sentinel); later lookups use
+                        // the add's result.
+                        seen.insert((class, e, arg), (inst.results[0], TransKind::Add));
+                        continue;
+                    }
+                    replace.insert(inst.results[0], prev);
+                    removed += 1;
+                }
+                None => {
+                    seen.insert((class, e, arg), (inst.results[0], kind));
+                }
+            }
+        }
+    }
+
+    apply_replacements(func, &replace);
+    // Unused enc/dec forwarded above become dead pure instructions; the
+    // shared DCE removes them (adds are kept for their side effect).
+    crate::opt::eliminate_dead(func);
+    removed
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TransKind {
+    Enc,
+    Dec,
+    Add,
+}
+
+fn translation_of(kind: &InstKind) -> Option<(TransKind, EnumId)> {
+    match kind {
+        InstKind::Enc(e) => Some((TransKind::Enc, *e)),
+        InstKind::Dec(e) => Some((TransKind::Dec, *e)),
+        InstKind::EnumAdd(e) => Some((TransKind::Add, *e)),
+        _ => None,
+    }
+}
+
+fn resolve(replace: &BTreeMap<ValueId, ValueId>, mut v: ValueId) -> ValueId {
+    while let Some(&next) = replace.get(&v) {
+        v = next;
+    }
+    v
+}
+
+fn apply_replacements(func: &mut Function, replace: &BTreeMap<ValueId, ValueId>) {
+    if replace.is_empty() {
+        return;
+    }
+    for inst in &mut func.insts {
+        for op in &mut inst.operands {
+            let r = resolve(replace, op.base);
+            if r != op.base {
+                op.base = r;
+            }
+            for access in &mut op.path {
+                if let ade_ir::Access::Index(ade_ir::Scalar::Value(v)) = access {
+                    let r = resolve(replace, *v);
+                    if r != *v {
+                        *access = ade_ir::Access::Index(ade_ir::Scalar::Value(r));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ade_ir::parse::parse_module;
+    use ade_ir::print::print_module;
+
+    fn run_on(text: &str) -> (Module, usize) {
+        let mut m = parse_module(text).expect("parses");
+        let removed = run(&mut m);
+        ade_ir::verify::verify_module(&m).expect("verifies after peephole");
+        (m, removed)
+    }
+
+    #[test]
+    fn enc_of_dec_forwards() {
+        let (m, removed) = run_on(
+            r#"
+enum e0: u64
+
+fn @f(%i: idx, %s: Set{Bit}<idx>) -> void {
+  %x = dec e0, %i
+  %j = enc e0, %x
+  %h = has %s, %j
+  print %h
+  ret
+}
+"#,
+        );
+        assert!(removed >= 1);
+        let text = print_module(&m);
+        assert!(text.contains("has %s, %i"), "{text}");
+        assert!(!text.contains("enc"), "{text}");
+    }
+
+    #[test]
+    fn add_of_dec_forwards() {
+        let (m, removed) = run_on(
+            r#"
+enum e0: u64
+
+fn @f(%i: idx, %s: Set{Bit}<idx>) -> void {
+  %x = dec e0, %i
+  %j = enumadd e0, %x
+  %s1 = insert %s, %j
+  ret
+}
+"#,
+        );
+        assert!(removed >= 1);
+        let text = print_module(&m);
+        assert!(text.contains("insert %s, %i"), "{text}");
+    }
+
+    #[test]
+    fn eq_of_two_decs_compares_ids() {
+        let (m, removed) = run_on(
+            r#"
+enum e0: u64
+
+fn @f(%i: idx, %j: idx) -> bool {
+  %x = dec e0, %i
+  %y = dec e0, %j
+  %same = eq %x, %y
+  ret %same
+}
+"#,
+        );
+        assert!(removed >= 2);
+        let text = print_module(&m);
+        assert!(text.contains("eq %i, %j"), "{text}");
+        assert!(!text.contains("dec"), "dead decs removed: {text}");
+    }
+
+    #[test]
+    fn duplicate_translations_cse() {
+        let (m, removed) = run_on(
+            r#"
+enum e0: u64
+
+fn @f(%v: u64, %s: Set{Bit}<idx>) -> void {
+  %a = enumadd e0, %v
+  %b = enumadd e0, %v
+  %s1 = insert %s, %a
+  %s2 = insert %s1, %b
+  ret
+}
+"#,
+        );
+        assert_eq!(removed, 1);
+        let text = print_module(&m);
+        assert!(text.contains("insert %s1, %a"), "{text}");
+    }
+
+    #[test]
+    fn different_enums_do_not_cancel() {
+        let (m, removed) = run_on(
+            r#"
+enum e0: u64
+enum e1: u64
+
+fn @f(%i: idx, %s: Set{Bit}<idx>) -> void {
+  %x = dec e0, %i
+  %j = enc e1, %x
+  %h = has %s, %j
+  print %h
+  ret
+}
+"#,
+        );
+        assert_eq!(removed, 0);
+        let text = print_module(&m);
+        assert!(text.contains("enc e1"), "{text}");
+    }
+
+    #[test]
+    fn unused_add_is_kept_for_side_effect() {
+        let (m, _) = run_on(
+            "enum e0: u64\n\nfn @f(%v: u64) -> void {\n  %a = enumadd e0, %v\n  ret\n}\n",
+        );
+        let text = print_module(&m);
+        assert!(text.contains("enumadd"), "{text}");
+    }
+}

@@ -1,0 +1,419 @@
+//! The ADE program rewriter (paper §III-B): create enumerations, insert
+//! `enc`/`dec`/`add` translations at the planned sites, and retype the
+//! enumerated collections to `idx` keys.
+//!
+//! Retyping works in two stages: allocation and parameter types are
+//! rewritten directly, then a *type repair* fixpoint recomputes every
+//! derived type (loop arguments, read results, φ values) from operand
+//! types. Because every φ-web boundary was patched with a translation,
+//! identifiers propagate through carried values exactly as in the
+//! paper's Listing 4 without any explicit φ surgery.
+
+use ade_analysis::RedefChains;
+use ade_ir::{
+    Access, ConstVal, EnumDecl, EnumId, Function, Inst, InstId, InstKind, Module, Operand,
+    Scalar, Type, ValueData, ValueDef, ValueId,
+};
+
+use crate::interproc::{ModulePlan, PlannedCandidate};
+use crate::patch::{OperandPos, UseSite};
+use crate::share::MemberRole;
+use crate::{AdeOptions, AdeReport};
+
+/// Applies a module plan in place.
+pub fn apply(module: &mut Module, plan: &ModulePlan, _options: &AdeOptions) -> AdeReport {
+    let mut report = AdeReport::default();
+
+    // 1. Enumeration classes.
+    let enum_base = module.enums.len();
+    for (i, key_ty) in plan.enum_key_tys.iter().enumerate() {
+        module.add_enum(EnumDecl {
+            name: format!("ade{i}"),
+            key_ty: key_ty.clone(),
+        });
+    }
+    report.enums_created = plan.enum_key_tys.len();
+
+    // 2. Clones for partially-enumerated callees (§III-F).
+    for spec in &plan.clones {
+        let mut clone = module.func(spec.source).clone();
+        clone.name = spec.new_name.clone();
+        clone.exported = false;
+        module.funcs.push(clone);
+        report.cloned_functions.push(spec.new_name.clone());
+    }
+
+    // 3. Retarget agreeing call sites.
+    for &(func, inst, new_callee) in &plan.retargets {
+        let f = module.func_mut(func);
+        f.inst_mut(inst).kind = InstKind::Call(new_callee);
+    }
+
+    // Collect callee return types for the repair pass (returns are never
+    // retyped: returned collections escape and are not enumerated).
+    let ret_tys: Vec<Type> = module.funcs.iter().map(|f| f.ret_ty.clone()).collect();
+
+    // 4. Per-function rewrites.
+    let enum_tys: Vec<Type> = module.enums.iter().map(|e| e.key_ty.clone()).collect();
+    for (&fidx, func_plan) in &plan.func_plans {
+        let func = &mut module.funcs[fidx as usize];
+        for cand in &func_plan.candidates {
+            retype_roots(func, cand);
+            report.total_benefit += cand.benefit;
+            report.candidates.push(format!(
+                "@{}: enum e{} over {} member(s), benefit {}",
+                func.name,
+                enum_base + cand.enum_idx,
+                cand.members.len(),
+                cand.benefit
+            ));
+        }
+        // All decodes first, then all encodes/adds, so that a site owned
+        // by two enumerations composes as `enc(e1, dec(e2, x))`.
+        for cand in &func_plan.candidates {
+            let enum_id = EnumId::from_index(enum_base + cand.enum_idx);
+            for site in cand.sets.to_dec.iter().copied().collect::<Vec<_>>() {
+                wrap_site(func, site, InstKind::Dec(enum_id));
+            }
+        }
+        for cand in &func_plan.candidates {
+            let enum_id = EnumId::from_index(enum_base + cand.enum_idx);
+            for site in cand.sets.to_enc.iter().copied().collect::<Vec<_>>() {
+                wrap_site(func, site, InstKind::Enc(enum_id));
+            }
+            for site in cand.sets.to_add.iter().copied().collect::<Vec<_>>() {
+                wrap_site(func, site, InstKind::EnumAdd(enum_id));
+            }
+        }
+        repair_types_with_enums(func, &ret_tys, &enum_tys);
+    }
+    report
+}
+
+/// Rewrites the nested type at `depth` below `ty` according to `role`.
+fn rewrite_entity_type(ty: &Type, depth: usize, role: MemberRole) -> Type {
+    if depth > 0 {
+        return match ty {
+            Type::Seq(elem) => Type::Seq(Box::new(rewrite_entity_type(elem, depth - 1, role))),
+            Type::Map { key, val, sel } => Type::Map {
+                key: key.clone(),
+                val: Box::new(rewrite_entity_type(val, depth - 1, role)),
+                sel: *sel,
+            },
+            other => panic!("entity depth below non-nested type {other}"),
+        };
+    }
+    let mut out = ty.clone();
+    if role.keys {
+        out = match out {
+            Type::Set { sel, .. } => Type::Set {
+                elem: Box::new(Type::Idx),
+                sel,
+            },
+            Type::Map { val, sel, .. } => Type::Map {
+                key: Box::new(Type::Idx),
+                val,
+                sel,
+            },
+            other => panic!("keys role on non-associative type {other}"),
+        };
+    }
+    if role.propagator {
+        out = match out {
+            Type::Seq(_) => Type::seq(Type::Idx),
+            Type::Map { key, sel, .. } => Type::Map {
+                key,
+                val: Box::new(Type::Idx),
+                sel,
+            },
+            other => panic!("propagator role on type {other}"),
+        };
+    }
+    out
+}
+
+/// Rewrites the root-level types (allocation results, `new` payloads,
+/// parameters) of every member's chain.
+fn retype_roots(func: &mut Function, cand: &PlannedCandidate) {
+    let chains = RedefChains::compute(func);
+    for m in &cand.members {
+        let root_ty = func.value_ty(m.entity.root).clone();
+        let new_ty = rewrite_entity_type(&root_ty, m.entity.depth, m.role);
+        if new_ty == root_ty {
+            continue;
+        }
+        let level0: Vec<ValueId> = chains
+            .chain(chains.root_of(m.entity.root))
+            .to_vec();
+        for v in level0 {
+            func.values[v.index()].ty = new_ty.clone();
+            if let ValueDef::InstResult { inst, .. } = func.values[v.index()].def {
+                if let InstKind::New(ty) = &mut func.insts[inst.index()].kind {
+                    *ty = new_ty.clone();
+                }
+            }
+        }
+    }
+}
+
+/// Wraps the value at `site` in a translation instruction inserted just
+/// before the using instruction. Result types are provisional
+/// (`repair_types` finalizes them).
+fn wrap_site(func: &mut Function, site: UseSite, kind: InstKind) {
+    // The value currently used at the site (it may already have been
+    // rewritten by an earlier patch at the same position).
+    let current: Operand = match site.pos {
+        OperandPos::Plain(n) => Operand::value(func.inst(site.inst).operands[n].base),
+        OperandPos::PathIndex { operand, step } => {
+            match func.inst(site.inst).operands[operand].path[step] {
+                Access::Index(Scalar::Value(v)) => Operand::value(v),
+                Access::Index(Scalar::Const(c)) => {
+                    // Materialize the constant so it can be translated.
+                    let cv = new_inst_before(
+                        func,
+                        site.inst,
+                        InstKind::Const(ConstVal::U64(c)),
+                        vec![],
+                        Type::U64,
+                    );
+                    Operand::value(cv)
+                }
+                Access::Index(Scalar::End) | Access::Field(_) => {
+                    panic!("cannot translate non-key path step")
+                }
+            }
+        }
+    };
+    // Provisional result type: repair_types recomputes from the opcode.
+    let result_ty = match kind {
+        InstKind::Enc(_) | InstKind::EnumAdd(_) => Type::Idx,
+        _ => Type::Void, // Dec: fixed by repair from the enum declaration.
+    };
+    let new_val = new_inst_before(func, site.inst, kind, vec![current], result_ty);
+    match site.pos {
+        OperandPos::Plain(n) => {
+            func.inst_mut(site.inst).operands[n] = Operand::value(new_val);
+        }
+        OperandPos::PathIndex { operand, step } => {
+            func.inst_mut(site.inst).operands[operand].path[step] =
+                Access::Index(Scalar::Value(new_val));
+        }
+    }
+}
+
+/// Creates an instruction with one result and inserts it immediately
+/// before `before` in its containing region.
+fn new_inst_before(
+    func: &mut Function,
+    before: InstId,
+    kind: InstKind,
+    operands: Vec<Operand>,
+    result_ty: Type,
+) -> ValueId {
+    let inst_id = InstId::from_index(func.insts.len());
+    let value = ValueId::from_index(func.values.len());
+    func.values.push(ValueData {
+        ty: result_ty,
+        def: ValueDef::InstResult {
+            inst: inst_id,
+            index: 0,
+        },
+        name: None,
+    });
+    func.insts.push(Inst {
+        kind,
+        operands,
+        regions: vec![],
+        results: vec![value],
+    });
+    let region = func.parent_region(before);
+    let pos = func.regions[region.index()]
+        .insts
+        .iter()
+        .position(|&i| i == before)
+        .expect("inst in region");
+    func.regions[region.index()].insts.insert(pos, inst_id);
+    value
+}
+
+/// Recomputes every derived value type from operand types until a fixed
+/// point. This propagates `idx` through φ-webs, loop arguments, read
+/// results and nested aliases after the roots were retyped and the
+/// boundaries patched. `enums[i]` is the key type of enumeration `i`.
+pub fn repair_types_with_enums(func: &mut Function, ret_tys: &[Type], enums: &[Type]) {
+    for _ in 0..16 {
+        let mut changed = false;
+        for inst_id in func.all_insts() {
+            let inst = func.inst(inst_id).clone();
+            match &inst.kind {
+                InstKind::Read => {
+                    let ty = ade_ir::builder::operand_type_in(func, &inst.operands[0]);
+                    if let Some(want) = ty.value_type() {
+                        changed |= set_ty(func, inst.results[0], want.clone());
+                    }
+                }
+                k if k.is_collection_update() => {
+                    let ty = func.value_ty(inst.operands[0].base).clone();
+                    changed |= set_ty(func, inst.results[0], ty);
+                }
+                InstKind::Bin(_) => {
+                    let ty = func.value_ty(inst.operands[0].base).clone();
+                    changed |= set_ty(func, inst.results[0], ty);
+                }
+                InstKind::Call(callee) => {
+                    if let Some(&r) = inst.results.first() {
+                        if let Some(ret) = ret_tys.get(callee.index()) {
+                            if *ret != Type::Void {
+                                changed |= set_ty(func, r, ret.clone());
+                            }
+                        }
+                    }
+                }
+                InstKind::Dec(e) => {
+                    if let Some(key_ty) = enums.get(e.index()) {
+                        changed |= set_ty(func, inst.results[0], key_ty.clone());
+                    }
+                }
+                InstKind::Enc(_) | InstKind::EnumAdd(_) => {
+                    changed |= set_ty(func, inst.results[0], Type::Idx);
+                }
+                InstKind::If => {
+                    let yields = region_yield_tys(func, inst.regions[0]);
+                    for (&r, ty) in inst.results.iter().zip(yields) {
+                        changed |= set_ty(func, r, ty);
+                    }
+                }
+                InstKind::ForEach => {
+                    let coll_ty =
+                        ade_ir::builder::operand_type_in(func, &inst.operands[0]);
+                    let args = func.region(inst.regions[0]).args.clone();
+                    let mut arg_tys: Vec<Type> = Vec::new();
+                    match &coll_ty {
+                        Type::Seq(elem) => {
+                            arg_tys.push(Type::U64);
+                            arg_tys.push((**elem).clone());
+                        }
+                        Type::Set { elem, .. } => arg_tys.push((**elem).clone()),
+                        Type::Map { key, val, .. } => {
+                            arg_tys.push((**key).clone());
+                            arg_tys.push((**val).clone());
+                        }
+                        _ => {}
+                    }
+                    let iter = arg_tys.len();
+                    for (op, slot) in inst.operands[1..].iter().zip(iter..) {
+                        arg_tys.push(func.value_ty(op.base).clone());
+                        let _ = (op, slot);
+                    }
+                    for (&a, ty) in args.iter().zip(arg_tys.iter()) {
+                        changed |= set_ty(func, a, ty.clone());
+                    }
+                    for (&r, op) in inst.results.iter().zip(inst.operands[1..].iter()) {
+                        let ty = func.value_ty(op.base).clone();
+                        changed |= set_ty(func, r, ty);
+                    }
+                }
+                InstKind::ForRange => {
+                    let args = func.region(inst.regions[0]).args.clone();
+                    if let Some(&i) = args.first() {
+                        changed |= set_ty(func, i, Type::U64);
+                    }
+                    for ((&a, op), &r) in args[1..]
+                        .iter()
+                        .zip(inst.operands[2..].iter())
+                        .zip(inst.results.iter())
+                    {
+                        let ty = func.value_ty(op.base).clone();
+                        changed |= set_ty(func, a, ty.clone());
+                        changed |= set_ty(func, r, ty);
+                    }
+                }
+                InstKind::DoWhile => {
+                    let args = func.region(inst.regions[0]).args.clone();
+                    // Carried types come from the *backedge* yield when it
+                    // disagrees with the init (the web may have retyped
+                    // the loop interior); prefer the yield.
+                    let yields = region_yield_tys(func, inst.regions[0]);
+                    for (j, &a) in args.iter().enumerate() {
+                        let ty = yields
+                            .get(j + 1)
+                            .cloned()
+                            .unwrap_or_else(|| func.value_ty(inst.operands[j].base).clone());
+                        changed |= set_ty(func, a, ty.clone());
+                        if let Some(&r) = inst.results.get(j) {
+                            changed |= set_ty(func, r, ty);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            return;
+        }
+    }
+    panic!("type repair did not converge in @{}", func.name);
+}
+
+fn region_yield_tys(func: &Function, region: ade_ir::RegionId) -> Vec<Type> {
+    let Some(&last) = func.region(region).insts.last() else {
+        return Vec::new();
+    };
+    let inst = func.inst(last);
+    if inst.kind != InstKind::Yield {
+        return Vec::new();
+    }
+    inst.operands
+        .iter()
+        .map(|op| ade_ir::builder::operand_type_in(func, op))
+        .collect()
+}
+
+fn set_ty(func: &mut Function, v: ValueId, ty: Type) -> bool {
+    if func.values[v.index()].ty == ty {
+        false
+    } else {
+        func.values[v.index()].ty = ty;
+        true
+    }
+}
+
+/// Lightweight helpers shared with tests.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rewrite_entity_type_depths_and_roles() {
+        let keys = MemberRole {
+            keys: true,
+            propagator: false,
+        };
+        let both = MemberRole {
+            keys: true,
+            propagator: true,
+        };
+        let prop = MemberRole {
+            keys: false,
+            propagator: true,
+        };
+        assert_eq!(
+            rewrite_entity_type(&Type::set(Type::F64), 0, keys),
+            Type::set(Type::Idx)
+        );
+        assert_eq!(
+            rewrite_entity_type(&Type::map(Type::U64, Type::U64), 0, both),
+            Type::map(Type::Idx, Type::Idx)
+        );
+        assert_eq!(
+            rewrite_entity_type(&Type::seq(Type::U64), 0, prop),
+            Type::seq(Type::Idx)
+        );
+        // Depth 1: Map<ptr, Set<ptr>> with inner keys enumerated.
+        let pts = Type::map(Type::U64, Type::set(Type::U64));
+        assert_eq!(
+            rewrite_entity_type(&pts, 1, keys),
+            Type::map(Type::U64, Type::set(Type::Idx))
+        );
+    }
+}

@@ -1,0 +1,314 @@
+//! The `adec` compiler driver, as a library (the `adec` binary is a thin
+//! wrapper so everything is testable in-process).
+//!
+//! Pipeline: parse textual IR → verify → (optionally) run ADE under a
+//! named artifact configuration → verify again → print the result
+//! and/or execute it with statistics.
+//!
+//! ```
+//! use ade_driver::{drive, Options};
+//!
+//! let opts = Options {
+//!     config: "ade".to_string(),
+//!     run: true,
+//!     ..Options::default()
+//! };
+//! let out = drive(
+//!     "fn @main() -> void {\n  %x = const 2u64\n  %y = add %x, %x\n  print %y\n  ret\n}\n",
+//!     &opts,
+//! ).expect("drives");
+//! assert!(out.program_output.as_deref() == Some("4\n"));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+use ade_interp::Interpreter;
+use ade_workloads::{Config, ConfigKind};
+
+/// Driver options (mirrors the `adec` CLI flags).
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Artifact configuration name (`memoir`, `ade`, `ade-noredundant`,
+    /// …). `memoir` skips the transformation.
+    pub config: String,
+    /// Execute the program after compilation.
+    pub run: bool,
+    /// Print the (transformed) IR.
+    pub emit_ir: bool,
+    /// Print execution statistics (implies `run`).
+    pub stats: bool,
+    /// Entry function name.
+    pub entry: String,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            config: "ade".to_string(),
+            run: false,
+            emit_ir: false,
+            stats: false,
+            entry: "main".to_string(),
+        }
+    }
+}
+
+/// Driver output.
+#[derive(Clone, Debug, Default)]
+pub struct DriveOutput {
+    /// The transformed IR text (when `emit_ir`).
+    pub ir: Option<String>,
+    /// What the program printed (when `run`).
+    pub program_output: Option<String>,
+    /// Statistics summary (when `stats`).
+    pub stats: Option<String>,
+    /// ADE pass report, if the configuration ran the pass.
+    pub report: Option<ade_core::AdeReport>,
+}
+
+/// A driver failure with a phase tag.
+#[derive(Debug)]
+pub struct DriveError {
+    /// Which phase failed (`parse`, `verify`, `config`, `exec`).
+    pub phase: &'static str,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for DriveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.phase, self.message)
+    }
+}
+
+impl std::error::Error for DriveError {}
+
+fn err(phase: &'static str, message: impl fmt::Display) -> DriveError {
+    DriveError {
+        phase,
+        message: message.to_string(),
+    }
+}
+
+/// Runs the driver pipeline over IR text.
+///
+/// # Errors
+///
+/// Returns a [`DriveError`] naming the failing phase: `parse` for syntax
+/// errors, `verify` for ill-formed IR (before or after the pass),
+/// `config` for unknown configuration names, `exec` for runtime failures.
+pub fn drive(source: &str, options: &Options) -> Result<DriveOutput, DriveError> {
+    let kind = ConfigKind::from_name(&options.config)
+        .ok_or_else(|| err("config", format!("unknown configuration `{}`", options.config)))?;
+    let config = Config::new(kind);
+
+    let mut module = ade_ir::parse::parse_module(source).map_err(|e| err("parse", e))?;
+    ade_ir::verify::verify_module(&module).map_err(|e| err("verify", e))?;
+
+    let report = config.compile(&mut module);
+    ade_ir::verify::verify_module(&module)
+        .map_err(|e| err("verify", format!("after ADE: {e}")))?;
+
+    let mut out = DriveOutput {
+        report,
+        ..DriveOutput::default()
+    };
+    if options.emit_ir {
+        out.ir = Some(ade_ir::print::print_module(&module));
+    }
+    if options.run || options.stats {
+        let outcome = Interpreter::new(&module, config.exec.clone())
+            .run(&options.entry)
+            .map_err(|e| err("exec", e))?;
+        if options.stats {
+            out.stats = Some(format_stats(&outcome.stats));
+        }
+        out.program_output = Some(outcome.output);
+    }
+    Ok(out)
+}
+
+fn format_stats(stats: &ade_interp::Stats) -> String {
+    use ade_interp::cost::CostModel;
+    let totals = stats.totals();
+    let intel = CostModel::intel_x64();
+    let arm = CostModel::aarch64();
+    format!(
+        "sparse accesses: {}\ndense accesses:  {}\npeak bytes:      {}\nwall:            {} ns\nmodeled intel:   {:.0} ns\nmodeled aarch64: {:.0} ns\n",
+        totals.sparse_accesses(),
+        totals.dense_accesses(),
+        stats.peak_bytes,
+        stats.wall_total_ns(),
+        intel.time_ns(&totals),
+        arm.time_ns(&totals),
+    )
+}
+
+/// Parses `adec` command-line arguments into options plus an input path.
+///
+/// # Errors
+///
+/// Returns a usage message on unknown flags or a missing input path.
+pub fn parse_args<I: Iterator<Item = String>>(args: I) -> Result<(Options, String), String> {
+    let mut options = Options::default();
+    let mut input: Option<String> = None;
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--config" | "-c" => {
+                options.config = args.next().ok_or("missing value for --config")?;
+            }
+            "--run" | "-r" => options.run = true,
+            "--emit-ir" => options.emit_ir = true,
+            "--stats" => options.stats = true,
+            "--entry" => {
+                options.entry = args.next().ok_or("missing value for --entry")?;
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag `{flag}`"));
+            }
+            path => {
+                if input.replace(path.to_string()).is_some() {
+                    return Err("multiple input files".to_string());
+                }
+            }
+        }
+    }
+    let input = input.ok_or("missing input file")?;
+    if !options.run && !options.emit_ir && !options.stats {
+        options.emit_ir = true; // default action
+    }
+    Ok((options, input))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROGRAM: &str = r#"
+fn @main() -> void {
+  %work = new Seq<u64>
+  %lo = const 0u64
+  %hi = const 40u64
+  %filled = forrange %lo, %hi carry(%work) as (%i: u64, %s: Seq<u64>) {
+    %five = const 5u64
+    %v = rem %i, %five
+    %n = size %s
+    %s1 = insert %s, %n, %v
+    yield %s1
+  }
+  %seen = new Set<u64>
+  %uniq, %sout = foreach %filled carry(%lo, %seen) as (%i: u64, %v: u64, %acc: u64, %ss: Set<u64>) {
+    %h = has %ss, %v
+    %acc2, %s2 = if %h then {
+      yield %acc, %ss
+    } else {
+      %s1 = insert %ss, %v
+      %one = const 1u64
+      %a1 = add %acc, %one
+      yield %a1, %s1
+    }
+    yield %acc2, %s2
+  }
+  print %uniq
+  ret
+}
+"#;
+
+    #[test]
+    fn drives_memoir_and_ade_to_the_same_output() {
+        let memoir = drive(
+            PROGRAM,
+            &Options {
+                config: "memoir".to_string(),
+                run: true,
+                ..Options::default()
+            },
+        )
+        .expect("memoir drives");
+        let ade = drive(
+            PROGRAM,
+            &Options {
+                config: "ade".to_string(),
+                run: true,
+                emit_ir: true,
+                stats: true,
+                ..Options::default()
+            },
+        )
+        .expect("ade drives");
+        assert_eq!(memoir.program_output, ade.program_output);
+        assert_eq!(ade.program_output.as_deref(), Some("5\n"));
+        let ir = ade.ir.expect("ir emitted");
+        assert!(ir.contains("Set{Bit}<idx>"), "{ir}");
+        assert!(ade.stats.expect("stats").contains("sparse accesses"));
+        assert_eq!(ade.report.expect("report").enums_created, 1);
+    }
+
+    #[test]
+    fn every_configuration_name_is_accepted() {
+        for kind in ConfigKind::ALL {
+            let opts = Options {
+                config: kind.name().to_string(),
+                run: true,
+                ..Options::default()
+            };
+            let out = drive(PROGRAM, &opts)
+                .unwrap_or_else(|e| panic!("[{}] {e}", kind.name()));
+            assert_eq!(out.program_output.as_deref(), Some("5\n"), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn reports_phase_tagged_errors() {
+        let bad_syntax = drive("fn @main() -> void { frob }", &Options::default());
+        assert_eq!(bad_syntax.expect_err("fails").phase, "parse");
+
+        let bad_types =
+            drive("fn @main() -> u64 {\n  %x = const 1f64\n  ret %x\n}\n", &Options::default());
+        assert_eq!(bad_types.expect_err("fails").phase, "verify");
+
+        let bad_config = drive(
+            "fn @main() -> void {\n  ret\n}\n",
+            &Options {
+                config: "turbo".to_string(),
+                ..Options::default()
+            },
+        );
+        assert_eq!(bad_config.expect_err("fails").phase, "config");
+
+        let bad_entry = drive(
+            "fn @main() -> void {\n  ret\n}\n",
+            &Options {
+                run: true,
+                entry: "missing".to_string(),
+                ..Options::default()
+            },
+        );
+        assert_eq!(bad_entry.expect_err("fails").phase, "exec");
+    }
+
+    #[test]
+    fn cli_argument_parsing() {
+        let (opts, input) = parse_args(
+            ["--config", "ade-sparse", "--run", "--stats", "prog.memoir"]
+                .into_iter()
+                .map(String::from),
+        )
+        .expect("parses");
+        assert_eq!(opts.config, "ade-sparse");
+        assert!(opts.run && opts.stats && !opts.emit_ir);
+        assert_eq!(input, "prog.memoir");
+
+        // Default action is --emit-ir.
+        let (opts, _) = parse_args(["p.memoir".to_string()].into_iter()).expect("parses");
+        assert!(opts.emit_ir);
+
+        assert!(parse_args(["--nope".to_string()].into_iter()).is_err());
+        assert!(parse_args(std::iter::empty()).is_err());
+        assert!(parse_args(["a".to_string(), "b".to_string()].into_iter()).is_err());
+    }
+}

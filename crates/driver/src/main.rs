@@ -1,0 +1,49 @@
+//! `adec`: the ADE compiler driver.
+//!
+//! ```text
+//! adec [--config NAME] [--run] [--emit-ir] [--stats] [--entry F] INPUT.memoir
+//! ```
+//!
+//! With no action flags the transformed IR is printed (`--emit-ir`).
+
+fn main() {
+    let (options, input) = match ade_driver::parse_args(std::env::args().skip(1)) {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: adec [--config NAME] [--run] [--emit-ir] [--stats] [--entry F] INPUT.memoir"
+            );
+            std::process::exit(2);
+        }
+    };
+    let source = match std::fs::read_to_string(&input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {input}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match ade_driver::drive(&source, &options) {
+        Ok(out) => {
+            if let Some(report) = &out.report {
+                for line in &report.candidates {
+                    eprintln!("[ade] {line}");
+                }
+            }
+            if let Some(ir) = out.ir {
+                print!("{ir}");
+            }
+            if let Some(program_output) = out.program_output {
+                print!("{program_output}");
+            }
+            if let Some(stats) = out.stats {
+                eprint!("{stats}");
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Drive every `.memoir` sample under `examples/ir/` through the driver
+//! under both the baseline and full-ADE configurations.
+
+use ade_driver::{drive, Options};
+
+fn samples() -> Vec<(String, String)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/ir");
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir).expect("examples/ir exists") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "memoir") {
+            let text = std::fs::read_to_string(&path).expect("readable");
+            out.push((path.display().to_string(), text));
+        }
+    }
+    assert!(out.len() >= 3, "expected the sample programs");
+    out
+}
+
+#[test]
+fn all_samples_agree_across_configurations() {
+    for (name, text) in samples() {
+        let memoir = drive(
+            &text,
+            &Options {
+                config: "memoir".into(),
+                run: true,
+                ..Options::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("[{name}] memoir: {e}"));
+        let ade = drive(
+            &text,
+            &Options {
+                config: "ade".into(),
+                run: true,
+                emit_ir: true,
+                ..Options::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("[{name}] ade: {e}"));
+        assert_eq!(memoir.program_output, ade.program_output, "[{name}]");
+    }
+}
+
+#[test]
+fn union_find_sample_reaches_listing4_shape() {
+    let (_, text) = samples()
+        .into_iter()
+        .find(|(name, _)| name.ends_with("union_find.memoir"))
+        .expect("union_find sample");
+    let out = drive(
+        &text,
+        &Options {
+            config: "ade".into(),
+            emit_ir: true,
+            ..Options::default()
+        },
+    )
+    .expect("drives");
+    let ir = out.ir.expect("ir");
+    assert!(ir.contains("Map{Bit}<idx, idx>"), "{ir}");
+    // The search loop body must be translation-free.
+    let find_fn = ir.split("fn @main").next().expect("find comes first");
+    let body = find_fn.split("dowhile").nth(1).expect("loop body");
+    let loop_body = body.split('}').next().expect("body");
+    assert!(!loop_body.contains("enc"), "{ir}");
+    assert!(!loop_body.contains("dec"), "{ir}");
+}
+
+#[test]
+fn directives_sample_selects_the_requested_impls() {
+    let (_, text) = samples()
+        .into_iter()
+        .find(|(name, _)| name.ends_with("directives.memoir"))
+        .expect("directives sample");
+    let out = drive(
+        &text,
+        &Options {
+            config: "ade".into(),
+            emit_ir: true,
+            run: true,
+            ..Options::default()
+        },
+    )
+    .expect("drives");
+    assert_eq!(out.program_output.as_deref(), Some("50 50 50 50\n"));
+    let ir = out.ir.expect("ir");
+    assert!(ir.contains("Set{SparseBit}<idx>"), "{ir}");
+    assert!(ir.contains("Map{Swiss}<u64, u64>"), "{ir}");
+}

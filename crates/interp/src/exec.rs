@@ -1,0 +1,1152 @@
+//! The IR interpreter.
+
+use std::fmt;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ade_collections::SwissMap;
+use ade_ir::{
+    Access, BinOp, CmpOp, ConstVal, EnumId, Function, Inst, InstKind, Module, Operand, RegionId,
+    Scalar, Type,
+};
+
+use crate::heap::{CollId, Collection, SelectionDefaults};
+use crate::stats::{CollOp, ImplKind, Phase, Stats};
+use crate::value::Value;
+
+/// Interpreter configuration.
+#[derive(Clone, Debug)]
+#[derive(Default)]
+pub struct ExecConfig {
+    /// Implementations for empty (`Auto`) selections.
+    pub defaults: SelectionDefaults,
+    /// Instruction budget; `None` means unlimited. Guards differential
+    /// tests against accidental non-termination.
+    pub fuel: Option<u64>,
+}
+
+
+/// A runtime failure (missing entry point or exhausted fuel).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecError {
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "execution error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// The result of a program run.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Everything the program printed.
+    pub output: String,
+    /// Operation counts, memory peaks and wall times.
+    pub stats: Stats,
+    /// The entry function's return value.
+    pub result: Option<Value>,
+}
+
+/// The runtime state of one enumeration class: the paper's
+/// `Enum = (Enc, Dec)` pair, populated on the fly (§III-B).
+#[derive(Debug, Default)]
+struct RuntimeEnum {
+    enc: SwissMap<Value, usize>,
+    dec: Vec<Value>,
+    cached_bytes: usize,
+}
+
+impl RuntimeEnum {
+    fn bytes_estimate(&self) -> usize {
+        self.enc.heap_bytes_fast() + self.dec.capacity() * std::mem::size_of::<Value>()
+    }
+}
+
+enum Flow {
+    Continue,
+    Yield(Vec<Value>),
+    Ret(Option<Value>),
+}
+
+/// Executes IR modules against instrumented runtime collections.
+#[derive(Debug)]
+pub struct Interpreter<'m> {
+    module: &'m Module,
+    config: ExecConfig,
+    heap: Vec<Collection>,
+    coll_bytes: Vec<usize>,
+    enums: Vec<RuntimeEnum>,
+    stats: Stats,
+    output: String,
+    phase: Phase,
+    tracked_bytes: usize,
+    fuel_used: u64,
+}
+
+impl<'m> Interpreter<'m> {
+    /// Creates an interpreter over `module`.
+    pub fn new(module: &'m Module, config: ExecConfig) -> Self {
+        Self {
+            module,
+            config,
+            heap: Vec::new(),
+            coll_bytes: Vec::new(),
+            enums: Vec::new(),
+            stats: Stats::default(),
+            output: String::new(),
+            phase: Phase::Init,
+            tracked_bytes: 0,
+            fuel_used: 0,
+        }
+    }
+
+    /// Runs the function named `entry` with no arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecError`] if the entry point does not exist or the
+    /// configured fuel runs out.
+    pub fn run(self, entry: &str) -> Result<Outcome, ExecError> {
+        // Guest programs may recurse deeply (the IR has first-class
+        // calls); debug-build interpreter frames would exhaust a worker
+        // thread's default 2 MiB stack, so execution gets its own
+        // generously sized stack.
+        const STACK: usize = 256 * 1024 * 1024;
+        let mut carrier = Some(self);
+        std::thread::scope(|scope| {
+            let builder = std::thread::Builder::new()
+                .name(format!("interp-{entry}"))
+                .stack_size(STACK);
+            // `spawn_scoped` consumes the closure only on success, so the
+            // interpreter can be reclaimed for the fallback path.
+            let interp = carrier.take().expect("interpreter present");
+            match builder.spawn_scoped(scope, move || interp.run_inline(entry)) {
+                Ok(handle) => match handle.join() {
+                    Ok(result) => result,
+                    // Guest undefined behavior panics with a diagnostic;
+                    // keep the payload instead of replacing the message.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                },
+                Err(spawn_err) => Err(ExecError {
+                    message: format!(
+                        "could not start the interpreter thread ({spawn_err});                          use run_inline on a thread with adequate stack"
+                    ),
+                }),
+            }
+        })
+    }
+
+    /// Runs on the caller's thread. Deeply recursive guest programs may
+    /// need more stack than a default worker thread provides; prefer
+    /// [`Interpreter::run`] unless the caller controls its own stack
+    /// (e.g. benchmarks measuring non-recursive programs that want to
+    /// avoid per-run thread-spawn overhead).
+    pub fn run_inline(mut self, entry: &str) -> Result<Outcome, ExecError> {
+        let Some(fid) = self.module.function_by_name(entry) else {
+            return Err(ExecError {
+                message: format!("no function named @{entry}"),
+            });
+        };
+        self.enums = self.module.enums.iter().map(|_| RuntimeEnum::default()).collect();
+        let start = Instant::now();
+        let mut phase_start = start;
+        // Wall-time bookkeeping happens at ROI transitions; we thread the
+        // phase-start instant through a cell on self via a small closure
+        // protocol: exec notes transitions in `stats.wall_ns` directly.
+        let result = self.call_function(fid, Vec::new(), &mut phase_start)?;
+        let elapsed = phase_start.elapsed().as_nanos();
+        self.stats.wall_ns[self.phase as usize] += elapsed;
+        self.stats.final_bytes = self.tracked_bytes;
+        self.sample_peak();
+        Ok(Outcome {
+            output: self.output,
+            stats: self.stats,
+            result,
+        })
+    }
+
+    fn sample_peak(&mut self) {
+        if self.tracked_bytes > self.stats.peak_bytes {
+            self.stats.peak_bytes = self.tracked_bytes;
+        }
+    }
+
+    #[inline]
+    fn bump(&mut self, imp: ImplKind, op: CollOp, n: u64) {
+        self.stats.per_phase[self.phase as usize].bump(imp, op, n);
+    }
+
+    fn refresh_bytes(&mut self, id: CollId) {
+        let new = self.heap[id.0 as usize].bytes_estimate();
+        let old = self.coll_bytes[id.0 as usize];
+        self.tracked_bytes = (self.tracked_bytes + new).saturating_sub(old);
+        self.coll_bytes[id.0 as usize] = new;
+        self.sample_peak();
+    }
+
+    fn alloc_collection(&mut self, ty: &Type) -> CollId {
+        let coll = Collection::new_for(ty, self.config.defaults);
+        let bytes = coll.bytes_estimate();
+        let id = CollId(u32::try_from(self.heap.len()).expect("heap fits u32"));
+        self.heap.push(coll);
+        self.coll_bytes.push(bytes);
+        self.tracked_bytes += bytes;
+        self.sample_peak();
+        id
+    }
+
+    /// The default value for a freshly inserted map slot, allocating
+    /// nested empty collections as needed (paper §III-G nesting).
+    fn default_value(&mut self, ty: &Type) -> Value {
+        match ty {
+            Type::Void => Value::Void,
+            Type::Bool => Value::Bool(false),
+            Type::U64 => Value::U64(0),
+            Type::I64 => Value::I64(0),
+            Type::F64 => Value::F64(0.0),
+            Type::Str => Value::Str("".into()),
+            Type::Idx => Value::Idx(0),
+            Type::Tuple(elems) => {
+                let vals = elems.iter().map(|t| self.default_value(t)).collect();
+                Value::Tuple(std::sync::Arc::new(vals))
+            }
+            coll => Value::Coll(self.alloc_collection(coll)),
+        }
+    }
+
+    /// Navigates an operand's nesting path, counting each indexing step
+    /// as a read on the collection at that level. Returns the final
+    /// value.
+    fn resolve(&mut self, frame: &[Value], op: &Operand) -> Value {
+        let mut cur = frame[op.base.index()].clone();
+        for access in &op.path {
+            cur = match access {
+                Access::Index(s) => {
+                    let id = cur.as_coll();
+                    let imp = self.heap[id.0 as usize].impl_kind();
+                    self.bump(imp, CollOp::Read, 1);
+                    let key = self.path_key(frame, s, id);
+                    self.heap[id.0 as usize].read(&key)
+                }
+                Access::Field(n) => match cur {
+                    Value::Tuple(t) => t[*n as usize].clone(),
+                    other => panic!("field access on {other:?}"),
+                },
+            };
+        }
+        cur
+    }
+
+    fn path_key(&mut self, frame: &[Value], s: &Scalar, id: CollId) -> Value {
+        match s {
+            Scalar::Value(v) => {
+                let key = frame[v.index()].clone();
+                self.coerce_key(id, key)
+            }
+            Scalar::Const(n) => self.coerce_key(id, Value::U64(*n)),
+            Scalar::End => Value::U64(self.heap[id.0 as usize].len() as u64),
+        }
+    }
+
+    /// Dense implementations index by `idx`; accept `u64` keys for
+    /// directive-forced dense collections over integer domains.
+    fn coerce_key(&self, id: CollId, key: Value) -> Value {
+        match (&self.heap[id.0 as usize], &key) {
+            (
+                Collection::BitSet(_) | Collection::SparseBitSet(_) | Collection::BitMap(_),
+                Value::U64(n),
+            ) => Value::Idx(*n as usize),
+            _ => key,
+        }
+    }
+
+    /// The inverse of [`Self::coerce_key`]: dense implementations store
+    /// `usize` keys and yield `Value::Idx` when iterated or drained, but
+    /// a directive-forced dense collection with a `u64` static domain
+    /// must present `u64` values to the program — otherwise comparisons
+    /// against ordinary integers silently fail.
+    fn uncoerce_key(static_key_ty: &Type, key: Value) -> Value {
+        match (static_key_ty, &key) {
+            (Type::U64, Value::Idx(i)) => Value::U64(*i as u64),
+            _ => key,
+        }
+    }
+
+    /// Resolves an operand that must denote a collection, returning its
+    /// handle (navigating and counting nested reads).
+    fn resolve_coll(&mut self, frame: &[Value], op: &Operand) -> CollId {
+        self.resolve(frame, op).as_coll()
+    }
+
+    fn call_function(
+        &mut self,
+        fid: ade_ir::FuncId,
+        args: Vec<Value>,
+        phase_start: &mut Instant,
+    ) -> Result<Option<Value>, ExecError> {
+        let func = self.module.func(fid);
+        assert_eq!(args.len(), func.params.len(), "call arity");
+        let mut frame = vec![Value::Void; func.values.len()];
+        for (&p, a) in func.params.iter().zip(args) {
+            frame[p.index()] = a;
+        }
+        match self.exec_region(func, &mut frame, func.body, phase_start)? {
+            Flow::Ret(v) => Ok(v),
+            _ => panic!("function body ended without ret"),
+        }
+    }
+
+    fn exec_region(
+        &mut self,
+        func: &Function,
+        frame: &mut Vec<Value>,
+        region: RegionId,
+        phase_start: &mut Instant,
+    ) -> Result<Flow, ExecError> {
+        for &inst_id in &func.region(region).insts {
+            let inst = func.inst(inst_id);
+            self.fuel_used += 1;
+            if let Some(fuel) = self.config.fuel {
+                if self.fuel_used > fuel {
+                    return Err(ExecError {
+                        message: format!("fuel exhausted after {fuel} instructions"),
+                    });
+                }
+            }
+            match self.exec_inst(func, frame, inst, phase_start)? {
+                Flow::Continue => {}
+                other => return Ok(other),
+            }
+        }
+        panic!("region fell through without a terminator");
+    }
+
+    /// Control-flow instructions recurse through `exec_region`; keeping
+    /// every other opcode in [`Self::exec_simple_inst`] keeps this
+    /// function's stack frame small, which bounds the Rust stack used
+    /// per level of *interpreted* recursion (deeply recursive guest
+    /// programs would otherwise exhaust the stack in debug builds).
+    fn exec_inst(
+        &mut self,
+        func: &Function,
+        frame: &mut Vec<Value>,
+        inst: &Inst,
+        phase_start: &mut Instant,
+    ) -> Result<Flow, ExecError> {
+        match &inst.kind {
+            InstKind::Call(callee) => {
+                let args: Vec<Value> = inst
+                    .operands
+                    .iter()
+                    .map(|op| self.resolve(frame, op))
+                    .collect();
+                let result = self.call_function(*callee, args, phase_start)?;
+                if let Some(r) = inst.results.first() {
+                    frame[r.index()] = result.unwrap_or(Value::Void);
+                }
+                Ok(Flow::Continue)
+            }
+            InstKind::If => {
+                let cond = self.resolve(frame, &inst.operands[0]).as_bool();
+                let region = inst.regions[usize::from(!cond)];
+                match self.exec_region(func, frame, region, phase_start)? {
+                    Flow::Yield(vals) => {
+                        for (&r, v) in inst.results.iter().zip(vals) {
+                            frame[r.index()] = v;
+                        }
+                        Ok(Flow::Continue)
+                    }
+                    other => Ok(other),
+                }
+            }
+            InstKind::ForEach => self.exec_foreach(func, frame, inst, phase_start),
+            InstKind::ForRange => self.exec_forrange(func, frame, inst, phase_start),
+            InstKind::DoWhile => self.exec_dowhile(func, frame, inst, phase_start),
+            InstKind::Yield => {
+                let vals = inst
+                    .operands
+                    .iter()
+                    .map(|op| self.resolve(frame, op))
+                    .collect();
+                Ok(Flow::Yield(vals))
+            }
+            InstKind::Ret => {
+                let v = inst.operands.first().map(|op| self.resolve(frame, op));
+                Ok(Flow::Ret(v))
+            }
+            InstKind::Roi(begin) => {
+                let now = Instant::now();
+                let elapsed = now.duration_since(*phase_start).as_nanos();
+                self.stats.wall_ns[self.phase as usize] += elapsed;
+                *phase_start = now;
+                self.phase = if *begin { Phase::Roi } else { Phase::Init };
+                Ok(Flow::Continue)
+            }
+            InstKind::Const(_)
+            | InstKind::New(_)
+            | InstKind::Read
+            | InstKind::Write
+            | InstKind::Has
+            | InstKind::Insert
+            | InstKind::Remove
+            | InstKind::Clear
+            | InstKind::Size
+            | InstKind::UnionInto
+            | InstKind::Bin(_)
+            | InstKind::Cmp(_)
+            | InstKind::Not
+            | InstKind::Cast(_)
+            | InstKind::Print
+            | InstKind::Enc(_)
+            | InstKind::Dec(_)
+            | InstKind::EnumAdd(_) => {
+                self.exec_simple_inst(func, frame, inst);
+                Ok(Flow::Continue)
+            }
+        }
+    }
+
+    /// Straight-line (non-control) opcodes.
+    #[allow(clippy::too_many_lines)]
+    #[inline(never)]
+    fn exec_simple_inst(&mut self, func: &Function, frame: &mut Vec<Value>, inst: &Inst) {
+        let set1 = |frame: &mut Vec<Value>, inst: &Inst, v: Value| {
+            frame[inst.results[0].index()] = v;
+        };
+        match &inst.kind {
+            InstKind::Const(c) => {
+                let v = match c {
+                    ConstVal::Bool(b) => Value::Bool(*b),
+                    ConstVal::U64(n) => Value::U64(*n),
+                    ConstVal::I64(n) => Value::I64(*n),
+                    ConstVal::F64(n) => Value::F64(*n),
+                    ConstVal::Str(s) => Value::Str(s.as_str().into()),
+                };
+                set1(frame, inst, v);
+            }
+            InstKind::New(ty) => {
+                let v = if ty.is_collection() {
+                    Value::Coll(self.alloc_collection(ty))
+                } else {
+                    self.default_value(ty)
+                };
+                set1(frame, inst, v);
+            }
+            InstKind::Read => {
+                let id = self.resolve_coll(frame, &inst.operands[0]);
+                let key = self.resolve(frame, &inst.operands[1]);
+                let key = self.coerce_key(id, key);
+                let imp = self.heap[id.0 as usize].impl_kind();
+                self.bump(imp, CollOp::Read, 1);
+                let v = self.heap[id.0 as usize].read(&key);
+                set1(frame, inst, v);
+            }
+            InstKind::Write => {
+                let id = self.resolve_coll(frame, &inst.operands[0]);
+                let key = self.resolve(frame, &inst.operands[1]);
+                let key = self.coerce_key(id, key);
+                let value = self.resolve(frame, &inst.operands[2]);
+                let imp = self.heap[id.0 as usize].impl_kind();
+                self.bump(imp, CollOp::Write, 1);
+                self.heap[id.0 as usize].write(&key, value);
+                self.refresh_bytes(id);
+                set1(frame, inst, frame[inst.operands[0].base.index()].clone());
+            }
+            InstKind::Has => {
+                let id = self.resolve_coll(frame, &inst.operands[0]);
+                let key = self.resolve(frame, &inst.operands[1]);
+                let key = self.coerce_key(id, key);
+                let imp = self.heap[id.0 as usize].impl_kind();
+                self.bump(imp, CollOp::Has, 1);
+                let v = self.heap[id.0 as usize].has(&key);
+                set1(frame, inst, Value::Bool(v));
+            }
+            InstKind::Insert => {
+                let id = self.resolve_coll(frame, &inst.operands[0]);
+                let target_ty = self.target_type(func, &inst.operands[0]);
+                let imp = self.heap[id.0 as usize].impl_kind();
+                self.bump(imp, CollOp::Insert, 1);
+                match &target_ty {
+                    Type::Set { .. } => {
+                        let elem = self.resolve(frame, &inst.operands[1]);
+                        let elem = self.coerce_key(id, elem);
+                        self.heap[id.0 as usize].insert_elem(elem);
+                    }
+                    Type::Map { val, .. } => {
+                        let key = self.resolve(frame, &inst.operands[1]);
+                        let key = self.coerce_key(id, key);
+                        // Only allocate a default if the key is absent.
+                        if !self.heap[id.0 as usize].has(&key) {
+                            let default = self.default_value(val);
+                            self.heap[id.0 as usize].insert_key_default(&key, default);
+                        }
+                    }
+                    Type::Seq(_) => {
+                        let index = self.resolve(frame, &inst.operands[1]).as_u64() as usize;
+                        let value = self.resolve(frame, &inst.operands[2]);
+                        self.heap[id.0 as usize].insert_seq(index, value);
+                    }
+                    other => panic!("insert into {other}"),
+                }
+                self.refresh_bytes(id);
+                set1(frame, inst, frame[inst.operands[0].base.index()].clone());
+            }
+            InstKind::Remove => {
+                let id = self.resolve_coll(frame, &inst.operands[0]);
+                let key = self.resolve(frame, &inst.operands[1]);
+                let key = self.coerce_key(id, key);
+                let imp = self.heap[id.0 as usize].impl_kind();
+                self.bump(imp, CollOp::Remove, 1);
+                self.heap[id.0 as usize].remove(&key);
+                self.refresh_bytes(id);
+                set1(frame, inst, frame[inst.operands[0].base.index()].clone());
+            }
+            InstKind::Clear => {
+                let id = self.resolve_coll(frame, &inst.operands[0]);
+                let imp = self.heap[id.0 as usize].impl_kind();
+                self.bump(imp, CollOp::Clear, 1);
+                self.heap[id.0 as usize].clear();
+                self.refresh_bytes(id);
+                set1(frame, inst, frame[inst.operands[0].base.index()].clone());
+            }
+            InstKind::Size => {
+                let id = self.resolve_coll(frame, &inst.operands[0]);
+                let imp = self.heap[id.0 as usize].impl_kind();
+                self.bump(imp, CollOp::Size, 1);
+                let n = self.heap[id.0 as usize].len() as u64;
+                set1(frame, inst, Value::U64(n));
+            }
+            InstKind::UnionInto => {
+                let dst = self.resolve_coll(frame, &inst.operands[0]);
+                let src = self.resolve_coll(frame, &inst.operands[1]);
+                let dst_elem = self
+                    .target_type(func, &inst.operands[0])
+                    .key_type()
+                    .cloned()
+                    .unwrap_or(Type::Idx);
+                self.union_into(dst, src, &dst_elem);
+                self.refresh_bytes(dst);
+                set1(frame, inst, frame[inst.operands[0].base.index()].clone());
+            }
+            InstKind::Bin(op) => {
+                let a = self.resolve(frame, &inst.operands[0]);
+                let b = self.resolve(frame, &inst.operands[1]);
+                set1(frame, inst, eval_bin(*op, &a, &b));
+            }
+            InstKind::Cmp(op) => {
+                let a = self.resolve(frame, &inst.operands[0]);
+                let b = self.resolve(frame, &inst.operands[1]);
+                set1(frame, inst, Value::Bool(eval_cmp(*op, &a, &b)));
+            }
+            InstKind::Not => {
+                let a = self.resolve(frame, &inst.operands[0]).as_bool();
+                set1(frame, inst, Value::Bool(!a));
+            }
+            InstKind::Cast(ty) => {
+                let a = self.resolve(frame, &inst.operands[0]);
+                set1(frame, inst, eval_cast(&a, ty));
+            }
+            InstKind::Print => {
+                let parts: Vec<String> = inst
+                    .operands
+                    .iter()
+                    .map(|op| self.resolve(frame, op).to_string())
+                    .collect();
+                let _ = writeln!(self.output, "{}", parts.join(" "));
+            }
+            InstKind::Enc(e) => {
+                let key = self.resolve(frame, &inst.operands[0]);
+                self.bump(ImplKind::EnumEnc, CollOp::Read, 1);
+                // Values outside the enumeration encode to a sentinel
+                // identifier that is a member of no collection: the
+                // paper leaves @enc undefined there, and ADE only emits
+                // such encodes for membership probes (`has`, `remove`,
+                // guarded `read`), which must observe absence.
+                let idx = self.enums[e.index()]
+                    .enc
+                    .get(&key)
+                    .copied()
+                    .unwrap_or(usize::MAX);
+                set1(frame, inst, Value::Idx(idx));
+            }
+            InstKind::Dec(e) => {
+                let idx = self.resolve(frame, &inst.operands[0]).as_index();
+                self.bump(ImplKind::EnumDec, CollOp::Read, 1);
+                let v = self.enums[e.index()].dec[idx].clone();
+                set1(frame, inst, v);
+            }
+            InstKind::EnumAdd(e) => {
+                let key = self.resolve(frame, &inst.operands[0]);
+                let idx = self.enum_add(*e, key);
+                set1(frame, inst, Value::Idx(idx));
+            }
+            other => panic!("control opcode {other:?} reached exec_simple_inst"),
+        }
+    }
+
+    #[inline(never)]
+    fn exec_foreach(
+        &mut self,
+        func: &Function,
+        frame: &mut Vec<Value>,
+        inst: &Inst,
+        phase_start: &mut Instant,
+    ) -> Result<Flow, ExecError> {
+        let id = self.resolve_coll(frame, &inst.operands[0]);
+        let imp = self.heap[id.0 as usize].impl_kind();
+        let mut entries = self.heap[id.0 as usize].snapshot();
+        let words = self.heap[id.0 as usize].iter_scan_words();
+        self.bump(imp, CollOp::IterElem, entries.len() as u64);
+        self.bump(imp, CollOp::IterWord, words);
+        let coll_ty = self.target_type(func, &inst.operands[0]);
+        if let Some(key_ty) = coll_ty.key_type() {
+            for (k, _) in &mut entries {
+                *k = Self::uncoerce_key(key_ty, k.clone());
+            }
+        }
+        let binds_value = matches!(coll_ty, Type::Seq(_) | Type::Map { .. });
+        let body = inst.regions[0];
+        let args = func.region(body).args.clone();
+        let mut carried: Vec<Value> = inst.operands[1..]
+            .iter()
+            .map(|op| self.resolve(frame, op))
+            .collect();
+        for (key, value) in entries {
+            let mut slot = 0;
+            frame[args[slot].index()] = key;
+            slot += 1;
+            if binds_value {
+                frame[args[slot].index()] = value;
+                slot += 1;
+            }
+            for (i, c) in carried.iter().enumerate() {
+                frame[args[slot + i].index()] = c.clone();
+            }
+            match self.exec_region(func, frame, body, phase_start)? {
+                Flow::Yield(next) => carried = next,
+                other => return Ok(other),
+            }
+        }
+        for (&r, v) in inst.results.iter().zip(carried) {
+            frame[r.index()] = v;
+        }
+        Ok(Flow::Continue)
+    }
+
+    #[inline(never)]
+    fn exec_forrange(
+        &mut self,
+        func: &Function,
+        frame: &mut Vec<Value>,
+        inst: &Inst,
+        phase_start: &mut Instant,
+    ) -> Result<Flow, ExecError> {
+        let lo = self.resolve(frame, &inst.operands[0]).as_u64();
+        let hi = self.resolve(frame, &inst.operands[1]).as_u64();
+        let body = inst.regions[0];
+        let args = func.region(body).args.clone();
+        let mut carried: Vec<Value> = inst.operands[2..]
+            .iter()
+            .map(|op| self.resolve(frame, op))
+            .collect();
+        for i in lo..hi {
+            frame[args[0].index()] = Value::U64(i);
+            for (j, c) in carried.iter().enumerate() {
+                frame[args[1 + j].index()] = c.clone();
+            }
+            match self.exec_region(func, frame, body, phase_start)? {
+                Flow::Yield(next) => carried = next,
+                other => return Ok(other),
+            }
+        }
+        for (&r, v) in inst.results.iter().zip(carried) {
+            frame[r.index()] = v;
+        }
+        Ok(Flow::Continue)
+    }
+
+    #[inline(never)]
+    fn exec_dowhile(
+        &mut self,
+        func: &Function,
+        frame: &mut Vec<Value>,
+        inst: &Inst,
+        phase_start: &mut Instant,
+    ) -> Result<Flow, ExecError> {
+        let body = inst.regions[0];
+        let args = func.region(body).args.clone();
+        let mut carried: Vec<Value> = inst
+            .operands
+            .iter()
+            .map(|op| self.resolve(frame, op))
+            .collect();
+        loop {
+            for (j, c) in carried.iter().enumerate() {
+                frame[args[j].index()] = c.clone();
+            }
+            match self.exec_region(func, frame, body, phase_start)? {
+                Flow::Yield(mut vals) => {
+                    let cond = vals.remove(0).as_bool();
+                    carried = vals;
+                    if !cond {
+                        break;
+                    }
+                }
+                other => return Ok(other),
+            }
+        }
+        for (&r, v) in inst.results.iter().zip(carried) {
+            frame[r.index()] = v;
+        }
+        Ok(Flow::Continue)
+    }
+
+    /// Static type of the collection an operand addresses (resolving
+    /// nesting).
+    fn target_type(&self, func: &Function, op: &Operand) -> Type {
+        ade_ir::builder::operand_type_in(func, op)
+    }
+
+    fn enum_add(&mut self, e: EnumId, key: Value) -> usize {
+        let re = &mut self.enums[e.index()];
+        self.stats.per_phase[self.phase as usize].bump(ImplKind::EnumEnc, CollOp::Read, 1);
+        if let Some(&idx) = re.enc.get(&key) {
+            return idx;
+        }
+        let idx = re.dec.len();
+        re.enc.insert(key.clone(), idx);
+        re.dec.push(key);
+        self.stats.per_phase[self.phase as usize].bump(ImplKind::EnumEnc, CollOp::Insert, 1);
+        self.stats.per_phase[self.phase as usize].bump(ImplKind::EnumDec, CollOp::Insert, 1);
+        let new = re.bytes_estimate();
+        let old = re.cached_bytes;
+        self.enums[e.index()].cached_bytes = new;
+        self.tracked_bytes = (self.tracked_bytes + new).saturating_sub(old);
+        self.sample_peak();
+        idx
+    }
+
+    fn union_into(&mut self, dst: CollId, src: CollId, dst_elem_ty: &Type) {
+        if dst == src {
+            return;
+        }
+        let (di, si) = (dst.0 as usize, src.0 as usize);
+        let dst_imp = self.heap[di].impl_kind();
+        // Borrow both disjointly.
+        let (a, b) = if di < si {
+            let (lo, hi) = self.heap.split_at_mut(si);
+            (&mut lo[di], &hi[0])
+        } else {
+            let (lo, hi) = self.heap.split_at_mut(di);
+            (&mut hi[0], &lo[si])
+        };
+        match (a, b) {
+            (Collection::BitSet(d), Collection::BitSet(s)) => {
+                let words = (d.universe().max(s.universe()) / 64) as u64;
+                d.union_with(s);
+                self.bump(dst_imp, CollOp::UnionWord, words);
+            }
+            (Collection::SparseBitSet(d), Collection::SparseBitSet(s)) => {
+                let words = (s.heap_bytes_fast() / 8) as u64;
+                d.union_with(s);
+                self.bump(dst_imp, CollOp::UnionWord, words.max(1));
+            }
+            (Collection::FlatSet(d), Collection::FlatSet(s)) => {
+                let elems = (d.len() + s.len()) as u64;
+                d.union_with(s);
+                self.bump(dst_imp, CollOp::UnionElem, elems);
+            }
+            (_, b) => {
+                // Generic path: iterate the source, insert into the
+                // destination one element at a time.
+                let src_imp = b.impl_kind();
+                let entries = b.snapshot();
+                let words = b.iter_scan_words();
+                self.bump(src_imp, CollOp::IterElem, entries.len() as u64);
+                self.bump(src_imp, CollOp::IterWord, words);
+                self.bump(dst_imp, CollOp::UnionElem, entries.len() as u64);
+                for (key, _) in entries {
+                    let key = Self::uncoerce_key(dst_elem_ty, key);
+                    let key = self.coerce_key(dst, key);
+                    self.heap[di].insert_elem(key);
+                }
+            }
+        }
+    }
+}
+
+fn eval_bin(op: BinOp, a: &Value, b: &Value) -> Value {
+    use Value::*;
+    match (a, b) {
+        (U64(x), U64(y)) => U64(eval_bin_u64(op, *x, *y)),
+        (Idx(x), Idx(y)) => Idx(eval_bin_u64(op, *x as u64, *y as u64) as usize),
+        (I64(x), I64(y)) => I64(eval_bin_i64(op, *x, *y)),
+        (F64(x), F64(y)) => F64(eval_bin_f64(op, *x, *y)),
+        (Bool(x), Bool(y)) => Bool(match op {
+            BinOp::And => *x && *y,
+            BinOp::Or => *x || *y,
+            BinOp::Xor => *x != *y,
+            other => panic!("bool {other:?}"),
+        }),
+        (a, b) => panic!("bin op {op:?} on {a:?}, {b:?}"),
+    }
+}
+
+fn eval_bin_u64(op: BinOp, x: u64, y: u64) -> u64 {
+    match op {
+        BinOp::Add => x.wrapping_add(y),
+        BinOp::Sub => x.wrapping_sub(y),
+        BinOp::Mul => x.wrapping_mul(y),
+        BinOp::Div => x / y,
+        BinOp::Rem => x % y,
+        BinOp::Min => x.min(y),
+        BinOp::Max => x.max(y),
+        BinOp::And => x & y,
+        BinOp::Or => x | y,
+        BinOp::Xor => x ^ y,
+        BinOp::Shl => x.wrapping_shl(y as u32),
+        BinOp::Shr => x.wrapping_shr(y as u32),
+    }
+}
+
+fn eval_bin_i64(op: BinOp, x: i64, y: i64) -> i64 {
+    match op {
+        BinOp::Add => x.wrapping_add(y),
+        BinOp::Sub => x.wrapping_sub(y),
+        BinOp::Mul => x.wrapping_mul(y),
+        BinOp::Div => x / y,
+        BinOp::Rem => x % y,
+        BinOp::Min => x.min(y),
+        BinOp::Max => x.max(y),
+        BinOp::And => x & y,
+        BinOp::Or => x | y,
+        BinOp::Xor => x ^ y,
+        BinOp::Shl => x.wrapping_shl(y as u32),
+        BinOp::Shr => x.wrapping_shr(y as u32),
+    }
+}
+
+fn eval_bin_f64(op: BinOp, x: f64, y: f64) -> f64 {
+    match op {
+        BinOp::Add => x + y,
+        BinOp::Sub => x - y,
+        BinOp::Mul => x * y,
+        BinOp::Div => x / y,
+        BinOp::Rem => x % y,
+        BinOp::Min => x.min(y),
+        BinOp::Max => x.max(y),
+        other => panic!("float {other:?}"),
+    }
+}
+
+fn eval_cmp(op: CmpOp, a: &Value, b: &Value) -> bool {
+    let ord = a.cmp(b);
+    match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Lt => ord.is_lt(),
+        CmpOp::Le => ord.is_le(),
+        CmpOp::Gt => ord.is_gt(),
+        CmpOp::Ge => ord.is_ge(),
+    }
+}
+
+fn eval_cast(a: &Value, ty: &Type) -> Value {
+    let as_f64 = |v: &Value| match v {
+        Value::U64(n) => *n as f64,
+        Value::I64(n) => *n as f64,
+        Value::F64(n) => *n,
+        Value::Idx(n) => *n as f64,
+        Value::Bool(b) => f64::from(u8::from(*b)),
+        other => panic!("cast of {other:?}"),
+    };
+    let as_u = |v: &Value| match v {
+        Value::U64(n) => *n,
+        Value::I64(n) => *n as u64,
+        Value::F64(n) => *n as u64,
+        Value::Idx(n) => *n as u64,
+        Value::Bool(b) => u64::from(*b),
+        other => panic!("cast of {other:?}"),
+    };
+    match ty {
+        Type::U64 => Value::U64(as_u(a)),
+        Type::I64 => Value::I64(as_u(a) as i64),
+        Type::F64 => Value::F64(as_f64(a)),
+        Type::Idx => Value::Idx(as_u(a) as usize),
+        other => panic!("cast to {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ade_ir::parse::parse_module;
+    use ade_ir::{MapSel, SetSel};
+
+    fn run(text: &str) -> Outcome {
+        let m = parse_module(text).expect("parses");
+        ade_ir::verify::verify_module(&m).expect("verifies");
+        Interpreter::new(&m, ExecConfig::default())
+            .run("main")
+            .expect("runs")
+    }
+
+    #[test]
+    fn arithmetic_and_print() {
+        let out = run(
+            "fn @main() -> void {\n  %a = const 2u64\n  %b = const 3u64\n  %c = mul %a, %b\n  print %c\n  ret\n}\n",
+        );
+        assert_eq!(out.output, "6\n");
+    }
+
+    #[test]
+    fn histogram_counts_duplicates() {
+        let out = run(
+            r#"
+fn @main() -> void {
+  %input = new Seq<f64>
+  %a = const 1.5f64
+  %b = const 2.5f64
+  %z = const 0u64
+  %i0 = insert %input, %z, %a
+  %o = const 1u64
+  %i1 = insert %i0, %o, %b
+  %t = const 2u64
+  %i2 = insert %i1, %t, %a
+  %hist = new Map<f64, u64>
+  %out = foreach %i2 carry(%hist) as (%i: u64, %val: f64, %h: Map<f64, u64>) {
+    %cond = has %h, %val
+    %h2, %freq = if %cond then {
+      %f = read %h, %val
+      yield %h, %f
+    } else {
+      %h1 = insert %h, %val
+      %zero = const 0u64
+      yield %h1, %zero
+    }
+    %one = const 1u64
+    %freq1 = add %freq, %one
+    %h3 = write %h2, %val, %freq1
+    yield %h3
+  }
+  %c1 = read %out, %a
+  %c2 = read %out, %b
+  print %c1, %c2
+  ret
+}
+"#,
+        );
+        assert_eq!(out.output, "2 1\n");
+    }
+
+    #[test]
+    fn enum_translations_round_trip() {
+        let out = run(
+            r#"
+enum e0: str
+
+fn @main() -> void {
+  %s = const "foo"
+  %t = const "bar"
+  %i = enumadd e0, %s
+  %j = enumadd e0, %t
+  %k = enumadd e0, %s
+  %same = eq %i, %k
+  %diff = ne %i, %j
+  %v = dec e0, %i
+  print %same, %diff, %v
+  ret
+}
+"#,
+        );
+        assert_eq!(out.output, "true true foo\n");
+    }
+
+    #[test]
+    fn selection_annotations_reach_runtime() {
+        let text = r#"
+fn @main() -> void {
+  %s = new Set{Bit}<idx>
+  %x = const 3u64
+  %i = cast %x to idx
+  %s1 = insert %s, %i
+  %h = has %s1, %i
+  print %h
+  ret
+}
+"#;
+        let m = parse_module(text).expect("parses");
+        let out = Interpreter::new(&m, ExecConfig::default())
+            .run("main")
+            .expect("runs");
+        assert_eq!(out.output, "true\n");
+        assert!(out.stats.totals().get(ImplKind::BitSet, CollOp::Insert) == 1);
+        assert!(out.stats.totals().dense_accesses() >= 2);
+    }
+
+    #[test]
+    fn defaults_knob_switches_hash_to_swiss() {
+        let text = "fn @main() -> void {\n  %s = new Set<u64>\n  %x = const 1u64\n  %s1 = insert %s, %x\n  ret\n}\n";
+        let m = parse_module(text).expect("parses");
+        let cfg = ExecConfig {
+            defaults: crate::heap::SelectionDefaults {
+                set: SetSel::Swiss,
+                map: MapSel::Swiss,
+            },
+            fuel: None,
+        };
+        let out = Interpreter::new(&m, cfg).run("main").expect("runs");
+        assert_eq!(out.stats.totals().get(ImplKind::SwissSet, CollOp::Insert), 1);
+        assert_eq!(out.stats.totals().get(ImplKind::HashSet, CollOp::Insert), 0);
+    }
+
+    #[test]
+    fn foreach_set_and_dowhile() {
+        let out = run(
+            r#"
+fn @main() -> void {
+  %s = new Set<u64>
+  %a = const 10u64
+  %b = const 20u64
+  %s1 = insert %s, %a
+  %s2 = insert %s1, %b
+  %zero = const 0u64
+  %sum = foreach %s2 carry(%zero) as (%v: u64, %acc: u64) {
+    %n = add %acc, %v
+    yield %n
+  }
+  print %sum
+  %count = dowhile carry(%zero) as (%c: u64) {
+    %one = const 1u64
+    %c1 = add %c, %one
+    %five = const 5u64
+    %go = lt %c1, %five
+    yield %go, %c1
+  }
+  print %count
+  ret
+}
+"#,
+        );
+        assert_eq!(out.output, "30\n5\n");
+    }
+
+    #[test]
+    fn nested_collections_and_union() {
+        let out = run(
+            r#"
+fn @main() -> void {
+  %m = new Map<u64, Set<u64>>
+  %k1 = const 1u64
+  %k2 = const 2u64
+  %m1 = insert %m, %k1
+  %m2 = insert %m1, %k2
+  %v1 = const 100u64
+  %v2 = const 200u64
+  %m3 = insert %m2[%k1], %v1
+  %m4 = insert %m3[%k1], %v2
+  %m5 = insert %m4[%k2], %v1
+  %a = read %m5, %k1
+  %b = read %m5, %k2
+  %u = union %b, %a
+  %n = size %u
+  print %n
+  ret
+}
+"#,
+        );
+        assert_eq!(out.output, "2\n");
+    }
+
+    #[test]
+    fn calls_pass_scalars_and_collections() {
+        let out = run(
+            r#"
+fn @main() -> void {
+  %s = new Set<u64>
+  %x = const 5u64
+  %s1 = insert %s, %x
+  %n = call @1(%s1)
+  print %n
+  ret
+}
+
+fn @count(%c: Set<u64>) -> u64 {
+  %n = size %c
+  ret %n
+}
+"#,
+        );
+        assert_eq!(out.output, "1\n");
+    }
+
+    #[test]
+    fn roi_markers_split_phases() {
+        let text = r#"
+fn @main() -> void {
+  %s = new Set<u64>
+  %x = const 1u64
+  %s1 = insert %s, %x
+  roi begin
+  %h = has %s1, %x
+  roi end
+  ret
+}
+"#;
+        let m = parse_module(text).expect("parses");
+        let out = Interpreter::new(&m, ExecConfig::default())
+            .run("main")
+            .expect("runs");
+        assert_eq!(out.stats.phase(Phase::Init).get(ImplKind::HashSet, CollOp::Insert), 1);
+        assert_eq!(out.stats.phase(Phase::Roi).get(ImplKind::HashSet, CollOp::Has), 1);
+        assert_eq!(out.stats.phase(Phase::Init).get(ImplKind::HashSet, CollOp::Has), 0);
+    }
+
+    #[test]
+    fn fuel_limits_runaway_loops() {
+        let text = r#"
+fn @main() -> void {
+  %zero = const 0u64
+  %r = dowhile carry(%zero) as (%c: u64) {
+    %t = const true
+    yield %t, %c
+  }
+  ret
+}
+"#;
+        let m = parse_module(text).expect("parses");
+        let cfg = ExecConfig {
+            fuel: Some(10_000),
+            ..ExecConfig::default()
+        };
+        let err = Interpreter::new(&m, cfg).run("main").expect_err("must stop");
+        assert!(err.message.contains("fuel exhausted"));
+    }
+
+    #[test]
+    fn memory_tracking_sees_growth() {
+        let text = r#"
+fn @main() -> void {
+  %s = new Set<u64>
+  %lo = const 0u64
+  %hi = const 1000u64
+  %r = forrange %lo, %hi carry(%s) as (%i: u64, %c: Set<u64>) {
+    %c1 = insert %c, %i
+    yield %c1
+  }
+  ret
+}
+"#;
+        let m = parse_module(text).expect("parses");
+        let out = Interpreter::new(&m, ExecConfig::default())
+            .run("main")
+            .expect("runs");
+        assert!(out.stats.peak_bytes > 1000 * 16, "{}", out.stats.peak_bytes);
+        assert_eq!(out.stats.totals().get(ImplKind::HashSet, CollOp::Insert), 1000);
+    }
+}

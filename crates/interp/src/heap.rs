@@ -1,0 +1,473 @@
+//! Runtime collections: one enum dispatching to the Table I
+//! implementations, selected from the static type annotation.
+
+use ade_collections::{
+    ArraySeq, BitMap, ChainedHashMap, ChainedHashSet, DynamicBitSet, FlatSet, SparseBitSet,
+    SwissMap, SwissSet,
+};
+use ade_ir::{MapSel, SetSel, Type};
+
+use crate::stats::ImplKind;
+use crate::value::Value;
+
+/// Handle into the interpreter's collection heap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CollId(pub u32);
+
+/// Defaults used for `Auto` (empty) selections: this knob realizes the
+/// evaluation's `memoir` (hash defaults) versus `memoir-abseil` (swiss
+/// defaults) configurations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SelectionDefaults {
+    /// Implementation for `Set{•}`.
+    pub set: SetSel,
+    /// Implementation for `Map{•}`.
+    pub map: MapSel,
+}
+
+impl Default for SelectionDefaults {
+    fn default() -> Self {
+        Self {
+            set: SetSel::Hash,
+            map: MapSel::Hash,
+        }
+    }
+}
+
+/// A runtime collection.
+#[derive(Clone, Debug)]
+pub enum Collection {
+    /// Resizeable array sequence.
+    Seq(ArraySeq<Value>),
+    /// Chained hash set.
+    HashSet(ChainedHashSet<Value>),
+    /// Swiss-table set.
+    SwissSet(SwissSet<Value>),
+    /// Sorted-array set.
+    FlatSet(FlatSet<Value>),
+    /// Dense bitset (enumerated keys).
+    BitSet(DynamicBitSet),
+    /// Roaring-style compressed bitset (enumerated keys).
+    SparseBitSet(SparseBitSet),
+    /// Chained hash map.
+    HashMap(ChainedHashMap<Value, Value>),
+    /// Swiss-table map.
+    SwissMap(SwissMap<Value, Value>),
+    /// Dense bitmap (enumerated keys).
+    BitMap(BitMap<Value>),
+}
+
+impl Collection {
+    /// Allocates the implementation selected by `ty` (with `defaults`
+    /// resolving empty selections).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ty` is not a collection type.
+    pub fn new_for(ty: &Type, defaults: SelectionDefaults) -> Collection {
+        match ty {
+            Type::Seq(_) => Collection::Seq(ArraySeq::new()),
+            Type::Set { sel, .. } => {
+                let sel = if *sel == SetSel::Auto { defaults.set } else { *sel };
+                match sel {
+                    SetSel::Auto | SetSel::Hash => Collection::HashSet(ChainedHashSet::new()),
+                    SetSel::Swiss => Collection::SwissSet(SwissSet::new()),
+                    SetSel::Flat => Collection::FlatSet(FlatSet::new()),
+                    SetSel::Bit => Collection::BitSet(DynamicBitSet::new()),
+                    SetSel::SparseBit => Collection::SparseBitSet(SparseBitSet::new()),
+                }
+            }
+            Type::Map { sel, .. } => {
+                let sel = if *sel == MapSel::Auto { defaults.map } else { *sel };
+                match sel {
+                    MapSel::Auto | MapSel::Hash => Collection::HashMap(ChainedHashMap::new()),
+                    MapSel::Swiss => Collection::SwissMap(SwissMap::new()),
+                    MapSel::Bit => Collection::BitMap(BitMap::new()),
+                }
+            }
+            other => panic!("cannot allocate non-collection type {other}"),
+        }
+    }
+
+    /// Which implementation this is (for statistics and cost modeling).
+    pub fn impl_kind(&self) -> ImplKind {
+        match self {
+            Collection::Seq(_) => ImplKind::Seq,
+            Collection::HashSet(_) => ImplKind::HashSet,
+            Collection::SwissSet(_) => ImplKind::SwissSet,
+            Collection::FlatSet(_) => ImplKind::FlatSet,
+            Collection::BitSet(_) => ImplKind::BitSet,
+            Collection::SparseBitSet(_) => ImplKind::SparseBitSet,
+            Collection::HashMap(_) => ImplKind::HashMap,
+            Collection::SwissMap(_) => ImplKind::SwissMap,
+            Collection::BitMap(_) => ImplKind::BitMap,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            Collection::Seq(s) => s.len(),
+            Collection::HashSet(s) => s.len(),
+            Collection::SwissSet(s) => s.len(),
+            Collection::FlatSet(s) => s.len(),
+            Collection::BitSet(s) => s.len(),
+            Collection::SparseBitSet(s) => s.len(),
+            Collection::HashMap(m) => m.len(),
+            Collection::SwissMap(m) => m.len(),
+            Collection::BitMap(m) => m.len(),
+        }
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Constant-time-ish heap footprint estimate (see the collection
+    /// crate's `heap_bytes_fast` methods).
+    pub fn bytes_estimate(&self) -> usize {
+        match self {
+            Collection::Seq(s) => s.heap_bytes_fast(),
+            Collection::HashSet(s) => s.heap_bytes_fast(),
+            Collection::SwissSet(s) => s.heap_bytes_fast(),
+            Collection::FlatSet(s) => s.heap_bytes_fast(),
+            Collection::BitSet(s) => s.heap_bytes_fast(),
+            Collection::SparseBitSet(s) => s.heap_bytes_fast(),
+            Collection::HashMap(m) => m.heap_bytes_fast(),
+            Collection::SwissMap(m) => m.heap_bytes_fast(),
+            Collection::BitMap(m) => m.heap_bytes_fast(),
+        }
+    }
+
+    /// Membership test (sets and maps).
+    ///
+    /// # Panics
+    ///
+    /// Panics on sequences.
+    pub fn has(&self, key: &Value) -> bool {
+        match self {
+            Collection::HashSet(s) => s.contains(key),
+            Collection::SwissSet(s) => s.contains(key),
+            Collection::FlatSet(s) => s.contains(key),
+            Collection::BitSet(s) => s.contains(key.as_index()),
+            Collection::SparseBitSet(s) => s.contains(key.as_index()),
+            Collection::HashMap(m) => m.contains_key(key),
+            Collection::SwissMap(m) => m.contains_key(key),
+            Collection::BitMap(m) => m.contains_key(key.as_index()),
+            Collection::Seq(_) => panic!("has on a sequence"),
+        }
+    }
+
+    /// Keyed/indexed read (maps and sequences).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is absent (undefined behavior in the paper's
+    /// semantics) or on sets.
+    pub fn read(&self, key: &Value) -> Value {
+        match self {
+            Collection::Seq(s) => s
+                .get(key.as_u64() as usize)
+                .unwrap_or_else(|| panic!("seq read out of bounds: {key}"))
+                .clone(),
+            Collection::HashMap(m) => m
+                .get(key)
+                .unwrap_or_else(|| panic!("map read of absent key {key}"))
+                .clone(),
+            Collection::SwissMap(m) => m
+                .get(key)
+                .unwrap_or_else(|| panic!("map read of absent key {key}"))
+                .clone(),
+            Collection::BitMap(m) => m
+                .get(key.as_index())
+                .unwrap_or_else(|| panic!("bitmap read of absent key {key}"))
+                .clone(),
+            other => panic!("read on {:?}", other.impl_kind()),
+        }
+    }
+
+    /// Keyed/indexed write (upsert for maps; in-bounds store for
+    /// sequences).
+    ///
+    /// # Panics
+    ///
+    /// Panics on sets or out-of-bounds sequence indices.
+    pub fn write(&mut self, key: &Value, value: Value) {
+        match self {
+            Collection::Seq(s) => {
+                let i = key.as_u64() as usize;
+                assert!(i < s.len(), "seq write out of bounds: {i}");
+                s.set(i, value);
+            }
+            Collection::HashMap(m) => {
+                m.insert(key.clone(), value);
+            }
+            Collection::SwissMap(m) => {
+                m.insert(key.clone(), value);
+            }
+            Collection::BitMap(m) => {
+                m.insert(key.as_index(), value);
+            }
+            other => panic!("write on {:?}", other.impl_kind()),
+        }
+    }
+
+    /// Set-element insertion. Returns `true` if newly added.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-set collections.
+    pub fn insert_elem(&mut self, value: Value) -> bool {
+        match self {
+            Collection::HashSet(s) => s.insert(value),
+            Collection::SwissSet(s) => s.insert(value),
+            Collection::FlatSet(s) => s.insert(value),
+            Collection::BitSet(s) => s.insert(value.as_index()),
+            Collection::SparseBitSet(s) => s.insert(value.as_index()),
+            other => panic!("set insert on {:?}", other.impl_kind()),
+        }
+    }
+
+    /// Map-key insertion: default-initializes the slot if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-map collections.
+    pub fn insert_key_default(&mut self, key: &Value, default: Value) {
+        match self {
+            Collection::HashMap(m) => {
+                if !m.contains_key(key) {
+                    m.insert(key.clone(), default);
+                }
+            }
+            Collection::SwissMap(m) => {
+                if !m.contains_key(key) {
+                    m.insert(key.clone(), default);
+                }
+            }
+            Collection::BitMap(m) => {
+                if !m.contains_key(key.as_index()) {
+                    m.insert(key.as_index(), default);
+                }
+            }
+            other => panic!("map insert on {:?}", other.impl_kind()),
+        }
+    }
+
+    /// Sequence insertion at `index` (appends when `index == len`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-sequences or out-of-range indices.
+    pub fn insert_seq(&mut self, index: usize, value: Value) {
+        match self {
+            Collection::Seq(s) => {
+                if index == s.len() {
+                    s.push(value);
+                } else {
+                    s.insert(index, value);
+                }
+            }
+            other => panic!("seq insert on {:?}", other.impl_kind()),
+        }
+    }
+
+    /// Removes a key/element/index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds sequence removals.
+    pub fn remove(&mut self, key: &Value) {
+        match self {
+            Collection::Seq(s) => {
+                s.remove(key.as_u64() as usize);
+            }
+            Collection::HashSet(s) => {
+                s.remove(key);
+            }
+            Collection::SwissSet(s) => {
+                s.remove(key);
+            }
+            Collection::FlatSet(s) => {
+                s.remove(key);
+            }
+            Collection::BitSet(s) => {
+                s.remove(key.as_index());
+            }
+            Collection::SparseBitSet(s) => {
+                s.remove(key.as_index());
+            }
+            Collection::HashMap(m) => {
+                m.remove(key);
+            }
+            Collection::SwissMap(m) => {
+                m.remove(key);
+            }
+            Collection::BitMap(m) => {
+                m.remove(key.as_index());
+            }
+        }
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        match self {
+            Collection::Seq(s) => s.clear(),
+            Collection::HashSet(s) => s.clear(),
+            Collection::SwissSet(s) => s.clear(),
+            Collection::FlatSet(s) => s.clear(),
+            Collection::BitSet(s) => s.clear(),
+            Collection::SparseBitSet(s) => s.clear(),
+            Collection::HashMap(m) => m.clear(),
+            Collection::SwissMap(m) => m.clear(),
+            Collection::BitMap(m) => m.clear(),
+        }
+    }
+
+    /// Snapshot of `(key, value)` pairs for iteration, in the
+    /// implementation's order (sets yield `(elem, Void)`; sequences yield
+    /// `(index, elem)`).
+    pub fn snapshot(&self) -> Vec<(Value, Value)> {
+        match self {
+            Collection::Seq(s) => s
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (Value::U64(i as u64), v.clone()))
+                .collect(),
+            Collection::HashSet(s) => s.iter().map(|v| (v.clone(), Value::Void)).collect(),
+            Collection::SwissSet(s) => s.iter().map(|v| (v.clone(), Value::Void)).collect(),
+            Collection::FlatSet(s) => s.iter().map(|v| (v.clone(), Value::Void)).collect(),
+            Collection::BitSet(s) => s.iter().map(|i| (Value::Idx(i), Value::Void)).collect(),
+            Collection::SparseBitSet(s) => {
+                s.iter().map(|i| (Value::Idx(i), Value::Void)).collect()
+            }
+            Collection::HashMap(m) => {
+                m.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+            }
+            Collection::SwissMap(m) => {
+                m.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+            }
+            Collection::BitMap(m) => m
+                .iter()
+                .map(|(k, v)| (Value::Idx(k), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Machine words an iteration must scan beyond the yielded elements
+    /// (zero for element-at-a-time implementations; the whole occupancy
+    /// structure for bit-array implementations).
+    pub fn iter_scan_words(&self) -> u64 {
+        match self {
+            Collection::BitSet(s) => (s.universe() / 64) as u64,
+            Collection::SparseBitSet(s) => (s.heap_bytes_fast() / 8) as u64,
+            Collection::BitMap(m) => (m.heap_bytes_fast() / 8) as u64,
+            // Hash/swiss tables scan their slot arrays too; charge words
+            // proportional to capacity over 8 slots per word equivalent.
+            Collection::HashSet(s) => (s.heap_bytes_fast() / 64) as u64,
+            Collection::SwissSet(s) => (s.heap_bytes_fast() / 64) as u64,
+            Collection::HashMap(m) => (m.heap_bytes_fast() / 64) as u64,
+            Collection::SwissMap(m) => (m.heap_bytes_fast() / 64) as u64,
+            Collection::Seq(_) | Collection::FlatSet(_) => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set_of(sel: SetSel) -> Collection {
+        Collection::new_for(&Type::set_with(Type::Idx, sel), SelectionDefaults::default())
+    }
+
+    #[test]
+    fn selection_drives_implementation() {
+        assert_eq!(set_of(SetSel::Hash).impl_kind(), ImplKind::HashSet);
+        assert_eq!(set_of(SetSel::Swiss).impl_kind(), ImplKind::SwissSet);
+        assert_eq!(set_of(SetSel::Flat).impl_kind(), ImplKind::FlatSet);
+        assert_eq!(set_of(SetSel::Bit).impl_kind(), ImplKind::BitSet);
+        assert_eq!(set_of(SetSel::SparseBit).impl_kind(), ImplKind::SparseBitSet);
+        let m = Collection::new_for(
+            &Type::map_with(Type::Idx, Type::U64, MapSel::Bit),
+            SelectionDefaults::default(),
+        );
+        assert_eq!(m.impl_kind(), ImplKind::BitMap);
+    }
+
+    #[test]
+    fn auto_uses_defaults() {
+        let swiss_default = SelectionDefaults {
+            set: SetSel::Swiss,
+            map: MapSel::Swiss,
+        };
+        let s = Collection::new_for(&Type::set(Type::U64), swiss_default);
+        assert_eq!(s.impl_kind(), ImplKind::SwissSet);
+        let m = Collection::new_for(&Type::map(Type::U64, Type::U64), swiss_default);
+        assert_eq!(m.impl_kind(), ImplKind::SwissMap);
+    }
+
+    #[test]
+    fn set_ops_across_impls() {
+        for sel in [SetSel::Hash, SetSel::Swiss, SetSel::Flat, SetSel::Bit, SetSel::SparseBit] {
+            let mut s = set_of(sel);
+            assert!(s.insert_elem(Value::Idx(5)));
+            assert!(!s.insert_elem(Value::Idx(5)));
+            assert!(s.has(&Value::Idx(5)));
+            assert!(!s.has(&Value::Idx(6)));
+            assert_eq!(s.len(), 1);
+            s.remove(&Value::Idx(5));
+            assert!(s.is_empty(), "{sel:?}");
+        }
+    }
+
+    #[test]
+    fn map_ops_across_impls() {
+        for sel in [MapSel::Hash, MapSel::Swiss, MapSel::Bit] {
+            let mut m = Collection::new_for(
+                &Type::map_with(Type::Idx, Type::U64, sel),
+                SelectionDefaults::default(),
+            );
+            m.insert_key_default(&Value::Idx(3), Value::U64(0));
+            assert_eq!(m.read(&Value::Idx(3)), Value::U64(0));
+            m.write(&Value::Idx(3), Value::U64(9));
+            assert_eq!(m.read(&Value::Idx(3)), Value::U64(9));
+            // insert on existing key must not reset the value
+            m.insert_key_default(&Value::Idx(3), Value::U64(0));
+            assert_eq!(m.read(&Value::Idx(3)), Value::U64(9), "{sel:?}");
+        }
+    }
+
+    #[test]
+    fn seq_ops() {
+        let mut s = Collection::new_for(&Type::seq(Type::U64), SelectionDefaults::default());
+        s.insert_seq(0, Value::U64(1));
+        s.insert_seq(1, Value::U64(3));
+        s.insert_seq(1, Value::U64(2));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.read(&Value::U64(1)), Value::U64(2));
+        s.write(&Value::U64(0), Value::U64(10));
+        assert_eq!(s.read(&Value::U64(0)), Value::U64(10));
+        let snap = s.snapshot();
+        assert_eq!(snap[2], (Value::U64(2), Value::U64(3)));
+    }
+
+    #[test]
+    fn bitset_snapshot_ascending() {
+        let mut s = set_of(SetSel::Bit);
+        s.insert_elem(Value::Idx(9));
+        s.insert_elem(Value::Idx(2));
+        let keys: Vec<Value> = s.snapshot().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![Value::Idx(2), Value::Idx(9)]);
+        assert!(s.iter_scan_words() >= 1);
+    }
+
+    #[test]
+    fn bytes_estimate_tracks_growth() {
+        let mut s = set_of(SetSel::Bit);
+        let before = s.bytes_estimate();
+        s.insert_elem(Value::Idx(100_000));
+        assert!(s.bytes_estimate() > before);
+    }
+}

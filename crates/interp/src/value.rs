@@ -1,0 +1,268 @@
+//! Runtime values.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use crate::heap::CollId;
+
+/// A runtime value.
+///
+/// Scalar values are self-contained; collections are handles into the
+/// interpreter's heap (SSA collection updates mutate in place, which the
+/// verifier's linearity check makes sound — the same lowering MEMOIR
+/// itself performs).
+#[derive(Clone, Debug, Default)]
+pub enum Value {
+    /// No value.
+    #[default]
+    Void,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Double. Compared and hashed by bit pattern so values are usable as
+    /// collection keys (the paper enumerates `f32` histogram keys).
+    F64(f64),
+    /// Immutable shared string.
+    Str(Arc<str>),
+    /// Enumeration identifier (dense, `[0, N)`).
+    Idx(usize),
+    /// Tuple of values.
+    Tuple(Arc<Vec<Value>>),
+    /// Collection handle.
+    Coll(CollId),
+}
+
+impl Value {
+    /// The `u64` inside, or a numeric coercion of `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not `U64` or `Idx`.
+    pub fn as_u64(&self) -> u64 {
+        match self {
+            Value::U64(v) => *v,
+            Value::Idx(v) => *v as u64,
+            other => panic!("expected u64, got {other:?}"),
+        }
+    }
+
+    /// The `bool` inside.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not `Bool`.
+    pub fn as_bool(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            other => panic!("expected bool, got {other:?}"),
+        }
+    }
+
+    /// The `idx` inside (accepting `U64` for directive-forced dense
+    /// implementations over integer keys).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not `Idx` or `U64`.
+    pub fn as_index(&self) -> usize {
+        match self {
+            Value::Idx(i) => *i,
+            Value::U64(v) => *v as usize,
+            other => panic!("expected idx, got {other:?}"),
+        }
+    }
+
+    /// The collection handle inside.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a collection.
+    pub fn as_coll(&self) -> CollId {
+        match self {
+            Value::Coll(c) => *c,
+            other => panic!("expected collection, got {other:?}"),
+        }
+    }
+
+    /// Whether this value may be used as a collection key.
+    pub fn is_key(&self) -> bool {
+        !matches!(self, Value::Coll(_) | Value::Void)
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        use Value::*;
+        match (self, other) {
+            (Void, Void) => true,
+            (Bool(a), Bool(b)) => a == b,
+            (U64(a), U64(b)) => a == b,
+            (I64(a), I64(b)) => a == b,
+            (F64(a), F64(b)) => a.to_bits() == b.to_bits(),
+            (Str(a), Str(b)) => a == b,
+            (Idx(a), Idx(b)) => a == b,
+            (Tuple(a), Tuple(b)) => a == b,
+            (Coll(a), Coll(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        core::mem::discriminant(self).hash(state);
+        match self {
+            Value::Void => {}
+            Value::Bool(b) => b.hash(state),
+            Value::U64(v) => v.hash(state),
+            Value::I64(v) => v.hash(state),
+            Value::F64(v) => v.to_bits().hash(state),
+            Value::Str(s) => s.hash(state),
+            Value::Idx(i) => i.hash(state),
+            Value::Tuple(t) => t.hash(state),
+            Value::Coll(c) => c.0.hash(state),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        use Value::*;
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Void => 0,
+                Bool(_) => 1,
+                U64(_) => 2,
+                I64(_) => 3,
+                F64(_) => 4,
+                Str(_) => 5,
+                Idx(_) => 6,
+                Tuple(_) => 7,
+                Coll(_) => 8,
+            }
+        }
+        match (self, other) {
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (U64(a), U64(b)) => a.cmp(b),
+            (I64(a), I64(b)) => a.cmp(b),
+            (F64(a), F64(b)) => a.total_cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Idx(a), Idx(b)) => a.cmp(b),
+            (Tuple(a), Tuple(b)) => a.cmp(b),
+            (Coll(a), Coll(b)) => a.0.cmp(&b.0),
+            (a, b) => rank(a).cmp(&rank(b)).then(Ordering::Equal),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Void => write!(f, "()"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::U64(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Idx(i) => write!(f, "#{i}"),
+            Value::Tuple(t) => {
+                write!(f, "(")?;
+                for (i, v) in t.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            Value::Coll(c) => write!(f, "<coll {}>", c.0),
+        }
+    }
+}
+
+impl ade_collections::HeapSize for Value {
+    fn heap_bytes(&self) -> usize {
+        match self {
+            Value::Str(s) => s.len(),
+            Value::Tuple(t) => {
+                t.len() * std::mem::size_of::<Value>()
+                    + t.iter().map(ade_collections::HeapSize::heap_bytes).sum::<usize>()
+            }
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_keys_compare_by_bits() {
+        assert_eq!(Value::F64(1.5), Value::F64(1.5));
+        assert_ne!(Value::F64(0.0), Value::F64(-0.0));
+        assert_eq!(Value::F64(f64::NAN), Value::F64(f64::NAN));
+    }
+
+    #[test]
+    fn ordering_is_total_across_kinds() {
+        let mut vals = vec![
+            Value::Str("b".into()),
+            Value::U64(3),
+            Value::Bool(false),
+            Value::Str("a".into()),
+            Value::U64(1),
+        ];
+        vals.sort();
+        assert_eq!(
+            vals,
+            vec![
+                Value::Bool(false),
+                Value::U64(1),
+                Value::U64(3),
+                Value::Str("a".into()),
+                Value::Str("b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::U64(4).as_u64(), 4);
+        assert_eq!(Value::Idx(4).as_u64(), 4);
+        assert_eq!(Value::Idx(9).as_index(), 9);
+        assert!(Value::Bool(true).as_bool());
+        assert!(Value::U64(0).is_key());
+        assert!(!Value::Void.is_key());
+    }
+
+    #[test]
+    #[should_panic(expected = "expected bool")]
+    fn as_bool_rejects_others() {
+        Value::U64(1).as_bool();
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::U64(3).to_string(), "3");
+        assert_eq!(Value::Idx(3).to_string(), "#3");
+        assert_eq!(Value::Str("hi".into()).to_string(), "hi");
+        assert_eq!(
+            Value::Tuple(Arc::new(vec![Value::U64(1), Value::Bool(true)])).to_string(),
+            "(1, true)"
+        );
+    }
+}

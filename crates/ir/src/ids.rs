@@ -1,0 +1,87 @@
+//! Typed arena indices for IR entities.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The arena index this id refers to.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from an arena index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                Self(u32::try_from(index).expect("arena index fits in u32"))
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// An SSA value inside one [`crate::Function`].
+    ValueId,
+    "%"
+);
+id_type!(
+    /// An instruction inside one [`crate::Function`].
+    InstId,
+    "i"
+);
+id_type!(
+    /// A region (structured block) inside one [`crate::Function`].
+    RegionId,
+    "r"
+);
+id_type!(
+    /// A function inside a [`crate::Module`].
+    FuncId,
+    "@"
+);
+id_type!(
+    /// A module-level enumeration class (paper §III-F: one global per
+    /// equivalence class of collections sharing an enumeration).
+    EnumId,
+    "e"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_index() {
+        let v = ValueId::from_index(7);
+        assert_eq!(v.index(), 7);
+        assert_eq!(format!("{v}"), "%7");
+        assert_eq!(format!("{:?}", FuncId(3)), "@3");
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(InstId(1) < InstId(2));
+        assert_eq!(RegionId(5), RegionId(5));
+    }
+}

@@ -1,0 +1,1154 @@
+//! Parser for the textual IR form produced by [`crate::print`].
+//!
+//! The grammar mirrors the printer's output one-to-one (`print ∘ parse`
+//! and `parse ∘ print` are identities up to value numbering), which gives
+//! the test suite a readable way to author IR and a strong round-trip
+//! property to check.
+//!
+//! ```
+//! let text = "
+//! fn @double(%x: u64) -> u64 {
+//!   %y = add %x, %x
+//!   ret %y
+//! }
+//! ";
+//! let module = ade_ir::parse::parse_module(text).expect("parses");
+//! assert_eq!(module.funcs.len(), 1);
+//! assert!(ade_ir::verify::verify_module(&module).is_ok());
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{
+    Access, BinOp, CmpOp, ConstVal, DirectiveSet, EnumDecl, EnumId, FuncId, Function, Inst,
+    InstId, InstKind, MapSel, Module, Operand, Region, RegionId, Scalar, SelectionChoice, SetSel,
+    Type, ValueData, ValueDef, ValueId,
+};
+
+/// A parse failure with a byte offset and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the source.
+    pub offset: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+type Result<T> = std::result::Result<T, ParseError>;
+
+/// Parses a whole module.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax or reference
+/// error encountered.
+pub fn parse_module(text: &str) -> Result<Module> {
+    let mut p = Parser::new(text);
+    let mut module = Module::new();
+    // Pre-scan function signatures so call result types resolve even for
+    // forward references.
+    let signatures = prescan_signatures(text)?;
+    loop {
+        p.skip_ws();
+        if p.at_end() {
+            break;
+        }
+        if p.peek_word("enum") {
+            let decl = p.enum_decl()?;
+            module.enums.push(decl);
+        } else if p.peek_word("fn") {
+            let f = p.function(&module.enums, &signatures)?;
+            module.funcs.push(f);
+        } else {
+            return Err(p.error("expected `enum` or `fn`"));
+        }
+    }
+    Ok(module)
+}
+
+/// Parses a single function (no enum context, no cross-function calls).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input.
+pub fn parse_function(text: &str) -> Result<Function> {
+    let module = parse_module(text)?;
+    module
+        .funcs
+        .into_iter()
+        .next()
+        .ok_or(ParseError {
+            offset: 0,
+            message: "no function in input".to_string(),
+        })
+}
+
+fn prescan_signatures(text: &str) -> Result<Vec<Type>> {
+    // Collect each function's return type, in order of appearance,
+    // skipping string literals and line comments so that a `fn @` inside
+    // either cannot shift the signature table (call result types are
+    // additionally cross-checked by the verifier).
+    let mut rets = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => {
+                // Skip the string literal, honoring escapes.
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'f' if text[i..].starts_with("fn @") => {
+                let rest = &text[i..];
+                let arrow = rest.find("->").ok_or(ParseError {
+                    offset: i,
+                    message: "function header missing `->`".to_string(),
+                })?;
+                let mut p = Parser::new(&rest[arrow + 2..]);
+                p.skip_ws();
+                rets.push(p.parse_type()?);
+                i += 4;
+            }
+            _ => i += 1,
+        }
+    }
+    Ok(rets)
+}
+
+struct Parser<'a> {
+    text: &'a str,
+    pos: usize,
+}
+
+struct FuncCtx {
+    values: Vec<ValueData>,
+    names: HashMap<String, ValueId>,
+    insts: Vec<Inst>,
+    regions: Vec<Region>,
+    directives: std::collections::BTreeMap<InstId, DirectiveSet>,
+}
+
+impl FuncCtx {
+    fn add_value(&mut self, text_name: &str, ty: Type, def: ValueDef) -> Result<ValueId> {
+        let v = ValueId::from_index(self.values.len());
+        self.values.push(ValueData {
+            ty,
+            def,
+            name: parse_name_keep(text_name),
+        });
+        self.names.insert(text_name.to_string(), v);
+        Ok(v)
+    }
+
+    fn lookup(&self, name: &str, offset: usize) -> Result<ValueId> {
+        self.names.get(name).copied().ok_or(ParseError {
+            offset,
+            message: format!("undefined value %{name}"),
+        })
+    }
+}
+
+fn parse_name_keep(text_name: &str) -> Option<String> {
+    if text_name.chars().all(|c| c.is_ascii_digit()) {
+        None
+    } else {
+        Some(text_name.to_string())
+    }
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self { text, pos: 0 }
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: msg.into(),
+        }
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.skip_ws();
+        self.pos >= self.text.len()
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.text[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            let rest = self.rest();
+            let trimmed = rest.trim_start();
+            self.pos += rest.len() - trimmed.len();
+            if self.rest().starts_with("//") {
+                match self.rest().find('\n') {
+                    Some(n) => self.pos += n + 1,
+                    None => self.pos = self.text.len(),
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek_word(&mut self, word: &str) -> bool {
+        self.skip_ws();
+        let rest = self.rest();
+        rest.starts_with(word)
+            && rest[word.len()..]
+                .chars()
+                .next()
+                .is_none_or(|c| !c.is_alphanumeric() && c != '_')
+    }
+
+    fn eat_word(&mut self, word: &str) -> bool {
+        if self.peek_word(word) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_word(&mut self, word: &str) -> Result<()> {
+        if self.eat_word(word) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{word}`")))
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(p) {
+            self.pos += p.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<()> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{p}`")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<&'a str> {
+        self.skip_ws();
+        let rest = self.rest();
+        let end = rest
+            .char_indices()
+            .find(|(_, c)| !c.is_alphanumeric() && *c != '_')
+            .map_or(rest.len(), |(i, _)| i);
+        if end == 0 {
+            return Err(self.error("expected identifier"));
+        }
+        self.pos += end;
+        Ok(&rest[..end])
+    }
+
+    fn value_name(&mut self) -> Result<&'a str> {
+        self.expect_punct("%")?;
+        let rest = self.rest();
+        let end = rest
+            .char_indices()
+            .find(|(_, c)| !c.is_alphanumeric() && *c != '_')
+            .map_or(rest.len(), |(i, _)| i);
+        if end == 0 {
+            return Err(self.error("expected value name after %"));
+        }
+        self.pos += end;
+        Ok(&rest[..end])
+    }
+
+    fn integer(&mut self) -> Result<u64> {
+        self.skip_ws();
+        let rest = self.rest();
+        let end = rest
+            .char_indices()
+            .find(|(_, c)| !c.is_ascii_digit())
+            .map_or(rest.len(), |(i, _)| i);
+        if end == 0 {
+            return Err(self.error("expected integer"));
+        }
+        let n = rest[..end]
+            .parse()
+            .map_err(|_| self.error("integer out of range"))?;
+        self.pos += end;
+        Ok(n)
+    }
+
+    fn string_literal(&mut self) -> Result<String> {
+        self.expect_punct("\"")?;
+        let mut out = String::new();
+        let mut chars = self.rest().char_indices();
+        loop {
+            let (i, c) = chars
+                .next()
+                .ok_or_else(|| self.error("unterminated string"))?;
+            match c {
+                '"' => {
+                    self.pos += i + 1;
+                    return Ok(out);
+                }
+                '\\' => {
+                    let (_, esc) = chars
+                        .next()
+                        .ok_or_else(|| self.error("unterminated escape"))?;
+                    match esc {
+                        'n' => out.push('\n'),
+                        't' => out.push('\t'),
+                        'r' => out.push('\r'),
+                        '0' => out.push('\0'),
+                        '\\' => out.push('\\'),
+                        '"' => out.push('"'),
+                        '\'' => out.push('\''),
+                        'u' => {
+                            // \u{HEX}: the printer uses Rust Debug escaping.
+                            match chars.next() {
+                                Some((_, '{')) => {}
+                                _ => return Err(self.error("expected `{` after \\u")),
+                            }
+                            let mut code = 0u32;
+                            loop {
+                                let Some((i, c)) = chars.next() else {
+                                    return Err(self.error("unterminated \\u escape"));
+                                };
+                                if c == '}' {
+                                    let _ = i;
+                                    break;
+                                }
+                                let digit = c
+                                    .to_digit(16)
+                                    .ok_or_else(|| self.error("bad hex in \\u escape"))?;
+                                code = code
+                                    .checked_mul(16)
+                                    .and_then(|v| v.checked_add(digit))
+                                    .ok_or_else(|| self.error("\\u escape out of range"))?;
+                            }
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("invalid \\u code point"))?,
+                            );
+                        }
+                        other => {
+                            return Err(self.error(format!("unknown escape `\\{other}`")));
+                        }
+                    }
+                }
+                other => out.push(other),
+            }
+        }
+    }
+
+    fn parse_type(&mut self) -> Result<Type> {
+        self.skip_ws();
+        if self.eat_punct("(") {
+            let mut elems = Vec::new();
+            if !self.eat_punct(")") {
+                loop {
+                    elems.push(self.parse_type()?);
+                    if !self.eat_punct(",") {
+                        break;
+                    }
+                }
+                self.expect_punct(")")?;
+            }
+            return Ok(Type::Tuple(elems));
+        }
+        let name = self.ident()?;
+        match name {
+            "void" => Ok(Type::Void),
+            "bool" => Ok(Type::Bool),
+            "u64" => Ok(Type::U64),
+            "i64" => Ok(Type::I64),
+            "f64" => Ok(Type::F64),
+            "str" => Ok(Type::Str),
+            "idx" => Ok(Type::Idx),
+            "Seq" => {
+                self.expect_punct("<")?;
+                let elem = self.parse_type()?;
+                self.expect_punct(">")?;
+                Ok(Type::seq(elem))
+            }
+            "Set" => {
+                let sel = self.parse_set_sel()?;
+                self.expect_punct("<")?;
+                let elem = self.parse_type()?;
+                self.expect_punct(">")?;
+                Ok(Type::set_with(elem, sel))
+            }
+            "Map" => {
+                let sel = self.parse_map_sel()?;
+                self.expect_punct("<")?;
+                let key = self.parse_type()?;
+                self.expect_punct(",")?;
+                let val = self.parse_type()?;
+                self.expect_punct(">")?;
+                Ok(Type::map_with(key, val, sel))
+            }
+            other => Err(self.error(format!("unknown type `{other}`"))),
+        }
+    }
+
+    fn parse_set_sel(&mut self) -> Result<SetSel> {
+        if !self.eat_punct("{") {
+            return Ok(SetSel::Auto);
+        }
+        let name = self.ident()?;
+        let sel = match name {
+            "Hash" => SetSel::Hash,
+            "Flat" => SetSel::Flat,
+            "Swiss" => SetSel::Swiss,
+            "Bit" => SetSel::Bit,
+            "SparseBit" => SetSel::SparseBit,
+            other => return Err(self.error(format!("unknown set selection `{other}`"))),
+        };
+        self.expect_punct("}")?;
+        Ok(sel)
+    }
+
+    fn parse_map_sel(&mut self) -> Result<MapSel> {
+        if !self.eat_punct("{") {
+            return Ok(MapSel::Auto);
+        }
+        let name = self.ident()?;
+        let sel = match name {
+            "Hash" => MapSel::Hash,
+            "Swiss" => MapSel::Swiss,
+            "Bit" => MapSel::Bit,
+            other => return Err(self.error(format!("unknown map selection `{other}`"))),
+        };
+        self.expect_punct("}")?;
+        Ok(sel)
+    }
+
+    fn enum_decl(&mut self) -> Result<EnumDecl> {
+        self.expect_word("enum")?;
+        let name = self.ident()?.to_string();
+        self.expect_punct(":")?;
+        let key_ty = self.parse_type()?;
+        Ok(EnumDecl { name, key_ty })
+    }
+
+    fn function(&mut self, enums: &[EnumDecl], signatures: &[Type]) -> Result<Function> {
+        self.expect_word("fn")?;
+        self.expect_punct("@")?;
+        let name = self.ident()?.to_string();
+        self.expect_punct("(")?;
+        let mut ctx = FuncCtx {
+            values: Vec::new(),
+            names: HashMap::new(),
+            insts: Vec::new(),
+            regions: vec![Region::default()],
+            directives: Default::default(),
+        };
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                let pname = self.value_name()?.to_string();
+                self.expect_punct(":")?;
+                let pty = self.parse_type()?;
+                let v = ctx.add_value(&pname, pty, ValueDef::Param(params.len()))?;
+                params.push(v);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            self.expect_punct(")")?;
+        }
+        self.expect_punct("->")?;
+        let ret_ty = self.parse_type()?;
+        let exported = self.eat_word("exported");
+        self.expect_punct("{")?;
+        self.region_insts(RegionId(0), &mut ctx, enums, signatures)?;
+        Ok(Function {
+            name,
+            params,
+            ret_ty,
+            body: RegionId(0),
+            values: ctx.values,
+            insts: ctx.insts,
+            regions: ctx.regions,
+            directives: ctx.directives,
+            exported,
+        })
+    }
+
+    /// Parses instructions into `region` until the closing `}`.
+    fn region_insts(
+        &mut self,
+        region: RegionId,
+        ctx: &mut FuncCtx,
+        enums: &[EnumDecl],
+        signatures: &[Type],
+    ) -> Result<()> {
+        loop {
+            self.skip_ws();
+            if self.eat_punct("}") {
+                return Ok(());
+            }
+            self.inst(region, ctx, enums, signatures)?;
+        }
+    }
+
+    fn operand(&mut self, ctx: &FuncCtx) -> Result<Operand> {
+        let off = self.pos;
+        let name = self.value_name()?;
+        let base = ctx.lookup(name, off)?;
+        let mut path = Vec::new();
+        loop {
+            if self.rest().starts_with('[') {
+                self.pos += 1;
+                self.skip_ws();
+                let scalar = if self.eat_word("end") {
+                    Scalar::End
+                } else if self.rest().starts_with('%') {
+                    let off = self.pos;
+                    let n = self.value_name()?;
+                    Scalar::Value(ctx.lookup(n, off)?)
+                } else {
+                    Scalar::Const(self.integer()?)
+                };
+                self.expect_punct("]")?;
+                path.push(Access::Index(scalar));
+            } else if self.rest().starts_with('.')
+                && self.rest()[1..].starts_with(|c: char| c.is_ascii_digit())
+            {
+                self.pos += 1;
+                path.push(Access::Field(self.integer()? as u32));
+            } else {
+                break;
+            }
+        }
+        Ok(Operand { base, path })
+    }
+
+    /// Parses an operand list and checks it has at least `min` entries.
+    fn operand_list_min(&mut self, ctx: &FuncCtx, min: usize) -> Result<Vec<Operand>> {
+        let ops = self.operand_list(ctx)?;
+        if ops.len() < min {
+            return Err(self.error(format!(
+                "instruction needs at least {min} operand(s), got {}",
+                ops.len()
+            )));
+        }
+        Ok(ops)
+    }
+
+    fn operand_list(&mut self, ctx: &FuncCtx) -> Result<Vec<Operand>> {
+        let mut ops = Vec::new();
+        self.skip_ws();
+        if !self.rest().starts_with('%') {
+            return Ok(ops);
+        }
+        loop {
+            ops.push(self.operand(ctx)?);
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        Ok(ops)
+    }
+
+    fn const_val(&mut self) -> Result<ConstVal> {
+        self.skip_ws();
+        if self.rest().starts_with('"') {
+            return Ok(ConstVal::Str(self.string_literal()?));
+        }
+        if self.eat_word("true") {
+            return Ok(ConstVal::Bool(true));
+        }
+        if self.eat_word("false") {
+            return Ok(ConstVal::Bool(false));
+        }
+        // Numeric with suffix: [-]digits[.digits]? (u64|i64|f64)
+        let rest = self.rest();
+        let end = rest
+            .char_indices()
+            .find(|(_, c)| !c.is_ascii_digit() && *c != '-' && *c != '.' && *c != 'e')
+            .map_or(rest.len(), |(i, _)| i);
+        let digits = &rest[..end];
+        self.pos += end;
+        if self.eat_word("u64") {
+            digits
+                .parse()
+                .map(ConstVal::U64)
+                .map_err(|_| self.error("bad u64 literal"))
+        } else if self.eat_word("i64") {
+            digits
+                .parse()
+                .map(ConstVal::I64)
+                .map_err(|_| self.error("bad i64 literal"))
+        } else if self.eat_word("f64") {
+            digits
+                .parse()
+                .map(ConstVal::F64)
+                .map_err(|_| self.error("bad f64 literal"))
+        } else {
+            Err(self.error("constant needs u64/i64/f64 suffix"))
+        }
+    }
+
+    fn enum_ref(&mut self, enums: &[EnumDecl]) -> Result<EnumId> {
+        let name = self.ident()?;
+        let idx: usize = name
+            .strip_prefix('e')
+            .and_then(|d| d.parse().ok())
+            .ok_or_else(|| self.error("expected enumeration reference eN"))?;
+        if idx >= enums.len() {
+            return Err(self.error(format!("enumeration e{idx} not declared")));
+        }
+        Ok(EnumId::from_index(idx))
+    }
+
+    fn directive_set(&mut self) -> Result<DirectiveSet> {
+        // Caller consumed `#[`.
+        let d = self.directive_items()?;
+        self.expect_punct("]")?;
+        Ok(d)
+    }
+
+    fn directive_items(&mut self) -> Result<DirectiveSet> {
+        let mut d = DirectiveSet::new();
+        loop {
+            let word = self.ident()?;
+            match word {
+                "enumerate" => d.enumerate = Some(true),
+                "noenumerate" => d.enumerate = Some(false),
+                "noshare" => d.noshare = true,
+                "group" => {
+                    self.expect_punct("(")?;
+                    d.share_group = Some(self.string_literal()?);
+                    self.expect_punct(")")?;
+                }
+                "select" => {
+                    self.expect_punct("(")?;
+                    let sel = self.ident()?;
+                    d.select = Some(match sel {
+                        "Hash" => SelectionChoice::Hash,
+                        "Flat" => SelectionChoice::Flat,
+                        "Swiss" => SelectionChoice::Swiss,
+                        "Bit" => SelectionChoice::Bit,
+                        "SparseBit" => SelectionChoice::SparseBit,
+                        other => return Err(self.error(format!("unknown selection `{other}`"))),
+                    });
+                    self.expect_punct(")")?;
+                }
+                "nested" => {
+                    self.expect_punct("(")?;
+                    d.nested = Some(Box::new(self.directive_items()?));
+                    self.expect_punct(")")?;
+                }
+                other => return Err(self.error(format!("unknown directive `{other}`"))),
+            }
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        Ok(d)
+    }
+
+    /// Parses the `as (%a: T, ...)` region-argument header, creating the
+    /// region and its argument values.
+    fn region_args(&mut self, ctx: &mut FuncCtx) -> Result<RegionId> {
+        let region = RegionId::from_index(ctx.regions.len());
+        ctx.regions.push(Region::default());
+        if self.eat_word("as") {
+            self.expect_punct("(")?;
+            let mut index = 0;
+            loop {
+                let name = self.value_name()?.to_string();
+                self.expect_punct(":")?;
+                let ty = self.parse_type()?;
+                let v = ctx.add_value(&name, ty, ValueDef::RegionArg { region, index })?;
+                ctx.regions[region.index()].args.push(v);
+                index += 1;
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            self.expect_punct(")")?;
+        }
+        Ok(region)
+    }
+
+    fn finish_inst(
+        &mut self,
+        region: RegionId,
+        ctx: &mut FuncCtx,
+        kind: InstKind,
+        operands: Vec<Operand>,
+        regions: Vec<RegionId>,
+        lhs: &[String],
+        result_tys: Vec<Type>,
+    ) -> Result<InstId> {
+        if lhs.len() != result_tys.len() {
+            return Err(self.error(format!(
+                "instruction produces {} results but {} were bound",
+                result_tys.len(),
+                lhs.len()
+            )));
+        }
+        let inst_id = InstId::from_index(ctx.insts.len());
+        let mut results = Vec::new();
+        for (index, (name, ty)) in lhs.iter().zip(result_tys).enumerate() {
+            results.push(ctx.add_value(name, ty, ValueDef::InstResult { inst: inst_id, index })?);
+        }
+        ctx.insts.push(Inst {
+            kind,
+            operands,
+            regions,
+            results,
+        });
+        ctx.regions[region.index()].insts.push(inst_id);
+        Ok(inst_id)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn inst(
+        &mut self,
+        region: RegionId,
+        ctx: &mut FuncCtx,
+        enums: &[EnumDecl],
+        signatures: &[Type],
+    ) -> Result<()> {
+        // Optional results: `%a, %b = `.
+        let mut lhs: Vec<String> = Vec::new();
+        let save = self.pos;
+        self.skip_ws();
+        if self.rest().starts_with('%') {
+            loop {
+                let name = self.value_name()?.to_string();
+                lhs.push(name);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            if !self.eat_punct("=") {
+                // Not an assignment after all (cannot happen in printed
+                // output, but keep the parser resilient).
+                self.pos = save;
+                lhs.clear();
+                return Err(self.error("expected `=` after result list"));
+            }
+        }
+
+        let op = self.ident()?;
+        let value_ty = |ctx: &FuncCtx, op: &Operand| -> Type {
+            ctx.values[op.base.index()]
+                .ty
+                .at_path(&op.path)
+                .unwrap_or_else(|| panic!("path does not apply to operand type"))
+        };
+        match op {
+            "const" => {
+                let c = self.const_val()?;
+                let ty = c.ty();
+                self.finish_inst(region, ctx, InstKind::Const(c), vec![], vec![], &lhs, vec![ty])?;
+            }
+            "new" => {
+                let ty = self.parse_type()?;
+                let mut directive = None;
+                if self.eat_punct("#[") {
+                    directive = Some(self.directive_set()?);
+                }
+                let id = self.finish_inst(
+                    region,
+                    ctx,
+                    InstKind::New(ty.clone()),
+                    vec![],
+                    vec![],
+                    &lhs,
+                    vec![ty],
+                )?;
+                if let Some(d) = directive {
+                    ctx.directives.insert(id, d);
+                }
+            }
+            "read" => {
+                let ops = self.operand_list_min(ctx, 2)?;
+                let ty = value_ty(ctx, &ops[0])
+                    .value_type()
+                    .cloned()
+                    .ok_or_else(|| self.error("read target is not a collection"))?;
+                self.finish_inst(region, ctx, InstKind::Read, ops, vec![], &lhs, vec![ty])?;
+            }
+            "write" | "insert" | "remove" | "clear" | "union" => {
+                let kind = match op {
+                    "write" => InstKind::Write,
+                    "insert" => InstKind::Insert,
+                    "remove" => InstKind::Remove,
+                    "clear" => InstKind::Clear,
+                    _ => InstKind::UnionInto,
+                };
+                let min = if matches!(kind, InstKind::Clear) { 1 } else { 2 };
+                let ops = self.operand_list_min(ctx, min)?;
+                let ty = ctx.values[ops[0].base.index()].ty.clone();
+                self.finish_inst(region, ctx, kind, ops, vec![], &lhs, vec![ty])?;
+            }
+            "has" => {
+                let ops = self.operand_list_min(ctx, 2)?;
+                self.finish_inst(region, ctx, InstKind::Has, ops, vec![], &lhs, vec![Type::Bool])?;
+            }
+            "size" => {
+                let ops = self.operand_list_min(ctx, 1)?;
+                self.finish_inst(region, ctx, InstKind::Size, ops, vec![], &lhs, vec![Type::U64])?;
+            }
+            "not" => {
+                let ops = self.operand_list_min(ctx, 1)?;
+                self.finish_inst(region, ctx, InstKind::Not, ops, vec![], &lhs, vec![Type::Bool])?;
+            }
+            "cast" => {
+                let ops = self.operand_list_min(ctx, 1)?;
+                self.expect_word("to")?;
+                let ty = self.parse_type()?;
+                self.finish_inst(
+                    region,
+                    ctx,
+                    InstKind::Cast(ty.clone()),
+                    ops,
+                    vec![],
+                    &lhs,
+                    vec![ty],
+                )?;
+            }
+            "call" => {
+                self.expect_punct("@")?;
+                let idx = self.integer()? as usize;
+                self.expect_punct("(")?;
+                let ops = self.operand_list(ctx)?;
+                self.expect_punct(")")?;
+                let ret = signatures.get(idx).cloned().unwrap_or(Type::Void);
+                let result_tys = if ret == Type::Void { vec![] } else { vec![ret] };
+                self.finish_inst(
+                    region,
+                    ctx,
+                    InstKind::Call(FuncId::from_index(idx)),
+                    ops,
+                    vec![],
+                    &lhs,
+                    result_tys,
+                )?;
+            }
+            "print" => {
+                let ops = self.operand_list(ctx)?;
+                self.finish_inst(region, ctx, InstKind::Print, ops, vec![], &lhs, vec![])?;
+            }
+            "enc" | "enumadd" => {
+                let e = self.enum_ref(enums)?;
+                self.expect_punct(",")?;
+                let ops = self.operand_list_min(ctx, 1)?;
+                let kind = if op == "enc" {
+                    InstKind::Enc(e)
+                } else {
+                    InstKind::EnumAdd(e)
+                };
+                self.finish_inst(region, ctx, kind, ops, vec![], &lhs, vec![Type::Idx])?;
+            }
+            "dec" => {
+                let e = self.enum_ref(enums)?;
+                self.expect_punct(",")?;
+                let ops = self.operand_list_min(ctx, 1)?;
+                let key_ty = enums[e.index()].key_ty.clone();
+                self.finish_inst(region, ctx, InstKind::Dec(e), ops, vec![], &lhs, vec![key_ty])?;
+            }
+            "if" => {
+                let cond = self.operand(ctx)?;
+                self.expect_word("then")?;
+                self.expect_punct("{")?;
+                let then_region = self.region_args(ctx)?;
+                self.region_insts(then_region, ctx, enums, signatures)?;
+                self.expect_word("else")?;
+                self.expect_punct("{")?;
+                let else_region = self.region_args(ctx)?;
+                self.region_insts(else_region, ctx, enums, signatures)?;
+                let result_tys = region_yield_types(ctx, then_region);
+                self.finish_inst(
+                    region,
+                    ctx,
+                    InstKind::If,
+                    vec![cond],
+                    vec![then_region, else_region],
+                    &lhs,
+                    result_tys,
+                )?;
+            }
+            "foreach" | "forrange" | "dowhile" => {
+                let mut operands = Vec::new();
+                if op == "foreach" {
+                    operands.push(self.operand(ctx)?);
+                } else if op == "forrange" {
+                    operands.push(self.operand(ctx)?);
+                    self.expect_punct(",")?;
+                    operands.push(self.operand(ctx)?);
+                }
+                let mut carried_tys = Vec::new();
+                if self.eat_word("carry") {
+                    self.expect_punct("(")?;
+                    let carries = self.operand_list(ctx)?;
+                    self.expect_punct(")")?;
+                    for c in &carries {
+                        carried_tys.push(ctx.values[c.base.index()].ty.clone());
+                    }
+                    operands.extend(carries);
+                }
+                let body = self.region_args(ctx)?;
+                self.expect_punct("{")?;
+                self.region_insts(body, ctx, enums, signatures)?;
+                let kind = match op {
+                    "foreach" => InstKind::ForEach,
+                    "forrange" => InstKind::ForRange,
+                    _ => InstKind::DoWhile,
+                };
+                self.finish_inst(region, ctx, kind, operands, vec![body], &lhs, carried_tys)?;
+            }
+            "yield" => {
+                let ops = self.operand_list(ctx)?;
+                self.finish_inst(region, ctx, InstKind::Yield, ops, vec![], &lhs, vec![])?;
+            }
+            "ret" => {
+                let ops = self.operand_list(ctx)?;
+                self.finish_inst(region, ctx, InstKind::Ret, ops, vec![], &lhs, vec![])?;
+            }
+            "roi" => {
+                let which = self.ident()?;
+                let begin = match which {
+                    "begin" => true,
+                    "end" => false,
+                    other => return Err(self.error(format!("roi expects begin/end, got {other}"))),
+                };
+                self.finish_inst(region, ctx, InstKind::Roi(begin), vec![], vec![], &lhs, vec![])?;
+            }
+            other if bin_from_name(other).is_some() => {
+                let b = bin_from_name(other).expect("checked");
+                let ops = self.operand_list_min(ctx, 2)?;
+                let ty = ctx.values[ops[0].base.index()].ty.clone();
+                self.finish_inst(region, ctx, InstKind::Bin(b), ops, vec![], &lhs, vec![ty])?;
+            }
+            other if cmp_from_name(other).is_some() => {
+                let c = cmp_from_name(other).expect("checked");
+                let ops = self.operand_list_min(ctx, 2)?;
+                self.finish_inst(region, ctx, InstKind::Cmp(c), ops, vec![], &lhs, vec![Type::Bool])?;
+            }
+            other => return Err(self.error(format!("unknown opcode `{other}`"))),
+        }
+        Ok(())
+    }
+}
+
+fn region_yield_types(ctx: &FuncCtx, region: RegionId) -> Vec<Type> {
+    let Some(&last) = ctx.regions[region.index()].insts.last() else {
+        return Vec::new();
+    };
+    let inst = &ctx.insts[last.index()];
+    if inst.kind != InstKind::Yield {
+        return Vec::new();
+    }
+    inst.operands
+        .iter()
+        .map(|o| ctx.values[o.base.index()].ty.clone())
+        .collect()
+}
+
+fn bin_from_name(name: &str) -> Option<BinOp> {
+    Some(match name {
+        "add" => BinOp::Add,
+        "sub" => BinOp::Sub,
+        "mul" => BinOp::Mul,
+        "div" => BinOp::Div,
+        "rem" => BinOp::Rem,
+        "min" => BinOp::Min,
+        "max" => BinOp::Max,
+        "and" => BinOp::And,
+        "or" => BinOp::Or,
+        "xor" => BinOp::Xor,
+        "shl" => BinOp::Shl,
+        "shr" => BinOp::Shr,
+        _ => return None,
+    })
+}
+
+fn cmp_from_name(name: &str) -> Option<CmpOp> {
+    Some(match name {
+        "eq" => CmpOp::Eq,
+        "ne" => CmpOp::Ne,
+        "lt" => CmpOp::Lt,
+        "le" => CmpOp::Le,
+        "gt" => CmpOp::Gt,
+        "ge" => CmpOp::Ge,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::print::print_module;
+
+    const HISTOGRAM: &str = r#"
+fn @count(%input: Seq<f64>) -> void {
+  %hist = new Map<f64, u64>
+  %out = foreach %input carry(%hist) as (%i: u64, %val: f64, %h: Map<f64, u64>) {
+    %cond = has %h, %val
+    %h2, %freq = if %cond then {
+      %f = read %h, %val
+      yield %h, %f
+    } else {
+      %h1 = insert %h, %val
+      %zero = const 0u64
+      yield %h1, %zero
+    }
+    %one = const 1u64
+    %freq1 = add %freq, %one
+    %h3 = write %h2, %val, %freq1
+    yield %h3
+  }
+  ret
+}
+"#;
+
+    #[test]
+    fn parses_histogram() {
+        let m = parse_module(HISTOGRAM).expect("parses");
+        assert_eq!(m.funcs.len(), 1);
+        let f = &m.funcs[0];
+        assert_eq!(f.name, "count");
+        assert_eq!(f.regions.len(), 4); // body, foreach, then, else
+        crate::verify::verify_module(&m).expect("verifies");
+    }
+
+    #[test]
+    fn round_trips_through_printer() {
+        let m = parse_module(HISTOGRAM).expect("parses");
+        let printed = print_module(&m);
+        let m2 = parse_module(&printed).expect("reparses");
+        let printed2 = print_module(&m2);
+        assert_eq!(printed, printed2);
+    }
+
+    #[test]
+    fn parses_enums_and_translations() {
+        let text = r#"
+enum e0: f64
+
+fn @f(%x: f64) -> f64 {
+  %i = enumadd e0, %x
+  %j = enc e0, %x
+  %same = eq %i, %j
+  %y = dec e0, %i
+  ret %y
+}
+"#;
+        let m = parse_module(text).expect("parses");
+        assert_eq!(m.enums.len(), 1);
+        let f = &m.funcs[0];
+        assert_eq!(f.value_ty(f.insts[3].results[0]), &Type::F64);
+        crate::verify::verify_module(&m).expect("verifies");
+    }
+
+    #[test]
+    fn parses_directives() {
+        let text = r#"
+fn @f() -> void {
+  %s = new Set<u64> #[enumerate, noshare, group("g"), select(SparseBit)]
+  ret
+}
+"#;
+        let m = parse_module(text).expect("parses");
+        let f = &m.funcs[0];
+        let allocs = f.assoc_allocations();
+        let d = f.directive(allocs[0]).expect("directive");
+        assert_eq!(d.enumerate, Some(true));
+        assert!(d.noshare);
+        assert_eq!(d.share_group.as_deref(), Some("g"));
+        assert_eq!(d.select, Some(SelectionChoice::SparseBit));
+    }
+
+    #[test]
+    fn parses_nested_operands_and_selections() {
+        let text = r#"
+fn @f(%m: Map{Swiss}<u64, Set{Bit}<idx>>) -> void {
+  %k = const 3u64
+  %v = const 7u64
+  %i = cast %v to idx
+  %m2 = insert %m[%k], %i
+  ret
+}
+"#;
+        let m = parse_module(text).expect("parses");
+        let f = &m.funcs[0];
+        let ins = f
+            .all_insts()
+            .into_iter()
+            .find(|&i| f.inst(i).kind == InstKind::Insert)
+            .expect("insert");
+        assert!(f.inst(ins).operands[0].is_nested());
+    }
+
+    #[test]
+    fn error_reports_undefined_value() {
+        let text = "fn @f() -> void {\n  %y = add %x, %x\n  ret\n}\n";
+        let err = parse_module(text).expect_err("should fail");
+        assert!(err.message.contains("undefined value"), "{err}");
+    }
+
+    #[test]
+    fn error_reports_unknown_opcode() {
+        let text = "fn @f() -> void {\n  frobnicate\n  ret\n}\n";
+        let err = parse_module(text).expect_err("should fail");
+        assert!(err.message.contains("unknown opcode"), "{err}");
+    }
+
+    #[test]
+    fn parses_calls_with_forward_reference() {
+        let text = r#"
+fn @main() -> u64 {
+  %x = const 2u64
+  %y = call @1(%x)
+  ret %y
+}
+
+fn @double(%a: u64) -> u64 {
+  %b = add %a, %a
+  ret %b
+}
+"#;
+        let m = parse_module(text).expect("parses");
+        let f = &m.funcs[0];
+        let call = f
+            .all_insts()
+            .into_iter()
+            .find(|&i| matches!(f.inst(i).kind, InstKind::Call(_)))
+            .expect("call");
+        assert_eq!(f.value_ty(f.inst(call).results[0]), &Type::U64);
+    }
+}

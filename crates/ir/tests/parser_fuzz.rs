@@ -1,0 +1,169 @@
+//! Parser robustness: arbitrary input must produce `Ok` or `ParseError`,
+//! never a panic, and valid programs must round-trip.
+
+use proptest::prelude::*;
+
+use ade_ir::parse::parse_module;
+use ade_ir::print::print_module;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+    #[test]
+    fn arbitrary_input_never_panics(input in ".{0,400}") {
+        let _ = parse_module(&input);
+    }
+
+    #[test]
+    fn ir_like_token_soup_never_panics(
+        tokens in prop::collection::vec(
+            prop_oneof![
+                Just("fn".to_string()), Just("@main".to_string()),
+                Just("(".to_string()), Just(")".to_string()),
+                Just("{".to_string()), Just("}".to_string()),
+                Just("->".to_string()), Just("void".to_string()),
+                Just("%x".to_string()), Just("=".to_string()),
+                Just("const".to_string()), Just("1u64".to_string()),
+                Just("insert".to_string()), Just("foreach".to_string()),
+                Just("carry".to_string()), Just("yield".to_string()),
+                Just("ret".to_string()), Just("Map<u64,".to_string()),
+                Just("Set{Bit}<idx>".to_string()), Just("[".to_string()),
+                Just("]".to_string()), Just("#[".to_string()),
+                Just("\"str".to_string()), Just("e0,".to_string()),
+                Just("enum".to_string()), Just(":".to_string()),
+            ],
+            0..60,
+        )
+    ) {
+        let _ = parse_module(&tokens.join(" "));
+    }
+
+    #[test]
+    fn mutated_valid_program_never_panics(cut in 0usize..300, insert in ".{0,10}") {
+        let base = "fn @main() -> void {\n  %s = new Set<u64>\n  %x = const 1u64\n  %s1 = insert %s, %x\n  %h = has %s1, %x\n  print %h\n  ret\n}\n";
+        let mut mutated = String::new();
+        let cut = cut.min(base.len());
+        // Cut at a char boundary.
+        let boundary = (0..=cut).rev().find(|&i| base.is_char_boundary(i)).unwrap_or(0);
+        mutated.push_str(&base[..boundary]);
+        mutated.push_str(&insert);
+        mutated.push_str(&base[boundary..]);
+        let _ = parse_module(&mutated);
+    }
+}
+
+#[test]
+fn unterminated_constructs_error_cleanly() {
+    for text in [
+        "fn @f( ",
+        "fn @f() -> void {",
+        "fn @f() -> void {\n  %x = const \"abc",
+        "fn @f() -> void {\n  %s = new Set<u64> #[group(\"g\"",
+        "enum e0",
+        "fn @f() -> Map<",
+        "fn @f() -> void {\n  %m = new Map<u64, u64>\n  %x = const 1u64\n  %r = read %m[%x, %x\n  ret\n}",
+    ] {
+        let err = parse_module(text).expect_err("must not accept");
+        assert!(!err.message.is_empty());
+    }
+}
+
+#[test]
+fn round_trip_is_stable_for_all_instruction_forms() {
+    let text = r#"
+enum e0: u64
+
+fn @kitchen(%p: Map{Swiss}<u64, Seq<idx>>, %q: Set{SparseBit}<idx>, %b: bool) -> u64 {
+  %c = const 3u64
+  %s = const "hi\n"
+  %f = const 1.5f64
+  %i = const -2i64
+  %t = new (u64, bool)
+  %x = cast %c to idx
+  %n = not %b
+  %m = min %c, %c
+  %enc = enc e0, %c
+  %addv = enumadd e0, %c
+  %dec = dec e0, %enc
+  %r0 = if %b then {
+    yield %c
+  } else {
+    %d = add %c, %c
+    yield %d
+  }
+  %sum = foreach %q carry(%r0) as (%v: idx, %acc: u64) {
+    %vc = cast %v to u64
+    %a = add %acc, %vc
+    yield %a
+  }
+  %w = dowhile carry(%sum) as (%cur: u64) {
+    %one = const 1u64
+    %nxt = sub %cur, %one
+    %zero = const 0u64
+    %go = gt %nxt, %zero
+    yield %go, %nxt
+  }
+  roi begin
+  print %w, %s, %f, %i, %t.0
+  roi end
+  ret %w
+}
+"#;
+    let m = parse_module(text).expect("parses");
+    let printed = print_module(&m);
+    let m2 = parse_module(&printed).expect("reparses");
+    assert_eq!(printed, print_module(&m2));
+}
+
+proptest! {
+    /// String constants round-trip exactly through print → parse,
+    /// including every escape the printer's Debug formatting can emit.
+    #[test]
+    fn string_constants_round_trip(s in "\\PC{0,30}") {
+        let module_text = format!(
+            "fn @main() -> void {{\n  %x = const {:?}\n  print %x\n  ret\n}}\n",
+            s
+        );
+        if let Ok(m) = parse_module(&module_text) {
+            let printed = print_module(&m);
+            let m2 = parse_module(&printed).expect("printed form parses");
+            assert_eq!(printed, print_module(&m2));
+            // The constant survives intact.
+            let ade_ir::InstKind::Const(ade_ir::ConstVal::Str(got)) =
+                &m.funcs[0].insts[0].kind
+            else {
+                panic!("expected a string const");
+            };
+            assert_eq!(got, &s);
+        }
+    }
+}
+
+#[test]
+fn fn_at_inside_strings_does_not_shift_signatures() {
+    let text = r#"
+fn @main() -> u64 {
+  %s = const "fn @fake() -> f64 {"
+  %r = call @1(%s)
+  ret %r
+}
+
+fn @second(%x: str) -> u64 {
+  %n = const 7u64
+  ret %n
+}
+"#;
+    let m = parse_module(text).expect("parses");
+    ade_ir::verify::verify_module(&m).expect("call result types line up");
+}
+
+#[test]
+fn control_escapes_decode() {
+    let m = parse_module(
+        "fn @main() -> void {\n  %x = const \"a\\r\\n\\t\\u{1F600}b\"\n  print %x\n  ret\n}\n",
+    )
+    .expect("parses");
+    let ade_ir::InstKind::Const(ade_ir::ConstVal::Str(s)) = &m.funcs[0].insts[0].kind else {
+        panic!("string const");
+    };
+    assert_eq!(s, "a\r\n\t\u{1F600}b");
+}

@@ -1,0 +1,28 @@
+//! Facade crate for the ADE reproduction workspace.
+//!
+//! Re-exports every workspace crate under one name so the top-level
+//! `examples/` and `tests/` directories (and downstream users who want a
+//! single dependency) can reach the whole system:
+//!
+//! * [`collections`] — the Table I collection implementations;
+//! * [`ir`] — the MEMOIR-like SSA IR with first-class collections;
+//! * [`analysis`] — redef chains, escape analysis, call graph, union-find;
+//! * [`ade`] — the Automatic Data Enumeration transformation itself;
+//! * [`interp`] — the execution substrate (interpreter, stats, cost model);
+//! * [`workloads`] — input generators and the 16 evaluation benchmarks.
+//!
+//! # Examples
+//!
+//! ```
+//! use ade::collections::DynamicBitSet;
+//!
+//! let s: DynamicBitSet = [1usize, 2, 3].into_iter().collect();
+//! assert_eq!(s.len(), 3);
+//! ```
+
+pub use ade_analysis as analysis;
+pub use ade_collections as collections;
+pub use ade_core as ade;
+pub use ade_interp as interp;
+pub use ade_ir as ir;
+pub use ade_workloads as workloads;
