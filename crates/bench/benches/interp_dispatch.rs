@@ -1,0 +1,179 @@
+//! Interpreter dispatch microbenchmarks: wall time of the pre-decoded
+//! execution loop on small kernels that isolate one dispatch shape each
+//! (scalar arithmetic, set churn, map read/write, seq push + sum).
+//!
+//! Unlike `collection_ops` (which times the collection library
+//! natively), this times the *interpreter* end to end, so it is the
+//! regression gate for the decoded instruction stream and the
+//! borrow-based operand path. Results go to `BENCH_interp.json` in the
+//! working directory: per-kernel best wall seconds over several runs
+//! plus logical operations per second (kernel-defined op counts, so the
+//! numbers are comparable across interpreter changes).
+//!
+//! Self-timed (`harness = false`): run via `cargo bench --bench
+//! interp_dispatch`.
+
+use std::time::Instant;
+
+use ade_interp::{ExecConfig, Interpreter};
+use ade_ir::builder::FunctionBuilder;
+use ade_ir::{Module, Type};
+
+/// Iteration count per kernel — large enough that dispatch dominates
+/// the fixed per-run setup (decode + frame allocation).
+const N: u64 = 200_000;
+const RUNS: usize = 5;
+
+struct Kernel {
+    name: &'static str,
+    /// Logical operations one execution performs (for ops/sec).
+    ops: u64,
+    module: Module,
+}
+
+/// `for i in 0..N { acc = (acc + i) * 3 - i }` — pure scalar dispatch,
+/// no collections: the floor of per-instruction interpreter cost.
+fn arith_forrange() -> Kernel {
+    let mut b = FunctionBuilder::new("main", &[], Type::Void);
+    let lo = b.const_u64(0);
+    let hi = b.const_u64(N);
+    let zero = b.const_u64(0);
+    let acc = b.for_range(lo, hi, &[zero], |b, i, c| {
+        let three = b.const_u64(3);
+        let s = b.add(c[0], i);
+        let m = b.mul(s, three);
+        vec![b.sub(m, i)]
+    })[0];
+    b.print(&[acc]);
+    b.ret_void();
+    let mut module = Module::new();
+    module.add_function(b.finish());
+    Kernel {
+        name: "arith_forrange",
+        ops: N * 3, // add, mul, sub per iteration
+        module,
+    }
+}
+
+/// Insert, probe, and conditionally remove against one hash set — the
+/// operand-resolution path for collection ops plus branching.
+fn set_churn() -> Kernel {
+    let mut b = FunctionBuilder::new("main", &[], Type::Void);
+    let set = b.new_collection(Type::set(Type::U64));
+    let lo = b.const_u64(0);
+    let hi = b.const_u64(N);
+    let set = b.for_range(lo, hi, &[set], |b, i, c| {
+        let seven = b.const_u64(7);
+        let k = b.mul(i, seven);
+        let s = b.insert(c[0], k);
+        let probe = b.add(k, seven);
+        let hit = b.has(s, probe);
+        b.if_else(hit, |b| vec![b.remove(s, probe)], |_b| vec![s])
+    })[0];
+    let size = b.size(set);
+    b.print(&[size]);
+    b.ret_void();
+    let mut module = Module::new();
+    module.add_function(b.finish());
+    Kernel {
+        name: "set_churn",
+        ops: N * 2, // insert + has (removes are data-dependent extras)
+        module,
+    }
+}
+
+/// Write then read back every key of a map — the `Read`/`Write`
+/// instruction pair that dominates the paper's map-heavy benchmarks.
+fn map_read_write() -> Kernel {
+    let mut b = FunctionBuilder::new("main", &[], Type::Void);
+    let map = b.new_collection(Type::map(Type::U64, Type::U64));
+    let lo = b.const_u64(0);
+    let hi = b.const_u64(N);
+    let map = b.for_range(lo, hi, &[map], |b, i, c| {
+        let one = b.const_u64(1);
+        let v = b.add(i, one);
+        vec![b.write(c[0], i, v)]
+    })[0];
+    let zero = b.const_u64(0);
+    let sum = b.for_range(lo, hi, &[zero], |b, i, c| {
+        let v = b.read(map, i);
+        vec![b.add(c[0], v)]
+    })[0];
+    b.print(&[sum]);
+    b.ret_void();
+    let mut module = Module::new();
+    module.add_function(b.finish());
+    Kernel {
+        name: "map_read_write",
+        ops: N * 2, // one write + one read per key
+        module,
+    }
+}
+
+/// Push N elements into a sequence, then fold it with `for_each` — the
+/// iterator fast path (snapshot + per-element dispatch).
+fn seq_push_sum() -> Kernel {
+    let mut b = FunctionBuilder::new("main", &[], Type::Void);
+    let seq = b.new_collection(Type::seq(Type::U64));
+    let lo = b.const_u64(0);
+    let hi = b.const_u64(N);
+    let seq = b.for_range(lo, hi, &[seq], |b, i, c| vec![b.push(c[0], i)])[0];
+    let zero = b.const_u64(0);
+    let sum = b.for_each(seq, &[zero], |b, _i, v, c| {
+        let v = v.expect("seq elem");
+        vec![b.add(c[0], v)]
+    })[0];
+    b.print(&[sum]);
+    b.ret_void();
+    let mut module = Module::new();
+    module.add_function(b.finish());
+    Kernel {
+        name: "seq_push_sum",
+        ops: N * 2, // one push + one folded element
+        module,
+    }
+}
+
+fn time_kernel(k: &Kernel) -> f64 {
+    ade_ir::verify::verify_module(&k.module)
+        .unwrap_or_else(|e| panic!("[{}] verify: {e}", k.name));
+    let run = || {
+        Interpreter::new(&k.module, ExecConfig::default())
+            .run_inline("main")
+            .unwrap_or_else(|e| panic!("[{}] run: {e}", k.name))
+            .output
+            .len()
+    };
+    run(); // warm-up (first decode, allocator warm)
+    let mut best = f64::INFINITY;
+    for _ in 0..RUNS {
+        let t = Instant::now();
+        std::hint::black_box(run());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    // `cargo bench` passes harness flags (e.g. `--bench`); ignore them.
+    let kernels = [arith_forrange(), set_churn(), map_read_write(), seq_push_sum()];
+    let mut rows = Vec::new();
+    for k in &kernels {
+        let wall = time_kernel(k);
+        let ops_per_sec = k.ops as f64 / wall;
+        println!("{:>16}  {:>10.1} ops/s  {:.4} s", k.name, ops_per_sec, wall);
+        rows.push(format!(
+            concat!(
+                "    {{\"kernel\": \"{}\", \"ops\": {}, ",
+                "\"wall_seconds\": {:.6}, \"ops_per_sec\": {:.1}}}"
+            ),
+            k.name, k.ops, wall, ops_per_sec
+        ));
+    }
+    let json = format!(
+        "{{\n  \"iterations\": {N},\n  \"runs\": {RUNS},\n  \"kernels\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_interp.json", json).expect("write BENCH_interp.json");
+    println!("wrote BENCH_interp.json");
+}

@@ -2,19 +2,29 @@
 //! `make all` equivalent).
 //!
 //! ```text
-//! reproduce [--scale N] [--trials N] [fig4|fig5|fig6|fig7|fig8|fig9|table2|table3|rq4|all]
+//! reproduce [--scale N] [--trials N] [--jobs N] [--no-wall]
+//!           [fig4|fig5|fig6|fig7|fig8|fig9|table2|table3|rq4|all]
 //! ```
 //!
 //! The default scale (9: ≈512-node graphs with thousands of edges) runs
 //! the full suite in minutes; the paper-fidelity claims are about the
 //! *shape* of the results (who wins, roughly by how much), which is
 //! stable across scales.
+//!
+//! `--jobs N` runs the evaluation matrix's independent
+//! `(benchmark, configuration)` cells on N worker threads (default: the
+//! machine's available parallelism; `--jobs 1` is the serial harness).
+//! Figure text is identical for every job count; only the reference
+//! wall-clock ratios vary run to run, and `--no-wall` suppresses those
+//! for byte-stable output.
 
 use ade_bench::figures::Session;
 
 fn main() {
     let mut scale = 9u32;
     let mut trials = 1u32;
+    let mut jobs = ade_bench::pool::default_jobs();
+    let mut include_wall = true;
     let mut targets: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -31,13 +41,41 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage("missing value for --trials"));
             }
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage("missing or invalid value for --jobs"));
+            }
+            "--no-wall" => include_wall = false,
             other => targets.push(other.to_string()),
         }
     }
     if targets.is_empty() {
         targets.push("all".to_string());
     }
-    let mut session = Session::with_trials(scale, trials);
+    const ALL: [&str; 9] = [
+        "fig4", "fig5", "fig6", "table2", "table3", "fig7", "fig8", "fig9", "rq4",
+    ];
+    for target in &targets {
+        if !(target == "all" || target == "fig10" || ALL.contains(&target.as_str())) {
+            usage(&format!("unknown target `{target}`"));
+        }
+    }
+    // Plan the full evaluation matrix up front and fill the cache in
+    // parallel; the ordered rendering below then only reads it.
+    let expanded: Vec<&str> = targets
+        .iter()
+        .flat_map(|t| match t.as_str() {
+            "all" => ALL.to_vec(),
+            other => vec![other],
+        })
+        .collect();
+    let mut session = Session::with_trials(scale, trials)
+        .jobs(jobs)
+        .include_wall(include_wall);
+    session.prewarm(&expanded);
     for target in &targets {
         match target.as_str() {
             "fig4" => print!("{}", session.fig4()),
@@ -64,7 +102,7 @@ fn main() {
                     println!("{part}");
                 }
             }
-            other => usage(&format!("unknown target `{other}`")),
+            _ => unreachable!("targets validated above"),
         }
         println!();
     }
@@ -73,7 +111,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: reproduce [--scale N] [--trials N] [fig4|fig5|fig6|fig7|fig8|fig9|table2|table3|rq4|all]"
+        "usage: reproduce [--scale N] [--trials N] [--jobs N] [--no-wall] [fig4|fig5|fig6|fig7|fig8|fig9|table2|table3|rq4|all]"
     );
     std::process::exit(2);
 }

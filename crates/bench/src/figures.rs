@@ -18,11 +18,49 @@ use ade_workloads::ConfigKind;
 
 use crate::runner::{geomean, RunResult};
 
+/// The `(benchmark, configuration)` cells one figure target consumes.
+///
+/// This is the work-list planner behind `reproduce --jobs`: enumerating
+/// a target's cells up front lets [`Session::prewarm`] execute them on
+/// a worker pool before the (strictly ordered) rendering pass, which
+/// then hits only the cache. `table3` needs no runs (pure cost-model
+/// arithmetic) and `rq4` builds directive-tuned module variants that
+/// are not ordinary cells (it parallelizes internally instead).
+pub fn cells_for_target(target: &str) -> Vec<(&'static str, ConfigKind)> {
+    let configs: &[ConfigKind] = match target {
+        "fig4" => &[ConfigKind::Memoir],
+        "fig5" | "fig6" | "table2" => &[ConfigKind::Memoir, ConfigKind::Ade],
+        "fig7" => &[
+            ConfigKind::Ade,
+            ConfigKind::AdeNoRedundant,
+            ConfigKind::AdeNoPropagation,
+            ConfigKind::AdeNoSharing,
+        ],
+        "fig8" => &[ConfigKind::Ade, ConfigKind::AdeNoSharing],
+        "fig9" | "fig10" => &[
+            ConfigKind::Memoir,
+            ConfigKind::MemoirAbseil,
+            ConfigKind::Ade,
+            ConfigKind::AdeAbseil,
+        ],
+        _ => &[],
+    };
+    let mut cells = Vec::new();
+    for bench in all_benchmarks() {
+        for &kind in configs {
+            cells.push((bench.abbrev, kind));
+        }
+    }
+    cells
+}
+
 /// A memo of run results so one `reproduce all` never repeats a run.
 #[derive(Default)]
 pub struct Session {
     scale: u32,
     trials: u32,
+    jobs: usize,
+    include_wall: bool,
     cache: BTreeMap<(String, ConfigKind), RunResult>,
 }
 
@@ -38,8 +76,57 @@ impl Session {
         Session {
             scale,
             trials: trials.max(1),
+            jobs: 1,
+            include_wall: true,
             cache: BTreeMap::new(),
         }
+    }
+
+    /// Sets how many worker threads [`Session::prewarm`] (and `rq4`'s
+    /// internal variant sweep) may use. `1` (the default) never spawns.
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Whether figures print reference wall-clock ratios. Disable for
+    /// byte-identical output across runs and `--jobs` values — wall
+    /// time is the one nondeterministic measurement.
+    #[must_use]
+    pub fn include_wall(mut self, include: bool) -> Self {
+        self.include_wall = include;
+        self
+    }
+
+    /// Runs every not-yet-cached cell the given figure targets need, on
+    /// `jobs` parallel workers, filling the cache. Rendering afterwards
+    /// is pure cache lookup, so figure text is independent of `jobs`.
+    pub fn prewarm(&mut self, targets: &[&str]) {
+        let mut pending: Vec<(&'static str, ConfigKind)> = Vec::new();
+        for target in targets {
+            for cell in cells_for_target(target) {
+                let key = (cell.0.to_string(), cell.1);
+                if !self.cache.contains_key(&key) && !pending.contains(&cell) {
+                    pending.push(cell);
+                }
+            }
+        }
+        let (scale, trials) = (self.scale, self.trials);
+        let results = crate::pool::run_ordered(pending, self.jobs, move |(abbrev, kind)| {
+            let bench = benchmark_by_abbrev(abbrev).expect("known benchmark");
+            crate::runner::run_benchmark_trials(&bench, kind, scale, trials)
+        });
+        for r in results {
+            self.cache.insert((r.abbrev.to_string(), r.config), r);
+        }
+    }
+
+    /// The run result for one cell (running it now if not cached).
+    /// Public so differential tests can compare per-cell statistics
+    /// across `jobs` settings.
+    pub fn cell(&mut self, abbrev: &str, kind: ConfigKind) -> RunResult {
+        self.run(abbrev, kind)
     }
 
     fn run(&mut self, abbrev: &str, kind: ConfigKind) -> RunResult {
@@ -131,14 +218,19 @@ impl Session {
             let whole = memoir.modeled_total_ns(&model) / ade.modeled_total_ns(&model);
             let roi = memoir.modeled_roi_ns(&model) / ade.modeled_roi_ns(&model).max(1.0);
             let mem = ade.peak_bytes() as f64 / memoir.peak_bytes().max(1) as f64;
-            let wall = memoir.stats.wall_total_ns() as f64
-                / ade.stats.wall_total_ns().max(1) as f64;
+            let wall_txt = if self.include_wall {
+                let wall = memoir.stats.wall_total_ns() as f64
+                    / ade.stats.wall_total_ns().max(1) as f64;
+                format!("({wall:>4.2}x)")
+            } else {
+                "(  --x)".to_string()
+            };
             let _ = writeln!(
                 out,
-                "{:>5} {:>8.2}x ({:>4.2}x) {:>9.2}x {:>9.1}%",
+                "{:>5} {:>8.2}x {} {:>9.2}x {:>9.1}%",
                 abbrev,
                 whole,
-                wall,
+                wall_txt,
                 roi,
                 mem * 100.0
             );
@@ -383,33 +475,37 @@ impl Session {
             model.name
         );
         let _ = writeln!(out, "{:>18} {:>10} {:>10}", "variant", "speedup", "memory");
-        let mut runs: Vec<(String, RunResult)> = Vec::new();
-        for (name, kind, tuning) in [
+        // The variants build directive-tuned module copies, so they are
+        // not ordinary cache cells; sweep them on the session's worker
+        // pool instead (results stay in declaration order).
+        let variants = vec![
             ("memoir", ConfigKind::Memoir, Tuning::Untuned),
             ("ade (untuned)", ConfigKind::Ade, Tuning::Untuned),
             ("noshare (inner)", ConfigKind::Ade, Tuning::InnerNoShare),
             ("noenumerate", ConfigKind::Ade, Tuning::InnerNoEnumerate),
             ("select(Sparse)", ConfigKind::Ade, Tuning::InnerSparse),
             ("select(Flat)", ConfigKind::Ade, Tuning::InnerFlat),
-        ] {
-            let mut module = build_with(scale, tuning);
-            let config = ade_workloads::Config::new(kind);
-            config.compile(&mut module);
-            ade_ir::verify::verify_module(&module)
-                .unwrap_or_else(|e| panic!("[{name}] verify: {e}"));
-            let outcome = ade_interp::Interpreter::new(&module, config.exec.clone())
-                .run("main")
-                .unwrap_or_else(|e| panic!("[{name}] run: {e}"));
-            runs.push((
-                name.to_string(),
-                RunResult {
-                    abbrev: "PTA",
-                    config: kind,
-                    output: outcome.output,
-                    stats: outcome.stats,
-                },
-            ));
-        }
+        ];
+        let runs: Vec<(String, RunResult)> =
+            crate::pool::run_ordered(variants, self.jobs, move |(name, kind, tuning)| {
+                let mut module = build_with(scale, tuning);
+                let config = ade_workloads::Config::new(kind);
+                config.compile(&mut module);
+                ade_ir::verify::verify_module(&module)
+                    .unwrap_or_else(|e| panic!("[{name}] verify: {e}"));
+                let outcome = ade_interp::Interpreter::new(&module, config.exec.clone())
+                    .run("main")
+                    .unwrap_or_else(|e| panic!("[{name}] run: {e}"));
+                (
+                    name.to_string(),
+                    RunResult {
+                        abbrev: "PTA",
+                        config: kind,
+                        output: outcome.output,
+                        stats: outcome.stats,
+                    },
+                )
+            });
         let base_ns = runs[0].1.modeled_total_ns(&model);
         let base_mem = runs[0].1.peak_bytes().max(1) as f64;
         let reference = runs[0].1.output.clone();

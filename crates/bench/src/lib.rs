@@ -7,6 +7,7 @@
 #![forbid(unsafe_code)]
 
 pub mod figures;
+pub mod pool;
 pub mod runner;
 
 pub use runner::{run_benchmark, RunResult};

@@ -1,0 +1,751 @@
+//! Pre-decoded instruction stream.
+//!
+//! The tree-walking interpreter used to re-derive everything about an
+//! instruction on every execution: operand structs were pattern-matched
+//! for nesting paths, `const` strings re-allocated, insert flavors and
+//! foreach binding shapes recomputed from static types inside hot loops.
+//! Decoding flattens each [`Function`] once per run into a dense
+//! [`DInst`] stream:
+//!
+//! - operand slots are resolved to frame indices up front ([`DOp::Slot`]
+//!   is the overwhelmingly common case; nested paths keep a boxed
+//!   side-structure),
+//! - constants are pooled as prebuilt [`Value`]s (executing a string
+//!   const bumps an `Arc` instead of reallocating),
+//! - region targets become contiguous index ranges into the decoded
+//!   stream,
+//! - statically derivable facts (insert flavor, union element type,
+//!   foreach binding shape and key uncoercion) are computed once here
+//!   instead of per execution.
+//!
+//! Decoding is purely structural: it must not change program behavior,
+//! instrumentation counts, or fuel accounting. In debug builds it also
+//! runs [`ade_ir::verify::verify_module`] so a linearity violation can
+//! never hide behind the faster execution path.
+
+use ade_ir::{
+    Access, BinOp, CmpOp, ConstVal, FuncId, Function, Inst, InstKind, Module, Operand, RegionId,
+    Scalar, Type,
+};
+
+use crate::value::Value;
+
+/// A decoded operand path scalar (`s ::= v | n | end`).
+#[derive(Clone, Copy, Debug)]
+pub enum DScalar {
+    /// Dynamic index living in a frame slot.
+    Slot(u32),
+    /// Constant index.
+    Const(u64),
+    /// One past the end of the addressed sequence.
+    End,
+}
+
+/// One decoded nesting-path step.
+#[derive(Clone, Copy, Debug)]
+pub enum DAccess {
+    /// Index into the collection at this nesting level.
+    Index(DScalar),
+    /// Project a tuple field.
+    Field(u32),
+}
+
+/// A nested operand: base frame slot plus its access path. Boxed inside
+/// [`DOp`] so the common slot-only case stays two words.
+#[derive(Clone, Debug)]
+pub struct DPath {
+    /// Frame slot of the root SSA value.
+    pub base: u32,
+    /// Accesses applied outermost-first.
+    pub path: Box<[DAccess]>,
+}
+
+/// A decoded operand.
+#[derive(Clone, Debug)]
+pub enum DOp {
+    /// The value in a frame slot (no nesting path).
+    Slot(u32),
+    /// A nested access resolved at execution time.
+    Path(Box<DPath>),
+}
+
+impl DOp {
+    /// The frame slot of the operand's root value.
+    pub fn base_slot(&self) -> u32 {
+        match self {
+            DOp::Slot(s) => *s,
+            DOp::Path(p) => p.base,
+        }
+    }
+}
+
+/// A decoded instruction. Frame slots are `u32` indices into the
+/// per-call frame (SSA value ids are already dense, so the mapping is
+/// the identity — the decode's job is removing every other lookup).
+#[derive(Clone, Debug)]
+pub enum DInst {
+    /// Copy a pooled constant into `dst`.
+    Const {
+        /// Index into [`DFunc::consts`].
+        pool: u32,
+        /// Destination slot.
+        dst: u32,
+    },
+    /// Allocate a collection (or default scalar/tuple) of a pooled type.
+    New {
+        /// Index into [`DFunc::types`].
+        ty: u32,
+        /// Destination slot.
+        dst: u32,
+    },
+    /// `read(c, k)`.
+    Read {
+        /// Collection operand.
+        coll: DOp,
+        /// Key operand.
+        key: DOp,
+        /// Destination slot.
+        dst: u32,
+    },
+    /// `write(c, k, v) → c'`.
+    Write {
+        /// Collection operand.
+        coll: DOp,
+        /// Key operand.
+        key: DOp,
+        /// Value operand.
+        val: DOp,
+        /// Destination slot (receives the collection handle).
+        dst: u32,
+    },
+    /// `has(c, k)`.
+    Has {
+        /// Collection operand.
+        coll: DOp,
+        /// Key operand.
+        key: DOp,
+        /// Destination slot.
+        dst: u32,
+    },
+    /// Set-flavored insert (element operand).
+    InsertSet {
+        /// Collection operand.
+        coll: DOp,
+        /// Element operand.
+        elem: DOp,
+        /// Destination slot (receives the collection handle).
+        dst: u32,
+    },
+    /// Map-flavored insert (key operand; slot default-initialized from
+    /// the statically known value type).
+    InsertMap {
+        /// Collection operand.
+        coll: DOp,
+        /// Key operand.
+        key: DOp,
+        /// Pooled value type used for default initialization.
+        val_ty: u32,
+        /// Destination slot (receives the collection handle).
+        dst: u32,
+    },
+    /// Sequence-flavored insert (index + value operands).
+    InsertSeq {
+        /// Collection operand.
+        coll: DOp,
+        /// Index operand.
+        index: DOp,
+        /// Value operand.
+        val: DOp,
+        /// Destination slot (receives the collection handle).
+        dst: u32,
+    },
+    /// `remove(c, k) → c'`.
+    Remove {
+        /// Collection operand.
+        coll: DOp,
+        /// Key operand.
+        key: DOp,
+        /// Destination slot (receives the collection handle).
+        dst: u32,
+    },
+    /// `clear(c) → c'`.
+    Clear {
+        /// Collection operand.
+        coll: DOp,
+        /// Destination slot (receives the collection handle).
+        dst: u32,
+    },
+    /// `size(c)`.
+    Size {
+        /// Collection operand.
+        coll: DOp,
+        /// Destination slot.
+        dst: u32,
+    },
+    /// `union(dst, src) → dst'`.
+    UnionInto {
+        /// Destination-collection operand.
+        dst_coll: DOp,
+        /// Source-collection operand.
+        src_coll: DOp,
+        /// Pooled element type of the destination (drives key
+        /// uncoercion on the generic path).
+        elem_ty: u32,
+        /// Destination slot (receives the collection handle).
+        dst: u32,
+    },
+    /// Binary arithmetic/logic.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        a: DOp,
+        /// Right operand.
+        b: DOp,
+        /// Destination slot.
+        dst: u32,
+    },
+    /// Comparison.
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        a: DOp,
+        /// Right operand.
+        b: DOp,
+        /// Destination slot.
+        dst: u32,
+    },
+    /// Logical negation.
+    Not {
+        /// Operand.
+        a: DOp,
+        /// Destination slot.
+        dst: u32,
+    },
+    /// Numeric conversion to a pooled type.
+    Cast {
+        /// Pooled target type.
+        ty: u32,
+        /// Operand.
+        a: DOp,
+        /// Destination slot.
+        dst: u32,
+    },
+    /// Direct call.
+    Call {
+        /// Callee.
+        callee: FuncId,
+        /// Argument operands.
+        args: Box<[DOp]>,
+        /// Destination slot for the return value, if bound.
+        dst: Option<u32>,
+    },
+    /// Print a record of operands.
+    Print {
+        /// Printed operands, in order.
+        ops: Box<[DOp]>,
+    },
+    /// `enc(e, v)`.
+    Enc {
+        /// Enumeration index.
+        e: u32,
+        /// Key operand.
+        v: DOp,
+        /// Destination slot.
+        dst: u32,
+    },
+    /// `dec(e, i)`.
+    Dec {
+        /// Enumeration index.
+        e: u32,
+        /// Identifier operand.
+        v: DOp,
+        /// Destination slot.
+        dst: u32,
+    },
+    /// `add(e, v)`.
+    EnumAdd {
+        /// Enumeration index.
+        e: u32,
+        /// Key operand.
+        v: DOp,
+        /// Destination slot.
+        dst: u32,
+    },
+    /// Structured if-else.
+    If {
+        /// Condition operand.
+        cond: DOp,
+        /// Decoded region index of the then-block.
+        then_r: u32,
+        /// Decoded region index of the else-block.
+        else_r: u32,
+        /// Destination slots for the region's yields.
+        dsts: Box<[u32]>,
+    },
+    /// For-each over a collection.
+    ForEach {
+        /// Collection operand.
+        coll: DOp,
+        /// Initial carried values.
+        carried: Box<[DOp]>,
+        /// Decoded body region index.
+        body: u32,
+        /// Whether the body binds `(key, value)` (sequences and maps)
+        /// rather than just the element.
+        binds_value: bool,
+        /// Whether iterated dense keys must be presented as `u64`
+        /// (directive-forced dense collection over a `u64` domain).
+        uncoerce_u64: bool,
+        /// Destination slots for the final carried values.
+        dsts: Box<[u32]>,
+    },
+    /// Counted loop over `[lo, hi)`.
+    ForRange {
+        /// Lower bound operand.
+        lo: DOp,
+        /// Upper bound operand.
+        hi: DOp,
+        /// Initial carried values.
+        carried: Box<[DOp]>,
+        /// Decoded body region index.
+        body: u32,
+        /// Destination slots for the final carried values.
+        dsts: Box<[u32]>,
+    },
+    /// Do-while loop.
+    DoWhile {
+        /// Initial carried values.
+        carried: Box<[DOp]>,
+        /// Decoded body region index.
+        body: u32,
+        /// Destination slots for the final carried values.
+        dsts: Box<[u32]>,
+    },
+    /// Region terminator carrying results to the parent.
+    Yield {
+        /// Yielded operands.
+        ops: Box<[DOp]>,
+    },
+    /// Function return.
+    Ret {
+        /// Returned operand, if any.
+        op: Option<DOp>,
+    },
+    /// Region-of-interest marker.
+    Roi {
+        /// `true` at `roi begin`.
+        begin: bool,
+    },
+}
+
+/// A decoded region: argument slots plus a contiguous range of the
+/// owning function's instruction stream.
+#[derive(Clone, Debug)]
+pub struct DRegion {
+    /// Frame slots of the region arguments.
+    pub args: Box<[u32]>,
+    /// First instruction in [`DFunc::code`].
+    pub start: u32,
+    /// One past the last instruction in [`DFunc::code`].
+    pub end: u32,
+}
+
+/// A decoded function.
+#[derive(Clone, Debug)]
+pub struct DFunc {
+    /// Number of frame slots (one per SSA value).
+    pub frame_size: u32,
+    /// Frame slots of the parameters, in order.
+    pub params: Box<[u32]>,
+    /// Decoded index of the body region.
+    pub body: u32,
+    /// Regions, indexed identically to the source function's arena.
+    pub regions: Box<[DRegion]>,
+    /// The flat instruction stream (regions occupy disjoint ranges).
+    pub code: Box<[DInst]>,
+    /// Prebuilt constant pool.
+    pub consts: Box<[Value]>,
+    /// Pooled static types (allocation, cast, defaults, union elems).
+    pub types: Box<[Type]>,
+}
+
+/// A fully decoded module, borrowing the source IR it was built from.
+#[derive(Debug)]
+pub struct DecodedModule<'m> {
+    /// The source module.
+    pub module: &'m Module,
+    /// Decoded functions, indexed by [`FuncId`].
+    pub funcs: Box<[DFunc]>,
+}
+
+impl<'m> DecodedModule<'m> {
+    /// Decodes every function of `module`.
+    ///
+    /// In debug builds this first runs the IR verifier: the decoded
+    /// stream bakes in static facts (insert flavors, binding shapes)
+    /// that are only sound on well-formed, linear IR, so decoding must
+    /// never outrun verification.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the module fails verification.
+    pub fn decode(module: &'m Module) -> Self {
+        #[cfg(debug_assertions)]
+        if let Err(e) = ade_ir::verify::verify_module(module) {
+            panic!("refusing to decode an unverifiable module: {e}");
+        }
+        let funcs = module.funcs.iter().map(decode_function).collect();
+        DecodedModule { module, funcs }
+    }
+
+    /// The decoded function behind an id.
+    #[inline]
+    pub fn func(&self, f: FuncId) -> &DFunc {
+        &self.funcs[f.index()]
+    }
+}
+
+struct FuncDecoder<'f> {
+    func: &'f Function,
+    code: Vec<DInst>,
+    regions: Vec<DRegion>,
+    consts: Vec<Value>,
+    types: Vec<Type>,
+}
+
+fn decode_function(func: &Function) -> DFunc {
+    let mut d = FuncDecoder {
+        func,
+        code: Vec::with_capacity(func.insts.len()),
+        regions: vec![
+            DRegion { args: Box::new([]), start: 0, end: 0 };
+            func.regions.len()
+        ],
+        consts: Vec::new(),
+        types: Vec::new(),
+    };
+    // Decode every region (the body transitively reaches them all, but
+    // walking the arena keeps region indices identical to the source).
+    for r in 0..func.regions.len() {
+        d.decode_region(RegionId::from_index(r));
+    }
+    DFunc {
+        frame_size: u32::try_from(func.values.len()).expect("frame fits u32"),
+        params: func.params.iter().map(|p| slot(p.index())).collect(),
+        body: u32::try_from(func.body.index()).expect("region fits u32"),
+        regions: d.regions.into_boxed_slice(),
+        code: d.code.into_boxed_slice(),
+        consts: d.consts.into_boxed_slice(),
+        types: d.types.into_boxed_slice(),
+    }
+}
+
+fn slot(index: usize) -> u32 {
+    u32::try_from(index).expect("frame slot fits u32")
+}
+
+impl FuncDecoder<'_> {
+    fn decode_region(&mut self, r: RegionId) {
+        let region = self.func.region(r);
+        let start = slot(self.code.len());
+        // Reserve the range before decoding: nested regions decode via
+        // the arena walk in `decode_function`, not recursively here, so
+        // this region's instructions stay contiguous.
+        let insts: Vec<DInst> = region
+            .insts
+            .iter()
+            .map(|&i| self.decode_inst(self.func.inst(i)))
+            .collect();
+        self.code.extend(insts);
+        let end = slot(self.code.len());
+        self.regions[r.index()] = DRegion {
+            args: region.args.iter().map(|a| slot(a.index())).collect(),
+            start,
+            end,
+        };
+    }
+
+    fn pool_const(&mut self, c: &ConstVal) -> u32 {
+        let v = match c {
+            ConstVal::Bool(b) => Value::Bool(*b),
+            ConstVal::U64(n) => Value::U64(*n),
+            ConstVal::I64(n) => Value::I64(*n),
+            ConstVal::F64(n) => Value::F64(*n),
+            ConstVal::Str(s) => Value::Str(s.as_str().into()),
+        };
+        self.consts.push(v);
+        slot(self.consts.len() - 1)
+    }
+
+    fn pool_type(&mut self, ty: &Type) -> u32 {
+        if let Some(i) = self.types.iter().position(|t| t == ty) {
+            return slot(i);
+        }
+        self.types.push(ty.clone());
+        slot(self.types.len() - 1)
+    }
+
+    fn op(&self, operand: &Operand) -> DOp {
+        if operand.path.is_empty() {
+            return DOp::Slot(slot(operand.base.index()));
+        }
+        let path = operand
+            .path
+            .iter()
+            .map(|a| match a {
+                Access::Index(s) => DAccess::Index(match s {
+                    Scalar::Value(v) => DScalar::Slot(slot(v.index())),
+                    Scalar::Const(n) => DScalar::Const(*n),
+                    Scalar::End => DScalar::End,
+                }),
+                Access::Field(n) => DAccess::Field(*n),
+            })
+            .collect();
+        DOp::Path(Box::new(DPath {
+            base: slot(operand.base.index()),
+            path,
+        }))
+    }
+
+    fn dst(&self, inst: &Inst) -> u32 {
+        slot(inst.results[0].index())
+    }
+
+    fn dsts(&self, inst: &Inst) -> Box<[u32]> {
+        inst.results.iter().map(|r| slot(r.index())).collect()
+    }
+
+    /// Static type of the collection an operand addresses.
+    fn target_type(&self, operand: &Operand) -> Type {
+        ade_ir::builder::operand_type_in(self.func, operand)
+    }
+
+    fn decode_inst(&mut self, inst: &Inst) -> DInst {
+        match &inst.kind {
+            InstKind::Const(c) => DInst::Const {
+                pool: self.pool_const(c),
+                dst: self.dst(inst),
+            },
+            InstKind::New(ty) => DInst::New {
+                ty: self.pool_type(ty),
+                dst: self.dst(inst),
+            },
+            InstKind::Read => DInst::Read {
+                coll: self.op(&inst.operands[0]),
+                key: self.op(&inst.operands[1]),
+                dst: self.dst(inst),
+            },
+            InstKind::Write => DInst::Write {
+                coll: self.op(&inst.operands[0]),
+                key: self.op(&inst.operands[1]),
+                val: self.op(&inst.operands[2]),
+                dst: self.dst(inst),
+            },
+            InstKind::Has => DInst::Has {
+                coll: self.op(&inst.operands[0]),
+                key: self.op(&inst.operands[1]),
+                dst: self.dst(inst),
+            },
+            InstKind::Insert => {
+                let coll = self.op(&inst.operands[0]);
+                let dst = self.dst(inst);
+                match self.target_type(&inst.operands[0]) {
+                    Type::Set { .. } => DInst::InsertSet {
+                        coll,
+                        elem: self.op(&inst.operands[1]),
+                        dst,
+                    },
+                    Type::Map { val, .. } => DInst::InsertMap {
+                        coll,
+                        key: self.op(&inst.operands[1]),
+                        val_ty: self.pool_type(&val),
+                        dst,
+                    },
+                    Type::Seq(_) => DInst::InsertSeq {
+                        coll,
+                        index: self.op(&inst.operands[1]),
+                        val: self.op(&inst.operands[2]),
+                        dst,
+                    },
+                    other => panic!("insert into {other}"),
+                }
+            }
+            InstKind::Remove => DInst::Remove {
+                coll: self.op(&inst.operands[0]),
+                key: self.op(&inst.operands[1]),
+                dst: self.dst(inst),
+            },
+            InstKind::Clear => DInst::Clear {
+                coll: self.op(&inst.operands[0]),
+                dst: self.dst(inst),
+            },
+            InstKind::Size => DInst::Size {
+                coll: self.op(&inst.operands[0]),
+                dst: self.dst(inst),
+            },
+            InstKind::UnionInto => {
+                let elem = self
+                    .target_type(&inst.operands[0])
+                    .key_type()
+                    .cloned()
+                    .unwrap_or(Type::Idx);
+                DInst::UnionInto {
+                    dst_coll: self.op(&inst.operands[0]),
+                    src_coll: self.op(&inst.operands[1]),
+                    elem_ty: self.pool_type(&elem),
+                    dst: self.dst(inst),
+                }
+            }
+            InstKind::Bin(op) => DInst::Bin {
+                op: *op,
+                a: self.op(&inst.operands[0]),
+                b: self.op(&inst.operands[1]),
+                dst: self.dst(inst),
+            },
+            InstKind::Cmp(op) => DInst::Cmp {
+                op: *op,
+                a: self.op(&inst.operands[0]),
+                b: self.op(&inst.operands[1]),
+                dst: self.dst(inst),
+            },
+            InstKind::Not => DInst::Not {
+                a: self.op(&inst.operands[0]),
+                dst: self.dst(inst),
+            },
+            InstKind::Cast(ty) => DInst::Cast {
+                ty: self.pool_type(ty),
+                a: self.op(&inst.operands[0]),
+                dst: self.dst(inst),
+            },
+            InstKind::Call(callee) => DInst::Call {
+                callee: *callee,
+                args: inst.operands.iter().map(|o| self.op(o)).collect(),
+                dst: inst.results.first().map(|r| slot(r.index())),
+            },
+            InstKind::Print => DInst::Print {
+                ops: inst.operands.iter().map(|o| self.op(o)).collect(),
+            },
+            InstKind::Enc(e) => DInst::Enc {
+                e: slot(e.index()),
+                v: self.op(&inst.operands[0]),
+                dst: self.dst(inst),
+            },
+            InstKind::Dec(e) => DInst::Dec {
+                e: slot(e.index()),
+                v: self.op(&inst.operands[0]),
+                dst: self.dst(inst),
+            },
+            InstKind::EnumAdd(e) => DInst::EnumAdd {
+                e: slot(e.index()),
+                v: self.op(&inst.operands[0]),
+                dst: self.dst(inst),
+            },
+            InstKind::If => DInst::If {
+                cond: self.op(&inst.operands[0]),
+                then_r: slot(inst.regions[0].index()),
+                else_r: slot(inst.regions[1].index()),
+                dsts: self.dsts(inst),
+            },
+            InstKind::ForEach => {
+                let coll_ty = self.target_type(&inst.operands[0]);
+                DInst::ForEach {
+                    coll: self.op(&inst.operands[0]),
+                    carried: inst.operands[1..].iter().map(|o| self.op(o)).collect(),
+                    body: slot(inst.regions[0].index()),
+                    binds_value: matches!(coll_ty, Type::Seq(_) | Type::Map { .. }),
+                    uncoerce_u64: coll_ty.key_type() == Some(&Type::U64),
+                    dsts: self.dsts(inst),
+                }
+            }
+            InstKind::ForRange => DInst::ForRange {
+                lo: self.op(&inst.operands[0]),
+                hi: self.op(&inst.operands[1]),
+                carried: inst.operands[2..].iter().map(|o| self.op(o)).collect(),
+                body: slot(inst.regions[0].index()),
+                dsts: self.dsts(inst),
+            },
+            InstKind::DoWhile => DInst::DoWhile {
+                carried: inst.operands.iter().map(|o| self.op(o)).collect(),
+                body: slot(inst.regions[0].index()),
+                dsts: self.dsts(inst),
+            },
+            InstKind::Yield => DInst::Yield {
+                ops: inst.operands.iter().map(|o| self.op(o)).collect(),
+            },
+            InstKind::Ret => DInst::Ret {
+                op: inst.operands.first().map(|o| self.op(o)),
+            },
+            InstKind::Roi(begin) => DInst::Roi { begin: *begin },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ade_ir::parse::parse_module;
+
+    #[test]
+    fn decode_keeps_region_indices_and_frame_slots() {
+        let m = parse_module(
+            "fn @main() -> void {\n  %s = new Set<u64>\n  %x = const 1u64\n  %s1 = insert %s, %x\n  %h = has %s1, %x\n  print %h\n  ret\n}\n",
+        )
+        .expect("parses");
+        let d = DecodedModule::decode(&m);
+        let f = &d.funcs[0];
+        assert_eq!(f.regions.len(), m.funcs[0].regions.len());
+        assert_eq!(f.code.len(), m.funcs[0].insts.len());
+        assert_eq!(f.frame_size as usize, m.funcs[0].values.len());
+        // The insert against a set type decodes to the set flavor.
+        assert!(f
+            .code
+            .iter()
+            .any(|i| matches!(i, DInst::InsertSet { .. })));
+    }
+
+    #[test]
+    fn decode_precomputes_foreach_shape() {
+        let m = parse_module(
+            r#"
+fn @main() -> void {
+  %m = new Map<u64, u64>
+  %zero = const 0u64
+  %t = foreach %m carry(%zero) as (%k: u64, %v: u64, %acc: u64) {
+    %a = add %acc, %v
+    yield %a
+  }
+  print %t
+  ret
+}
+"#,
+        )
+        .expect("parses");
+        let d = DecodedModule::decode(&m);
+        let fe = d.funcs[0]
+            .code
+            .iter()
+            .find_map(|i| match i {
+                DInst::ForEach {
+                    binds_value,
+                    uncoerce_u64,
+                    ..
+                } => Some((*binds_value, *uncoerce_u64)),
+                _ => None,
+            })
+            .expect("foreach decoded");
+        assert_eq!(fe, (true, true));
+    }
+
+    #[test]
+    fn string_consts_are_pooled_once() {
+        let m = parse_module(
+            "fn @main() -> void {\n  %a = const \"hello\"\n  print %a\n  ret\n}\n",
+        )
+        .expect("parses");
+        let d = DecodedModule::decode(&m);
+        assert_eq!(d.funcs[0].consts.len(), 1);
+        assert_eq!(d.funcs[0].consts[0], Value::Str("hello".into()));
+    }
+}

@@ -1,18 +1,25 @@
 //! The IR interpreter.
+//!
+//! Execution runs over the pre-decoded instruction stream built by
+//! [`crate::decode`]: each function is flattened once per run, then the
+//! hot loop dispatches on compact [`DInst`]s whose operands are already
+//! frame indices. Plain-slot operand reads borrow straight out of the
+//! frame ([`Res::Ref`]) instead of cloning; only nested-path operands
+//! materialize values. Instrumentation is bit-identical to the original
+//! tree-walking core: the same [`CollOp`] bumps in the same phases, one
+//! fuel tick per executed instruction.
 
 use std::fmt;
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use ade_collections::SwissMap;
-use ade_ir::{
-    Access, BinOp, CmpOp, ConstVal, EnumId, Function, Inst, InstKind, Module, Operand, RegionId,
-    Scalar, Type,
-};
+use ade_ir::{BinOp, CmpOp, FuncId, Module, Type};
 
+use crate::decode::{DAccess, DFunc, DInst, DOp, DPath, DScalar, DecodedModule};
 use crate::heap::{CollId, Collection, SelectionDefaults};
 use crate::stats::{CollOp, ImplKind, Phase, Stats};
-use crate::value::Value;
+use crate::value::{Res, Value};
 
 /// Interpreter configuration.
 #[derive(Clone, Debug)]
@@ -79,6 +86,11 @@ pub struct Interpreter<'m> {
     module: &'m Module,
     config: ExecConfig,
     heap: Vec<Collection>,
+    /// Implementation kind per heap slot. A collection's implementation
+    /// is fixed at allocation, so this side table answers the
+    /// per-operation `impl_kind` classification with one narrow load
+    /// instead of touching the (much wider) [`Collection`] enum.
+    coll_impls: Vec<ImplKind>,
     coll_bytes: Vec<usize>,
     enums: Vec<RuntimeEnum>,
     stats: Stats,
@@ -95,6 +107,7 @@ impl<'m> Interpreter<'m> {
             module,
             config,
             heap: Vec::new(),
+            coll_impls: Vec::new(),
             coll_bytes: Vec::new(),
             enums: Vec::new(),
             stats: Stats::default(),
@@ -152,13 +165,14 @@ impl<'m> Interpreter<'m> {
                 message: format!("no function named @{entry}"),
             });
         };
+        let decoded = DecodedModule::decode(self.module);
         self.enums = self.module.enums.iter().map(|_| RuntimeEnum::default()).collect();
         let start = Instant::now();
         let mut phase_start = start;
         // Wall-time bookkeeping happens at ROI transitions; we thread the
         // phase-start instant through a cell on self via a small closure
         // protocol: exec notes transitions in `stats.wall_ns` directly.
-        let result = self.call_function(fid, Vec::new(), &mut phase_start)?;
+        let result = self.call_function(&decoded, fid, Vec::new(), &mut phase_start)?;
         let elapsed = phase_start.elapsed().as_nanos();
         self.stats.wall_ns[self.phase as usize] += elapsed;
         self.stats.final_bytes = self.tracked_bytes;
@@ -181,6 +195,11 @@ impl<'m> Interpreter<'m> {
         self.stats.per_phase[self.phase as usize].bump(imp, op, n);
     }
 
+    #[inline]
+    fn impl_of(&self, id: CollId) -> ImplKind {
+        self.coll_impls[id.0 as usize]
+    }
+
     fn refresh_bytes(&mut self, id: CollId) {
         let new = self.heap[id.0 as usize].bytes_estimate();
         let old = self.coll_bytes[id.0 as usize];
@@ -193,6 +212,7 @@ impl<'m> Interpreter<'m> {
         let coll = Collection::new_for(ty, self.config.defaults);
         let bytes = coll.bytes_estimate();
         let id = CollId(u32::try_from(self.heap.len()).expect("heap fits u32"));
+        self.coll_impls.push(coll.impl_kind());
         self.heap.push(coll);
         self.coll_bytes.push(bytes);
         self.tracked_bytes += bytes;
@@ -219,21 +239,29 @@ impl<'m> Interpreter<'m> {
         }
     }
 
-    /// Navigates an operand's nesting path, counting each indexing step
-    /// as a read on the collection at that level. Returns the final
-    /// value.
-    fn resolve(&mut self, frame: &[Value], op: &Operand) -> Value {
-        let mut cur = frame[op.base.index()].clone();
-        for access in &op.path {
+    /// Resolves an operand. Plain slots borrow from the frame (no clone);
+    /// nested paths are walked, counting each indexing step as a read on
+    /// the collection at that level.
+    #[inline]
+    fn resolve<'a>(&mut self, frame: &'a [Value], op: &DOp) -> Res<'a> {
+        match op {
+            DOp::Slot(s) => Res::Ref(&frame[*s as usize]),
+            DOp::Path(p) => Res::Owned(self.resolve_path(frame, p)),
+        }
+    }
+
+    fn resolve_path(&mut self, frame: &[Value], p: &DPath) -> Value {
+        let mut cur = frame[p.base as usize].clone();
+        for access in p.path.iter() {
             cur = match access {
-                Access::Index(s) => {
+                DAccess::Index(s) => {
                     let id = cur.as_coll();
-                    let imp = self.heap[id.0 as usize].impl_kind();
+                    let imp = self.impl_of(id);
                     self.bump(imp, CollOp::Read, 1);
                     let key = self.path_key(frame, s, id);
                     self.heap[id.0 as usize].read(&key)
                 }
-                Access::Field(n) => match cur {
+                DAccess::Field(n) => match cur {
                     Value::Tuple(t) => t[*n as usize].clone(),
                     other => panic!("field access on {other:?}"),
                 },
@@ -242,25 +270,38 @@ impl<'m> Interpreter<'m> {
         cur
     }
 
-    fn path_key(&mut self, frame: &[Value], s: &Scalar, id: CollId) -> Value {
+    fn path_key(&mut self, frame: &[Value], s: &DScalar, id: CollId) -> Value {
         match s {
-            Scalar::Value(v) => {
-                let key = frame[v.index()].clone();
+            DScalar::Slot(v) => {
+                let key = frame[*v as usize].clone();
                 self.coerce_key(id, key)
             }
-            Scalar::Const(n) => self.coerce_key(id, Value::U64(*n)),
-            Scalar::End => Value::U64(self.heap[id.0 as usize].len() as u64),
+            DScalar::Const(n) => self.coerce_key(id, Value::U64(*n)),
+            DScalar::End => Value::U64(self.heap[id.0 as usize].len() as u64),
         }
     }
 
     /// Dense implementations index by `idx`; accept `u64` keys for
     /// directive-forced dense collections over integer domains.
     fn coerce_key(&self, id: CollId, key: Value) -> Value {
-        match (&self.heap[id.0 as usize], &key) {
+        match (self.impl_of(id), &key) {
             (
-                Collection::BitSet(_) | Collection::SparseBitSet(_) | Collection::BitMap(_),
+                ImplKind::BitSet | ImplKind::SparseBitSet | ImplKind::BitMap,
                 Value::U64(n),
             ) => Value::Idx(*n as usize),
+            _ => key,
+        }
+    }
+
+    /// [`Self::coerce_key`] over a resolved operand: the common
+    /// no-coercion case passes the borrow through untouched.
+    #[inline]
+    fn coerce_key_res<'a>(&self, id: CollId, key: Res<'a>) -> Res<'a> {
+        match (self.impl_of(id), &*key) {
+            (
+                ImplKind::BitSet | ImplKind::SparseBitSet | ImplKind::BitMap,
+                Value::U64(n),
+            ) => Res::Owned(Value::Idx(*n as usize)),
             _ => key,
         }
     }
@@ -279,23 +320,28 @@ impl<'m> Interpreter<'m> {
 
     /// Resolves an operand that must denote a collection, returning its
     /// handle (navigating and counting nested reads).
-    fn resolve_coll(&mut self, frame: &[Value], op: &Operand) -> CollId {
-        self.resolve(frame, op).as_coll()
+    #[inline]
+    fn resolve_coll(&mut self, frame: &[Value], op: &DOp) -> CollId {
+        match op {
+            DOp::Slot(s) => frame[*s as usize].as_coll(),
+            DOp::Path(p) => self.resolve_path(frame, p).as_coll(),
+        }
     }
 
     fn call_function(
         &mut self,
-        fid: ade_ir::FuncId,
+        d: &DecodedModule<'_>,
+        fid: FuncId,
         args: Vec<Value>,
         phase_start: &mut Instant,
     ) -> Result<Option<Value>, ExecError> {
-        let func = self.module.func(fid);
+        let func = d.func(fid);
         assert_eq!(args.len(), func.params.len(), "call arity");
-        let mut frame = vec![Value::Void; func.values.len()];
+        let mut frame = vec![Value::Void; func.frame_size as usize];
         for (&p, a) in func.params.iter().zip(args) {
-            frame[p.index()] = a;
+            frame[p as usize] = a;
         }
-        match self.exec_region(func, &mut frame, func.body, phase_start)? {
+        match self.exec_region(d, func, &mut frame, func.body, phase_start)? {
             Flow::Ret(v) => Ok(v),
             _ => panic!("function body ended without ret"),
         }
@@ -303,13 +349,14 @@ impl<'m> Interpreter<'m> {
 
     fn exec_region(
         &mut self,
-        func: &Function,
+        d: &DecodedModule<'_>,
+        func: &DFunc,
         frame: &mut Vec<Value>,
-        region: RegionId,
+        region: u32,
         phase_start: &mut Instant,
     ) -> Result<Flow, ExecError> {
-        for &inst_id in &func.region(region).insts {
-            let inst = func.inst(inst_id);
+        let r = &func.regions[region as usize];
+        for inst in &func.code[r.start as usize..r.end as usize] {
             self.fuel_used += 1;
             if let Some(fuel) = self.config.fuel {
                 if self.fuel_used > fuel {
@@ -318,7 +365,7 @@ impl<'m> Interpreter<'m> {
                     });
                 }
             }
-            match self.exec_inst(func, frame, inst, phase_start)? {
+            match self.exec_inst(d, func, frame, inst, phase_start)? {
                 Flow::Continue => {}
                 other => return Ok(other),
             }
@@ -333,53 +380,59 @@ impl<'m> Interpreter<'m> {
     /// programs would otherwise exhaust the stack in debug builds).
     fn exec_inst(
         &mut self,
-        func: &Function,
+        d: &DecodedModule<'_>,
+        func: &DFunc,
         frame: &mut Vec<Value>,
-        inst: &Inst,
+        inst: &DInst,
         phase_start: &mut Instant,
     ) -> Result<Flow, ExecError> {
-        match &inst.kind {
-            InstKind::Call(callee) => {
-                let args: Vec<Value> = inst
-                    .operands
+        match inst {
+            DInst::Call { callee, args, dst } => {
+                let args: Vec<Value> = args
                     .iter()
-                    .map(|op| self.resolve(frame, op))
+                    .map(|op| self.resolve(frame, op).into_owned())
                     .collect();
-                let result = self.call_function(*callee, args, phase_start)?;
-                if let Some(r) = inst.results.first() {
-                    frame[r.index()] = result.unwrap_or(Value::Void);
+                let result = self.call_function(d, *callee, args, phase_start)?;
+                if let Some(dst) = dst {
+                    frame[*dst as usize] = result.unwrap_or(Value::Void);
                 }
                 Ok(Flow::Continue)
             }
-            InstKind::If => {
-                let cond = self.resolve(frame, &inst.operands[0]).as_bool();
-                let region = inst.regions[usize::from(!cond)];
-                match self.exec_region(func, frame, region, phase_start)? {
+            DInst::If {
+                cond,
+                then_r,
+                else_r,
+                dsts,
+            } => {
+                let cond = self.resolve(frame, cond).as_bool();
+                let region = if cond { *then_r } else { *else_r };
+                match self.exec_region(d, func, frame, region, phase_start)? {
                     Flow::Yield(vals) => {
-                        for (&r, v) in inst.results.iter().zip(vals) {
-                            frame[r.index()] = v;
+                        for (&r, v) in dsts.iter().zip(vals) {
+                            frame[r as usize] = v;
                         }
                         Ok(Flow::Continue)
                     }
                     other => Ok(other),
                 }
             }
-            InstKind::ForEach => self.exec_foreach(func, frame, inst, phase_start),
-            InstKind::ForRange => self.exec_forrange(func, frame, inst, phase_start),
-            InstKind::DoWhile => self.exec_dowhile(func, frame, inst, phase_start),
-            InstKind::Yield => {
-                let vals = inst
-                    .operands
+            DInst::ForEach { .. } => self.exec_foreach(d, func, frame, inst, phase_start),
+            DInst::ForRange { .. } => self.exec_forrange(d, func, frame, inst, phase_start),
+            DInst::DoWhile { .. } => self.exec_dowhile(d, func, frame, inst, phase_start),
+            DInst::Yield { ops } => {
+                let vals = ops
                     .iter()
-                    .map(|op| self.resolve(frame, op))
+                    .map(|op| self.resolve(frame, op).into_owned())
                     .collect();
                 Ok(Flow::Yield(vals))
             }
-            InstKind::Ret => {
-                let v = inst.operands.first().map(|op| self.resolve(frame, op));
+            DInst::Ret { op } => {
+                let v = op
+                    .as_ref()
+                    .map(|op| self.resolve(frame, op).into_owned());
                 Ok(Flow::Ret(v))
             }
-            InstKind::Roi(begin) => {
+            DInst::Roi { begin } => {
                 let now = Instant::now();
                 let elapsed = now.duration_since(*phase_start).as_nanos();
                 self.stats.wall_ns[self.phase as usize] += elapsed;
@@ -387,25 +440,8 @@ impl<'m> Interpreter<'m> {
                 self.phase = if *begin { Phase::Roi } else { Phase::Init };
                 Ok(Flow::Continue)
             }
-            InstKind::Const(_)
-            | InstKind::New(_)
-            | InstKind::Read
-            | InstKind::Write
-            | InstKind::Has
-            | InstKind::Insert
-            | InstKind::Remove
-            | InstKind::Clear
-            | InstKind::Size
-            | InstKind::UnionInto
-            | InstKind::Bin(_)
-            | InstKind::Cmp(_)
-            | InstKind::Not
-            | InstKind::Cast(_)
-            | InstKind::Print
-            | InstKind::Enc(_)
-            | InstKind::Dec(_)
-            | InstKind::EnumAdd(_) => {
-                self.exec_simple_inst(func, frame, inst);
+            simple => {
+                self.exec_simple_inst(func, frame, simple);
                 Ok(Flow::Continue)
             }
         }
@@ -414,176 +450,188 @@ impl<'m> Interpreter<'m> {
     /// Straight-line (non-control) opcodes.
     #[allow(clippy::too_many_lines)]
     #[inline(never)]
-    fn exec_simple_inst(&mut self, func: &Function, frame: &mut Vec<Value>, inst: &Inst) {
-        let set1 = |frame: &mut Vec<Value>, inst: &Inst, v: Value| {
-            frame[inst.results[0].index()] = v;
-        };
-        match &inst.kind {
-            InstKind::Const(c) => {
-                let v = match c {
-                    ConstVal::Bool(b) => Value::Bool(*b),
-                    ConstVal::U64(n) => Value::U64(*n),
-                    ConstVal::I64(n) => Value::I64(*n),
-                    ConstVal::F64(n) => Value::F64(*n),
-                    ConstVal::Str(s) => Value::Str(s.as_str().into()),
-                };
-                set1(frame, inst, v);
+    fn exec_simple_inst(&mut self, func: &DFunc, frame: &mut Vec<Value>, inst: &DInst) {
+        match inst {
+            DInst::Const { pool, dst } => {
+                frame[*dst as usize] = func.consts[*pool as usize].clone();
             }
-            InstKind::New(ty) => {
+            DInst::New { ty, dst } => {
+                let ty = &func.types[*ty as usize];
                 let v = if ty.is_collection() {
                     Value::Coll(self.alloc_collection(ty))
                 } else {
                     self.default_value(ty)
                 };
-                set1(frame, inst, v);
+                frame[*dst as usize] = v;
             }
-            InstKind::Read => {
-                let id = self.resolve_coll(frame, &inst.operands[0]);
-                let key = self.resolve(frame, &inst.operands[1]);
-                let key = self.coerce_key(id, key);
-                let imp = self.heap[id.0 as usize].impl_kind();
+            DInst::Read { coll, key, dst } => {
+                let id = self.resolve_coll(frame, coll);
+                let key = self.resolve(frame, key);
+                let key = self.coerce_key_res(id, key);
+                let imp = self.impl_of(id);
                 self.bump(imp, CollOp::Read, 1);
                 let v = self.heap[id.0 as usize].read(&key);
-                set1(frame, inst, v);
+                frame[*dst as usize] = v;
             }
-            InstKind::Write => {
-                let id = self.resolve_coll(frame, &inst.operands[0]);
-                let key = self.resolve(frame, &inst.operands[1]);
-                let key = self.coerce_key(id, key);
-                let value = self.resolve(frame, &inst.operands[2]);
-                let imp = self.heap[id.0 as usize].impl_kind();
+            DInst::Write {
+                coll,
+                key,
+                val,
+                dst,
+            } => {
+                let id = self.resolve_coll(frame, coll);
+                let key = self.resolve(frame, key);
+                let key = self.coerce_key_res(id, key);
+                let value = self.resolve(frame, val).into_owned();
+                let imp = self.impl_of(id);
                 self.bump(imp, CollOp::Write, 1);
                 self.heap[id.0 as usize].write(&key, value);
                 self.refresh_bytes(id);
-                set1(frame, inst, frame[inst.operands[0].base.index()].clone());
+                frame[*dst as usize] = frame[coll.base_slot() as usize].clone();
             }
-            InstKind::Has => {
-                let id = self.resolve_coll(frame, &inst.operands[0]);
-                let key = self.resolve(frame, &inst.operands[1]);
-                let key = self.coerce_key(id, key);
-                let imp = self.heap[id.0 as usize].impl_kind();
+            DInst::Has { coll, key, dst } => {
+                let id = self.resolve_coll(frame, coll);
+                let key = self.resolve(frame, key);
+                let key = self.coerce_key_res(id, key);
+                let imp = self.impl_of(id);
                 self.bump(imp, CollOp::Has, 1);
                 let v = self.heap[id.0 as usize].has(&key);
-                set1(frame, inst, Value::Bool(v));
+                frame[*dst as usize] = Value::Bool(v);
             }
-            InstKind::Insert => {
-                let id = self.resolve_coll(frame, &inst.operands[0]);
-                let target_ty = self.target_type(func, &inst.operands[0]);
-                let imp = self.heap[id.0 as usize].impl_kind();
+            DInst::InsertSet { coll, elem, dst } => {
+                let id = self.resolve_coll(frame, coll);
+                let imp = self.impl_of(id);
                 self.bump(imp, CollOp::Insert, 1);
-                match &target_ty {
-                    Type::Set { .. } => {
-                        let elem = self.resolve(frame, &inst.operands[1]);
-                        let elem = self.coerce_key(id, elem);
-                        self.heap[id.0 as usize].insert_elem(elem);
-                    }
-                    Type::Map { val, .. } => {
-                        let key = self.resolve(frame, &inst.operands[1]);
-                        let key = self.coerce_key(id, key);
-                        // Only allocate a default if the key is absent.
-                        if !self.heap[id.0 as usize].has(&key) {
-                            let default = self.default_value(val);
-                            self.heap[id.0 as usize].insert_key_default(&key, default);
-                        }
-                    }
-                    Type::Seq(_) => {
-                        let index = self.resolve(frame, &inst.operands[1]).as_u64() as usize;
-                        let value = self.resolve(frame, &inst.operands[2]);
-                        self.heap[id.0 as usize].insert_seq(index, value);
-                    }
-                    other => panic!("insert into {other}"),
+                let elem = self.resolve(frame, elem).into_owned();
+                let elem = self.coerce_key(id, elem);
+                self.heap[id.0 as usize].insert_elem(elem);
+                self.refresh_bytes(id);
+                frame[*dst as usize] = frame[coll.base_slot() as usize].clone();
+            }
+            DInst::InsertMap {
+                coll,
+                key,
+                val_ty,
+                dst,
+            } => {
+                let id = self.resolve_coll(frame, coll);
+                let imp = self.impl_of(id);
+                self.bump(imp, CollOp::Insert, 1);
+                let key = self.resolve(frame, key);
+                let key = self.coerce_key_res(id, key);
+                // Only allocate a default if the key is absent.
+                if !self.heap[id.0 as usize].has(&key) {
+                    let default = self.default_value(&func.types[*val_ty as usize]);
+                    self.heap[id.0 as usize].insert_key_default(&key, default);
                 }
                 self.refresh_bytes(id);
-                set1(frame, inst, frame[inst.operands[0].base.index()].clone());
+                frame[*dst as usize] = frame[coll.base_slot() as usize].clone();
             }
-            InstKind::Remove => {
-                let id = self.resolve_coll(frame, &inst.operands[0]);
-                let key = self.resolve(frame, &inst.operands[1]);
-                let key = self.coerce_key(id, key);
-                let imp = self.heap[id.0 as usize].impl_kind();
+            DInst::InsertSeq {
+                coll,
+                index,
+                val,
+                dst,
+            } => {
+                let id = self.resolve_coll(frame, coll);
+                let imp = self.impl_of(id);
+                self.bump(imp, CollOp::Insert, 1);
+                let index = self.resolve(frame, index).as_u64() as usize;
+                let value = self.resolve(frame, val).into_owned();
+                self.heap[id.0 as usize].insert_seq(index, value);
+                self.refresh_bytes(id);
+                frame[*dst as usize] = frame[coll.base_slot() as usize].clone();
+            }
+            DInst::Remove { coll, key, dst } => {
+                let id = self.resolve_coll(frame, coll);
+                let key = self.resolve(frame, key);
+                let key = self.coerce_key_res(id, key);
+                let imp = self.impl_of(id);
                 self.bump(imp, CollOp::Remove, 1);
                 self.heap[id.0 as usize].remove(&key);
                 self.refresh_bytes(id);
-                set1(frame, inst, frame[inst.operands[0].base.index()].clone());
+                frame[*dst as usize] = frame[coll.base_slot() as usize].clone();
             }
-            InstKind::Clear => {
-                let id = self.resolve_coll(frame, &inst.operands[0]);
-                let imp = self.heap[id.0 as usize].impl_kind();
+            DInst::Clear { coll, dst } => {
+                let id = self.resolve_coll(frame, coll);
+                let imp = self.impl_of(id);
                 self.bump(imp, CollOp::Clear, 1);
                 self.heap[id.0 as usize].clear();
                 self.refresh_bytes(id);
-                set1(frame, inst, frame[inst.operands[0].base.index()].clone());
+                frame[*dst as usize] = frame[coll.base_slot() as usize].clone();
             }
-            InstKind::Size => {
-                let id = self.resolve_coll(frame, &inst.operands[0]);
-                let imp = self.heap[id.0 as usize].impl_kind();
+            DInst::Size { coll, dst } => {
+                let id = self.resolve_coll(frame, coll);
+                let imp = self.impl_of(id);
                 self.bump(imp, CollOp::Size, 1);
                 let n = self.heap[id.0 as usize].len() as u64;
-                set1(frame, inst, Value::U64(n));
+                frame[*dst as usize] = Value::U64(n);
             }
-            InstKind::UnionInto => {
-                let dst = self.resolve_coll(frame, &inst.operands[0]);
-                let src = self.resolve_coll(frame, &inst.operands[1]);
-                let dst_elem = self
-                    .target_type(func, &inst.operands[0])
-                    .key_type()
-                    .cloned()
-                    .unwrap_or(Type::Idx);
-                self.union_into(dst, src, &dst_elem);
-                self.refresh_bytes(dst);
-                set1(frame, inst, frame[inst.operands[0].base.index()].clone());
+            DInst::UnionInto {
+                dst_coll,
+                src_coll,
+                elem_ty,
+                dst,
+            } => {
+                let dst_id = self.resolve_coll(frame, dst_coll);
+                let src_id = self.resolve_coll(frame, src_coll);
+                self.union_into(dst_id, src_id, &func.types[*elem_ty as usize]);
+                self.refresh_bytes(dst_id);
+                frame[*dst as usize] = frame[dst_coll.base_slot() as usize].clone();
             }
-            InstKind::Bin(op) => {
-                let a = self.resolve(frame, &inst.operands[0]);
-                let b = self.resolve(frame, &inst.operands[1]);
-                set1(frame, inst, eval_bin(*op, &a, &b));
+            DInst::Bin { op, a, b, dst } => {
+                let va = self.resolve(frame, a);
+                let vb = self.resolve(frame, b);
+                let v = eval_bin(*op, &va, &vb);
+                frame[*dst as usize] = v;
             }
-            InstKind::Cmp(op) => {
-                let a = self.resolve(frame, &inst.operands[0]);
-                let b = self.resolve(frame, &inst.operands[1]);
-                set1(frame, inst, Value::Bool(eval_cmp(*op, &a, &b)));
+            DInst::Cmp { op, a, b, dst } => {
+                let va = self.resolve(frame, a);
+                let vb = self.resolve(frame, b);
+                let v = Value::Bool(eval_cmp(*op, &va, &vb));
+                frame[*dst as usize] = v;
             }
-            InstKind::Not => {
-                let a = self.resolve(frame, &inst.operands[0]).as_bool();
-                set1(frame, inst, Value::Bool(!a));
+            DInst::Not { a, dst } => {
+                let v = !self.resolve(frame, a).as_bool();
+                frame[*dst as usize] = Value::Bool(v);
             }
-            InstKind::Cast(ty) => {
-                let a = self.resolve(frame, &inst.operands[0]);
-                set1(frame, inst, eval_cast(&a, ty));
+            DInst::Cast { ty, a, dst } => {
+                let a = self.resolve(frame, a);
+                let v = eval_cast(&a, &func.types[*ty as usize]);
+                frame[*dst as usize] = v;
             }
-            InstKind::Print => {
-                let parts: Vec<String> = inst
-                    .operands
+            DInst::Print { ops } => {
+                let parts: Vec<String> = ops
                     .iter()
                     .map(|op| self.resolve(frame, op).to_string())
                     .collect();
                 let _ = writeln!(self.output, "{}", parts.join(" "));
             }
-            InstKind::Enc(e) => {
-                let key = self.resolve(frame, &inst.operands[0]);
+            DInst::Enc { e, v, dst } => {
+                let key = self.resolve(frame, v);
                 self.bump(ImplKind::EnumEnc, CollOp::Read, 1);
                 // Values outside the enumeration encode to a sentinel
                 // identifier that is a member of no collection: the
                 // paper leaves @enc undefined there, and ADE only emits
                 // such encodes for membership probes (`has`, `remove`,
                 // guarded `read`), which must observe absence.
-                let idx = self.enums[e.index()]
+                let idx = self.enums[*e as usize]
                     .enc
                     .get(&key)
                     .copied()
                     .unwrap_or(usize::MAX);
-                set1(frame, inst, Value::Idx(idx));
+                frame[*dst as usize] = Value::Idx(idx);
             }
-            InstKind::Dec(e) => {
-                let idx = self.resolve(frame, &inst.operands[0]).as_index();
+            DInst::Dec { e, v, dst } => {
+                let idx = self.resolve(frame, v).as_index();
                 self.bump(ImplKind::EnumDec, CollOp::Read, 1);
-                let v = self.enums[e.index()].dec[idx].clone();
-                set1(frame, inst, v);
+                let v = self.enums[*e as usize].dec[idx].clone();
+                frame[*dst as usize] = v;
             }
-            InstKind::EnumAdd(e) => {
-                let key = self.resolve(frame, &inst.operands[0]);
-                let idx = self.enum_add(*e, key);
-                set1(frame, inst, Value::Idx(idx));
+            DInst::EnumAdd { e, v, dst } => {
+                let key = self.resolve(frame, v).into_owned();
+                let idx = self.enum_add(*e as usize, key);
+                frame[*dst as usize] = Value::Idx(idx);
             }
             other => panic!("control opcode {other:?} reached exec_simple_inst"),
         }
@@ -592,48 +640,59 @@ impl<'m> Interpreter<'m> {
     #[inline(never)]
     fn exec_foreach(
         &mut self,
-        func: &Function,
+        d: &DecodedModule<'_>,
+        func: &DFunc,
         frame: &mut Vec<Value>,
-        inst: &Inst,
+        inst: &DInst,
         phase_start: &mut Instant,
     ) -> Result<Flow, ExecError> {
-        let id = self.resolve_coll(frame, &inst.operands[0]);
-        let imp = self.heap[id.0 as usize].impl_kind();
+        let DInst::ForEach {
+            coll,
+            carried: carried_ops,
+            body,
+            binds_value,
+            uncoerce_u64,
+            dsts,
+        } = inst
+        else {
+            unreachable!()
+        };
+        let id = self.resolve_coll(frame, coll);
+        let imp = self.impl_of(id);
         let mut entries = self.heap[id.0 as usize].snapshot();
         let words = self.heap[id.0 as usize].iter_scan_words();
         self.bump(imp, CollOp::IterElem, entries.len() as u64);
         self.bump(imp, CollOp::IterWord, words);
-        let coll_ty = self.target_type(func, &inst.operands[0]);
-        if let Some(key_ty) = coll_ty.key_type() {
+        if *uncoerce_u64 {
             for (k, _) in &mut entries {
-                *k = Self::uncoerce_key(key_ty, k.clone());
+                if let Value::Idx(i) = k {
+                    *k = Value::U64(*i as u64);
+                }
             }
         }
-        let binds_value = matches!(coll_ty, Type::Seq(_) | Type::Map { .. });
-        let body = inst.regions[0];
-        let args = func.region(body).args.clone();
-        let mut carried: Vec<Value> = inst.operands[1..]
+        let args = &func.regions[*body as usize].args;
+        let mut carried: Vec<Value> = carried_ops
             .iter()
-            .map(|op| self.resolve(frame, op))
+            .map(|op| self.resolve(frame, op).into_owned())
             .collect();
         for (key, value) in entries {
             let mut slot = 0;
-            frame[args[slot].index()] = key;
+            frame[args[slot] as usize] = key;
             slot += 1;
-            if binds_value {
-                frame[args[slot].index()] = value;
+            if *binds_value {
+                frame[args[slot] as usize] = value;
                 slot += 1;
             }
             for (i, c) in carried.iter().enumerate() {
-                frame[args[slot + i].index()] = c.clone();
+                frame[args[slot + i] as usize] = c.clone();
             }
-            match self.exec_region(func, frame, body, phase_start)? {
+            match self.exec_region(d, func, frame, *body, phase_start)? {
                 Flow::Yield(next) => carried = next,
                 other => return Ok(other),
             }
         }
-        for (&r, v) in inst.results.iter().zip(carried) {
-            frame[r.index()] = v;
+        for (&r, v) in dsts.iter().zip(carried) {
+            frame[r as usize] = v;
         }
         Ok(Flow::Continue)
     }
@@ -641,31 +700,41 @@ impl<'m> Interpreter<'m> {
     #[inline(never)]
     fn exec_forrange(
         &mut self,
-        func: &Function,
+        d: &DecodedModule<'_>,
+        func: &DFunc,
         frame: &mut Vec<Value>,
-        inst: &Inst,
+        inst: &DInst,
         phase_start: &mut Instant,
     ) -> Result<Flow, ExecError> {
-        let lo = self.resolve(frame, &inst.operands[0]).as_u64();
-        let hi = self.resolve(frame, &inst.operands[1]).as_u64();
-        let body = inst.regions[0];
-        let args = func.region(body).args.clone();
-        let mut carried: Vec<Value> = inst.operands[2..]
+        let DInst::ForRange {
+            lo,
+            hi,
+            carried: carried_ops,
+            body,
+            dsts,
+        } = inst
+        else {
+            unreachable!()
+        };
+        let lo = self.resolve(frame, lo).as_u64();
+        let hi = self.resolve(frame, hi).as_u64();
+        let args = &func.regions[*body as usize].args;
+        let mut carried: Vec<Value> = carried_ops
             .iter()
-            .map(|op| self.resolve(frame, op))
+            .map(|op| self.resolve(frame, op).into_owned())
             .collect();
         for i in lo..hi {
-            frame[args[0].index()] = Value::U64(i);
+            frame[args[0] as usize] = Value::U64(i);
             for (j, c) in carried.iter().enumerate() {
-                frame[args[1 + j].index()] = c.clone();
+                frame[args[1 + j] as usize] = c.clone();
             }
-            match self.exec_region(func, frame, body, phase_start)? {
+            match self.exec_region(d, func, frame, *body, phase_start)? {
                 Flow::Yield(next) => carried = next,
                 other => return Ok(other),
             }
         }
-        for (&r, v) in inst.results.iter().zip(carried) {
-            frame[r.index()] = v;
+        for (&r, v) in dsts.iter().zip(carried) {
+            frame[r as usize] = v;
         }
         Ok(Flow::Continue)
     }
@@ -673,23 +742,30 @@ impl<'m> Interpreter<'m> {
     #[inline(never)]
     fn exec_dowhile(
         &mut self,
-        func: &Function,
+        d: &DecodedModule<'_>,
+        func: &DFunc,
         frame: &mut Vec<Value>,
-        inst: &Inst,
+        inst: &DInst,
         phase_start: &mut Instant,
     ) -> Result<Flow, ExecError> {
-        let body = inst.regions[0];
-        let args = func.region(body).args.clone();
-        let mut carried: Vec<Value> = inst
-            .operands
+        let DInst::DoWhile {
+            carried: carried_ops,
+            body,
+            dsts,
+        } = inst
+        else {
+            unreachable!()
+        };
+        let args = &func.regions[*body as usize].args;
+        let mut carried: Vec<Value> = carried_ops
             .iter()
-            .map(|op| self.resolve(frame, op))
+            .map(|op| self.resolve(frame, op).into_owned())
             .collect();
         loop {
             for (j, c) in carried.iter().enumerate() {
-                frame[args[j].index()] = c.clone();
+                frame[args[j] as usize] = c.clone();
             }
-            match self.exec_region(func, frame, body, phase_start)? {
+            match self.exec_region(d, func, frame, *body, phase_start)? {
                 Flow::Yield(mut vals) => {
                     let cond = vals.remove(0).as_bool();
                     carried = vals;
@@ -700,20 +776,14 @@ impl<'m> Interpreter<'m> {
                 other => return Ok(other),
             }
         }
-        for (&r, v) in inst.results.iter().zip(carried) {
-            frame[r.index()] = v;
+        for (&r, v) in dsts.iter().zip(carried) {
+            frame[r as usize] = v;
         }
         Ok(Flow::Continue)
     }
 
-    /// Static type of the collection an operand addresses (resolving
-    /// nesting).
-    fn target_type(&self, func: &Function, op: &Operand) -> Type {
-        ade_ir::builder::operand_type_in(func, op)
-    }
-
-    fn enum_add(&mut self, e: EnumId, key: Value) -> usize {
-        let re = &mut self.enums[e.index()];
+    fn enum_add(&mut self, e: usize, key: Value) -> usize {
+        let re = &mut self.enums[e];
         self.stats.per_phase[self.phase as usize].bump(ImplKind::EnumEnc, CollOp::Read, 1);
         if let Some(&idx) = re.enc.get(&key) {
             return idx;
@@ -725,7 +795,7 @@ impl<'m> Interpreter<'m> {
         self.stats.per_phase[self.phase as usize].bump(ImplKind::EnumDec, CollOp::Insert, 1);
         let new = re.bytes_estimate();
         let old = re.cached_bytes;
-        self.enums[e.index()].cached_bytes = new;
+        self.enums[e].cached_bytes = new;
         self.tracked_bytes = (self.tracked_bytes + new).saturating_sub(old);
         self.sample_peak();
         idx
@@ -736,7 +806,7 @@ impl<'m> Interpreter<'m> {
             return;
         }
         let (di, si) = (dst.0 as usize, src.0 as usize);
-        let dst_imp = self.heap[di].impl_kind();
+        let dst_imp = self.impl_of(dst);
         // Borrow both disjointly.
         let (a, b) = if di < si {
             let (lo, hi) = self.heap.split_at_mut(si);

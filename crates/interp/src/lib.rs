@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 
 pub mod cost;
+pub mod decode;
 mod exec;
 mod heap;
 mod stats;

@@ -124,7 +124,7 @@ pub enum Phase {
 }
 
 /// A dense (impl × op) counter table.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct OpCounts {
     counts: [[u64; CollOp::ALL.len()]; ImplKind::ALL.len()],
 }

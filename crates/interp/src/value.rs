@@ -94,6 +94,40 @@ impl Value {
     }
 }
 
+/// A resolved operand: borrowed straight out of the frame when the
+/// operand is a plain slot (the overwhelmingly common case — no clone,
+/// no `Arc` traffic), owned when a nesting path had to be walked.
+#[derive(Debug)]
+pub(crate) enum Res<'a> {
+    /// Borrowed from the frame.
+    Ref(&'a Value),
+    /// Materialized by a path walk.
+    Owned(Value),
+}
+
+impl std::ops::Deref for Res<'_> {
+    type Target = Value;
+
+    #[inline]
+    fn deref(&self) -> &Value {
+        match self {
+            Res::Ref(v) => v,
+            Res::Owned(v) => v,
+        }
+    }
+}
+
+impl Res<'_> {
+    /// The value itself, cloning only if still borrowed.
+    #[inline]
+    pub(crate) fn into_owned(self) -> Value {
+        match self {
+            Res::Ref(v) => v.clone(),
+            Res::Owned(v) => v,
+        }
+    }
+}
+
 impl PartialEq for Value {
     fn eq(&self, other: &Self) -> bool {
         use Value::*;
