@@ -94,6 +94,32 @@ impl EscapeAnalysis {
     pub fn escaped_roots(&self) -> impl Iterator<Item = ValueId> + '_ {
         self.escaped_roots.iter().copied()
     }
+
+    /// Emits one `escape`-category verdict event per escaping root
+    /// (sorted by value index so the event sequence is deterministic).
+    /// Free when `tracer` is disabled.
+    pub fn trace_verdicts(&self, tracer: &ade_obs::Tracer, func: &Function) {
+        if !tracer.is_enabled() {
+            return;
+        }
+        let mut roots: Vec<ValueId> = self.escaped_roots.iter().copied().collect();
+        roots.sort();
+        for root in roots {
+            tracer
+                .event("escape", "escaped")
+                .field("func", func.name.as_str())
+                .field("value", value_label(func, root))
+                .emit();
+        }
+    }
+}
+
+/// `%name` when the value is named, `%<index>` otherwise.
+pub fn value_label(func: &Function, v: ValueId) -> String {
+    match &func.value(v).name {
+        Some(name) => format!("%{name}"),
+        None => format!("%{}", v.index()),
+    }
 }
 
 #[cfg(test)]

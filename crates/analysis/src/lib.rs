@@ -20,6 +20,6 @@ pub mod redefs;
 pub mod unionfind;
 
 pub use callgraph::{CallGraph, CallSite};
-pub use escape::EscapeAnalysis;
+pub use escape::{value_label, EscapeAnalysis};
 pub use redefs::RedefChains;
 pub use unionfind::UnionFind;

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! reproduce [--scale N] [--trials N] [--jobs N] [--no-wall]
+//!           [--timeline FILE] [--obs-dir DIR]
 //!           [fig4|fig5|fig6|fig7|fig8|fig9|table2|table3|rq4|all]
 //! ```
 //!
@@ -17,14 +18,26 @@
 //! Figure text is identical for every job count; only the reference
 //! wall-clock ratios vary run to run, and `--no-wall` suppresses those
 //! for byte-stable output.
+//!
+//! Observability (figure text stays byte-identical either way):
+//! `--timeline FILE` writes a Chrome-trace JSON of the worker pool —
+//! one complete event per matrix cell, one lane per worker — that
+//! `chrome://tracing` or Perfetto loads directly. `--obs-dir DIR`
+//! collects a per-site interpreter profile for every cell and writes
+//! one `<bench>_<config>.profile.json` per cell into DIR.
+
+use std::sync::Arc;
 
 use ade_bench::figures::Session;
+use ade_obs::Timeline;
 
 fn main() {
     let mut scale = 9u32;
     let mut trials = 1u32;
     let mut jobs = ade_bench::pool::default_jobs();
     let mut include_wall = true;
+    let mut timeline_path: Option<String> = None;
+    let mut obs_dir: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -49,6 +62,13 @@ fn main() {
                     .unwrap_or_else(|| usage("missing or invalid value for --jobs"));
             }
             "--no-wall" => include_wall = false,
+            "--timeline" => {
+                timeline_path =
+                    Some(args.next().unwrap_or_else(|| usage("missing value for --timeline")));
+            }
+            "--obs-dir" => {
+                obs_dir = Some(args.next().unwrap_or_else(|| usage("missing value for --obs-dir")));
+            }
             other => targets.push(other.to_string()),
         }
     }
@@ -72,9 +92,14 @@ fn main() {
             other => vec![other],
         })
         .collect();
+    let timeline = timeline_path.as_ref().map(|_| Arc::new(Timeline::new()));
     let mut session = Session::with_trials(scale, trials)
         .jobs(jobs)
-        .include_wall(include_wall);
+        .include_wall(include_wall)
+        .profile(obs_dir.is_some());
+    if let Some(tl) = &timeline {
+        session = session.timeline(Arc::clone(tl));
+    }
     session.prewarm(&expanded);
     for target in &targets {
         match target.as_str() {
@@ -106,12 +131,35 @@ fn main() {
         }
         println!();
     }
+    if let (Some(path), Some(tl)) = (&timeline_path, &timeline) {
+        write_file(path, &tl.to_chrome_json());
+        eprintln!("[obs] timeline: {path} ({} events)", tl.events().len());
+    }
+    if let Some(dir) = &obs_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {dir}: {e}");
+            std::process::exit(1);
+        }
+        let profiles = session.cached_profiles();
+        for (abbrev, kind, profile) in &profiles {
+            let path = format!("{dir}/{abbrev}_{}.profile.json", kind.name());
+            write_file(&path, &profile.to_json());
+        }
+        eprintln!("[obs] profiles: {} file(s) in {dir}", profiles.len());
+    }
+}
+
+fn write_file(path: &str, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
 }
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: reproduce [--scale N] [--trials N] [--jobs N] [--no-wall] [fig4|fig5|fig6|fig7|fig8|fig9|table2|table3|rq4|all]"
+        "usage: reproduce [--scale N] [--trials N] [--jobs N] [--no-wall] [--timeline FILE] [--obs-dir DIR] [fig4|fig5|fig6|fig7|fig8|fig9|table2|table3|rq4|all]"
     );
     std::process::exit(2);
 }

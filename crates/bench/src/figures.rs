@@ -10,9 +10,11 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 use ade_interp::cost::CostModel;
-use ade_interp::{CollOp, ImplKind};
+use ade_interp::{CollOp, ImplKind, SiteProfile};
+use ade_obs::Timeline;
 use ade_workloads::bench::{all_benchmarks, benchmark_by_abbrev};
 use ade_workloads::ConfigKind;
 
@@ -61,6 +63,8 @@ pub struct Session {
     trials: u32,
     jobs: usize,
     include_wall: bool,
+    profile: bool,
+    timeline: Option<Arc<Timeline>>,
     cache: BTreeMap<(String, ConfigKind), RunResult>,
 }
 
@@ -78,6 +82,8 @@ impl Session {
             trials: trials.max(1),
             jobs: 1,
             include_wall: true,
+            profile: false,
+            timeline: None,
             cache: BTreeMap::new(),
         }
     }
@@ -99,6 +105,35 @@ impl Session {
         self
     }
 
+    /// Whether cell runs collect per-site interpreter profiles
+    /// (`--obs-dir`). Profiling never changes op counts, so figure text
+    /// is byte-identical with or without it.
+    #[must_use]
+    pub fn profile(mut self, profile: bool) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Attaches a shared timeline (`--timeline`): every cell and rq4
+    /// variant run records one complete event, with the worker index as
+    /// the lane.
+    #[must_use]
+    pub fn timeline(mut self, timeline: Arc<Timeline>) -> Self {
+        self.timeline = Some(timeline);
+        self
+    }
+
+    /// Every cached per-site profile, keyed by `(benchmark, config)` —
+    /// what `reproduce --obs-dir` writes out, one file per cell.
+    pub fn cached_profiles(&self) -> Vec<(&str, ConfigKind, &SiteProfile)> {
+        self.cache
+            .iter()
+            .filter_map(|((abbrev, kind), r)| {
+                r.profile.as_ref().map(|p| (abbrev.as_str(), *kind, p))
+            })
+            .collect()
+    }
+
     /// Runs every not-yet-cached cell the given figure targets need, on
     /// `jobs` parallel workers, filling the cache. Rendering afterwards
     /// is pure cache lookup, so figure text is independent of `jobs`.
@@ -112,11 +147,12 @@ impl Session {
                 }
             }
         }
-        let (scale, trials) = (self.scale, self.trials);
-        let results = crate::pool::run_ordered(pending, self.jobs, move |(abbrev, kind)| {
-            let bench = benchmark_by_abbrev(abbrev).expect("known benchmark");
-            crate::runner::run_benchmark_trials(&bench, kind, scale, trials)
-        });
+        let (scale, trials, profile) = (self.scale, self.trials, self.profile);
+        let timeline = self.timeline.clone();
+        let results =
+            crate::pool::run_ordered_with(pending, self.jobs, move |worker, (abbrev, kind)| {
+                run_cell(scale, trials, profile, timeline.as_deref(), worker, abbrev, kind)
+            });
         for r in results {
             self.cache.insert((r.abbrev.to_string(), r.config), r);
         }
@@ -134,8 +170,16 @@ impl Session {
         if let Some(r) = self.cache.get(&key) {
             return r.clone();
         }
-        let bench = benchmark_by_abbrev(abbrev).expect("known benchmark");
-        let r = crate::runner::run_benchmark_trials(&bench, kind, self.scale, self.trials);
+        // Cache misses run on the calling thread: lane 0 on the timeline.
+        let r = run_cell(
+            self.scale,
+            self.trials,
+            self.profile,
+            self.timeline.as_deref(),
+            0,
+            abbrev,
+            kind,
+        );
         self.cache.insert(key, r.clone());
         r
     }
@@ -486,8 +530,10 @@ impl Session {
             ("select(Sparse)", ConfigKind::Ade, Tuning::InnerSparse),
             ("select(Flat)", ConfigKind::Ade, Tuning::InnerFlat),
         ];
+        let timeline = self.timeline.clone();
         let runs: Vec<(String, RunResult)> =
-            crate::pool::run_ordered(variants, self.jobs, move |(name, kind, tuning)| {
+            crate::pool::run_ordered_with(variants, self.jobs, move |worker, (name, kind, tuning)| {
+                let started = timeline.as_deref().map(Timeline::now_ns);
                 let mut module = build_with(scale, tuning);
                 let config = ade_workloads::Config::new(kind);
                 config.compile(&mut module);
@@ -496,6 +542,15 @@ impl Session {
                 let outcome = ade_interp::Interpreter::new(&module, config.exec.clone())
                     .run("main")
                     .unwrap_or_else(|e| panic!("[{name}] run: {e}"));
+                if let (Some(t), Some(started)) = (timeline.as_deref(), started) {
+                    t.complete(
+                        format!("PTA/{name}"),
+                        "rq4",
+                        worker as u32,
+                        started,
+                        vec![("scale".to_string(), scale.to_string())],
+                    );
+                }
                 (
                     name.to_string(),
                     RunResult {
@@ -503,6 +558,7 @@ impl Session {
                         config: kind,
                         output: outcome.output,
                         stats: outcome.stats,
+                        profile: outcome.profile,
                     },
                 )
             });
@@ -517,6 +573,35 @@ impl Session {
         }
         out
     }
+}
+
+/// Runs one `(benchmark, configuration)` cell, recording a complete
+/// timeline event (lane = worker index) when a timeline is attached.
+fn run_cell(
+    scale: u32,
+    trials: u32,
+    profile: bool,
+    timeline: Option<&Timeline>,
+    worker: usize,
+    abbrev: &str,
+    kind: ConfigKind,
+) -> RunResult {
+    let bench = benchmark_by_abbrev(abbrev).expect("known benchmark");
+    let started = timeline.map(Timeline::now_ns);
+    let r = crate::runner::run_benchmark_trials_profiled(&bench, kind, scale, trials, profile);
+    if let (Some(t), Some(started)) = (timeline, started) {
+        t.complete(
+            format!("{abbrev}/{}", kind.name()),
+            "cell",
+            worker as u32,
+            started,
+            vec![
+                ("scale".to_string(), scale.to_string()),
+                ("trials".to_string(), trials.to_string()),
+            ],
+        );
+    }
+    r
 }
 
 /// Single-linkage agglomerative clustering of benchmark op-mix vectors.

@@ -36,13 +36,29 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    run_ordered_with(items, jobs, |_worker, item| work(item))
+}
+
+/// [`run_ordered`], with the zero-based index of the executing worker
+/// passed to `work` (the serial `jobs == 1` path is always worker `0`).
+/// Timeline recording uses this as the lane (`tid`) of each cell.
+///
+/// # Panics
+///
+/// Panics if a worker panics (the first payload is propagated).
+pub fn run_ordered_with<T, R, F>(items: Vec<T>, jobs: usize, work: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
     let n = items.len();
     if n == 0 {
         return Vec::new();
     }
     let jobs = jobs.max(1).min(n);
     if jobs == 1 {
-        return items.into_iter().map(work).collect();
+        return items.into_iter().map(|item| work(0, item)).collect();
     }
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
@@ -68,7 +84,7 @@ where
                         .expect("work slot poisoned")
                         .take()
                         .expect("work item claimed twice");
-                    let r = work(item);
+                    let r = work(w, item);
                     *results[i].lock().expect("result slot poisoned") = Some(r);
                 })
                 .expect("spawn pool worker");
@@ -132,6 +148,16 @@ mod tests {
     fn empty_and_oversized_job_counts() {
         assert!(run_ordered(Vec::<u8>::new(), 4, |x| x).is_empty());
         assert_eq!(run_ordered(vec![1], 64, |x| x + 1), vec![2]);
+    }
+
+    #[test]
+    fn worker_indices_are_in_range() {
+        let jobs = 4;
+        let workers = run_ordered_with((0..40).collect::<Vec<_>>(), jobs, |w, _| w);
+        assert!(workers.iter().all(|&w| w < jobs));
+        // The serial path is always worker 0.
+        let serial = run_ordered_with(vec![1, 2, 3], 1, |w, _| w);
+        assert_eq!(serial, vec![0, 0, 0]);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! measurement the figures need.
 
 use ade_interp::cost::CostModel;
-use ade_interp::{Interpreter, Phase, Stats};
+use ade_interp::{Interpreter, Phase, SiteProfile, Stats};
 use ade_workloads::{Benchmark, Config, ConfigKind};
 
 /// The measurements from one run.
@@ -16,6 +16,9 @@ pub struct RunResult {
     pub output: String,
     /// Full interpreter statistics.
     pub stats: Stats,
+    /// Per-site profile (only when profiling was requested; never feeds
+    /// figures — op counts and stats are identical either way).
+    pub profile: Option<SiteProfile>,
 }
 
 impl RunResult {
@@ -58,15 +61,35 @@ pub fn run_benchmark_trials(
     scale: u32,
     trials: u32,
 ) -> RunResult {
+    run_benchmark_trials_profiled(bench, kind, scale, trials, false)
+}
+
+/// [`run_benchmark_trials`] with optional per-site profiling. Profiling
+/// never changes op counts or figures — it only records where the counts
+/// came from — so the returned stats are identical either way; the
+/// best-wall trial's profile is the one kept.
+///
+/// # Panics
+///
+/// Panics if the program fails to verify or execute, or `trials == 0`.
+pub fn run_benchmark_trials_profiled(
+    bench: &Benchmark,
+    kind: ConfigKind,
+    scale: u32,
+    trials: u32,
+    profile: bool,
+) -> RunResult {
     assert!(trials > 0, "at least one trial");
     let config = Config::new(kind);
     let mut module = (bench.build)(scale);
     config.compile(&mut module);
     ade_ir::verify::verify_module(&module)
         .unwrap_or_else(|e| panic!("[{} {}] verify: {e}", bench.abbrev, kind.name()));
+    let mut exec = config.exec.clone();
+    exec.profile = profile;
     let mut best: Option<ade_interp::Outcome> = None;
     for _ in 0..trials {
-        let outcome = Interpreter::new(&module, config.exec.clone())
+        let outcome = Interpreter::new(&module, exec.clone())
             .run("main")
             .unwrap_or_else(|e| panic!("[{} {}] run: {e}", bench.abbrev, kind.name()));
         let better = best
@@ -82,6 +105,7 @@ pub fn run_benchmark_trials(
         config: kind,
         output: outcome.output,
         stats: outcome.stats,
+        profile: outcome.profile,
     }
 }
 

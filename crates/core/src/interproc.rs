@@ -92,6 +92,17 @@ impl NodeIds {
 
 /// Plans ADE for the whole module.
 pub fn plan_module(module: &Module, options: &AdeOptions) -> ModulePlan {
+    plan_module_traced(module, options, &ade_obs::Tracer::disabled())
+}
+
+/// [`plan_module`] with decision events on `tracer`: escape verdicts,
+/// candidate formation, RTE trims, poisoned classes, clone and retarget
+/// choices.
+pub fn plan_module_traced(
+    module: &Module,
+    options: &AdeOptions,
+    tracer: &ade_obs::Tracer,
+) -> ModulePlan {
     let n_funcs = module.funcs.len();
     let callgraph = CallGraph::compute(module);
 
@@ -101,10 +112,30 @@ pub fn plan_module(module: &Module, options: &AdeOptions) -> ModulePlan {
         .iter()
         .map(|f| analyze_function(module, f))
         .collect();
+    if tracer.is_enabled() {
+        let _span = tracer.span("analysis", "escape");
+        for fa in &analyses {
+            fa.escape.trace_verdicts(tracer, fa.func);
+        }
+    }
     let mut local_candidates: Vec<Vec<crate::share::Candidate>> = analyses
         .iter()
         .map(|fa| find_candidates(fa, options))
         .collect();
+    if tracer.is_enabled() {
+        for (fidx, cands) in local_candidates.iter().enumerate() {
+            for cand in cands {
+                tracer
+                    .event("share", "candidate")
+                    .field("func", module.funcs[fidx].name.as_str())
+                    .field("key_ty", cand.key_ty.to_string())
+                    .field("members", cand.members.len())
+                    .field("benefit", cand.benefit)
+                    .field("forced", cand.forced)
+                    .emit();
+            }
+        }
+    }
 
     // Algorithm 5: unify collections across calls.
     let mut uf = UnionFind::new(0);
@@ -286,6 +317,18 @@ pub fn plan_module(module: &Module, options: &AdeOptions) -> ModulePlan {
         .map(|(&cls, _)| cls)
         .collect();
     for cls in poisoned {
+        if tracer.is_enabled() {
+            let info = &classes[&cls];
+            tracer
+                .event("interproc", "class-poisoned")
+                .field("members", info.chosen.len())
+                .field("params", info.params.len())
+                .field(
+                    "key_ty",
+                    info.key_ty.as_ref().map_or_else(String::new, Type::to_string),
+                )
+                .emit();
+        }
         classes.remove(&cls);
     }
 
@@ -559,6 +602,12 @@ pub fn plan_module(module: &Module, options: &AdeOptions) -> ModulePlan {
         let mut func_plan = FuncPlan::default();
         for (enum_idx, members, benefit) in groups {
             let Some((sets, web, roots)) = members_patch_sets(fa, &members, &claimed) else {
+                tracer
+                    .event("interproc", "enum-dropped")
+                    .field("func", fa.func.name.as_str())
+                    .field("enum", enum_idx)
+                    .field("reason", "patch-set conflict")
+                    .emit();
                 failed_enums.insert(enum_idx);
                 continue;
             };
@@ -566,6 +615,15 @@ pub fn plan_module(module: &Module, options: &AdeOptions) -> ModulePlan {
             claimed.extend(roots.iter().copied());
             let mut final_sets = if options.rte {
                 let trims = find_redundant(fa.func, &sets);
+                tracer
+                    .event("rte", "trims")
+                    .field("func", fa.func.name.as_str())
+                    .field("enum", enum_idx)
+                    .field("trim_enc", trims.enc.len())
+                    .field("trim_dec", trims.dec.len())
+                    .field("trim_add", trims.add.len())
+                    .field("benefit", trims.benefit())
+                    .emit();
                 apply_trims(&sets, &trims)
             } else {
                 sets
@@ -579,6 +637,12 @@ pub fn plan_module(module: &Module, options: &AdeOptions) -> ModulePlan {
             if has_dangling_union_site(fa.func, &final_sets)
                 || has_pathed_patch_site(fa.func, &final_sets)
             {
+                tracer
+                    .event("interproc", "enum-dropped")
+                    .field("func", fa.func.name.as_str())
+                    .field("enum", enum_idx)
+                    .field("reason", "unpatchable site")
+                    .emit();
                 failed_enums.insert(enum_idx);
                 continue;
             }
@@ -605,6 +669,18 @@ pub fn plan_module(module: &Module, options: &AdeOptions) -> ModulePlan {
     // them only when some candidate survived anywhere.
     if plan.func_plans.is_empty() {
         plan.retargets.clear();
+    }
+
+    if tracer.is_enabled() {
+        for spec in &plan.clones {
+            tracer
+                .event("interproc", "clone")
+                .field("source", module.funcs[spec.source.index()].name.as_str())
+                .field("clone", spec.new_name.as_str())
+                .emit();
+        }
+        tracer.counter("interproc", "retargeted-call-sites", plan.retargets.len() as u64);
+        tracer.counter("interproc", "enums-planned", plan.enum_key_tys.len() as u64);
     }
 
     // Drop local candidates bookkeeping.

@@ -83,6 +83,7 @@ pub mod transform;
 pub mod web;
 
 use ade_ir::{Module, SetSel};
+use ade_obs::Tracer;
 
 pub use patch::{CollectionEntity, OperandPos, PatchSets, UseSite};
 pub use rte::{benefit, find_redundant, Trims};
@@ -169,12 +170,38 @@ pub struct AdeReport {
 
 /// Runs the full ADE pipeline over `module` in place.
 pub fn run_ade(module: &mut Module, options: &AdeOptions) -> AdeReport {
-    let plan = interproc::plan_module(module, options);
-    let report = transform::apply(module, &plan, options);
-    select::apply_selection(module, &plan, options);
+    run_ade_traced(module, options, &Tracer::disabled())
+}
+
+/// [`run_ade`] with observability: each pass runs inside a span on
+/// `tracer` and emits structured decision events (escape verdicts,
+/// candidate formation, RTE trims, clone/retarget choices, selection
+/// choices, translation insertions, peephole rewrites). With a disabled
+/// tracer this is exactly `run_ade`.
+pub fn run_ade_traced(module: &mut Module, options: &AdeOptions, tracer: &Tracer) -> AdeReport {
+    let plan = {
+        let _span = tracer.span("pass", "plan");
+        interproc::plan_module_traced(module, options, tracer)
+    };
+    let report = {
+        let _span = tracer.span("pass", "transform");
+        transform::apply_traced(module, &plan, options, tracer)
+    };
+    {
+        let _span = tracer.span("pass", "select");
+        select::apply_selection_traced(module, &plan, options, tracer);
+    }
     if options.rte {
-        peephole::run(module);
-        opt::cleanup(module);
+        {
+            let _span = tracer.span("pass", "peephole");
+            let removed = peephole::run(module);
+            tracer.counter("peephole", "rewrites-removed", removed as u64);
+        }
+        {
+            let _span = tracer.span("pass", "cleanup");
+            let removed = opt::cleanup(module);
+            tracer.counter("cleanup", "insts-removed", removed as u64);
+        }
     }
     report
 }

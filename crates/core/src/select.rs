@@ -16,6 +16,18 @@ use crate::AdeOptions;
 /// `noenumerate` collection), then the dense defaults for enumerated
 /// entities.
 pub fn apply_selection(module: &mut Module, plan: &ModulePlan, options: &AdeOptions) {
+    apply_selection_traced(module, plan, options, &ade_obs::Tracer::disabled())
+}
+
+/// [`apply_selection`] with one decision event per keyed member: which
+/// set/map implementation it received and whether a `select(...)`
+/// directive forced the choice.
+pub fn apply_selection_traced(
+    module: &mut Module,
+    plan: &ModulePlan,
+    options: &AdeOptions,
+    tracer: &ade_obs::Tracer,
+) {
     if options.respect_directives {
         apply_directive_selections(module);
     }
@@ -56,6 +68,15 @@ pub fn apply_selection(module: &mut Module, plan: &ModulePlan, options: &AdeOpti
                 let map_sel = directive_sel
                     .map(selection_to_map)
                     .unwrap_or(MapSel::Bit);
+                tracer
+                    .event("select", "choice")
+                    .field("func", func.name.as_str())
+                    .field("root", ade_analysis::value_label(func, m.entity.root))
+                    .field("depth", m.entity.depth)
+                    .field("set", format!("{set_sel:?}"))
+                    .field("map", format!("{map_sel:?}"))
+                    .field("directive", directive_sel.is_some())
+                    .emit();
                 retype_selection(func, m.entity.root, m.entity.depth, set_sel, map_sel);
             }
         }

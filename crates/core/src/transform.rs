@@ -21,7 +21,19 @@ use crate::share::MemberRole;
 use crate::{AdeOptions, AdeReport};
 
 /// Applies a module plan in place.
-pub fn apply(module: &mut Module, plan: &ModulePlan, _options: &AdeOptions) -> AdeReport {
+pub fn apply(module: &mut Module, plan: &ModulePlan, options: &AdeOptions) -> AdeReport {
+    apply_traced(module, plan, options, &ade_obs::Tracer::disabled())
+}
+
+/// [`apply`] with decision events on `tracer`: one event per enumeration
+/// created, per clone materialized, and per candidate with its
+/// translation-insertion counts.
+pub fn apply_traced(
+    module: &mut Module,
+    plan: &ModulePlan,
+    _options: &AdeOptions,
+    tracer: &ade_obs::Tracer,
+) -> AdeReport {
     let mut report = AdeReport::default();
 
     // 1. Enumeration classes.
@@ -31,6 +43,11 @@ pub fn apply(module: &mut Module, plan: &ModulePlan, _options: &AdeOptions) -> A
             name: format!("ade{i}"),
             key_ty: key_ty.clone(),
         });
+        tracer
+            .event("transform", "enum-created")
+            .field("name", format!("ade{i}"))
+            .field("key_ty", key_ty.to_string())
+            .emit();
     }
     report.enums_created = plan.enum_key_tys.len();
 
@@ -67,6 +84,14 @@ pub fn apply(module: &mut Module, plan: &ModulePlan, _options: &AdeOptions) -> A
                 cand.members.len(),
                 cand.benefit
             ));
+            tracer
+                .event("transform", "translations")
+                .field("func", func.name.as_str())
+                .field("enum", enum_base + cand.enum_idx)
+                .field("enc-inserted", cand.sets.to_enc.len())
+                .field("dec-inserted", cand.sets.to_dec.len())
+                .field("add-inserted", cand.sets.to_add.len())
+                .emit();
         }
         // All decodes first, then all encodes/adds, so that a site owned
         // by two enumerations composes as `enc(e1, dec(e2, x))`.

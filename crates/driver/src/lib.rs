@@ -26,7 +26,20 @@
 use std::fmt;
 
 use ade_interp::Interpreter;
+use ade_obs::Tracer;
 use ade_workloads::{Config, ConfigKind};
+
+/// Where the human-readable pipeline trace goes (`--trace[=FILE]`).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// No tracing.
+    #[default]
+    Off,
+    /// Render the trace to stderr after the run.
+    Stderr,
+    /// Write the rendered trace to a file.
+    File(String),
+}
 
 /// Driver options (mirrors the `adec` CLI flags).
 #[derive(Clone, Debug)]
@@ -42,6 +55,13 @@ pub struct Options {
     pub stats: bool,
     /// Entry function name.
     pub entry: String,
+    /// Human-readable pipeline trace destination.
+    pub trace: TraceMode,
+    /// Write machine-readable trace events (JSON) to this path.
+    pub trace_json: Option<String>,
+    /// Write a per-site interpreter profile (JSON) to this path
+    /// (implies `run`).
+    pub profile: Option<String>,
 }
 
 impl Default for Options {
@@ -52,7 +72,17 @@ impl Default for Options {
             emit_ir: false,
             stats: false,
             entry: "main".to_string(),
+            trace: TraceMode::Off,
+            trace_json: None,
+            profile: None,
         }
+    }
+}
+
+impl Options {
+    /// Whether any trace output was requested.
+    pub fn wants_trace(&self) -> bool {
+        self.trace != TraceMode::Off || self.trace_json.is_some()
     }
 }
 
@@ -67,6 +97,10 @@ pub struct DriveOutput {
     pub stats: Option<String>,
     /// ADE pass report, if the configuration ran the pass.
     pub report: Option<ade_core::AdeReport>,
+    /// Pipeline trace events (when [`Options::wants_trace`]).
+    pub events: Vec<ade_obs::Event>,
+    /// Per-site interpreter profile (when `Options::profile` is set).
+    pub profile: Option<ade_interp::SiteProfile>,
 }
 
 /// A driver failure with a phase tag.
@@ -104,13 +138,30 @@ pub fn drive(source: &str, options: &Options) -> Result<DriveOutput, DriveError>
     let kind = ConfigKind::from_name(&options.config)
         .ok_or_else(|| err("config", format!("unknown configuration `{}`", options.config)))?;
     let config = Config::new(kind);
+    let tracer = if options.wants_trace() {
+        Tracer::enabled()
+    } else {
+        Tracer::disabled()
+    };
 
-    let mut module = ade_ir::parse::parse_module(source).map_err(|e| err("parse", e))?;
-    ade_ir::verify::verify_module(&module).map_err(|e| err("verify", e))?;
+    let mut module = {
+        let _span = tracer.span("driver", "parse");
+        ade_ir::parse::parse_module(source).map_err(|e| err("parse", e))?
+    };
+    {
+        let _span = tracer.span("driver", "verify");
+        ade_ir::verify::verify_module(&module).map_err(|e| err("verify", e))?;
+    }
 
-    let report = config.compile(&mut module);
-    ade_ir::verify::verify_module(&module)
-        .map_err(|e| err("verify", format!("after ADE: {e}")))?;
+    let report = {
+        let _span = tracer.span("driver", "compile");
+        config.compile_traced(&mut module, &tracer)
+    };
+    {
+        let _span = tracer.span("driver", "verify-post");
+        ade_ir::verify::verify_module(&module)
+            .map_err(|e| err("verify", format!("after ADE: {e}")))?;
+    }
 
     let mut out = DriveOutput {
         report,
@@ -119,15 +170,22 @@ pub fn drive(source: &str, options: &Options) -> Result<DriveOutput, DriveError>
     if options.emit_ir {
         out.ir = Some(ade_ir::print::print_module(&module));
     }
-    if options.run || options.stats {
-        let outcome = Interpreter::new(&module, config.exec.clone())
-            .run(&options.entry)
-            .map_err(|e| err("exec", e))?;
+    if options.run || options.stats || options.profile.is_some() {
+        let mut exec = config.exec.clone();
+        exec.profile = options.profile.is_some();
+        let outcome = {
+            let _span = tracer.span("driver", "exec");
+            Interpreter::new(&module, exec)
+                .run(&options.entry)
+                .map_err(|e| err("exec", e))?
+        };
         if options.stats {
             out.stats = Some(format_stats(&outcome.stats));
         }
         out.program_output = Some(outcome.output);
+        out.profile = outcome.profile;
     }
+    out.events = tracer.events();
     Ok(out)
 }
 
@@ -147,17 +205,45 @@ fn format_stats(stats: &ade_interp::Stats) -> String {
     )
 }
 
+/// The `adec` usage text (`--help`, and the trailer of usage errors).
+pub const USAGE: &str = "\
+usage: adec [--config NAME] [--run] [--emit-ir] [--stats] [--entry F]
+            [--trace[=FILE]] [--trace-json FILE] [--profile FILE] INPUT.memoir
+
+  --config NAME, -c  artifact configuration (memoir, ade, ade-sparse, ...)
+  --run, -r          execute the program after compilation
+  --emit-ir          print the transformed IR (the default action)
+  --stats            print execution statistics (implies --run)
+  --entry F          entry function name (default: main)
+  --trace[=FILE]     human-readable pass/decision log to stderr (or FILE)
+  --trace-json FILE  machine-readable trace events as JSON
+  --profile FILE     per-site interpreter profile as JSON (implies --run);
+                     also prints a hot-site summary to stderr
+  --help, -h         show this message
+";
+
+/// A parsed `adec` command line.
+#[derive(Clone, Debug)]
+pub enum Cli {
+    /// `--help`: print [`USAGE`] and exit successfully.
+    Help,
+    /// Compile the input file under the given options.
+    Drive(Options, String),
+}
+
 /// Parses `adec` command-line arguments into options plus an input path.
 ///
 /// # Errors
 ///
-/// Returns a usage message on unknown flags or a missing input path.
-pub fn parse_args<I: Iterator<Item = String>>(args: I) -> Result<(Options, String), String> {
+/// Returns a usage message on unknown flags, missing flag values, or a
+/// missing input path.
+pub fn parse_args<I: Iterator<Item = String>>(args: I) -> Result<Cli, String> {
     let mut options = Options::default();
     let mut input: Option<String> = None;
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--help" | "-h" => return Ok(Cli::Help),
             "--config" | "-c" => {
                 options.config = args.next().ok_or("missing value for --config")?;
             }
@@ -166,6 +252,17 @@ pub fn parse_args<I: Iterator<Item = String>>(args: I) -> Result<(Options, Strin
             "--stats" => options.stats = true,
             "--entry" => {
                 options.entry = args.next().ok_or("missing value for --entry")?;
+            }
+            "--trace" => options.trace = TraceMode::Stderr,
+            "--trace-json" => {
+                options.trace_json = Some(args.next().ok_or("missing value for --trace-json")?);
+            }
+            "--profile" => {
+                options.profile = Some(args.next().ok_or("missing value for --profile")?);
+                options.run = true;
+            }
+            flag if flag.starts_with("--trace=") => {
+                options.trace = TraceMode::File(flag["--trace=".len()..].to_string());
             }
             flag if flag.starts_with('-') => {
                 return Err(format!("unknown flag `{flag}`"));
@@ -181,7 +278,7 @@ pub fn parse_args<I: Iterator<Item = String>>(args: I) -> Result<(Options, Strin
     if !options.run && !options.emit_ir && !options.stats {
         options.emit_ir = true; // default action
     }
-    Ok((options, input))
+    Ok(Cli::Drive(options, input))
 }
 
 #[cfg(test)]
@@ -291,24 +388,101 @@ fn @main() -> void {
         assert_eq!(bad_entry.expect_err("fails").phase, "exec");
     }
 
+    fn parse_drive(args: &[&str]) -> Result<(Options, String), String> {
+        match parse_args(args.iter().map(|s| s.to_string()))? {
+            Cli::Drive(opts, input) => Ok((opts, input)),
+            Cli::Help => Err("unexpected --help".to_string()),
+        }
+    }
+
     #[test]
     fn cli_argument_parsing() {
-        let (opts, input) = parse_args(
-            ["--config", "ade-sparse", "--run", "--stats", "prog.memoir"]
-                .into_iter()
-                .map(String::from),
-        )
-        .expect("parses");
+        let (opts, input) =
+            parse_drive(&["--config", "ade-sparse", "--run", "--stats", "prog.memoir"])
+                .expect("parses");
         assert_eq!(opts.config, "ade-sparse");
         assert!(opts.run && opts.stats && !opts.emit_ir);
         assert_eq!(input, "prog.memoir");
 
         // Default action is --emit-ir.
-        let (opts, _) = parse_args(["p.memoir".to_string()].into_iter()).expect("parses");
+        let (opts, _) = parse_drive(&["p.memoir"]).expect("parses");
         assert!(opts.emit_ir);
 
-        assert!(parse_args(["--nope".to_string()].into_iter()).is_err());
-        assert!(parse_args(std::iter::empty()).is_err());
-        assert!(parse_args(["a".to_string(), "b".to_string()].into_iter()).is_err());
+        assert!(parse_drive(&["--nope"]).is_err());
+        assert!(parse_drive(&[]).is_err());
+        assert!(parse_drive(&["a", "b"]).is_err());
+        assert!(parse_drive(&["--trace-json"]).is_err());
+        assert!(parse_drive(&["--profile"]).is_err());
+    }
+
+    #[test]
+    fn cli_help_and_observability_flags() {
+        assert!(matches!(
+            parse_args(["--help".to_string()].into_iter()),
+            Ok(Cli::Help)
+        ));
+        assert!(matches!(
+            parse_args(["p.memoir".to_string(), "-h".to_string()].into_iter()),
+            Ok(Cli::Help)
+        ));
+
+        let (opts, _) = parse_drive(&["--trace", "p.memoir"]).expect("parses");
+        assert_eq!(opts.trace, TraceMode::Stderr);
+        assert!(opts.wants_trace());
+
+        let (opts, _) =
+            parse_drive(&["--trace=log.txt", "--trace-json", "t.json", "p.memoir"])
+                .expect("parses");
+        assert_eq!(opts.trace, TraceMode::File("log.txt".to_string()));
+        assert_eq!(opts.trace_json.as_deref(), Some("t.json"));
+
+        // --profile implies --run.
+        let (opts, _) = parse_drive(&["--profile", "p.json", "p.memoir"]).expect("parses");
+        assert_eq!(opts.profile.as_deref(), Some("p.json"));
+        assert!(opts.run && !opts.emit_ir);
+    }
+
+    #[test]
+    fn trace_is_deterministic_and_profile_sums_to_stats() {
+        let opts = Options {
+            config: "ade".to_string(),
+            run: true,
+            trace: TraceMode::Stderr,
+            profile: Some("unused.json".to_string()),
+            ..Options::default()
+        };
+        let a = drive(PROGRAM, &opts).expect("drives");
+        let b = drive(PROGRAM, &opts).expect("drives");
+
+        // The event *sequence* is stable across runs once timestamps are
+        // stripped; only the clock values may differ.
+        let text_a = ade_obs::render_events(&a.events, false);
+        let text_b = ade_obs::render_events(&b.events, false);
+        assert_eq!(text_a, text_b);
+        assert!(text_a.contains("> plan [pass]"), "{text_a}");
+        assert!(text_a.contains("> transform [pass]"), "{text_a}");
+        assert!(text_a.contains("- choice [select]"), "{text_a}");
+        ade_obs::json::validate(&ade_obs::events_to_json(&a.events)).expect("trace json");
+
+        // Per-site profile ops sum to the aggregate stats totals, and
+        // the JSON export is well-formed.
+        let profile = a.profile.expect("profile");
+        let plain = drive(
+            PROGRAM,
+            &Options {
+                config: "ade".to_string(),
+                run: true,
+                stats: true,
+                ..Options::default()
+            },
+        )
+        .expect("drives");
+        assert_eq!(a.program_output, plain.program_output);
+        assert!(profile.totals().total() > 0);
+        ade_obs::json::validate(&profile.to_json()).expect("profile json");
+
+        // A disabled run collects nothing.
+        assert!(plain.events.is_empty());
+        assert!(plain.profile.is_none());
     }
 }

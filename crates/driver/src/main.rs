@@ -1,19 +1,29 @@
 //! `adec`: the ADE compiler driver.
 //!
 //! ```text
-//! adec [--config NAME] [--run] [--emit-ir] [--stats] [--entry F] INPUT.memoir
+//! adec [--config NAME] [--run] [--emit-ir] [--stats] [--entry F]
+//!      [--trace[=FILE]] [--trace-json FILE] [--profile FILE] INPUT.memoir
 //! ```
 //!
 //! With no action flags the transformed IR is printed (`--emit-ir`).
+//! `--trace` logs every pass and its structured decisions (escape
+//! verdicts, sharing candidates, RTE trims, selection choices) to stderr
+//! — `--trace=FILE` redirects it, `--trace-json FILE` dumps the raw
+//! events as JSON. `--profile FILE` executes the program with per-site
+//! profiling and writes a JSON profile plus a hot-site summary.
+
+use ade_driver::{Cli, TraceMode, USAGE};
 
 fn main() {
     let (options, input) = match ade_driver::parse_args(std::env::args().skip(1)) {
-        Ok(v) => v,
+        Ok(Cli::Help) => {
+            print!("{USAGE}");
+            return;
+        }
+        Ok(Cli::Drive(options, input)) => (options, input),
         Err(msg) => {
             eprintln!("error: {msg}");
-            eprintln!(
-                "usage: adec [--config NAME] [--run] [--emit-ir] [--stats] [--entry F] INPUT.memoir"
-            );
+            eprint!("{USAGE}");
             std::process::exit(2);
         }
     };
@@ -40,10 +50,35 @@ fn main() {
             if let Some(stats) = out.stats {
                 eprint!("{stats}");
             }
+            match &options.trace {
+                TraceMode::Off => {}
+                TraceMode::Stderr => {
+                    eprint!("{}", ade_obs::render_events(&out.events, true));
+                }
+                TraceMode::File(path) => {
+                    write_file(path, &ade_obs::render_events(&out.events, true));
+                }
+            }
+            if let Some(path) = &options.trace_json {
+                write_file(path, &ade_obs::events_to_json(&out.events));
+            }
+            if let Some(path) = &options.profile {
+                let profile = out.profile.unwrap_or_default();
+                write_file(path, &profile.to_json());
+                let model = ade_interp::cost::CostModel::intel_x64();
+                eprint!("{}", profile.report(&model, 10));
+            }
         }
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+fn write_file(path: &str, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(1);
     }
 }

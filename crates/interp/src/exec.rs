@@ -18,6 +18,7 @@ use ade_ir::{BinOp, CmpOp, FuncId, Module, Type};
 
 use crate::decode::{DAccess, DFunc, DInst, DOp, DPath, DScalar, DecodedModule};
 use crate::heap::{CollId, Collection, SelectionDefaults};
+use crate::profile::{Recorder, SiteProfile};
 use crate::stats::{CollOp, ImplKind, Phase, Stats};
 use crate::value::{Res, Value};
 
@@ -30,6 +31,10 @@ pub struct ExecConfig {
     /// Instruction budget; `None` means unlimited. Guards differential
     /// tests against accidental non-termination.
     pub fuel: Option<u64>,
+    /// Record a per-instruction-site profile (see [`crate::profile`]).
+    /// Costs nothing when `false`: the hot loop's only extra work is a
+    /// branch on an `Option` discriminant.
+    pub profile: bool,
 }
 
 
@@ -57,6 +62,8 @@ pub struct Outcome {
     pub stats: Stats,
     /// The entry function's return value.
     pub result: Option<Value>,
+    /// Per-instruction-site profile (when [`ExecConfig::profile`]).
+    pub profile: Option<SiteProfile>,
 }
 
 /// The runtime state of one enumeration class: the paper's
@@ -98,6 +105,9 @@ pub struct Interpreter<'m> {
     phase: Phase,
     tracked_bytes: usize,
     fuel_used: u64,
+    /// `Some` only when [`ExecConfig::profile`]; boxed so the disabled
+    /// case costs one word in the interpreter struct.
+    profiler: Option<Box<Recorder>>,
 }
 
 impl<'m> Interpreter<'m> {
@@ -115,6 +125,7 @@ impl<'m> Interpreter<'m> {
             phase: Phase::Init,
             tracked_bytes: 0,
             fuel_used: 0,
+            profiler: None,
         }
     }
 
@@ -167,20 +178,31 @@ impl<'m> Interpreter<'m> {
         };
         let decoded = DecodedModule::decode(self.module);
         self.enums = self.module.enums.iter().map(|_| RuntimeEnum::default()).collect();
+        if self.config.profile {
+            self.profiler = Some(Box::new(Recorder::new(
+                self.module
+                    .funcs
+                    .iter()
+                    .zip(decoded.funcs.iter())
+                    .map(|(f, d)| (f.name.clone(), d.code.len())),
+            )));
+        }
         let start = Instant::now();
         let mut phase_start = start;
         // Wall-time bookkeeping happens at ROI transitions; we thread the
         // phase-start instant through a cell on self via a small closure
         // protocol: exec notes transitions in `stats.wall_ns` directly.
         let result = self.call_function(&decoded, fid, Vec::new(), &mut phase_start)?;
-        let elapsed = phase_start.elapsed().as_nanos();
-        self.stats.wall_ns[self.phase as usize] += elapsed;
+        let elapsed = Stats::clamp_ns(phase_start.elapsed().as_nanos());
+        self.stats.wall_ns[self.phase as usize] =
+            self.stats.wall_ns[self.phase as usize].saturating_add(elapsed);
         self.stats.final_bytes = self.tracked_bytes;
         self.sample_peak();
         Ok(Outcome {
             output: self.output,
             stats: self.stats,
             result,
+            profile: self.profiler.map(|r| r.finish()),
         })
     }
 
@@ -190,9 +212,15 @@ impl<'m> Interpreter<'m> {
         }
     }
 
+    /// The single funnel for operation counts: the aggregate phase table
+    /// always, the per-site profile when enabled. Keeping both behind one
+    /// call is what guarantees `SiteProfile::totals() == Stats::totals()`.
     #[inline]
     fn bump(&mut self, imp: ImplKind, op: CollOp, n: u64) {
         self.stats.per_phase[self.phase as usize].bump(imp, op, n);
+        if let Some(p) = self.profiler.as_deref_mut() {
+            p.bump(imp, op, n);
+        }
     }
 
     #[inline]
@@ -206,6 +234,14 @@ impl<'m> Interpreter<'m> {
         self.tracked_bytes = (self.tracked_bytes + new).saturating_sub(old);
         self.coll_bytes[id.0 as usize] = new;
         self.sample_peak();
+        // Every mutating collection op refreshes byte accounting, so this
+        // is also where the profiler observes size high-water marks.
+        if self.profiler.is_some() {
+            let len = self.heap[id.0 as usize].len() as u64;
+            if let Some(p) = self.profiler.as_deref_mut() {
+                p.size_hwm(len);
+            }
+        }
     }
 
     fn alloc_collection(&mut self, ty: &Type) -> CollId {
@@ -341,7 +377,7 @@ impl<'m> Interpreter<'m> {
         for (&p, a) in func.params.iter().zip(args) {
             frame[p as usize] = a;
         }
-        match self.exec_region(d, func, &mut frame, func.body, phase_start)? {
+        match self.exec_region(d, fid, func, &mut frame, func.body, phase_start)? {
             Flow::Ret(v) => Ok(v),
             _ => panic!("function body ended without ret"),
         }
@@ -350,13 +386,15 @@ impl<'m> Interpreter<'m> {
     fn exec_region(
         &mut self,
         d: &DecodedModule<'_>,
+        fid: FuncId,
         func: &DFunc,
         frame: &mut Vec<Value>,
         region: u32,
         phase_start: &mut Instant,
     ) -> Result<Flow, ExecError> {
         let r = &func.regions[region as usize];
-        for inst in &func.code[r.start as usize..r.end as usize] {
+        for idx in r.start as usize..r.end as usize {
+            let inst = &func.code[idx];
             self.fuel_used += 1;
             if let Some(fuel) = self.config.fuel {
                 if self.fuel_used > fuel {
@@ -365,7 +403,13 @@ impl<'m> Interpreter<'m> {
                     });
                 }
             }
-            match self.exec_inst(d, func, frame, inst, phase_start)? {
+            // Point the profiler's attribution cursor at this site.
+            // Nested regions re-aim it per instruction, so work done by a
+            // loop body lands on the body's sites, not the loop header's.
+            if let Some(p) = self.profiler.as_deref_mut() {
+                p.set_site(fid.0, idx as u32);
+            }
+            match self.exec_inst(d, fid, func, frame, inst, phase_start)? {
                 Flow::Continue => {}
                 other => return Ok(other),
             }
@@ -381,6 +425,7 @@ impl<'m> Interpreter<'m> {
     fn exec_inst(
         &mut self,
         d: &DecodedModule<'_>,
+        fid: FuncId,
         func: &DFunc,
         frame: &mut Vec<Value>,
         inst: &DInst,
@@ -406,7 +451,7 @@ impl<'m> Interpreter<'m> {
             } => {
                 let cond = self.resolve(frame, cond).as_bool();
                 let region = if cond { *then_r } else { *else_r };
-                match self.exec_region(d, func, frame, region, phase_start)? {
+                match self.exec_region(d, fid, func, frame, region, phase_start)? {
                     Flow::Yield(vals) => {
                         for (&r, v) in dsts.iter().zip(vals) {
                             frame[r as usize] = v;
@@ -416,9 +461,9 @@ impl<'m> Interpreter<'m> {
                     other => Ok(other),
                 }
             }
-            DInst::ForEach { .. } => self.exec_foreach(d, func, frame, inst, phase_start),
-            DInst::ForRange { .. } => self.exec_forrange(d, func, frame, inst, phase_start),
-            DInst::DoWhile { .. } => self.exec_dowhile(d, func, frame, inst, phase_start),
+            DInst::ForEach { .. } => self.exec_foreach(d, fid, func, frame, inst, phase_start),
+            DInst::ForRange { .. } => self.exec_forrange(d, fid, func, frame, inst, phase_start),
+            DInst::DoWhile { .. } => self.exec_dowhile(d, fid, func, frame, inst, phase_start),
             DInst::Yield { ops } => {
                 let vals = ops
                     .iter()
@@ -434,8 +479,9 @@ impl<'m> Interpreter<'m> {
             }
             DInst::Roi { begin } => {
                 let now = Instant::now();
-                let elapsed = now.duration_since(*phase_start).as_nanos();
-                self.stats.wall_ns[self.phase as usize] += elapsed;
+                let elapsed = Stats::clamp_ns(now.duration_since(*phase_start).as_nanos());
+                self.stats.wall_ns[self.phase as usize] =
+                    self.stats.wall_ns[self.phase as usize].saturating_add(elapsed);
                 *phase_start = now;
                 self.phase = if *begin { Phase::Roi } else { Phase::Init };
                 Ok(Flow::Continue)
@@ -641,6 +687,7 @@ impl<'m> Interpreter<'m> {
     fn exec_foreach(
         &mut self,
         d: &DecodedModule<'_>,
+        fid: FuncId,
         func: &DFunc,
         frame: &mut Vec<Value>,
         inst: &DInst,
@@ -686,7 +733,7 @@ impl<'m> Interpreter<'m> {
             for (i, c) in carried.iter().enumerate() {
                 frame[args[slot + i] as usize] = c.clone();
             }
-            match self.exec_region(d, func, frame, *body, phase_start)? {
+            match self.exec_region(d, fid, func, frame, *body, phase_start)? {
                 Flow::Yield(next) => carried = next,
                 other => return Ok(other),
             }
@@ -701,6 +748,7 @@ impl<'m> Interpreter<'m> {
     fn exec_forrange(
         &mut self,
         d: &DecodedModule<'_>,
+        fid: FuncId,
         func: &DFunc,
         frame: &mut Vec<Value>,
         inst: &DInst,
@@ -728,7 +776,7 @@ impl<'m> Interpreter<'m> {
             for (j, c) in carried.iter().enumerate() {
                 frame[args[1 + j] as usize] = c.clone();
             }
-            match self.exec_region(d, func, frame, *body, phase_start)? {
+            match self.exec_region(d, fid, func, frame, *body, phase_start)? {
                 Flow::Yield(next) => carried = next,
                 other => return Ok(other),
             }
@@ -743,6 +791,7 @@ impl<'m> Interpreter<'m> {
     fn exec_dowhile(
         &mut self,
         d: &DecodedModule<'_>,
+        fid: FuncId,
         func: &DFunc,
         frame: &mut Vec<Value>,
         inst: &DInst,
@@ -765,7 +814,7 @@ impl<'m> Interpreter<'m> {
             for (j, c) in carried.iter().enumerate() {
                 frame[args[j] as usize] = c.clone();
             }
-            match self.exec_region(d, func, frame, *body, phase_start)? {
+            match self.exec_region(d, fid, func, frame, *body, phase_start)? {
                 Flow::Yield(mut vals) => {
                     let cond = vals.remove(0).as_bool();
                     carried = vals;
@@ -783,19 +832,23 @@ impl<'m> Interpreter<'m> {
     }
 
     fn enum_add(&mut self, e: usize, key: Value) -> usize {
-        let re = &mut self.enums[e];
-        self.stats.per_phase[self.phase as usize].bump(ImplKind::EnumEnc, CollOp::Read, 1);
-        if let Some(&idx) = re.enc.get(&key) {
+        // Bumps go through `self.bump` (so the profiler sees them too),
+        // which means the `&mut self.enums[e]` borrow cannot be held
+        // across them; the bump sequence (Read, then on a miss Insert
+        // into both Enc and Dec) is unchanged.
+        self.bump(ImplKind::EnumEnc, CollOp::Read, 1);
+        if let Some(&idx) = self.enums[e].enc.get(&key) {
             return idx;
         }
+        self.bump(ImplKind::EnumEnc, CollOp::Insert, 1);
+        self.bump(ImplKind::EnumDec, CollOp::Insert, 1);
+        let re = &mut self.enums[e];
         let idx = re.dec.len();
         re.enc.insert(key.clone(), idx);
         re.dec.push(key);
-        self.stats.per_phase[self.phase as usize].bump(ImplKind::EnumEnc, CollOp::Insert, 1);
-        self.stats.per_phase[self.phase as usize].bump(ImplKind::EnumDec, CollOp::Insert, 1);
         let new = re.bytes_estimate();
         let old = re.cached_bytes;
-        self.enums[e].cached_bytes = new;
+        re.cached_bytes = new;
         self.tracked_bytes = (self.tracked_bytes + new).saturating_sub(old);
         self.sample_peak();
         idx
@@ -1068,7 +1121,7 @@ fn @main() -> void {
                 set: SetSel::Swiss,
                 map: MapSel::Swiss,
             },
-            fuel: None,
+            ..ExecConfig::default()
         };
         let out = Interpreter::new(&m, cfg).run("main").expect("runs");
         assert_eq!(out.stats.totals().get(ImplKind::SwissSet, CollOp::Insert), 1);
@@ -1175,6 +1228,73 @@ fn @main() -> void {
         assert_eq!(out.stats.phase(Phase::Init).get(ImplKind::HashSet, CollOp::Insert), 1);
         assert_eq!(out.stats.phase(Phase::Roi).get(ImplKind::HashSet, CollOp::Has), 1);
         assert_eq!(out.stats.phase(Phase::Init).get(ImplKind::HashSet, CollOp::Has), 0);
+    }
+
+    #[test]
+    fn profiler_sites_sum_to_stats_totals() {
+        let text = r#"
+enum e0: str
+
+fn @main() -> void {
+  %s = new Set<u64>
+  %lo = const 0u64
+  %hi = const 50u64
+  %r = forrange %lo, %hi carry(%s) as (%i: u64, %c: Set<u64>) {
+    %seven = const 7u64
+    %v = rem %i, %seven
+    %c1 = insert %c, %v
+    yield %c1
+  }
+  %n = size %r
+  %k = const "key"
+  %id = enumadd e0, %k
+  %id2 = enumadd e0, %k
+  %back = dec e0, %id
+  %sum = call @1(%r)
+  print %n, %back, %sum
+  ret
+}
+
+fn @tally(%c: Set<u64>) -> u64 {
+  %zero = const 0u64
+  %t = foreach %c carry(%zero) as (%v: u64, %acc: u64) {
+    %a = add %acc, %v
+    yield %a
+  }
+  ret %t
+}
+"#;
+        let m = parse_module(text).expect("parses");
+        ade_ir::verify::verify_module(&m).expect("verifies");
+        let baseline = Interpreter::new(&m, ExecConfig::default())
+            .run("main")
+            .expect("runs");
+        assert!(baseline.profile.is_none(), "profile off by default");
+
+        let cfg = ExecConfig {
+            profile: true,
+            ..ExecConfig::default()
+        };
+        let profiled = Interpreter::new(&m, cfg).run("main").expect("runs");
+        // Profiling observes without perturbing.
+        assert_eq!(profiled.output, baseline.output);
+        assert_eq!(profiled.stats.totals(), baseline.stats.totals());
+
+        let profile = profiled.profile.expect("profile recorded");
+        // The cross-check: per-site counts sum exactly to the aggregate.
+        assert_eq!(profile.totals(), profiled.stats.totals());
+        // Work in a callee is attributed to the callee's sites.
+        let tally = profile.funcs.iter().find(|f| f.name == "tally").expect("tally profiled");
+        assert!(tally.sites.iter().any(|s| s.counts.total() > 0));
+        // The set reaches 7 distinct elements; its insert site saw that.
+        let hwm = profile
+            .funcs
+            .iter()
+            .flat_map(|f| &f.sites)
+            .map(|s| s.size_hwm)
+            .max()
+            .unwrap_or(0);
+        assert_eq!(hwm, 7);
     }
 
     #[test]

@@ -47,10 +47,12 @@ pub mod cost;
 pub mod decode;
 mod exec;
 mod heap;
+pub mod profile;
 mod stats;
 mod value;
 
 pub use exec::{ExecConfig, ExecError, Interpreter, Outcome};
 pub use heap::{CollId, Collection, SelectionDefaults};
+pub use profile::{FuncProfile, HotSite, SiteProfile, SiteStats};
 pub use stats::{CollOp, ImplKind, OpCounts, Phase, Stats};
 pub use value::Value;

@@ -1,0 +1,295 @@
+//! Optional per-instruction-site execution profile.
+//!
+//! When [`crate::ExecConfig::profile`] is set, the interpreter keeps one
+//! [`SiteStats`] per decoded instruction, keyed by `(function, instr
+//! index)`: every operation-count bump is attributed to the instruction
+//! currently executing, and collection size high-water marks are
+//! recorded at the site that grew them. Modeled-cost attribution happens
+//! at report time by pricing each site's counts with a
+//! [`CostModel`] — the recorder itself stays a plain counter table, so
+//! the invariant that the per-site counts sum *exactly* to the run's
+//! [`crate::Stats`] totals holds by construction (both are fed by the
+//! same bump calls).
+
+use crate::cost::CostModel;
+use crate::stats::{CollOp, ImplKind, OpCounts};
+
+/// Counters for one decoded instruction site.
+#[derive(Clone, Debug, Default)]
+pub struct SiteStats {
+    /// Operation counts attributed to this site.
+    pub counts: OpCounts,
+    /// Largest observed size of any collection this site mutated.
+    pub size_hwm: u64,
+}
+
+impl SiteStats {
+    fn is_empty(&self) -> bool {
+        self.counts == OpCounts::default() && self.size_hwm == 0
+    }
+}
+
+/// Profile of one function: a [`SiteStats`] per decoded instruction.
+#[derive(Clone, Debug)]
+pub struct FuncProfile {
+    /// Function name (clones keep their `$ade` suffix).
+    pub name: String,
+    /// One entry per decoded instruction, in code order.
+    pub sites: Vec<SiteStats>,
+}
+
+/// A whole-run per-site profile.
+#[derive(Clone, Debug, Default)]
+pub struct SiteProfile {
+    /// One entry per module function, in declaration order.
+    pub funcs: Vec<FuncProfile>,
+}
+
+/// One row of the hot-site report.
+#[derive(Clone, Debug)]
+pub struct HotSite {
+    /// Function name.
+    pub func: String,
+    /// Decoded instruction index within the function.
+    pub inst: usize,
+    /// Modeled nanoseconds under the pricing cost model.
+    pub modeled_ns: f64,
+    /// Total operations attributed to the site.
+    pub ops: u64,
+    /// Collection size high-water mark at the site.
+    pub size_hwm: u64,
+}
+
+impl SiteProfile {
+    /// Element-wise sum of every site's counters. Equals
+    /// [`crate::Stats::totals`] for the same run — the cross-check that
+    /// keeps the profiler and the aggregate statistics honest.
+    pub fn totals(&self) -> OpCounts {
+        let mut out = OpCounts::default();
+        for f in &self.funcs {
+            for s in &f.sites {
+                out = out.merged(&s.counts);
+            }
+        }
+        out
+    }
+
+    /// Sites with any recorded activity, most modeled-expensive first
+    /// (ties broken by declaration order for determinism).
+    pub fn hot_sites(&self, model: &CostModel) -> Vec<HotSite> {
+        let mut rows: Vec<HotSite> = Vec::new();
+        for f in &self.funcs {
+            for (i, s) in f.sites.iter().enumerate() {
+                if s.is_empty() {
+                    continue;
+                }
+                rows.push(HotSite {
+                    func: f.name.clone(),
+                    inst: i,
+                    modeled_ns: model.time_ns(&s.counts),
+                    ops: s.counts.total(),
+                    size_hwm: s.size_hwm,
+                });
+            }
+        }
+        rows.sort_by(|a, b| {
+            b.modeled_ns
+                .partial_cmp(&a.modeled_ns)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.func.cmp(&b.func))
+                .then_with(|| a.inst.cmp(&b.inst))
+        });
+        rows
+    }
+
+    /// Human-readable top-`n` hot-site table under `model`.
+    pub fn report(&self, model: &CostModel, n: usize) -> String {
+        let rows = self.hot_sites(model);
+        let total: f64 = rows.iter().map(|r| r.modeled_ns).sum();
+        let mut out = format!(
+            "top {} sites by modeled time ({}):\n",
+            n.min(rows.len()),
+            model.name
+        );
+        out.push_str("  modeled ns      %   ops          hwm  site\n");
+        for r in rows.iter().take(n) {
+            let pct = if total > 0.0 { 100.0 * r.modeled_ns / total } else { 0.0 };
+            out.push_str(&format!(
+                "  {:>10.0} {:>5.1}%  {:>10}  {:>6}  @{}#{}\n",
+                r.modeled_ns, pct, r.ops, r.size_hwm, r.func, r.inst
+            ));
+        }
+        out
+    }
+
+    /// Serializes the profile as JSON (schema `ade-site-profile-v1`):
+    /// one object per active site with its nonzero `(impl, op)` counts,
+    /// high-water mark, and modeled cost under both bundled models,
+    /// plus whole-run totals.
+    pub fn to_json(&self) -> String {
+        use ade_obs::json::{write_f64, write_string};
+        let intel = CostModel::intel_x64();
+        let arm = CostModel::aarch64();
+        let mut out = String::from("{\"schema\":\"ade-site-profile-v1\",\"functions\":[");
+        let mut first_fn = true;
+        for f in &self.funcs {
+            if f.sites.iter().all(SiteStats::is_empty) {
+                continue;
+            }
+            if !first_fn {
+                out.push(',');
+            }
+            first_fn = false;
+            out.push_str("\n  {\"name\":");
+            write_string(&mut out, &f.name);
+            out.push_str(",\"sites\":[");
+            let mut first_site = true;
+            for (i, s) in f.sites.iter().enumerate() {
+                if s.is_empty() {
+                    continue;
+                }
+                if !first_site {
+                    out.push(',');
+                }
+                first_site = false;
+                out.push_str(&format!("\n    {{\"inst\":{i},\"ops\":{{"));
+                let mut first_op = true;
+                for imp in ImplKind::ALL {
+                    for op in CollOp::ALL {
+                        let n = s.counts.get(imp, op);
+                        if n == 0 {
+                            continue;
+                        }
+                        if !first_op {
+                            out.push(',');
+                        }
+                        first_op = false;
+                        write_string(&mut out, &format!("{imp}.{op:?}"));
+                        out.push_str(&format!(":{n}"));
+                    }
+                }
+                out.push_str(&format!(
+                    "}},\"total_ops\":{},\"size_hwm\":{},\"modeled_intel_ns\":",
+                    s.counts.total(),
+                    s.size_hwm
+                ));
+                write_f64(&mut out, intel.time_ns(&s.counts));
+                out.push_str(",\"modeled_aarch64_ns\":");
+                write_f64(&mut out, arm.time_ns(&s.counts));
+                out.push('}');
+            }
+            out.push_str("]}");
+        }
+        let totals = self.totals();
+        out.push_str("\n],\"totals\":{\"total_ops\":");
+        out.push_str(&totals.total().to_string());
+        out.push_str(",\"sparse_accesses\":");
+        out.push_str(&totals.sparse_accesses().to_string());
+        out.push_str(",\"dense_accesses\":");
+        out.push_str(&totals.dense_accesses().to_string());
+        out.push_str(",\"modeled_intel_ns\":");
+        write_f64(&mut out, intel.time_ns(&totals));
+        out.push_str(",\"modeled_aarch64_ns\":");
+        write_f64(&mut out, arm.time_ns(&totals));
+        out.push_str("}}\n");
+        out
+    }
+}
+
+/// The interpreter's live recorder: a flat counter table plus the
+/// current `(function, instr index)` attribution cursor.
+#[derive(Debug)]
+pub(crate) struct Recorder {
+    funcs: Vec<FuncProfile>,
+    site: (u32, u32),
+}
+
+impl Recorder {
+    pub(crate) fn new(funcs: impl Iterator<Item = (String, usize)>) -> Recorder {
+        Recorder {
+            funcs: funcs
+                .map(|(name, code_len)| FuncProfile {
+                    name,
+                    sites: vec![SiteStats::default(); code_len],
+                })
+                .collect(),
+            site: (0, 0),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn set_site(&mut self, func: u32, inst: u32) {
+        self.site = (func, inst);
+    }
+
+    #[inline]
+    pub(crate) fn bump(&mut self, imp: ImplKind, op: CollOp, n: u64) {
+        let (f, i) = self.site;
+        self.funcs[f as usize].sites[i as usize].counts.bump(imp, op, n);
+    }
+
+    #[inline]
+    pub(crate) fn size_hwm(&mut self, len: u64) {
+        let (f, i) = self.site;
+        let site = &mut self.funcs[f as usize].sites[i as usize];
+        if len > site.size_hwm {
+            site.size_hwm = len;
+        }
+    }
+
+    pub(crate) fn finish(self) -> SiteProfile {
+        SiteProfile { funcs: self.funcs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SiteProfile {
+        let mut r = Recorder::new(
+            [("main".to_string(), 4), ("helper".to_string(), 2)].into_iter(),
+        );
+        r.set_site(0, 1);
+        r.bump(ImplKind::HashSet, CollOp::Insert, 10);
+        r.size_hwm(10);
+        r.size_hwm(7); // lower sample does not regress the mark
+        r.set_site(1, 0);
+        r.bump(ImplKind::BitMap, CollOp::Read, 5);
+        r.finish()
+    }
+
+    #[test]
+    fn totals_merge_all_sites() {
+        let p = sample();
+        let t = p.totals();
+        assert_eq!(t.get(ImplKind::HashSet, CollOp::Insert), 10);
+        assert_eq!(t.get(ImplKind::BitMap, CollOp::Read), 5);
+        assert_eq!(t.total(), 15);
+        assert_eq!(p.funcs[0].sites[1].size_hwm, 10);
+    }
+
+    #[test]
+    fn hot_sites_rank_by_modeled_cost() {
+        let p = sample();
+        let rows = p.hot_sites(&CostModel::intel_x64());
+        assert_eq!(rows.len(), 2);
+        // A sparse insert out-prices a dense read on every model.
+        assert_eq!(rows[0].func, "main");
+        assert_eq!(rows[0].inst, 1);
+        assert!(rows[0].modeled_ns > rows[1].modeled_ns);
+        let report = p.report(&CostModel::intel_x64(), 10);
+        assert!(report.contains("@main#1"), "{report}");
+    }
+
+    #[test]
+    fn json_export_is_valid_and_sparse() {
+        let p = sample();
+        let dump = p.to_json();
+        ade_obs::json::validate(&dump).expect("valid JSON");
+        assert!(dump.contains("\"HashSet.Insert\":10"), "{dump}");
+        assert!(dump.contains("\"size_hwm\":10"));
+        // Inactive sites are omitted.
+        assert!(!dump.contains("\"inst\":3"));
+    }
+}

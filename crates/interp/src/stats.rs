@@ -130,10 +130,11 @@ pub struct OpCounts {
 }
 
 impl OpCounts {
-    /// Adds `n` to the `(impl, op)` counter.
+    /// Adds `n` to the `(impl, op)` counter (saturating).
     #[inline]
     pub fn bump(&mut self, imp: ImplKind, op: CollOp, n: u64) {
-        self.counts[imp as usize][op.index()] += n;
+        let c = &mut self.counts[imp as usize][op.index()];
+        *c = c.saturating_add(n);
     }
 
     /// The `(impl, op)` counter.
@@ -170,12 +171,21 @@ impl OpCounts {
         ImplKind::ALL.iter().map(|&i| self.get(i, op)).sum()
     }
 
-    /// Element-wise sum of two tables.
+    /// Total operations across all implementations and kinds.
+    pub fn total(&self) -> u64 {
+        self.counts
+            .iter()
+            .flatten()
+            .fold(0u64, |acc, &n| acc.saturating_add(n))
+    }
+
+    /// Element-wise sum of two tables (saturating, so phase merges can
+    /// never overflow silently).
     pub fn merged(&self, other: &OpCounts) -> OpCounts {
         let mut out = self.clone();
         for i in 0..ImplKind::ALL.len() {
             for o in 0..CollOp::ALL.len() {
-                out.counts[i][o] += other.counts[i][o];
+                out.counts[i][o] = out.counts[i][o].saturating_add(other.counts[i][o]);
             }
         }
         out
@@ -191,8 +201,11 @@ pub struct Stats {
     pub peak_bytes: usize,
     /// Tracked bytes at program end.
     pub final_bytes: usize,
-    /// Wall-clock nanoseconds per phase, `[Init, Roi]`.
-    pub wall_ns: [u128; 2],
+    /// Wall-clock nanoseconds per phase, `[Init, Roi]`. `u64` like every
+    /// other time quantity in the workspace (the cost model, the
+    /// profiler, the observability events); 2^64 ns is ~585 years, and
+    /// all arithmetic on it saturates.
+    pub wall_ns: [u64; 2],
 }
 
 impl Stats {
@@ -206,9 +219,15 @@ impl Stats {
         self.per_phase[0].merged(&self.per_phase[1])
     }
 
-    /// Whole-program wall time in nanoseconds.
-    pub fn wall_total_ns(&self) -> u128 {
-        self.wall_ns[0] + self.wall_ns[1]
+    /// Whole-program wall time in nanoseconds (saturating).
+    pub fn wall_total_ns(&self) -> u64 {
+        self.wall_ns[0].saturating_add(self.wall_ns[1])
+    }
+
+    /// Clamps a [`std::time::Duration`] nanosecond count into the `u64`
+    /// wall-time domain.
+    pub fn clamp_ns(ns: u128) -> u64 {
+        u64::try_from(ns).unwrap_or(u64::MAX)
     }
 }
 
@@ -244,6 +263,25 @@ mod tests {
         assert_eq!(c.sparse_accesses(), 10);
         assert_eq!(c.dense_accesses(), 4);
         assert_eq!(c.total_op(CollOp::Read), 14);
+    }
+
+    #[test]
+    fn merges_saturate_instead_of_overflowing() {
+        let mut a = OpCounts::default();
+        a.bump(ImplKind::Seq, CollOp::Read, u64::MAX - 1);
+        a.bump(ImplKind::Seq, CollOp::Read, 5);
+        assert_eq!(a.get(ImplKind::Seq, CollOp::Read), u64::MAX);
+        let merged = a.merged(&a);
+        assert_eq!(merged.get(ImplKind::Seq, CollOp::Read), u64::MAX);
+        assert_eq!(merged.total(), u64::MAX);
+
+        let s = Stats {
+            wall_ns: [u64::MAX, 1],
+            ..Stats::default()
+        };
+        assert_eq!(s.wall_total_ns(), u64::MAX);
+        assert_eq!(Stats::clamp_ns(u128::from(u64::MAX) + 7), u64::MAX);
+        assert_eq!(Stats::clamp_ns(42), 42);
     }
 
     #[test]

@@ -298,7 +298,7 @@ fn @main() -> void {
             set: ade_ir::SetSel::Swiss,
             map: ade_ir::MapSel::Swiss,
         },
-        fuel: None,
+        ..ExecConfig::default()
     };
     let swiss = Interpreter::new(&m, cfg).run("main").expect("runs");
     let hash = run(text);

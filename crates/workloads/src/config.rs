@@ -111,7 +111,19 @@ impl Config {
     /// Applies this configuration's compilation pipeline to a module and
     /// returns the pass report (if ADE ran).
     pub fn compile(&self, module: &mut Module) -> Option<ade_core::AdeReport> {
-        self.ade.as_ref().map(|options| ade_core::run_ade(module, options))
+        self.compile_traced(module, &ade_obs::Tracer::disabled())
+    }
+
+    /// [`Config::compile`] with pass spans and decision events on
+    /// `tracer` (a no-op for the MEMOIR baselines, which run no pass).
+    pub fn compile_traced(
+        &self,
+        module: &mut Module,
+        tracer: &ade_obs::Tracer,
+    ) -> Option<ade_core::AdeReport> {
+        self.ade
+            .as_ref()
+            .map(|options| ade_core::run_ade_traced(module, options, tracer))
     }
 }
 
