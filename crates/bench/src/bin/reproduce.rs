@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! reproduce [--scale N] [--trials N] [--jobs N] [--no-wall]
+//!           [--strict] [--checkpoint FILE] [--inject-fault SPEC]
 //!           [--timeline FILE] [--obs-dir DIR]
 //!           [fig4|fig5|fig6|fig7|fig8|fig9|table2|table3|rq4|all]
 //! ```
@@ -19,6 +20,18 @@
 //! wall-clock ratios vary run to run, and `--no-wall` suppresses those
 //! for byte-stable output.
 //!
+//! Fault handling: a matrix cell that panics (retried once) or returns
+//! a typed interpreter error degrades to a deterministic `✗(code)`
+//! placeholder in its figure rows — the rest of the matrix completes
+//! and the exit code stays 0. `--strict` restores fail-fast: the first
+//! failing cell aborts the run with exit code 1. `--checkpoint FILE`
+//! appends each completed cell as it finishes and resumes from a
+//! compatible file (same scale/trials), recomputing only missing cells.
+//! `--inject-fault cell=K,kind=panic|fuel` deterministically fails the
+//! K-th scheduled cell (worker panic, or a 100-instruction fuel budget
+//! that trips the interpreter's typed limit) — the CI smoke hook for
+//! the isolation machinery.
+//!
 //! Observability (figure text stays byte-identical either way):
 //! `--timeline FILE` writes a Chrome-trace JSON of the worker pool —
 //! one complete event per matrix cell, one lane per worker — that
@@ -28,7 +41,7 @@
 
 use std::sync::Arc;
 
-use ade_bench::figures::Session;
+use ade_bench::figures::{FaultSpec, Session};
 use ade_obs::Timeline;
 
 fn main() {
@@ -36,6 +49,9 @@ fn main() {
     let mut trials = 1u32;
     let mut jobs = ade_bench::pool::default_jobs();
     let mut include_wall = true;
+    let mut strict = false;
+    let mut checkpoint_path: Option<String> = None;
+    let mut fault: Option<FaultSpec> = None;
     let mut timeline_path: Option<String> = None;
     let mut obs_dir: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
@@ -62,6 +78,19 @@ fn main() {
                     .unwrap_or_else(|| usage("missing or invalid value for --jobs"));
             }
             "--no-wall" => include_wall = false,
+            "--strict" => strict = true,
+            "--checkpoint" => {
+                checkpoint_path =
+                    Some(args.next().unwrap_or_else(|| usage("missing value for --checkpoint")));
+            }
+            "--inject-fault" => {
+                let spec =
+                    args.next().unwrap_or_else(|| usage("missing value for --inject-fault"));
+                fault = Some(
+                    FaultSpec::parse(&spec)
+                        .unwrap_or_else(|e| usage(&format!("--inject-fault: {e}"))),
+                );
+            }
             "--timeline" => {
                 timeline_path =
                     Some(args.next().unwrap_or_else(|| usage("missing value for --timeline")));
@@ -85,52 +114,78 @@ fn main() {
     }
     // Plan the full evaluation matrix up front and fill the cache in
     // parallel; the ordered rendering below then only reads it.
-    let expanded: Vec<&str> = targets
+    let expanded: Vec<String> = targets
         .iter()
         .flat_map(|t| match t.as_str() {
             "all" => ALL.to_vec(),
             other => vec![other],
         })
+        .map(str::to_string)
         .collect();
     let timeline = timeline_path.as_ref().map(|_| Arc::new(Timeline::new()));
     let mut session = Session::with_trials(scale, trials)
         .jobs(jobs)
         .include_wall(include_wall)
-        .profile(obs_dir.is_some());
+        .profile(obs_dir.is_some())
+        .strict(strict);
+    if let Some(f) = fault {
+        session = session.inject_fault(f);
+    }
+    if let Some(path) = &checkpoint_path {
+        session = session.checkpoint(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("error: cannot open checkpoint {path}: {e}");
+            std::process::exit(1);
+        });
+    }
     if let Some(tl) = &timeline {
         session = session.timeline(Arc::clone(tl));
     }
-    session.prewarm(&expanded);
-    for target in &targets {
-        match target.as_str() {
-            "fig4" => print!("{}", session.fig4()),
-            "fig5" => print!("{}", session.fig5_or_6(false)),
-            "fig6" => print!("{}", session.fig5_or_6(true)),
-            "fig7" => print!("{}", session.fig7()),
-            "fig8" => print!("{}", session.fig8()),
-            "fig9" | "fig10" => print!("{}", session.fig9_10()),
-            "table2" => print!("{}", session.table2()),
-            "table3" => print!("{}", session.table3()),
-            "rq4" => print!("{}", session.rq4()),
-            "all" => {
-                for part in [
-                    session.fig4(),
-                    session.fig5_or_6(false),
-                    session.fig5_or_6(true),
-                    session.table2(),
-                    session.table3(),
-                    session.fig7(),
-                    session.fig8(),
-                    session.fig9_10(),
-                    session.rq4(),
-                ] {
-                    println!("{part}");
+    // Under --strict a failing cell panics out of the matrix; catch it
+    // at the top for a clean nonzero exit (the default mode degrades
+    // failed cells in place and never panics here).
+    let rendered = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        let expanded: Vec<&str> = expanded.iter().map(String::as_str).collect();
+        session.prewarm(&expanded);
+        for target in &targets {
+            match target.as_str() {
+                "fig4" => print!("{}", session.fig4()),
+                "fig5" => print!("{}", session.fig5_or_6(false)),
+                "fig6" => print!("{}", session.fig5_or_6(true)),
+                "fig7" => print!("{}", session.fig7()),
+                "fig8" => print!("{}", session.fig8()),
+                "fig9" | "fig10" => print!("{}", session.fig9_10()),
+                "table2" => print!("{}", session.table2()),
+                "table3" => print!("{}", session.table3()),
+                "rq4" => print!("{}", session.rq4()),
+                "all" => {
+                    for part in [
+                        session.fig4(),
+                        session.fig5_or_6(false),
+                        session.fig5_or_6(true),
+                        session.table2(),
+                        session.table3(),
+                        session.fig7(),
+                        session.fig8(),
+                        session.fig9_10(),
+                        session.rq4(),
+                    ] {
+                        println!("{part}");
+                    }
                 }
+                _ => unreachable!("targets validated above"),
             }
-            _ => unreachable!("targets validated above"),
+            println!();
         }
-        println!();
-    }
+        session
+    }));
+    let session = match rendered {
+        Ok(session) => session,
+        Err(_) => {
+            // The panic hook already printed the payload.
+            eprintln!("error: evaluation aborted{}", if strict { " (--strict)" } else { "" });
+            std::process::exit(1);
+        }
+    };
     if let (Some(path), Some(tl)) = (&timeline_path, &timeline) {
         write_file(path, &tl.to_chrome_json());
         eprintln!("[obs] timeline: {path} ({} events)", tl.events().len());
@@ -159,7 +214,7 @@ fn write_file(path: &str, contents: &str) {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: reproduce [--scale N] [--trials N] [--jobs N] [--no-wall] [--timeline FILE] [--obs-dir DIR] [fig4|fig5|fig6|fig7|fig8|fig9|table2|table3|rq4|all]"
+        "usage: reproduce [--scale N] [--trials N] [--jobs N] [--no-wall] [--strict] [--checkpoint FILE] [--inject-fault cell=K,kind=panic|fuel] [--timeline FILE] [--obs-dir DIR] [fig4|fig5|fig6|fig7|fig8|fig9|table2|table3|rq4|all]"
     );
     std::process::exit(2);
 }

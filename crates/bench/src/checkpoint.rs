@@ -1,0 +1,264 @@
+//! Incremental persistence of completed evaluation-matrix cells
+//! (`reproduce --checkpoint`).
+//!
+//! Each completed cell appends one line to the checkpoint file as soon
+//! as it finishes, so a run killed mid-matrix loses at most the cells
+//! still in flight. Reopening the same file with the same scale and
+//! trials pre-fills the session cache; everything restored is skipped
+//! and the figure text comes out byte-identical to an uninterrupted
+//! run (`--no-wall`; wall readings are restored verbatim, but they are
+//! nondeterministic between *any* two runs, interrupted or not).
+//!
+//! Format (versioned, line-oriented, hand-rolled — the workspace has no
+//! serialization dependency):
+//!
+//! ```text
+//! # ade-checkpoint v1 scale=7 trials=1
+//! BFS|ade|<peak>|<final>|<wall0>|<wall1>|<init-counts>|<roi-counts>|<output>
+//! ```
+//!
+//! Counts are sparse `impl.op.value` triples (indices into
+//! [`ImplKind::ALL`] / [`CollOp::ALL`]) joined by commas; the output is
+//! escaped so it stays on one line. A header mismatch (different
+//! version, scale or trials) discards the file and starts fresh; an
+//! unparseable cell line (e.g. truncated by a kill) is skipped and that
+//! cell recomputed. Failed cells are never persisted — a resume retries
+//! them. Per-site profiles are not persisted; restored cells carry
+//! `profile: None` (rerun without `--checkpoint` for `--obs-dir`).
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use ade_interp::{CollOp, ImplKind, OpCounts, Stats};
+use ade_workloads::bench::benchmark_by_abbrev;
+use ade_workloads::ConfigKind;
+
+use crate::runner::RunResult;
+
+/// An open checkpoint file: restored cells on open, incremental appends
+/// while running (shareable across pool workers).
+pub(crate) struct Checkpoint {
+    file: Mutex<File>,
+}
+
+impl Checkpoint {
+    /// Opens (or creates) `path`. Returns the writer plus every cell
+    /// restored from a compatible existing file.
+    pub(crate) fn open(
+        path: &Path,
+        scale: u32,
+        trials: u32,
+    ) -> std::io::Result<(Checkpoint, Vec<RunResult>)> {
+        let header = format!("# ade-checkpoint v1 scale={scale} trials={trials}");
+        let mut restored = Vec::new();
+        let mut compatible = false;
+        if let Ok(existing) = File::open(path) {
+            let mut lines = BufReader::new(existing).lines();
+            if lines.next().transpose().ok().flatten().as_deref() == Some(header.as_str()) {
+                compatible = true;
+                restored.extend(lines.map_while(Result::ok).filter_map(|l| decode_line(&l)));
+            }
+        }
+        let file = if compatible {
+            let mut f = OpenOptions::new().append(true).open(path)?;
+            // Terminate any record half-written by a kill: the partial
+            // line fails to decode and is recomputed; a blank line is
+            // skipped on the next restore.
+            writeln!(f)?;
+            f
+        } else {
+            let mut fresh = File::create(path)?;
+            writeln!(fresh, "{header}")?;
+            fresh.flush()?;
+            fresh
+        };
+        Ok((Checkpoint { file: Mutex::new(file) }, restored))
+    }
+
+    /// Appends one completed cell and flushes, so a kill loses at most
+    /// the cells still in flight.
+    pub(crate) fn record(&self, r: &RunResult) {
+        let line = encode_line(r);
+        let mut file = self.file.lock().expect("checkpoint file poisoned");
+        let _ = writeln!(file, "{line}");
+        let _ = file.flush();
+    }
+}
+
+fn encode_line(r: &RunResult) -> String {
+    format!(
+        "{}|{}|{}|{}|{}|{}|{}|{}|{}",
+        r.abbrev,
+        r.config.name(),
+        r.stats.peak_bytes,
+        r.stats.final_bytes,
+        r.stats.wall_ns[0],
+        r.stats.wall_ns[1],
+        encode_counts(&r.stats.per_phase[0]),
+        encode_counts(&r.stats.per_phase[1]),
+        escape(&r.output),
+    )
+}
+
+fn decode_line(line: &str) -> Option<RunResult> {
+    if line.is_empty() || line.starts_with('#') {
+        return None;
+    }
+    let fields: Vec<&str> = line.split('|').collect();
+    if fields.len() != 9 {
+        return None;
+    }
+    let bench = benchmark_by_abbrev(fields[0])?;
+    let config = ConfigKind::from_name(fields[1])?;
+    let stats = Stats {
+        peak_bytes: fields[2].parse().ok()?,
+        final_bytes: fields[3].parse().ok()?,
+        wall_ns: [fields[4].parse().ok()?, fields[5].parse().ok()?],
+        per_phase: [decode_counts(fields[6])?, decode_counts(fields[7])?],
+    };
+    Some(RunResult {
+        abbrev: bench.abbrev,
+        config,
+        output: unescape(fields[8])?,
+        stats,
+        profile: None,
+    })
+}
+
+fn encode_counts(c: &OpCounts) -> String {
+    let mut parts = Vec::new();
+    for (i, &imp) in ImplKind::ALL.iter().enumerate() {
+        for (o, &op) in CollOp::ALL.iter().enumerate() {
+            let v = c.get(imp, op);
+            if v != 0 {
+                parts.push(format!("{i}.{o}.{v}"));
+            }
+        }
+    }
+    parts.join(",")
+}
+
+fn decode_counts(s: &str) -> Option<OpCounts> {
+    let mut c = OpCounts::default();
+    if s.is_empty() {
+        return Some(c);
+    }
+    for part in s.split(',') {
+        let mut it = part.split('.');
+        let i: usize = it.next()?.parse().ok()?;
+        let o: usize = it.next()?.parse().ok()?;
+        let v: u64 = it.next()?.parse().ok()?;
+        if it.next().is_some() {
+            return None;
+        }
+        c.bump(*ImplKind::ALL.get(i)?, *CollOp::ALL.get(o)?, v);
+    }
+    Some(c)
+}
+
+fn escape(s: &str) -> String {
+    // `|` is the field separator and newlines are the record separator;
+    // `\p` keeps the escape alphabet backslash-only.
+    s.replace('\\', "\\\\").replace('\n', "\\n").replace('\r', "\\r").replace('|', "\\p")
+}
+
+fn unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            'p' => out.push('|'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ade_interp::Phase;
+
+    fn sample() -> RunResult {
+        let bench = benchmark_by_abbrev("BFS").expect("bfs");
+        let mut stats = Stats {
+            peak_bytes: 4096,
+            final_bytes: 128,
+            wall_ns: [17, 9001],
+            ..Stats::default()
+        };
+        stats.per_phase[0].bump(ImplKind::HashMap, CollOp::Insert, 42);
+        stats.per_phase[1].bump(ImplKind::BitSet, CollOp::IterWord, 7);
+        RunResult {
+            abbrev: bench.abbrev,
+            config: ConfigKind::Ade,
+            output: "a|b\\c\nchecksum 9\n".to_string(),
+            stats,
+            profile: None,
+        }
+    }
+
+    #[test]
+    fn lines_round_trip_exactly() {
+        let r = sample();
+        let line = encode_line(&r);
+        assert!(!line.contains('\n'), "records must stay on one line");
+        let back = decode_line(&line).expect("decodes");
+        assert_eq!(back.abbrev, r.abbrev);
+        assert_eq!(back.config, r.config);
+        assert_eq!(back.output, r.output);
+        assert_eq!(back.stats.peak_bytes, r.stats.peak_bytes);
+        assert_eq!(back.stats.final_bytes, r.stats.final_bytes);
+        assert_eq!(back.stats.wall_ns, r.stats.wall_ns);
+        assert_eq!(
+            back.stats.phase(Phase::Init).get(ImplKind::HashMap, CollOp::Insert),
+            42
+        );
+        assert_eq!(back.stats.phase(Phase::Roi).get(ImplKind::BitSet, CollOp::IterWord), 7);
+    }
+
+    #[test]
+    fn corrupt_lines_are_skipped_not_fatal() {
+        assert!(decode_line("").is_none());
+        assert!(decode_line("# comment").is_none());
+        assert!(decode_line("BFS|ade|truncated").is_none());
+        assert!(decode_line("NOPE|ade|1|1|0|0|||x").is_none());
+        assert!(decode_line("BFS|no-such-config|1|1|0|0|||x").is_none());
+        let mut line = encode_line(&sample());
+        line.truncate(line.len() / 2);
+        // A half-written record must not decode into a bogus cell.
+        assert!(decode_line(&line).is_none() || line.split('|').count() == 9);
+    }
+
+    #[test]
+    fn open_restores_and_appends() {
+        let dir = std::env::temp_dir().join(format!("ade-ck-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("ck.txt");
+        let _ = std::fs::remove_file(&path);
+
+        let (ck, restored) = Checkpoint::open(&path, 7, 1).expect("open fresh");
+        assert!(restored.is_empty());
+        ck.record(&sample());
+        drop(ck);
+
+        let (_ck2, restored) = Checkpoint::open(&path, 7, 1).expect("reopen");
+        assert_eq!(restored.len(), 1);
+        assert_eq!(restored[0].output, sample().output);
+
+        // Incompatible parameters discard the file.
+        let (_ck3, restored) = Checkpoint::open(&path, 8, 1).expect("reopen other scale");
+        assert!(restored.is_empty());
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+}

@@ -18,7 +18,8 @@ use ade_obs::Timeline;
 use ade_workloads::bench::{all_benchmarks, benchmark_by_abbrev};
 use ade_workloads::ConfigKind;
 
-use crate::runner::{geomean, RunResult};
+use crate::checkpoint::Checkpoint;
+use crate::runner::{geomean, CellError, RunResult};
 
 /// The `(benchmark, configuration)` cells one figure target consumes.
 ///
@@ -56,6 +57,76 @@ pub fn cells_for_target(target: &str) -> Vec<(&'static str, ConfigKind)> {
     cells
 }
 
+/// The outcome of one evaluation-matrix cell.
+#[derive(Clone, Debug)]
+pub enum CellResult {
+    /// The cell ran to completion.
+    Ok(RunResult),
+    /// The cell failed (after one retry, for panics); the figure row
+    /// renders a deterministic `✗(code)` placeholder and the row is
+    /// excluded from geomeans. The detail goes to stderr only, never
+    /// into figure text.
+    Failed {
+        /// Deterministic reason code: `panic`, `trap`, `limit`,
+        /// `verify` or `exec`.
+        code: &'static str,
+        /// Human-readable detail (panic payload or error rendering).
+        detail: String,
+    },
+}
+
+/// Which fault `--inject-fault` raises in the targeted cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic the worker while it runs the cell (exercises pool
+    /// isolation; degrades to `✗(panic)`).
+    Panic,
+    /// Run the cell with a tiny instruction budget so the interpreter
+    /// returns a typed limit error (degrades to `✗(limit)`).
+    Fuel,
+}
+
+/// Deterministic fault injection (`--inject-fault cell=K,kind=...`):
+/// the `cell`-th cell a session schedules (0-based, in planning order,
+/// counted across prewarms and cache misses) raises `kind`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// 0-based index of the targeted cell in scheduling order.
+    pub cell: usize,
+    /// What to raise there.
+    pub kind: FaultKind,
+}
+
+impl FaultSpec {
+    /// Parses the `--inject-fault` argument form `cell=K,kind=panic|fuel`.
+    ///
+    /// # Errors
+    ///
+    /// A usage message naming the offending part.
+    pub fn parse(spec: &str) -> Result<FaultSpec, String> {
+        let (mut cell, mut kind) = (None, None);
+        for part in spec.split(',') {
+            match part.split_once('=') {
+                Some(("cell", v)) => {
+                    cell =
+                        Some(v.parse::<usize>().map_err(|_| format!("bad cell index: {v}"))?);
+                }
+                Some(("kind", "panic")) => kind = Some(FaultKind::Panic),
+                Some(("kind", "fuel")) => kind = Some(FaultKind::Fuel),
+                _ => return Err(format!("bad fault spec part: {part}")),
+            }
+        }
+        match (cell, kind) {
+            (Some(cell), Some(kind)) => Ok(FaultSpec { cell, kind }),
+            _ => Err("fault spec needs cell=K and kind=panic|fuel".to_string()),
+        }
+    }
+}
+
+/// The instruction budget an injected `kind=fuel` fault runs under —
+/// small enough that every benchmark at every scale trips it.
+const INJECTED_FUEL: u64 = 100;
+
 /// A memo of run results so one `reproduce all` never repeats a run.
 #[derive(Default)]
 pub struct Session {
@@ -64,8 +135,13 @@ pub struct Session {
     jobs: usize,
     include_wall: bool,
     profile: bool,
+    strict: bool,
+    fault: Option<FaultSpec>,
+    /// Cells handed to workers so far (the `FaultSpec::cell` index).
+    scheduled: usize,
     timeline: Option<Arc<Timeline>>,
-    cache: BTreeMap<(String, ConfigKind), RunResult>,
+    checkpoint: Option<Arc<Checkpoint>>,
+    cache: BTreeMap<(String, ConfigKind), CellResult>,
 }
 
 impl Session {
@@ -83,9 +159,50 @@ impl Session {
             jobs: 1,
             include_wall: true,
             profile: false,
+            strict: false,
+            fault: None,
+            scheduled: 0,
             timeline: None,
+            checkpoint: None,
             cache: BTreeMap::new(),
         }
+    }
+
+    /// Strict mode (`--strict`): restores fail-fast semantics — the
+    /// first failing cell panics out of the session (a worker panic is
+    /// propagated by the pool, a typed cell error is promoted to one)
+    /// instead of degrading to a `✗(code)` placeholder.
+    #[must_use]
+    pub fn strict(mut self, strict: bool) -> Self {
+        self.strict = strict;
+        self
+    }
+
+    /// Arms deterministic fault injection (`--inject-fault`); see
+    /// [`FaultSpec`].
+    #[must_use]
+    pub fn inject_fault(mut self, fault: FaultSpec) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// Attaches an incremental checkpoint (`--checkpoint`): completed
+    /// cells append to `path` as they finish, and a compatible existing
+    /// file (same format version, scale and trials) pre-fills the cache
+    /// so a resumed run recomputes only the missing cells. Failed cells
+    /// are never persisted — a resume retries them. Restored cells
+    /// carry no per-site profile.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error opening or creating the file.
+    pub fn checkpoint(mut self, path: &std::path::Path) -> std::io::Result<Self> {
+        let (ck, restored) = Checkpoint::open(path, self.scale, self.trials)?;
+        for r in restored {
+            self.cache.insert((r.abbrev.to_string(), r.config), CellResult::Ok(r));
+        }
+        self.checkpoint = Some(Arc::new(ck));
+        Ok(self)
     }
 
     /// Sets how many worker threads [`Session::prewarm`] (and `rq4`'s
@@ -128,8 +245,9 @@ impl Session {
     pub fn cached_profiles(&self) -> Vec<(&str, ConfigKind, &SiteProfile)> {
         self.cache
             .iter()
-            .filter_map(|((abbrev, kind), r)| {
-                r.profile.as_ref().map(|p| (abbrev.as_str(), *kind, p))
+            .filter_map(|((abbrev, kind), cell)| match cell {
+                CellResult::Ok(r) => r.profile.as_ref().map(|p| (abbrev.as_str(), *kind, p)),
+                CellResult::Failed { .. } => None,
             })
             .collect()
     }
@@ -138,50 +256,129 @@ impl Session {
     /// `jobs` parallel workers, filling the cache. Rendering afterwards
     /// is pure cache lookup, so figure text is independent of `jobs`.
     pub fn prewarm(&mut self, targets: &[&str]) {
-        let mut pending: Vec<(&'static str, ConfigKind)> = Vec::new();
+        let mut pending: Vec<(usize, (&'static str, ConfigKind))> = Vec::new();
         for target in targets {
             for cell in cells_for_target(target) {
                 let key = (cell.0.to_string(), cell.1);
-                if !self.cache.contains_key(&key) && !pending.contains(&cell) {
-                    pending.push(cell);
+                if !self.cache.contains_key(&key) && !pending.iter().any(|&(_, c)| c == cell) {
+                    pending.push((self.scheduled + pending.len(), cell));
                 }
             }
         }
-        let (scale, trials, profile) = (self.scale, self.trials, self.profile);
-        let timeline = self.timeline.clone();
-        let results =
-            crate::pool::run_ordered_with(pending, self.jobs, move |worker, (abbrev, kind)| {
-                run_cell(scale, trials, profile, timeline.as_deref(), worker, abbrev, kind)
-            });
-        for r in results {
-            self.cache.insert((r.abbrev.to_string(), r.config), r);
-        }
+        self.execute_batch(pending);
     }
 
     /// The run result for one cell (running it now if not cached).
     /// Public so differential tests can compare per-cell statistics
     /// across `jobs` settings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell failed (use [`Session::cell_result`] to
+    /// observe degradation without a panic).
     pub fn cell(&mut self, abbrev: &str, kind: ConfigKind) -> RunResult {
+        match self.run(abbrev, kind) {
+            CellResult::Ok(r) => r,
+            CellResult::Failed { code, detail } => {
+                panic!("[{abbrev} {}] cell failed ({code}): {detail}", kind.name())
+            }
+        }
+    }
+
+    /// The [`CellResult`] for one cell (running it now if not cached) —
+    /// [`Session::cell`] without the panic on failure.
+    pub fn cell_result(&mut self, abbrev: &str, kind: ConfigKind) -> CellResult {
         self.run(abbrev, kind)
     }
 
-    fn run(&mut self, abbrev: &str, kind: ConfigKind) -> RunResult {
+    fn run(&mut self, abbrev: &str, kind: ConfigKind) -> CellResult {
         let key = (abbrev.to_string(), kind);
         if let Some(r) = self.cache.get(&key) {
             return r.clone();
         }
-        // Cache misses run on the calling thread: lane 0 on the timeline.
-        let r = run_cell(
-            self.scale,
-            self.trials,
-            self.profile,
-            self.timeline.as_deref(),
-            0,
-            abbrev,
-            kind,
-        );
-        self.cache.insert(key, r.clone());
-        r
+        // Cache misses run as a one-cell batch on the calling thread
+        // (lane 0 on the timeline), under the same isolation, fault-
+        // injection and checkpoint plumbing as prewarmed cells.
+        let abbrev_static = benchmark_by_abbrev(abbrev).expect("known benchmark").abbrev;
+        self.execute_batch(vec![(self.scheduled, (abbrev_static, kind))]);
+        self.cache.get(&key).expect("batch filled the cache").clone()
+    }
+
+    /// Runs a batch of indexed cells on the worker pool and folds every
+    /// outcome into the cache. Default mode isolates: a cell that
+    /// panics (retried once) or returns a typed error becomes
+    /// [`CellResult::Failed`] and the rest of the batch completes.
+    /// Strict mode fails fast instead.
+    fn execute_batch(&mut self, pending: Vec<(usize, (&'static str, ConfigKind))>) {
+        if pending.is_empty() {
+            return;
+        }
+        self.scheduled += pending.len();
+        let plan: Vec<(&'static str, ConfigKind)> = pending.iter().map(|&(_, c)| c).collect();
+        let (scale, trials, profile) = (self.scale, self.trials, self.profile);
+        let timeline = self.timeline.clone();
+        let fault = self.fault;
+        let checkpoint = self.checkpoint.clone();
+        let work = move |worker: usize, (idx, (abbrev, kind)): (usize, (&'static str, ConfigKind))| {
+            if matches!(fault, Some(f) if f.cell == idx && f.kind == FaultKind::Panic) {
+                panic!("injected fault: panic at cell {idx} ({abbrev}/{})", kind.name());
+            }
+            let fuel = match fault {
+                Some(f) if f.cell == idx && f.kind == FaultKind::Fuel => Some(INJECTED_FUEL),
+                _ => None,
+            };
+            let r =
+                try_run_cell(scale, trials, profile, timeline.as_deref(), worker, abbrev, kind, fuel)?;
+            if let Some(ck) = checkpoint.as_deref() {
+                ck.record(&r);
+            }
+            Ok(r)
+        };
+        let outcomes: Vec<Result<Result<RunResult, CellError>, crate::pool::CellFailure>> =
+            if self.strict {
+                crate::pool::run_ordered_with(pending, self.jobs, work)
+                    .into_iter()
+                    .map(Ok)
+                    .collect()
+            } else {
+                crate::pool::run_ordered_isolated(pending, self.jobs, work)
+            };
+        for ((abbrev, kind), outcome) in plan.into_iter().zip(outcomes) {
+            let cell = match outcome {
+                Ok(Ok(r)) => CellResult::Ok(r),
+                Ok(Err(e)) => {
+                    if self.strict {
+                        panic!("[{abbrev} {}] {e}", kind.name());
+                    }
+                    eprintln!("[cell {abbrev}/{}] failed: {e}", kind.name());
+                    CellResult::Failed { code: e.code(), detail: e.to_string() }
+                }
+                Err(f) => {
+                    eprintln!(
+                        "[cell {abbrev}/{}] failed after {} attempts: {}",
+                        kind.name(),
+                        f.attempts,
+                        f.reason
+                    );
+                    CellResult::Failed { code: "panic", detail: f.reason }
+                }
+            };
+            self.cache.insert((abbrev.to_string(), kind), cell);
+        }
+    }
+
+    /// The row's runs under `kinds` in order, or the code of the first
+    /// failed cell (the row then renders as a `✗(code)` placeholder and
+    /// is excluded from geomeans).
+    fn row(&mut self, abbrev: &str, kinds: &[ConfigKind]) -> Result<Vec<RunResult>, &'static str> {
+        let mut out = Vec::with_capacity(kinds.len());
+        for &kind in kinds {
+            match self.run(abbrev, kind) {
+                CellResult::Ok(r) => out.push(r),
+                CellResult::Failed { code, .. } => return Err(code),
+            }
+        }
+        Ok(out)
     }
 
     fn abbrevs(&self) -> Vec<&'static str> {
@@ -213,7 +410,13 @@ impl Session {
         );
         let mut mixes: Vec<(&str, Vec<f64>)> = Vec::new();
         for abbrev in self.abbrevs() {
-            let r = self.run(abbrev, ConfigKind::Memoir);
+            let r = match self.row(abbrev, &[ConfigKind::Memoir]) {
+                Ok(mut row) => row.remove(0),
+                Err(code) => {
+                    let _ = writeln!(out, "{abbrev:>5} ✗({code})");
+                    continue;
+                }
+            };
             let t = r.stats.totals();
             let counts: Vec<f64> = ops.iter().map(|&o| t.total_op(o) as f64).collect();
             let total: f64 = counts.iter().sum::<f64>().max(1.0);
@@ -256,8 +459,14 @@ impl Session {
         );
         let (mut wholes, mut rois, mut mems) = (Vec::new(), Vec::new(), Vec::new());
         for abbrev in self.abbrevs() {
-            let memoir = self.run(abbrev, ConfigKind::Memoir);
-            let ade = self.run(abbrev, ConfigKind::Ade);
+            let row = match self.row(abbrev, &[ConfigKind::Memoir, ConfigKind::Ade]) {
+                Ok(row) => row,
+                Err(code) => {
+                    let _ = writeln!(out, "{abbrev:>5} ✗({code})");
+                    continue;
+                }
+            };
+            let (memoir, ade) = (&row[0], &row[1]);
             assert_eq!(memoir.output, ade.output, "[{abbrev}] outputs diverge");
             let whole = memoir.modeled_total_ns(&model) / ade.modeled_total_ns(&model);
             let roi = memoir.modeled_roi_ns(&model) / ade.modeled_roi_ns(&model).max(1.0);
@@ -306,8 +515,14 @@ impl Session {
             "bench", "m.sparse", "m.dense", "a.sparse", "a.dense", "d.sparse", "d.dense", "d.total"
         );
         for abbrev in self.abbrevs() {
-            let memoir = self.run(abbrev, ConfigKind::Memoir);
-            let ade = self.run(abbrev, ConfigKind::Ade);
+            let row = match self.row(abbrev, &[ConfigKind::Memoir, ConfigKind::Ade]) {
+                Ok(row) => row,
+                Err(code) => {
+                    let _ = writeln!(out, "{abbrev:>5} ✗({code})");
+                    continue;
+                }
+            };
+            let (memoir, ade) = (&row[0], &row[1]);
             let mt = memoir.stats.totals();
             let at = ade.stats.totals();
             let norm = (mt.sparse_accesses() + mt.dense_accesses()).max(1) as f64 / 100.0;
@@ -388,19 +603,27 @@ impl Session {
             "bench", "no-RTE", "no-propagation", "no-sharing"
         );
         let mut cols: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        let ablations = [
+            ConfigKind::AdeNoRedundant,
+            ConfigKind::AdeNoPropagation,
+            ConfigKind::AdeNoSharing,
+        ];
         for abbrev in self.abbrevs() {
-            let ade = self.run(abbrev, ConfigKind::Ade);
+            let cells = match self.row(
+                abbrev,
+                &[ConfigKind::Ade, ablations[0], ablations[1], ablations[2]],
+            ) {
+                Ok(cells) => cells,
+                Err(code) => {
+                    let _ = writeln!(out, "{abbrev:>5} ✗({code})");
+                    continue;
+                }
+            };
+            let ade = &cells[0];
             let base = ade.modeled_total_ns(&model);
             let mut row = [0.0f64; 3];
-            for (i, kind) in [
-                ConfigKind::AdeNoRedundant,
-                ConfigKind::AdeNoPropagation,
-                ConfigKind::AdeNoSharing,
-            ]
-            .into_iter()
-            .enumerate()
-            {
-                let r = self.run(abbrev, kind);
+            for (i, kind) in ablations.into_iter().enumerate() {
+                let r = &cells[i + 1];
                 assert_eq!(r.output, ade.output, "[{abbrev} {}] diverged", kind.name());
                 row[i] = r.modeled_total_ns(&model) / base;
                 cols[i].push(row[i]);
@@ -429,8 +652,14 @@ impl Session {
         let _ = writeln!(out, "Figure 8: peak memory with sharing disabled vs full ADE");
         let mut ratios = Vec::new();
         for abbrev in self.abbrevs() {
-            let ade = self.run(abbrev, ConfigKind::Ade);
-            let nosh = self.run(abbrev, ConfigKind::AdeNoSharing);
+            let row = match self.row(abbrev, &[ConfigKind::Ade, ConfigKind::AdeNoSharing]) {
+                Ok(row) => row,
+                Err(code) => {
+                    let _ = writeln!(out, "{abbrev:>5} ✗({code})");
+                    continue;
+                }
+            };
+            let (ade, nosh) = (&row[0], &row[1]);
             let ratio = nosh.peak_bytes() as f64 / ade.peak_bytes().max(1) as f64;
             ratios.push(ratio);
             let _ = writeln!(out, "{:>5} {:>8.1}%", abbrev, ratio * 100.0);
@@ -464,10 +693,22 @@ impl Session {
         );
         let mut cols: [Vec<f64>; 6] = Default::default();
         for abbrev in self.abbrevs() {
-            let memoir = self.run(abbrev, ConfigKind::Memoir);
-            let swiss = self.run(abbrev, ConfigKind::MemoirAbseil);
-            let ade = self.run(abbrev, ConfigKind::Ade);
-            let ade_swiss = self.run(abbrev, ConfigKind::AdeAbseil);
+            let row = match self.row(
+                abbrev,
+                &[
+                    ConfigKind::Memoir,
+                    ConfigKind::MemoirAbseil,
+                    ConfigKind::Ade,
+                    ConfigKind::AdeAbseil,
+                ],
+            ) {
+                Ok(row) => row,
+                Err(code) => {
+                    let _ = writeln!(out, "{abbrev:>5} ✗({code})");
+                    continue;
+                }
+            };
+            let (memoir, swiss, ade, ade_swiss) = (&row[0], &row[1], &row[2], &row[3]);
             assert_eq!(memoir.output, swiss.output, "[{abbrev}] swiss diverged");
             assert_eq!(memoir.output, ade_swiss.output, "[{abbrev}] ade-abseil diverged");
             let a = memoir.modeled_total_ns(&model) / swiss.modeled_total_ns(&model);
@@ -508,6 +749,11 @@ impl Session {
     /// enumeration pathology scales with the pointer/object ratio (the
     /// paper's sqlite3 input has ~10⁴×; the artifact notes PTA "variance
     /// across machines" for the same reason).
+    ///
+    /// The variant sweep is not part of the cell matrix, so fault
+    /// isolation does not apply here: a failing variant propagates
+    /// regardless of strict mode (all six variants feed one comparison
+    /// table — there is no meaningful partial rendering).
     pub fn rq4(&mut self) -> String {
         use ade_workloads::bench::pta::{build_with, Tuning};
         let scale = self.scale + 3;
@@ -576,8 +822,13 @@ impl Session {
 }
 
 /// Runs one `(benchmark, configuration)` cell, recording a complete
-/// timeline event (lane = worker index) when a timeline is attached.
-fn run_cell(
+/// timeline event (lane = worker index) when a timeline is attached. A
+/// failing cell's event carries an extra `status: failed:<code>` arg;
+/// successful cells record exactly what they always did, keeping the
+/// observability byte-identity contract. A cell that *panics* unwinds
+/// through here and records no event (the pool layer reports it).
+#[allow(clippy::too_many_arguments)]
+fn try_run_cell(
     scale: u32,
     trials: u32,
     profile: bool,
@@ -585,21 +836,27 @@ fn run_cell(
     worker: usize,
     abbrev: &str,
     kind: ConfigKind,
-) -> RunResult {
+    fuel_override: Option<u64>,
+) -> Result<RunResult, CellError> {
     let bench = benchmark_by_abbrev(abbrev).expect("known benchmark");
     let started = timeline.map(Timeline::now_ns);
-    let r = crate::runner::run_benchmark_trials_profiled(&bench, kind, scale, trials, profile);
+    let r = crate::runner::try_run_benchmark_trials_profiled(
+        &bench,
+        kind,
+        scale,
+        trials,
+        profile,
+        fuel_override,
+    );
     if let (Some(t), Some(started)) = (timeline, started) {
-        t.complete(
-            format!("{abbrev}/{}", kind.name()),
-            "cell",
-            worker as u32,
-            started,
-            vec![
-                ("scale".to_string(), scale.to_string()),
-                ("trials".to_string(), trials.to_string()),
-            ],
-        );
+        let mut args = vec![
+            ("scale".to_string(), scale.to_string()),
+            ("trials".to_string(), trials.to_string()),
+        ];
+        if let Err(e) = &r {
+            args.push(("status".to_string(), format!("failed:{}", e.code())));
+        }
+        t.complete(format!("{abbrev}/{}", kind.name()), "cell", worker as u32, started, args);
     }
     r
 }

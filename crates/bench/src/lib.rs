@@ -6,8 +6,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod checkpoint;
 pub mod figures;
 pub mod pool;
 pub mod runner;
 
-pub use runner::{run_benchmark, RunResult};
+pub use figures::{CellResult, FaultKind, FaultSpec};
+pub use pool::CellFailure;
+pub use runner::{run_benchmark, CellError, RunResult};

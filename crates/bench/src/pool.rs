@@ -11,7 +11,16 @@
 //! the parallel and serial cases and the results vector is positional,
 //! so everything *derived* from results (figures, stats totals) is
 //! identical for every `jobs` value. Only wall-clock readings differ.
+//!
+//! Fault isolation: the evaluation harness schedules cells through
+//! [`run_ordered_isolated`], which catches a panicking cell, retries it
+//! once, and on a second panic records a [`CellFailure`] in that cell's
+//! slot while the rest of the matrix keeps running. The propagating
+//! variants ([`run_ordered`] / [`run_ordered_with`]) remain the strict
+//! contract — `reproduce --strict` and the transformation pipeline use
+//! them so a genuine host bug still fails fast.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -106,6 +115,64 @@ where
         .collect()
 }
 
+/// Why an isolated cell failed: the rendered panic payload of the
+/// first attempt, plus how many attempts were made before giving up.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellFailure {
+    /// Rendering of the first attempt's panic payload.
+    pub reason: String,
+    /// Attempts made (always 2: the initial run and one retry).
+    pub attempts: u32,
+}
+
+/// [`run_ordered_with`], but a panicking work item degrades to
+/// `Err(CellFailure)` in its own slot instead of aborting the whole
+/// matrix. Each failing item is retried once (transient host conditions
+/// — allocation pressure, spurious I/O — get a second chance); the
+/// failure recorded after the retry carries the *first* attempt's panic
+/// payload, so the reported reason is deterministic for deterministic
+/// faults.
+///
+/// `T: Clone` is required for the retry; items are cheap cell
+/// descriptors, not run state.
+pub fn run_ordered_isolated<T, R, F>(
+    items: Vec<T>,
+    jobs: usize,
+    work: F,
+) -> Vec<Result<R, CellFailure>>
+where
+    T: Send + Clone,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    run_ordered_with(items, jobs, |worker, item: T| {
+        let retry = item.clone();
+        match catch_unwind(AssertUnwindSafe(|| work(worker, item))) {
+            Ok(r) => Ok(r),
+            Err(first) => match catch_unwind(AssertUnwindSafe(|| work(worker, retry))) {
+                Ok(r) => Ok(r),
+                Err(_) => Err(CellFailure {
+                    reason: payload_str(first.as_ref()),
+                    attempts: 2,
+                }),
+            },
+        }
+    })
+}
+
+/// Renders a panic payload (the `&str`/`String` forms `panic!` and
+/// `assert!` produce; anything else gets a fixed placeholder so failure
+/// reports stay deterministic).
+fn payload_str(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
 /// The machine's available parallelism (the `--jobs` default).
 pub fn default_jobs() -> usize {
     std::thread::available_parallelism()
@@ -160,6 +227,8 @@ mod tests {
         assert_eq!(serial, vec![0, 0, 0]);
     }
 
+    /// The strict contract: `run_ordered` (what `--strict` and the
+    /// compilation pipeline use) still propagates the first panic.
     #[test]
     #[should_panic(expected = "boom")]
     fn worker_panics_propagate() {
@@ -167,5 +236,39 @@ mod tests {
             assert!(x != 2, "boom");
             x
         });
+    }
+
+    /// The isolated contract: a deterministic panic degrades to a
+    /// `CellFailure` in its own slot after one retry; every other cell
+    /// completes.
+    #[test]
+    fn isolated_pool_degrades_panicking_cells() {
+        let attempts = AtomicUsize::new(0);
+        let results = run_ordered_isolated(vec![1, 2, 3], 2, |_w, x| {
+            if x == 2 {
+                attempts.fetch_add(1, Ordering::Relaxed);
+                panic!("boom on {x}");
+            }
+            x * 10
+        });
+        assert_eq!(results[0], Ok(10));
+        assert_eq!(results[2], Ok(30));
+        let failure = results[1].as_ref().expect_err("cell 2 must fail");
+        assert_eq!(failure.reason, "boom on 2");
+        assert_eq!(failure.attempts, 2);
+        assert_eq!(attempts.load(Ordering::Relaxed), 2, "initial run + one retry");
+    }
+
+    /// A transient panic (fails once, succeeds on retry) is absorbed.
+    #[test]
+    fn isolated_pool_retries_transient_failures() {
+        let first = AtomicUsize::new(0);
+        let results = run_ordered_isolated(vec![7], 1, |_w, x| {
+            if first.fetch_add(1, Ordering::Relaxed) == 0 {
+                panic!("transient");
+            }
+            x
+        });
+        assert_eq!(results, vec![Ok(7)]);
     }
 }

@@ -1,8 +1,10 @@
 //! Executes one (benchmark, configuration) pair and collects every
 //! measurement the figures need.
 
+use std::fmt;
+
 use ade_interp::cost::CostModel;
-use ade_interp::{Interpreter, Phase, SiteProfile, Stats};
+use ade_interp::{ExecError, Interpreter, Phase, SiteProfile, Stats};
 use ade_workloads::{Benchmark, Config, ConfigKind};
 
 /// The measurements from one run.
@@ -35,6 +37,40 @@ impl RunResult {
     /// Peak tracked memory in bytes.
     pub fn peak_bytes(&self) -> usize {
         self.stats.peak_bytes
+    }
+}
+
+/// Why one `(benchmark, configuration)` cell could not produce a
+/// result.
+#[derive(Clone, Debug)]
+pub enum CellError {
+    /// The compiled module failed IR verification.
+    Verify(String),
+    /// The interpreter returned a typed execution error (guest trap,
+    /// limit, missing entry, host failure).
+    Exec(ExecError),
+}
+
+impl CellError {
+    /// Short deterministic reason code, the figure placeholder text
+    /// (`✗(code)`). `"verify"`, `"limit"`, `"trap"` or `"exec"`;
+    /// panicking cells are reported as `"panic"` by the pool layer.
+    pub fn code(&self) -> &'static str {
+        match self {
+            CellError::Verify(_) => "verify",
+            CellError::Exec(e) if e.is_limit() => "limit",
+            CellError::Exec(ExecError::GuestTrap { .. }) => "trap",
+            CellError::Exec(_) => "exec",
+        }
+    }
+}
+
+impl fmt::Display for CellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellError::Verify(e) => write!(f, "verify: {e}"),
+            CellError::Exec(e) => write!(f, "{e}"),
+        }
     }
 }
 
@@ -79,19 +115,48 @@ pub fn run_benchmark_trials_profiled(
     trials: u32,
     profile: bool,
 ) -> RunResult {
+    try_run_benchmark_trials_profiled(bench, kind, scale, trials, profile, None).unwrap_or_else(
+        |e| panic!("[{} {}] {e}", bench.abbrev, kind.name()),
+    )
+}
+
+/// [`run_benchmark_trials_profiled`] returning a typed [`CellError`]
+/// instead of panicking, so the evaluation matrix can degrade one cell
+/// without losing the rest. `fuel_override`, when set, caps the
+/// interpreter's instruction budget for this run (the deterministic
+/// `--inject-fault kind=fuel` hook); `None` leaves the configuration's
+/// limits (off by default) untouched.
+///
+/// # Errors
+///
+/// [`CellError::Verify`] if the compiled module fails verification,
+/// [`CellError::Exec`] if any trial's interpretation fails.
+///
+/// # Panics
+///
+/// Panics if `trials == 0` (a harness bug, not a cell fault).
+pub fn try_run_benchmark_trials_profiled(
+    bench: &Benchmark,
+    kind: ConfigKind,
+    scale: u32,
+    trials: u32,
+    profile: bool,
+    fuel_override: Option<u64>,
+) -> Result<RunResult, CellError> {
     assert!(trials > 0, "at least one trial");
     let config = Config::new(kind);
     let mut module = (bench.build)(scale);
     config.compile(&mut module);
-    ade_ir::verify::verify_module(&module)
-        .unwrap_or_else(|e| panic!("[{} {}] verify: {e}", bench.abbrev, kind.name()));
+    ade_ir::verify::verify_module(&module).map_err(|e| CellError::Verify(e.to_string()))?;
     let mut exec = config.exec.clone();
     exec.profile = profile;
+    if let Some(fuel) = fuel_override {
+        exec.fuel = Some(fuel);
+    }
     let mut best: Option<ade_interp::Outcome> = None;
     for _ in 0..trials {
-        let outcome = Interpreter::new(&module, exec.clone())
-            .run("main")
-            .unwrap_or_else(|e| panic!("[{} {}] run: {e}", bench.abbrev, kind.name()));
+        let outcome =
+            Interpreter::new(&module, exec.clone()).run("main").map_err(CellError::Exec)?;
         let better = best
             .as_ref()
             .is_none_or(|b| outcome.stats.wall_total_ns() < b.stats.wall_total_ns());
@@ -100,13 +165,13 @@ pub fn run_benchmark_trials_profiled(
         }
     }
     let outcome = best.expect("ran at least once");
-    RunResult {
+    Ok(RunResult {
         abbrev: bench.abbrev,
         config: kind,
         output: outcome.output,
         stats: outcome.stats,
         profile: outcome.profile,
-    }
+    })
 }
 
 /// Geometric mean of a sequence of ratios.

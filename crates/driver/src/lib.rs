@@ -62,6 +62,15 @@ pub struct Options {
     /// Write a per-site interpreter profile (JSON) to this path
     /// (implies `run`).
     pub profile: Option<String>,
+    /// Abort execution after this many interpreted instructions
+    /// (`--fuel`; default: unlimited).
+    pub fuel: Option<u64>,
+    /// Abort execution when the heap exceeds this many live cells
+    /// (`--max-heap-cells`; default: unlimited).
+    pub max_heap_cells: Option<usize>,
+    /// Abort execution past this call depth (`--max-depth`; default:
+    /// unlimited).
+    pub max_depth: Option<u32>,
 }
 
 impl Default for Options {
@@ -75,6 +84,9 @@ impl Default for Options {
             trace: TraceMode::Off,
             trace_json: None,
             profile: None,
+            fuel: None,
+            max_heap_cells: None,
+            max_depth: None,
         }
     }
 }
@@ -110,6 +122,20 @@ pub struct DriveError {
     pub phase: &'static str,
     /// Human-readable message.
     pub message: String,
+}
+
+impl DriveError {
+    /// The `adec` process exit code for this failure: 3 for a rejected
+    /// input (`parse`/`verify`), 2 for a usage-class mistake (`config`),
+    /// 1 for a guest failure at runtime (`exec`). 0 is success.
+    #[must_use]
+    pub fn exit_code(&self) -> i32 {
+        match self.phase {
+            "parse" | "verify" => 3,
+            "config" => 2,
+            _ => 1,
+        }
+    }
 }
 
 impl fmt::Display for DriveError {
@@ -173,6 +199,9 @@ pub fn drive(source: &str, options: &Options) -> Result<DriveOutput, DriveError>
     if options.run || options.stats || options.profile.is_some() {
         let mut exec = config.exec.clone();
         exec.profile = options.profile.is_some();
+        exec.fuel = options.fuel.or(exec.fuel);
+        exec.max_heap_cells = options.max_heap_cells.or(exec.max_heap_cells);
+        exec.max_depth = options.max_depth.or(exec.max_depth);
         let outcome = {
             let _span = tracer.span("driver", "exec");
             Interpreter::new(&module, exec)
@@ -208,18 +237,25 @@ fn format_stats(stats: &ade_interp::Stats) -> String {
 /// The `adec` usage text (`--help`, and the trailer of usage errors).
 pub const USAGE: &str = "\
 usage: adec [--config NAME] [--run] [--emit-ir] [--stats] [--entry F]
+            [--fuel N] [--max-heap-cells N] [--max-depth N]
             [--trace[=FILE]] [--trace-json FILE] [--profile FILE] INPUT.memoir
 
-  --config NAME, -c  artifact configuration (memoir, ade, ade-sparse, ...)
-  --run, -r          execute the program after compilation
-  --emit-ir          print the transformed IR (the default action)
-  --stats            print execution statistics (implies --run)
-  --entry F          entry function name (default: main)
-  --trace[=FILE]     human-readable pass/decision log to stderr (or FILE)
-  --trace-json FILE  machine-readable trace events as JSON
-  --profile FILE     per-site interpreter profile as JSON (implies --run);
-                     also prints a hot-site summary to stderr
-  --help, -h         show this message
+  --config NAME, -c    artifact configuration (memoir, ade, ade-sparse, ...)
+  --run, -r            execute the program after compilation
+  --emit-ir            print the transformed IR (the default action)
+  --stats              print execution statistics (implies --run)
+  --entry F            entry function name (default: main)
+  --fuel N             abort execution after N interpreted instructions
+  --max-heap-cells N   abort execution past N live heap cells
+  --max-depth N        abort execution past call depth N
+  --trace[=FILE]       human-readable pass/decision log to stderr (or FILE)
+  --trace-json FILE    machine-readable trace events as JSON
+  --profile FILE       per-site interpreter profile as JSON (implies --run);
+                       also prints a hot-site summary to stderr
+  --help, -h           show this message
+
+exit codes: 0 success, 1 guest trap or limit at runtime, 2 usage error
+(including unknown --config and unreadable input), 3 parse or verify error
 ";
 
 /// A parsed `adec` command line.
@@ -229,6 +265,11 @@ pub enum Cli {
     Help,
     /// Compile the input file under the given options.
     Drive(Options, String),
+}
+
+fn parse_limit(value: Option<String>, flag: &str) -> Result<u64, String> {
+    let v = value.ok_or_else(|| format!("missing value for {flag}"))?;
+    v.parse().map_err(|_| format!("invalid value for {flag}: `{v}`"))
 }
 
 /// Parses `adec` command-line arguments into options plus an input path.
@@ -252,6 +293,21 @@ pub fn parse_args<I: Iterator<Item = String>>(args: I) -> Result<Cli, String> {
             "--stats" => options.stats = true,
             "--entry" => {
                 options.entry = args.next().ok_or("missing value for --entry")?;
+            }
+            "--fuel" => {
+                options.fuel = Some(parse_limit(args.next(), "--fuel")?);
+            }
+            "--max-heap-cells" => {
+                let cells = parse_limit(args.next(), "--max-heap-cells")?;
+                let cells = usize::try_from(cells)
+                    .map_err(|_| "value for --max-heap-cells out of range".to_string())?;
+                options.max_heap_cells = Some(cells);
+            }
+            "--max-depth" => {
+                let depth = parse_limit(args.next(), "--max-depth")?;
+                let depth = u32::try_from(depth)
+                    .map_err(|_| "value for --max-depth out of range".to_string())?;
+                options.max_depth = Some(depth);
             }
             "--trace" => options.trace = TraceMode::Stderr,
             "--trace-json" => {
@@ -388,6 +444,41 @@ fn @main() -> void {
         assert_eq!(bad_entry.expect_err("fails").phase, "exec");
     }
 
+    #[test]
+    fn exit_codes_follow_the_phase_contract() {
+        for (phase, code) in [("parse", 3), ("verify", 3), ("config", 2), ("exec", 1)] {
+            let e = DriveError { phase, message: String::new() };
+            assert_eq!(e.exit_code(), code, "{phase}");
+        }
+    }
+
+    #[test]
+    fn execution_limits_surface_as_exec_errors() {
+        let opts = Options {
+            run: true,
+            fuel: Some(3),
+            ..Options::default()
+        };
+        let e = drive(PROGRAM, &opts).expect_err("fuel budget of 3 must trip");
+        assert_eq!(e.phase, "exec");
+        assert!(e.message.contains("fuel exhausted"), "{e}");
+        assert_eq!(e.exit_code(), 1);
+
+        // The same program under an ample budget is unaffected.
+        let ok = drive(
+            PROGRAM,
+            &Options {
+                run: true,
+                fuel: Some(1_000_000),
+                max_depth: Some(64),
+                max_heap_cells: Some(1 << 20),
+                ..Options::default()
+            },
+        )
+        .expect("ample limits do not trip");
+        assert_eq!(ok.program_output.as_deref(), Some("5\n"));
+    }
+
     fn parse_drive(args: &[&str]) -> Result<(Options, String), String> {
         match parse_args(args.iter().map(|s| s.to_string()))? {
             Cli::Drive(opts, input) => Ok((opts, input)),
@@ -413,6 +504,27 @@ fn @main() -> void {
         assert!(parse_drive(&["a", "b"]).is_err());
         assert!(parse_drive(&["--trace-json"]).is_err());
         assert!(parse_drive(&["--profile"]).is_err());
+    }
+
+    #[test]
+    fn cli_limit_flags() {
+        let (opts, _) = parse_drive(&[
+            "--fuel",
+            "1000",
+            "--max-heap-cells",
+            "256",
+            "--max-depth",
+            "8",
+            "p.memoir",
+        ])
+        .expect("parses");
+        assert_eq!(opts.fuel, Some(1000));
+        assert_eq!(opts.max_heap_cells, Some(256));
+        assert_eq!(opts.max_depth, Some(8));
+
+        assert!(parse_drive(&["--fuel", "p.memoir"]).is_err(), "non-numeric value");
+        assert!(parse_drive(&["--max-depth"]).is_err(), "missing value");
+        assert!(parse_drive(&["--max-depth", "5000000000", "p.memoir"]).is_err(), "overflow");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! adec [--config NAME] [--run] [--emit-ir] [--stats] [--entry F]
+//!      [--fuel N] [--max-heap-cells N] [--max-depth N]
 //!      [--trace[=FILE]] [--trace-json FILE] [--profile FILE] INPUT.memoir
 //! ```
 //!
@@ -11,6 +12,12 @@
 //! — `--trace=FILE` redirects it, `--trace-json FILE` dumps the raw
 //! events as JSON. `--profile FILE` executes the program with per-site
 //! profiling and writes a JSON profile plus a hot-site summary.
+//! `--fuel`/`--max-heap-cells`/`--max-depth` bound execution; a tripped
+//! limit reports a typed error, like any guest trap.
+//!
+//! Exit codes: 0 success; 1 guest trap or limit at runtime; 2 usage
+//! error (bad flags, unknown `--config`, unreadable input); 3 parse or
+//! verify error.
 
 use ade_driver::{Cli, TraceMode, USAGE};
 
@@ -31,7 +38,7 @@ fn main() {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: cannot read {input}: {e}");
-            std::process::exit(1);
+            std::process::exit(2);
         }
     };
     match ade_driver::drive(&source, &options) {
@@ -71,7 +78,7 @@ fn main() {
         }
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(1);
+            std::process::exit(e.exit_code());
         }
     }
 }

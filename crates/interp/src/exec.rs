@@ -20,6 +20,7 @@ use crate::decode::{DAccess, DFunc, DInst, DOp, DPath, DScalar, DecodedModule};
 use crate::heap::{CollId, Collection, SelectionDefaults};
 use crate::profile::{Recorder, SiteProfile};
 use crate::stats::{CollOp, ImplKind, Phase, Stats};
+use crate::trap::{Limit, TrapKind, TrapSite};
 use crate::value::{Res, Value};
 
 /// Interpreter configuration.
@@ -28,9 +29,17 @@ use crate::value::{Res, Value};
 pub struct ExecConfig {
     /// Implementations for empty (`Auto`) selections.
     pub defaults: SelectionDefaults,
-    /// Instruction budget; `None` means unlimited. Guards differential
-    /// tests against accidental non-termination.
+    /// Instruction budget; `None` (the default) means unlimited. Guards
+    /// differential tests against accidental non-termination.
     pub fuel: Option<u64>,
+    /// Collection-allocation budget; `None` (the default) means
+    /// unlimited. Bounds the heap a runaway or miscompiled configuration
+    /// can claim.
+    pub max_heap_cells: Option<usize>,
+    /// Nested region/call depth budget; `None` (the default) means
+    /// unlimited. Every call enters at least one region, so this bounds
+    /// guest recursion transitively.
+    pub max_depth: Option<u32>,
     /// Record a per-instruction-site profile (see [`crate::profile`]).
     /// Costs nothing when `false`: the hot loop's only extra work is a
     /// branch on an `Option` discriminant.
@@ -38,20 +47,102 @@ pub struct ExecConfig {
 }
 
 
-/// A runtime failure (missing entry point or exhausted fuel).
+/// A runtime failure, classified so harnesses can degrade per failure
+/// class instead of aborting: guest undefined behavior becomes
+/// [`ExecError::GuestTrap`], configured budgets raise
+/// [`ExecError::LimitExceeded`], and host-side conditions keep their own
+/// arms.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ExecError {
-    /// Human-readable message.
-    pub message: String,
+pub enum ExecError {
+    /// The requested entry function does not exist.
+    NoEntry {
+        /// The entry name that was looked up.
+        entry: String,
+    },
+    /// Guest undefined behavior, trapped with its classification and
+    /// (when known) the instruction site that raised it.
+    GuestTrap {
+        /// Function and decoded-instruction index, when attributable.
+        site: Option<TrapSite>,
+        /// What went wrong.
+        kind: TrapKind,
+    },
+    /// A configured execution budget ([`ExecConfig::fuel`],
+    /// [`ExecConfig::max_heap_cells`], [`ExecConfig::max_depth`]) ran
+    /// out.
+    LimitExceeded {
+        /// Which budget.
+        limit: Limit,
+        /// The configured budget value.
+        budget: u64,
+    },
+    /// A host-side failure (e.g. the interpreter thread could not be
+    /// spawned) — not attributable to the guest program.
+    Host {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl ExecError {
+    /// Short machine-readable failure code, stable across releases:
+    /// `no-entry`, `host`, a [`TrapKind`] code, or a [`Limit`] code.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ExecError::NoEntry { .. } => "no-entry",
+            ExecError::GuestTrap { kind, .. } => kind.code(),
+            ExecError::LimitExceeded { limit, .. } => limit.code(),
+            ExecError::Host { .. } => "host",
+        }
+    }
+
+    /// Whether this failure is a budget violation rather than guest UB.
+    pub fn is_limit(&self) -> bool {
+        matches!(self, ExecError::LimitExceeded { .. })
+    }
 }
 
 impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "execution error: {}", self.message)
+        match self {
+            ExecError::NoEntry { entry } => {
+                write!(f, "execution error: no function named @{entry}")
+            }
+            ExecError::GuestTrap {
+                site: Some(site),
+                kind,
+            } => write!(f, "guest trap at {site}: {kind}"),
+            ExecError::GuestTrap { site: None, kind } => write!(f, "guest trap: {kind}"),
+            ExecError::LimitExceeded {
+                limit: Limit::Fuel,
+                budget,
+            } => write!(f, "execution error: fuel exhausted after {budget} instructions"),
+            ExecError::LimitExceeded {
+                limit: Limit::HeapCells,
+                budget,
+            } => write!(
+                f,
+                "execution error: heap-cell budget exceeded ({budget} collections)"
+            ),
+            ExecError::LimitExceeded {
+                limit: Limit::Depth,
+                budget,
+            } => write!(
+                f,
+                "execution error: region/call depth limit exceeded ({budget})"
+            ),
+            ExecError::Host { message } => write!(f, "execution error: {message}"),
+        }
     }
 }
 
 impl std::error::Error for ExecError {}
+
+/// Shorthand for a site-less guest trap; [`Interpreter::exec_region`]
+/// fills in the site as the error unwinds past the raising instruction.
+fn trap(kind: TrapKind) -> ExecError {
+    ExecError::GuestTrap { site: None, kind }
+}
 
 /// The result of a program run.
 #[derive(Debug, Clone)]
@@ -105,6 +196,7 @@ pub struct Interpreter<'m> {
     phase: Phase,
     tracked_bytes: usize,
     fuel_used: u64,
+    depth: u32,
     /// `Some` only when [`ExecConfig::profile`]; boxed so the disabled
     /// case costs one word in the interpreter struct.
     profiler: Option<Box<Recorder>>,
@@ -125,6 +217,7 @@ impl<'m> Interpreter<'m> {
             phase: Phase::Init,
             tracked_bytes: 0,
             fuel_used: 0,
+            depth: 0,
             profiler: None,
         }
     }
@@ -133,8 +226,9 @@ impl<'m> Interpreter<'m> {
     ///
     /// # Errors
     ///
-    /// Returns an [`ExecError`] if the entry point does not exist or the
-    /// configured fuel runs out.
+    /// Returns an [`ExecError`] if the entry point does not exist, guest
+    /// undefined behavior is trapped, or a configured execution limit
+    /// (fuel, heap cells, depth) runs out.
     pub fn run(self, entry: &str) -> Result<Outcome, ExecError> {
         // Guest programs may recurse deeply (the IR has first-class
         // calls); debug-build interpreter frames would exhaust a worker
@@ -152,11 +246,11 @@ impl<'m> Interpreter<'m> {
             match builder.spawn_scoped(scope, move || interp.run_inline(entry)) {
                 Ok(handle) => match handle.join() {
                     Ok(result) => result,
-                    // Guest undefined behavior panics with a diagnostic;
-                    // keep the payload instead of replacing the message.
+                    // Guest undefined behavior returns a typed error;
+                    // only genuine host bugs panic, and those propagate.
                     Err(payload) => std::panic::resume_unwind(payload),
                 },
-                Err(spawn_err) => Err(ExecError {
+                Err(spawn_err) => Err(ExecError::Host {
                     message: format!(
                         "could not start the interpreter thread ({spawn_err});                          use run_inline on a thread with adequate stack"
                     ),
@@ -172,8 +266,8 @@ impl<'m> Interpreter<'m> {
     /// avoid per-run thread-spawn overhead).
     pub fn run_inline(mut self, entry: &str) -> Result<Outcome, ExecError> {
         let Some(fid) = self.module.function_by_name(entry) else {
-            return Err(ExecError {
-                message: format!("no function named @{entry}"),
+            return Err(ExecError::NoEntry {
+                entry: entry.to_string(),
             });
         };
         let decoded = DecodedModule::decode(self.module);
@@ -244,7 +338,15 @@ impl<'m> Interpreter<'m> {
         }
     }
 
-    fn alloc_collection(&mut self, ty: &Type) -> CollId {
+    fn alloc_collection(&mut self, ty: &Type) -> Result<CollId, ExecError> {
+        if let Some(max) = self.config.max_heap_cells {
+            if self.heap.len() >= max {
+                return Err(ExecError::LimitExceeded {
+                    limit: Limit::HeapCells,
+                    budget: max as u64,
+                });
+            }
+        }
         let coll = Collection::new_for(ty, self.config.defaults);
         let bytes = coll.bytes_estimate();
         let id = CollId(u32::try_from(self.heap.len()).expect("heap fits u32"));
@@ -253,13 +355,13 @@ impl<'m> Interpreter<'m> {
         self.coll_bytes.push(bytes);
         self.tracked_bytes += bytes;
         self.sample_peak();
-        id
+        Ok(id)
     }
 
     /// The default value for a freshly inserted map slot, allocating
     /// nested empty collections as needed (paper §III-G nesting).
-    fn default_value(&mut self, ty: &Type) -> Value {
-        match ty {
+    fn default_value(&mut self, ty: &Type) -> Result<Value, ExecError> {
+        Ok(match ty {
             Type::Void => Value::Void,
             Type::Bool => Value::Bool(false),
             Type::U64 => Value::U64(0),
@@ -268,42 +370,58 @@ impl<'m> Interpreter<'m> {
             Type::Str => Value::Str("".into()),
             Type::Idx => Value::Idx(0),
             Type::Tuple(elems) => {
-                let vals = elems.iter().map(|t| self.default_value(t)).collect();
+                let vals = elems
+                    .iter()
+                    .map(|t| self.default_value(t))
+                    .collect::<Result<_, _>>()?;
                 Value::Tuple(std::sync::Arc::new(vals))
             }
-            coll => Value::Coll(self.alloc_collection(coll)),
-        }
+            coll => Value::Coll(self.alloc_collection(coll)?),
+        })
     }
 
     /// Resolves an operand. Plain slots borrow from the frame (no clone);
     /// nested paths are walked, counting each indexing step as a read on
     /// the collection at that level.
     #[inline]
-    fn resolve<'a>(&mut self, frame: &'a [Value], op: &DOp) -> Res<'a> {
+    fn resolve<'a>(&mut self, frame: &'a [Value], op: &DOp) -> Result<Res<'a>, ExecError> {
         match op {
-            DOp::Slot(s) => Res::Ref(&frame[*s as usize]),
-            DOp::Path(p) => Res::Owned(self.resolve_path(frame, p)),
+            DOp::Slot(s) => Ok(Res::Ref(&frame[*s as usize])),
+            DOp::Path(p) => Ok(Res::Owned(self.resolve_path(frame, p)?)),
         }
     }
 
-    fn resolve_path(&mut self, frame: &[Value], p: &DPath) -> Value {
+    fn resolve_path(&mut self, frame: &[Value], p: &DPath) -> Result<Value, ExecError> {
         let mut cur = frame[p.base as usize].clone();
         for access in p.path.iter() {
             cur = match access {
                 DAccess::Index(s) => {
-                    let id = cur.as_coll();
+                    let id = cur.try_as_coll().map_err(trap)?;
                     let imp = self.impl_of(id);
                     self.bump(imp, CollOp::Read, 1);
                     let key = self.path_key(frame, s, id);
-                    self.heap[id.0 as usize].read(&key)
+                    self.heap[id.0 as usize].try_read(&key).map_err(trap)?
                 }
                 DAccess::Field(n) => match cur {
-                    Value::Tuple(t) => t[*n as usize].clone(),
-                    other => panic!("field access on {other:?}"),
+                    Value::Tuple(t) => t
+                        .get(*n as usize)
+                        .cloned()
+                        .ok_or_else(|| {
+                            trap(TrapKind::OutOfBounds {
+                                index: u64::from(*n),
+                                len: t.len(),
+                            })
+                        })?,
+                    other => {
+                        return Err(trap(TrapKind::TypeMismatch {
+                            expected: "tuple",
+                            got: format!("{other:?}"),
+                        }))
+                    }
                 },
             };
         }
-        cur
+        Ok(cur)
     }
 
     fn path_key(&mut self, frame: &[Value], s: &DScalar, id: CollId) -> Value {
@@ -357,10 +475,10 @@ impl<'m> Interpreter<'m> {
     /// Resolves an operand that must denote a collection, returning its
     /// handle (navigating and counting nested reads).
     #[inline]
-    fn resolve_coll(&mut self, frame: &[Value], op: &DOp) -> CollId {
+    fn resolve_coll(&mut self, frame: &[Value], op: &DOp) -> Result<CollId, ExecError> {
         match op {
-            DOp::Slot(s) => frame[*s as usize].as_coll(),
-            DOp::Path(p) => self.resolve_path(frame, p).as_coll(),
+            DOp::Slot(s) => frame[*s as usize].try_as_coll().map_err(trap),
+            DOp::Path(p) => self.resolve_path(frame, p)?.try_as_coll().map_err(trap),
         }
     }
 
@@ -372,18 +490,49 @@ impl<'m> Interpreter<'m> {
         phase_start: &mut Instant,
     ) -> Result<Option<Value>, ExecError> {
         let func = d.func(fid);
-        assert_eq!(args.len(), func.params.len(), "call arity");
+        if args.len() != func.params.len() {
+            // The verifier rejects arity mismatches; guard anyway so an
+            // unverified module traps instead of corrupting the frame.
+            return Err(trap(TrapKind::Malformed {
+                what: "call arity mismatch",
+            }));
+        }
         let mut frame = vec![Value::Void; func.frame_size as usize];
         for (&p, a) in func.params.iter().zip(args) {
             frame[p as usize] = a;
         }
         match self.exec_region(d, fid, func, &mut frame, func.body, phase_start)? {
             Flow::Ret(v) => Ok(v),
-            _ => panic!("function body ended without ret"),
+            _ => Err(trap(TrapKind::Malformed {
+                what: "function body ended without ret",
+            })),
         }
     }
 
     fn exec_region(
+        &mut self,
+        d: &DecodedModule<'_>,
+        fid: FuncId,
+        func: &DFunc,
+        frame: &mut Vec<Value>,
+        region: u32,
+        phase_start: &mut Instant,
+    ) -> Result<Flow, ExecError> {
+        if let Some(max) = self.config.max_depth {
+            if self.depth >= max {
+                return Err(ExecError::LimitExceeded {
+                    limit: Limit::Depth,
+                    budget: u64::from(max),
+                });
+            }
+        }
+        self.depth += 1;
+        let flow = self.exec_region_inner(d, fid, func, frame, region, phase_start);
+        self.depth -= 1;
+        flow
+    }
+
+    fn exec_region_inner(
         &mut self,
         d: &DecodedModule<'_>,
         fid: FuncId,
@@ -398,8 +547,9 @@ impl<'m> Interpreter<'m> {
             self.fuel_used += 1;
             if let Some(fuel) = self.config.fuel {
                 if self.fuel_used > fuel {
-                    return Err(ExecError {
-                        message: format!("fuel exhausted after {fuel} instructions"),
+                    return Err(ExecError::LimitExceeded {
+                        limit: Limit::Fuel,
+                        budget: fuel,
                     });
                 }
             }
@@ -409,12 +559,27 @@ impl<'m> Interpreter<'m> {
             if let Some(p) = self.profiler.as_deref_mut() {
                 p.set_site(fid.0, idx as u32);
             }
-            match self.exec_inst(d, fid, func, frame, inst, phase_start)? {
-                Flow::Continue => {}
-                other => return Ok(other),
+            match self.exec_inst(d, fid, func, frame, inst, phase_start) {
+                Ok(Flow::Continue) => {}
+                Ok(other) => return Ok(other),
+                // A trap bubbling up without a site is ours: attribute it
+                // to the instruction that raised it. Traps from nested
+                // regions/calls arrive already sited and pass through.
+                Err(ExecError::GuestTrap { site: None, kind }) => {
+                    return Err(ExecError::GuestTrap {
+                        site: Some(TrapSite {
+                            func: self.module.funcs[fid.index()].name.clone(),
+                            inst: idx as u32,
+                        }),
+                        kind,
+                    })
+                }
+                Err(other) => return Err(other),
             }
         }
-        panic!("region fell through without a terminator");
+        Err(trap(TrapKind::Malformed {
+            what: "region fell through without a terminator",
+        }))
     }
 
     /// Control-flow instructions recurse through `exec_region`; keeping
@@ -435,8 +600,8 @@ impl<'m> Interpreter<'m> {
             DInst::Call { callee, args, dst } => {
                 let args: Vec<Value> = args
                     .iter()
-                    .map(|op| self.resolve(frame, op).into_owned())
-                    .collect();
+                    .map(|op| self.resolve(frame, op).map(Res::into_owned))
+                    .collect::<Result<_, _>>()?;
                 let result = self.call_function(d, *callee, args, phase_start)?;
                 if let Some(dst) = dst {
                     frame[*dst as usize] = result.unwrap_or(Value::Void);
@@ -449,7 +614,7 @@ impl<'m> Interpreter<'m> {
                 else_r,
                 dsts,
             } => {
-                let cond = self.resolve(frame, cond).as_bool();
+                let cond = self.resolve(frame, cond)?.try_as_bool().map_err(trap)?;
                 let region = if cond { *then_r } else { *else_r };
                 match self.exec_region(d, fid, func, frame, region, phase_start)? {
                     Flow::Yield(vals) => {
@@ -467,14 +632,15 @@ impl<'m> Interpreter<'m> {
             DInst::Yield { ops } => {
                 let vals = ops
                     .iter()
-                    .map(|op| self.resolve(frame, op).into_owned())
-                    .collect();
+                    .map(|op| self.resolve(frame, op).map(Res::into_owned))
+                    .collect::<Result<_, _>>()?;
                 Ok(Flow::Yield(vals))
             }
             DInst::Ret { op } => {
-                let v = op
-                    .as_ref()
-                    .map(|op| self.resolve(frame, op).into_owned());
+                let v = match op {
+                    Some(op) => Some(self.resolve(frame, op)?.into_owned()),
+                    None => None,
+                };
                 Ok(Flow::Ret(v))
             }
             DInst::Roi { begin } => {
@@ -487,7 +653,7 @@ impl<'m> Interpreter<'m> {
                 Ok(Flow::Continue)
             }
             simple => {
-                self.exec_simple_inst(func, frame, simple);
+                self.exec_simple_inst(func, frame, simple)?;
                 Ok(Flow::Continue)
             }
         }
@@ -496,7 +662,12 @@ impl<'m> Interpreter<'m> {
     /// Straight-line (non-control) opcodes.
     #[allow(clippy::too_many_lines)]
     #[inline(never)]
-    fn exec_simple_inst(&mut self, func: &DFunc, frame: &mut Vec<Value>, inst: &DInst) {
+    fn exec_simple_inst(
+        &mut self,
+        func: &DFunc,
+        frame: &mut Vec<Value>,
+        inst: &DInst,
+    ) -> Result<(), ExecError> {
         match inst {
             DInst::Const { pool, dst } => {
                 frame[*dst as usize] = func.consts[*pool as usize].clone();
@@ -504,19 +675,19 @@ impl<'m> Interpreter<'m> {
             DInst::New { ty, dst } => {
                 let ty = &func.types[*ty as usize];
                 let v = if ty.is_collection() {
-                    Value::Coll(self.alloc_collection(ty))
+                    Value::Coll(self.alloc_collection(ty)?)
                 } else {
-                    self.default_value(ty)
+                    self.default_value(ty)?
                 };
                 frame[*dst as usize] = v;
             }
             DInst::Read { coll, key, dst } => {
-                let id = self.resolve_coll(frame, coll);
-                let key = self.resolve(frame, key);
+                let id = self.resolve_coll(frame, coll)?;
+                let key = self.resolve(frame, key)?;
                 let key = self.coerce_key_res(id, key);
                 let imp = self.impl_of(id);
                 self.bump(imp, CollOp::Read, 1);
-                let v = self.heap[id.0 as usize].read(&key);
+                let v = self.heap[id.0 as usize].try_read(&key).map_err(trap)?;
                 frame[*dst as usize] = v;
             }
             DInst::Write {
@@ -525,32 +696,32 @@ impl<'m> Interpreter<'m> {
                 val,
                 dst,
             } => {
-                let id = self.resolve_coll(frame, coll);
-                let key = self.resolve(frame, key);
+                let id = self.resolve_coll(frame, coll)?;
+                let key = self.resolve(frame, key)?;
                 let key = self.coerce_key_res(id, key);
-                let value = self.resolve(frame, val).into_owned();
+                let value = self.resolve(frame, val)?.into_owned();
                 let imp = self.impl_of(id);
                 self.bump(imp, CollOp::Write, 1);
-                self.heap[id.0 as usize].write(&key, value);
+                self.heap[id.0 as usize].try_write(&key, value).map_err(trap)?;
                 self.refresh_bytes(id);
                 frame[*dst as usize] = frame[coll.base_slot() as usize].clone();
             }
             DInst::Has { coll, key, dst } => {
-                let id = self.resolve_coll(frame, coll);
-                let key = self.resolve(frame, key);
+                let id = self.resolve_coll(frame, coll)?;
+                let key = self.resolve(frame, key)?;
                 let key = self.coerce_key_res(id, key);
                 let imp = self.impl_of(id);
                 self.bump(imp, CollOp::Has, 1);
-                let v = self.heap[id.0 as usize].has(&key);
+                let v = self.heap[id.0 as usize].try_has(&key).map_err(trap)?;
                 frame[*dst as usize] = Value::Bool(v);
             }
             DInst::InsertSet { coll, elem, dst } => {
-                let id = self.resolve_coll(frame, coll);
+                let id = self.resolve_coll(frame, coll)?;
                 let imp = self.impl_of(id);
                 self.bump(imp, CollOp::Insert, 1);
-                let elem = self.resolve(frame, elem).into_owned();
+                let elem = self.resolve(frame, elem)?.into_owned();
                 let elem = self.coerce_key(id, elem);
-                self.heap[id.0 as usize].insert_elem(elem);
+                self.heap[id.0 as usize].try_insert_elem(elem).map_err(trap)?;
                 self.refresh_bytes(id);
                 frame[*dst as usize] = frame[coll.base_slot() as usize].clone();
             }
@@ -560,15 +731,17 @@ impl<'m> Interpreter<'m> {
                 val_ty,
                 dst,
             } => {
-                let id = self.resolve_coll(frame, coll);
+                let id = self.resolve_coll(frame, coll)?;
                 let imp = self.impl_of(id);
                 self.bump(imp, CollOp::Insert, 1);
-                let key = self.resolve(frame, key);
+                let key = self.resolve(frame, key)?;
                 let key = self.coerce_key_res(id, key);
                 // Only allocate a default if the key is absent.
-                if !self.heap[id.0 as usize].has(&key) {
-                    let default = self.default_value(&func.types[*val_ty as usize]);
-                    self.heap[id.0 as usize].insert_key_default(&key, default);
+                if !self.heap[id.0 as usize].try_has(&key).map_err(trap)? {
+                    let default = self.default_value(&func.types[*val_ty as usize])?;
+                    self.heap[id.0 as usize]
+                        .try_insert_key_default(&key, default)
+                        .map_err(trap)?;
                 }
                 self.refresh_bytes(id);
                 frame[*dst as usize] = frame[coll.base_slot() as usize].clone();
@@ -579,27 +752,29 @@ impl<'m> Interpreter<'m> {
                 val,
                 dst,
             } => {
-                let id = self.resolve_coll(frame, coll);
+                let id = self.resolve_coll(frame, coll)?;
                 let imp = self.impl_of(id);
                 self.bump(imp, CollOp::Insert, 1);
-                let index = self.resolve(frame, index).as_u64() as usize;
-                let value = self.resolve(frame, val).into_owned();
-                self.heap[id.0 as usize].insert_seq(index, value);
+                let index = self.resolve(frame, index)?.try_as_u64().map_err(trap)? as usize;
+                let value = self.resolve(frame, val)?.into_owned();
+                self.heap[id.0 as usize]
+                    .try_insert_seq(index, value)
+                    .map_err(trap)?;
                 self.refresh_bytes(id);
                 frame[*dst as usize] = frame[coll.base_slot() as usize].clone();
             }
             DInst::Remove { coll, key, dst } => {
-                let id = self.resolve_coll(frame, coll);
-                let key = self.resolve(frame, key);
+                let id = self.resolve_coll(frame, coll)?;
+                let key = self.resolve(frame, key)?;
                 let key = self.coerce_key_res(id, key);
                 let imp = self.impl_of(id);
                 self.bump(imp, CollOp::Remove, 1);
-                self.heap[id.0 as usize].remove(&key);
+                self.heap[id.0 as usize].try_remove(&key).map_err(trap)?;
                 self.refresh_bytes(id);
                 frame[*dst as usize] = frame[coll.base_slot() as usize].clone();
             }
             DInst::Clear { coll, dst } => {
-                let id = self.resolve_coll(frame, coll);
+                let id = self.resolve_coll(frame, coll)?;
                 let imp = self.impl_of(id);
                 self.bump(imp, CollOp::Clear, 1);
                 self.heap[id.0 as usize].clear();
@@ -607,7 +782,7 @@ impl<'m> Interpreter<'m> {
                 frame[*dst as usize] = frame[coll.base_slot() as usize].clone();
             }
             DInst::Size { coll, dst } => {
-                let id = self.resolve_coll(frame, coll);
+                let id = self.resolve_coll(frame, coll)?;
                 let imp = self.impl_of(id);
                 self.bump(imp, CollOp::Size, 1);
                 let n = self.heap[id.0 as usize].len() as u64;
@@ -619,68 +794,83 @@ impl<'m> Interpreter<'m> {
                 elem_ty,
                 dst,
             } => {
-                let dst_id = self.resolve_coll(frame, dst_coll);
-                let src_id = self.resolve_coll(frame, src_coll);
-                self.union_into(dst_id, src_id, &func.types[*elem_ty as usize]);
+                let dst_id = self.resolve_coll(frame, dst_coll)?;
+                let src_id = self.resolve_coll(frame, src_coll)?;
+                self.union_into(dst_id, src_id, &func.types[*elem_ty as usize])?;
                 self.refresh_bytes(dst_id);
                 frame[*dst as usize] = frame[dst_coll.base_slot() as usize].clone();
             }
             DInst::Bin { op, a, b, dst } => {
-                let va = self.resolve(frame, a);
-                let vb = self.resolve(frame, b);
-                let v = eval_bin(*op, &va, &vb);
+                let va = self.resolve(frame, a)?;
+                let vb = self.resolve(frame, b)?;
+                let v = eval_bin(*op, &va, &vb).map_err(trap)?;
                 frame[*dst as usize] = v;
             }
             DInst::Cmp { op, a, b, dst } => {
-                let va = self.resolve(frame, a);
-                let vb = self.resolve(frame, b);
+                let va = self.resolve(frame, a)?;
+                let vb = self.resolve(frame, b)?;
                 let v = Value::Bool(eval_cmp(*op, &va, &vb));
                 frame[*dst as usize] = v;
             }
             DInst::Not { a, dst } => {
-                let v = !self.resolve(frame, a).as_bool();
+                let v = !self.resolve(frame, a)?.try_as_bool().map_err(trap)?;
                 frame[*dst as usize] = Value::Bool(v);
             }
             DInst::Cast { ty, a, dst } => {
-                let a = self.resolve(frame, a);
-                let v = eval_cast(&a, &func.types[*ty as usize]);
+                let a = self.resolve(frame, a)?;
+                let v = eval_cast(&a, &func.types[*ty as usize]).map_err(trap)?;
                 frame[*dst as usize] = v;
             }
             DInst::Print { ops } => {
                 let parts: Vec<String> = ops
                     .iter()
-                    .map(|op| self.resolve(frame, op).to_string())
-                    .collect();
+                    .map(|op| self.resolve(frame, op).map(|v| v.to_string()))
+                    .collect::<Result<_, _>>()?;
                 let _ = writeln!(self.output, "{}", parts.join(" "));
             }
             DInst::Enc { e, v, dst } => {
-                let key = self.resolve(frame, v);
+                let key = self.resolve(frame, v)?;
                 self.bump(ImplKind::EnumEnc, CollOp::Read, 1);
                 // Values outside the enumeration encode to a sentinel
                 // identifier that is a member of no collection: the
                 // paper leaves @enc undefined there, and ADE only emits
                 // such encodes for membership probes (`has`, `remove`,
-                // guarded `read`), which must observe absence.
+                // guarded `read`), which must observe absence. A dense
+                // insert of the sentinel raises a typed trap instead.
                 let idx = self.enums[*e as usize]
                     .enc
                     .get(&key)
                     .copied()
-                    .unwrap_or(usize::MAX);
+                    .unwrap_or(crate::trap::ENC_SENTINEL);
                 frame[*dst as usize] = Value::Idx(idx);
             }
             DInst::Dec { e, v, dst } => {
-                let idx = self.resolve(frame, v).as_index();
+                let idx = self.resolve(frame, v)?.try_as_index().map_err(trap)?;
                 self.bump(ImplKind::EnumDec, CollOp::Read, 1);
-                let v = self.enums[*e as usize].dec[idx].clone();
+                let v = self.enums[*e as usize]
+                    .dec
+                    .get(idx)
+                    .cloned()
+                    .ok_or_else(|| {
+                        trap(TrapKind::OutOfBounds {
+                            index: idx as u64,
+                            len: self.enums[*e as usize].dec.len(),
+                        })
+                    })?;
                 frame[*dst as usize] = v;
             }
             DInst::EnumAdd { e, v, dst } => {
-                let key = self.resolve(frame, v).into_owned();
+                let key = self.resolve(frame, v)?.into_owned();
                 let idx = self.enum_add(*e as usize, key);
                 frame[*dst as usize] = Value::Idx(idx);
             }
-            other => panic!("control opcode {other:?} reached exec_simple_inst"),
+            other => {
+                // The decoder routes every control opcode to `exec_inst`;
+                // reaching here is a host bug, not guest UB.
+                panic!("control opcode {other:?} reached exec_simple_inst")
+            }
         }
+        Ok(())
     }
 
     #[inline(never)]
@@ -704,7 +894,7 @@ impl<'m> Interpreter<'m> {
         else {
             unreachable!()
         };
-        let id = self.resolve_coll(frame, coll);
+        let id = self.resolve_coll(frame, coll)?;
         let imp = self.impl_of(id);
         let mut entries = self.heap[id.0 as usize].snapshot();
         let words = self.heap[id.0 as usize].iter_scan_words();
@@ -720,8 +910,8 @@ impl<'m> Interpreter<'m> {
         let args = &func.regions[*body as usize].args;
         let mut carried: Vec<Value> = carried_ops
             .iter()
-            .map(|op| self.resolve(frame, op).into_owned())
-            .collect();
+            .map(|op| self.resolve(frame, op).map(Res::into_owned))
+            .collect::<Result<_, _>>()?;
         for (key, value) in entries {
             let mut slot = 0;
             frame[args[slot] as usize] = key;
@@ -764,13 +954,13 @@ impl<'m> Interpreter<'m> {
         else {
             unreachable!()
         };
-        let lo = self.resolve(frame, lo).as_u64();
-        let hi = self.resolve(frame, hi).as_u64();
+        let lo = self.resolve(frame, lo)?.try_as_u64().map_err(trap)?;
+        let hi = self.resolve(frame, hi)?.try_as_u64().map_err(trap)?;
         let args = &func.regions[*body as usize].args;
         let mut carried: Vec<Value> = carried_ops
             .iter()
-            .map(|op| self.resolve(frame, op).into_owned())
-            .collect();
+            .map(|op| self.resolve(frame, op).map(Res::into_owned))
+            .collect::<Result<_, _>>()?;
         for i in lo..hi {
             frame[args[0] as usize] = Value::U64(i);
             for (j, c) in carried.iter().enumerate() {
@@ -808,15 +998,20 @@ impl<'m> Interpreter<'m> {
         let args = &func.regions[*body as usize].args;
         let mut carried: Vec<Value> = carried_ops
             .iter()
-            .map(|op| self.resolve(frame, op).into_owned())
-            .collect();
+            .map(|op| self.resolve(frame, op).map(Res::into_owned))
+            .collect::<Result<_, _>>()?;
         loop {
             for (j, c) in carried.iter().enumerate() {
                 frame[args[j] as usize] = c.clone();
             }
             match self.exec_region(d, fid, func, frame, *body, phase_start)? {
                 Flow::Yield(mut vals) => {
-                    let cond = vals.remove(0).as_bool();
+                    if vals.is_empty() {
+                        return Err(trap(TrapKind::Malformed {
+                            what: "dowhile yield without a condition",
+                        }));
+                    }
+                    let cond = vals.remove(0).try_as_bool().map_err(trap)?;
                     carried = vals;
                     if !cond {
                         break;
@@ -854,9 +1049,14 @@ impl<'m> Interpreter<'m> {
         idx
     }
 
-    fn union_into(&mut self, dst: CollId, src: CollId, dst_elem_ty: &Type) {
+    fn union_into(
+        &mut self,
+        dst: CollId,
+        src: CollId,
+        dst_elem_ty: &Type,
+    ) -> Result<(), ExecError> {
         if dst == src {
-            return;
+            return Ok(());
         }
         let (di, si) = (dst.0 as usize, src.0 as usize);
         let dst_imp = self.impl_of(dst);
@@ -896,37 +1096,48 @@ impl<'m> Interpreter<'m> {
                 for (key, _) in entries {
                     let key = Self::uncoerce_key(dst_elem_ty, key);
                     let key = self.coerce_key(dst, key);
-                    self.heap[di].insert_elem(key);
+                    self.heap[di].try_insert_elem(key).map_err(trap)?;
                 }
             }
         }
+        Ok(())
     }
 }
 
-fn eval_bin(op: BinOp, a: &Value, b: &Value) -> Value {
+fn eval_bin(op: BinOp, a: &Value, b: &Value) -> Result<Value, TrapKind> {
     use Value::*;
-    match (a, b) {
-        (U64(x), U64(y)) => U64(eval_bin_u64(op, *x, *y)),
-        (Idx(x), Idx(y)) => Idx(eval_bin_u64(op, *x as u64, *y as u64) as usize),
-        (I64(x), I64(y)) => I64(eval_bin_i64(op, *x, *y)),
-        (F64(x), F64(y)) => F64(eval_bin_f64(op, *x, *y)),
+    Ok(match (a, b) {
+        (U64(x), U64(y)) => U64(eval_bin_u64(op, *x, *y)?),
+        (Idx(x), Idx(y)) => Idx(eval_bin_u64(op, *x as u64, *y as u64)? as usize),
+        (I64(x), I64(y)) => I64(eval_bin_i64(op, *x, *y)?),
+        (F64(x), F64(y)) => F64(eval_bin_f64(op, *x, *y)?),
         (Bool(x), Bool(y)) => Bool(match op {
             BinOp::And => *x && *y,
             BinOp::Or => *x || *y,
             BinOp::Xor => *x != *y,
-            other => panic!("bool {other:?}"),
+            other => {
+                return Err(TrapKind::TypeMismatch {
+                    expected: "numeric operands",
+                    got: format!("{other:?} on bools"),
+                })
+            }
         }),
-        (a, b) => panic!("bin op {op:?} on {a:?}, {b:?}"),
-    }
+        (a, b) => {
+            return Err(TrapKind::TypeMismatch {
+                expected: "operands of one numeric kind",
+                got: format!("{op:?} on {a:?}, {b:?}"),
+            })
+        }
+    })
 }
 
-fn eval_bin_u64(op: BinOp, x: u64, y: u64) -> u64 {
-    match op {
+fn eval_bin_u64(op: BinOp, x: u64, y: u64) -> Result<u64, TrapKind> {
+    Ok(match op {
         BinOp::Add => x.wrapping_add(y),
         BinOp::Sub => x.wrapping_sub(y),
         BinOp::Mul => x.wrapping_mul(y),
-        BinOp::Div => x / y,
-        BinOp::Rem => x % y,
+        BinOp::Div => x.checked_div(y).ok_or(TrapKind::DivideByZero)?,
+        BinOp::Rem => x.checked_rem(y).ok_or(TrapKind::DivideByZero)?,
         BinOp::Min => x.min(y),
         BinOp::Max => x.max(y),
         BinOp::And => x & y,
@@ -934,16 +1145,16 @@ fn eval_bin_u64(op: BinOp, x: u64, y: u64) -> u64 {
         BinOp::Xor => x ^ y,
         BinOp::Shl => x.wrapping_shl(y as u32),
         BinOp::Shr => x.wrapping_shr(y as u32),
-    }
+    })
 }
 
-fn eval_bin_i64(op: BinOp, x: i64, y: i64) -> i64 {
-    match op {
+fn eval_bin_i64(op: BinOp, x: i64, y: i64) -> Result<i64, TrapKind> {
+    Ok(match op {
         BinOp::Add => x.wrapping_add(y),
         BinOp::Sub => x.wrapping_sub(y),
         BinOp::Mul => x.wrapping_mul(y),
-        BinOp::Div => x / y,
-        BinOp::Rem => x % y,
+        BinOp::Div => x.checked_div(y).ok_or(TrapKind::DivideByZero)?,
+        BinOp::Rem => x.checked_rem(y).ok_or(TrapKind::DivideByZero)?,
         BinOp::Min => x.min(y),
         BinOp::Max => x.max(y),
         BinOp::And => x & y,
@@ -951,11 +1162,11 @@ fn eval_bin_i64(op: BinOp, x: i64, y: i64) -> i64 {
         BinOp::Xor => x ^ y,
         BinOp::Shl => x.wrapping_shl(y as u32),
         BinOp::Shr => x.wrapping_shr(y as u32),
-    }
+    })
 }
 
-fn eval_bin_f64(op: BinOp, x: f64, y: f64) -> f64 {
-    match op {
+fn eval_bin_f64(op: BinOp, x: f64, y: f64) -> Result<f64, TrapKind> {
+    Ok(match op {
         BinOp::Add => x + y,
         BinOp::Sub => x - y,
         BinOp::Mul => x * y,
@@ -963,8 +1174,13 @@ fn eval_bin_f64(op: BinOp, x: f64, y: f64) -> f64 {
         BinOp::Rem => x % y,
         BinOp::Min => x.min(y),
         BinOp::Max => x.max(y),
-        other => panic!("float {other:?}"),
-    }
+        other => {
+            return Err(TrapKind::TypeMismatch {
+                expected: "arithmetic float op",
+                got: format!("{other:?}"),
+            })
+        }
+    })
 }
 
 fn eval_cmp(op: CmpOp, a: &Value, b: &Value) -> bool {
@@ -979,30 +1195,39 @@ fn eval_cmp(op: CmpOp, a: &Value, b: &Value) -> bool {
     }
 }
 
-fn eval_cast(a: &Value, ty: &Type) -> Value {
+fn eval_cast(a: &Value, ty: &Type) -> Result<Value, TrapKind> {
+    let uncastable = |v: &Value| TrapKind::TypeMismatch {
+        expected: "castable scalar",
+        got: format!("{v:?}"),
+    };
     let as_f64 = |v: &Value| match v {
-        Value::U64(n) => *n as f64,
-        Value::I64(n) => *n as f64,
-        Value::F64(n) => *n,
-        Value::Idx(n) => *n as f64,
-        Value::Bool(b) => f64::from(u8::from(*b)),
-        other => panic!("cast of {other:?}"),
+        Value::U64(n) => Ok(*n as f64),
+        Value::I64(n) => Ok(*n as f64),
+        Value::F64(n) => Ok(*n),
+        Value::Idx(n) => Ok(*n as f64),
+        Value::Bool(b) => Ok(f64::from(u8::from(*b))),
+        other => Err(uncastable(other)),
     };
     let as_u = |v: &Value| match v {
-        Value::U64(n) => *n,
-        Value::I64(n) => *n as u64,
-        Value::F64(n) => *n as u64,
-        Value::Idx(n) => *n as u64,
-        Value::Bool(b) => u64::from(*b),
-        other => panic!("cast of {other:?}"),
+        Value::U64(n) => Ok(*n),
+        Value::I64(n) => Ok(*n as u64),
+        Value::F64(n) => Ok(*n as u64),
+        Value::Idx(n) => Ok(*n as u64),
+        Value::Bool(b) => Ok(u64::from(*b)),
+        other => Err(uncastable(other)),
     };
-    match ty {
-        Type::U64 => Value::U64(as_u(a)),
-        Type::I64 => Value::I64(as_u(a) as i64),
-        Type::F64 => Value::F64(as_f64(a)),
-        Type::Idx => Value::Idx(as_u(a) as usize),
-        other => panic!("cast to {other}"),
-    }
+    Ok(match ty {
+        Type::U64 => Value::U64(as_u(a)?),
+        Type::I64 => Value::I64(as_u(a)? as i64),
+        Type::F64 => Value::F64(as_f64(a)?),
+        Type::Idx => Value::Idx(as_u(a)? as usize),
+        other => {
+            return Err(TrapKind::TypeMismatch {
+                expected: "castable scalar target",
+                got: format!("{other}"),
+            })
+        }
+    })
 }
 
 #[cfg(test)]
@@ -1315,7 +1540,168 @@ fn @main() -> void {
             ..ExecConfig::default()
         };
         let err = Interpreter::new(&m, cfg).run("main").expect_err("must stop");
-        assert!(err.message.contains("fuel exhausted"));
+        assert_eq!(
+            err,
+            ExecError::LimitExceeded {
+                limit: crate::trap::Limit::Fuel,
+                budget: 10_000
+            }
+        );
+        assert!(err.to_string().contains("fuel exhausted"));
+        assert!(err.is_limit());
+    }
+
+    #[test]
+    fn heap_cell_budget_stops_allocation() {
+        let text = r#"
+fn @main() -> void {
+  %m = new Map<u64, Set<u64>>
+  %lo = const 0u64
+  %hi = const 100u64
+  %r = forrange %lo, %hi carry(%m) as (%i: u64, %c: Map<u64, Set<u64>>) {
+    %c1 = insert %c, %i
+    yield %c1
+  }
+  ret
+}
+"#;
+        let m = parse_module(text).expect("parses");
+        let cfg = ExecConfig {
+            max_heap_cells: Some(8),
+            ..ExecConfig::default()
+        };
+        let err = Interpreter::new(&m, cfg).run("main").expect_err("must stop");
+        assert_eq!(
+            err,
+            ExecError::LimitExceeded {
+                limit: crate::trap::Limit::HeapCells,
+                budget: 8
+            }
+        );
+        // Unlimited (the default) still runs fine.
+        let ok = Interpreter::new(&m, ExecConfig::default()).run("main");
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn depth_limit_stops_runaway_recursion() {
+        let text = r#"
+fn @main() -> void {
+  %x = const 0u64
+  %r = call @1(%x)
+  ret
+}
+
+fn @spin(%n: u64) -> u64 {
+  %r = call @1(%n)
+  ret %r
+}
+"#;
+        let m = parse_module(text).expect("parses");
+        let cfg = ExecConfig {
+            max_depth: Some(64),
+            ..ExecConfig::default()
+        };
+        let err = Interpreter::new(&m, cfg).run("main").expect_err("must stop");
+        assert_eq!(
+            err,
+            ExecError::LimitExceeded {
+                limit: crate::trap::Limit::Depth,
+                budget: 64
+            }
+        );
+    }
+
+    #[test]
+    fn guest_traps_are_typed_and_sited() {
+        // Reading an absent map key is undefined behavior in the paper's
+        // semantics; it must surface as a typed trap, not a panic.
+        let text = r#"
+fn @main() -> void {
+  %m = new Map<u64, u64>
+  %k = const 7u64
+  %v = read %m, %k
+  print %v
+  ret
+}
+"#;
+        let m = parse_module(text).expect("parses");
+        let err = Interpreter::new(&m, ExecConfig::default())
+            .run("main")
+            .expect_err("must trap");
+        let ExecError::GuestTrap { site, kind } = &err else {
+            panic!("expected a guest trap, got {err:?}");
+        };
+        assert!(matches!(kind, crate::trap::TrapKind::MissingKey { .. }));
+        let site = site.as_ref().expect("trap is attributed to a site");
+        assert_eq!(site.func, "main");
+        assert_eq!(err.code(), "missing-key");
+        assert!(err.to_string().contains("guest trap at @main:"));
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let text = "fn @main() -> void {\n  %a = const 1u64\n  %z = const 0u64\n  %q = div %a, %z\n  print %q\n  ret\n}\n";
+        let m = parse_module(text).expect("parses");
+        let err = Interpreter::new(&m, ExecConfig::default())
+            .run("main")
+            .expect_err("must trap");
+        assert_eq!(err.code(), "div-by-zero");
+    }
+
+    #[test]
+    fn enc_sentinel_insert_into_dense_set_traps() {
+        // Regression for the CLAUDE.md invariant: `enc` of a value the
+        // enumeration has never seen yields the sentinel (usize::MAX),
+        // which only membership probes may observe. Forcing it into a
+        // dense-collection insert must raise the typed trap (this used
+        // to abort the interpreter via a capacity-overflow panic).
+        let text = r#"
+enum e0: u64
+
+fn @main() -> void {
+  %x = const 42u64
+  %id = enc e0, %x
+  %s = new Set{Bit}<idx>
+  %s1 = insert %s, %id
+  ret
+}
+"#;
+        let m = parse_module(text).expect("parses");
+        ade_ir::verify::verify_module(&m).expect("verifies");
+        let err = Interpreter::new(&m, ExecConfig::default())
+            .run("main")
+            .expect_err("must trap");
+        let ExecError::GuestTrap { site, kind } = &err else {
+            panic!("expected a guest trap, got {err:?}");
+        };
+        assert_eq!(*kind, crate::trap::TrapKind::SentinelInsert);
+        assert_eq!(site.as_ref().map(|s| s.func.as_str()), Some("main"));
+        assert_eq!(err.code(), "sentinel-insert");
+    }
+
+    #[test]
+    fn enc_sentinel_membership_probe_stays_defined() {
+        // The sentinel may flow into `has`/`remove`: both observe
+        // absence, exactly as before this taxonomy existed.
+        let text = r#"
+enum e0: u64
+
+fn @main() -> void {
+  %x = const 42u64
+  %id = enc e0, %x
+  %s = new Set{Bit}<idx>
+  %h = has %s, %id
+  %s1 = remove %s, %id
+  print %h
+  ret
+}
+"#;
+        let m = parse_module(text).expect("parses");
+        let out = Interpreter::new(&m, ExecConfig::default())
+            .run("main")
+            .expect("membership probes of the sentinel are defined");
+        assert_eq!(out.output, "false\n");
     }
 
     #[test]

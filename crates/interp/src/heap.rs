@@ -8,6 +8,7 @@ use ade_collections::{
 use ade_ir::{MapSel, SetSel, Type};
 
 use crate::stats::ImplKind;
+use crate::trap::{TrapKind, ENC_SENTINEL};
 use crate::value::Value;
 
 /// Handle into the interpreter's collection heap.
@@ -140,65 +141,82 @@ impl Collection {
         }
     }
 
-    /// Membership test (sets and maps).
+    /// Membership test (sets and maps). The `enc` sentinel is a member
+    /// of no collection, so probing for it is well-defined (`false`).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on sequences.
-    pub fn has(&self, key: &Value) -> bool {
-        match self {
+    /// [`TrapKind::UnsupportedOp`] on sequences; [`TrapKind::TypeMismatch`]
+    /// when a dense implementation gets a non-index key.
+    pub fn try_has(&self, key: &Value) -> Result<bool, TrapKind> {
+        Ok(match self {
             Collection::HashSet(s) => s.contains(key),
             Collection::SwissSet(s) => s.contains(key),
             Collection::FlatSet(s) => s.contains(key),
-            Collection::BitSet(s) => s.contains(key.as_index()),
-            Collection::SparseBitSet(s) => s.contains(key.as_index()),
+            Collection::BitSet(s) => s.contains(key.try_as_index()?),
+            Collection::SparseBitSet(s) => s.contains(key.try_as_index()?),
             Collection::HashMap(m) => m.contains_key(key),
             Collection::SwissMap(m) => m.contains_key(key),
-            Collection::BitMap(m) => m.contains_key(key.as_index()),
-            Collection::Seq(_) => panic!("has on a sequence"),
-        }
+            Collection::BitMap(m) => m.contains_key(key.try_as_index()?),
+            Collection::Seq(_) => {
+                return Err(TrapKind::UnsupportedOp {
+                    op: "has",
+                    on: "a sequence".to_string(),
+                })
+            }
+        })
     }
 
     /// Keyed/indexed read (maps and sequences).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the key is absent (undefined behavior in the paper's
-    /// semantics) or on sets.
-    pub fn read(&self, key: &Value) -> Value {
+    /// [`TrapKind::MissingKey`]/[`TrapKind::OutOfBounds`] when the key is
+    /// absent (undefined behavior in the paper's semantics);
+    /// [`TrapKind::UnsupportedOp`] on sets.
+    pub fn try_read(&self, key: &Value) -> Result<Value, TrapKind> {
+        let absent = || TrapKind::MissingKey {
+            key: key.to_string(),
+        };
         match self {
-            Collection::Seq(s) => s
-                .get(key.as_u64() as usize)
-                .unwrap_or_else(|| panic!("seq read out of bounds: {key}"))
-                .clone(),
-            Collection::HashMap(m) => m
-                .get(key)
-                .unwrap_or_else(|| panic!("map read of absent key {key}"))
-                .clone(),
-            Collection::SwissMap(m) => m
-                .get(key)
-                .unwrap_or_else(|| panic!("map read of absent key {key}"))
-                .clone(),
-            Collection::BitMap(m) => m
-                .get(key.as_index())
-                .unwrap_or_else(|| panic!("bitmap read of absent key {key}"))
-                .clone(),
-            other => panic!("read on {:?}", other.impl_kind()),
+            Collection::Seq(s) => {
+                let i = key.try_as_u64()?;
+                s.get(i as usize).cloned().ok_or(TrapKind::OutOfBounds {
+                    index: i,
+                    len: s.len(),
+                })
+            }
+            Collection::HashMap(m) => m.get(key).cloned().ok_or_else(absent),
+            Collection::SwissMap(m) => m.get(key).cloned().ok_or_else(absent),
+            Collection::BitMap(m) => {
+                m.get(key.try_as_index()?).cloned().ok_or_else(absent)
+            }
+            other => Err(TrapKind::UnsupportedOp {
+                op: "read",
+                on: format!("{:?}", other.impl_kind()),
+            }),
         }
     }
 
     /// Keyed/indexed write (upsert for maps; in-bounds store for
     /// sequences).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on sets or out-of-bounds sequence indices.
-    pub fn write(&mut self, key: &Value, value: Value) {
+    /// [`TrapKind::UnsupportedOp`] on sets; [`TrapKind::OutOfBounds`] on
+    /// out-of-bounds sequence indices; [`TrapKind::SentinelInsert`] when
+    /// the `enc` sentinel reaches a dense map.
+    pub fn try_write(&mut self, key: &Value, value: Value) -> Result<(), TrapKind> {
         match self {
             Collection::Seq(s) => {
-                let i = key.as_u64() as usize;
-                assert!(i < s.len(), "seq write out of bounds: {i}");
-                s.set(i, value);
+                let i = key.try_as_u64()?;
+                if i as usize >= s.len() {
+                    return Err(TrapKind::OutOfBounds {
+                        index: i,
+                        len: s.len(),
+                    });
+                }
+                s.set(i as usize, value);
             }
             Collection::HashMap(m) => {
                 m.insert(key.clone(), value);
@@ -207,34 +225,53 @@ impl Collection {
                 m.insert(key.clone(), value);
             }
             Collection::BitMap(m) => {
-                m.insert(key.as_index(), value);
+                m.insert(Self::dense_key(key)?, value);
             }
-            other => panic!("write on {:?}", other.impl_kind()),
+            other => {
+                return Err(TrapKind::UnsupportedOp {
+                    op: "write",
+                    on: format!("{:?}", other.impl_kind()),
+                })
+            }
         }
+        Ok(())
     }
 
     /// Set-element insertion. Returns `true` if newly added.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on non-set collections.
-    pub fn insert_elem(&mut self, value: Value) -> bool {
-        match self {
+    /// [`TrapKind::UnsupportedOp`] on non-sets;
+    /// [`TrapKind::SentinelInsert`] when the `enc` sentinel reaches a
+    /// dense set.
+    pub fn try_insert_elem(&mut self, value: Value) -> Result<bool, TrapKind> {
+        Ok(match self {
             Collection::HashSet(s) => s.insert(value),
             Collection::SwissSet(s) => s.insert(value),
             Collection::FlatSet(s) => s.insert(value),
-            Collection::BitSet(s) => s.insert(value.as_index()),
-            Collection::SparseBitSet(s) => s.insert(value.as_index()),
-            other => panic!("set insert on {:?}", other.impl_kind()),
-        }
+            Collection::BitSet(s) => s.insert(Self::dense_key(&value)?),
+            Collection::SparseBitSet(s) => s.insert(Self::dense_key(&value)?),
+            other => {
+                return Err(TrapKind::UnsupportedOp {
+                    op: "set insert",
+                    on: format!("{:?}", other.impl_kind()),
+                })
+            }
+        })
     }
 
     /// Map-key insertion: default-initializes the slot if absent.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on non-map collections.
-    pub fn insert_key_default(&mut self, key: &Value, default: Value) {
+    /// [`TrapKind::UnsupportedOp`] on non-maps;
+    /// [`TrapKind::SentinelInsert`] when the `enc` sentinel reaches a
+    /// dense map.
+    pub fn try_insert_key_default(
+        &mut self,
+        key: &Value,
+        default: Value,
+    ) -> Result<(), TrapKind> {
         match self {
             Collection::HashMap(m) => {
                 if !m.contains_key(key) {
@@ -247,41 +284,68 @@ impl Collection {
                 }
             }
             Collection::BitMap(m) => {
-                if !m.contains_key(key.as_index()) {
-                    m.insert(key.as_index(), default);
+                let i = Self::dense_key(key)?;
+                if !m.contains_key(i) {
+                    m.insert(i, default);
                 }
             }
-            other => panic!("map insert on {:?}", other.impl_kind()),
+            other => {
+                return Err(TrapKind::UnsupportedOp {
+                    op: "map insert",
+                    on: format!("{:?}", other.impl_kind()),
+                })
+            }
         }
+        Ok(())
     }
 
     /// Sequence insertion at `index` (appends when `index == len`).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on non-sequences or out-of-range indices.
-    pub fn insert_seq(&mut self, index: usize, value: Value) {
+    /// [`TrapKind::UnsupportedOp`] on non-sequences;
+    /// [`TrapKind::OutOfBounds`] past the end.
+    pub fn try_insert_seq(&mut self, index: usize, value: Value) -> Result<(), TrapKind> {
         match self {
             Collection::Seq(s) => {
                 if index == s.len() {
                     s.push(value);
-                } else {
+                } else if index < s.len() {
                     s.insert(index, value);
+                } else {
+                    return Err(TrapKind::OutOfBounds {
+                        index: index as u64,
+                        len: s.len(),
+                    });
                 }
+                Ok(())
             }
-            other => panic!("seq insert on {:?}", other.impl_kind()),
+            other => Err(TrapKind::UnsupportedOp {
+                op: "seq insert",
+                on: format!("{:?}", other.impl_kind()),
+            }),
         }
     }
 
-    /// Removes a key/element/index.
+    /// Removes a key/element/index. Like `has`, removal is a membership
+    /// probe: the `enc` sentinel may flow here (and removes nothing).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on out-of-bounds sequence removals.
-    pub fn remove(&mut self, key: &Value) {
+    /// [`TrapKind::OutOfBounds`] on out-of-bounds sequence removals;
+    /// [`TrapKind::TypeMismatch`] when a dense implementation gets a
+    /// non-index key.
+    pub fn try_remove(&mut self, key: &Value) -> Result<(), TrapKind> {
         match self {
             Collection::Seq(s) => {
-                s.remove(key.as_u64() as usize);
+                let i = key.try_as_u64()?;
+                if i as usize >= s.len() {
+                    return Err(TrapKind::OutOfBounds {
+                        index: i,
+                        len: s.len(),
+                    });
+                }
+                s.remove(i as usize);
             }
             Collection::HashSet(s) => {
                 s.remove(key);
@@ -293,10 +357,10 @@ impl Collection {
                 s.remove(key);
             }
             Collection::BitSet(s) => {
-                s.remove(key.as_index());
+                s.remove(key.try_as_index()?);
             }
             Collection::SparseBitSet(s) => {
-                s.remove(key.as_index());
+                s.remove(key.try_as_index()?);
             }
             Collection::HashMap(m) => {
                 m.remove(key);
@@ -305,9 +369,97 @@ impl Collection {
                 m.remove(key);
             }
             Collection::BitMap(m) => {
-                m.remove(key.as_index());
+                m.remove(key.try_as_index()?);
             }
         }
+        Ok(())
+    }
+
+    /// A key bound for a dense-implementation *insert* (or upsert): the
+    /// `enc` sentinel must never materialize as a stored element — the
+    /// invariant a correct ADE compilation maintains, and the trap a
+    /// broken one raises.
+    fn dense_key(key: &Value) -> Result<usize, TrapKind> {
+        let i = key.try_as_index()?;
+        if i == ENC_SENTINEL {
+            return Err(TrapKind::SentinelInsert);
+        }
+        Ok(i)
+    }
+
+    /// Membership test (sets and maps).
+    ///
+    /// # Panics
+    ///
+    /// Panics on sequences; trusted-input callers only — interpretation
+    /// paths use [`Collection::try_has`].
+    pub fn has(&self, key: &Value) -> bool {
+        self.try_has(key).unwrap_or_else(|t| panic!("{t}"))
+    }
+
+    /// Keyed/indexed read (maps and sequences).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is absent (undefined behavior in the paper's
+    /// semantics) or on sets; trusted-input callers only —
+    /// interpretation paths use [`Collection::try_read`].
+    pub fn read(&self, key: &Value) -> Value {
+        self.try_read(key).unwrap_or_else(|t| panic!("{t}"))
+    }
+
+    /// Keyed/indexed write (upsert for maps; in-bounds store for
+    /// sequences).
+    ///
+    /// # Panics
+    ///
+    /// Panics on sets or out-of-bounds sequence indices; trusted-input
+    /// callers only — interpretation paths use [`Collection::try_write`].
+    pub fn write(&mut self, key: &Value, value: Value) {
+        self.try_write(key, value).unwrap_or_else(|t| panic!("{t}"));
+    }
+
+    /// Set-element insertion. Returns `true` if newly added.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-set collections; trusted-input callers only —
+    /// interpretation paths use [`Collection::try_insert_elem`].
+    pub fn insert_elem(&mut self, value: Value) -> bool {
+        self.try_insert_elem(value).unwrap_or_else(|t| panic!("{t}"))
+    }
+
+    /// Map-key insertion: default-initializes the slot if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-map collections; trusted-input callers only —
+    /// interpretation paths use [`Collection::try_insert_key_default`].
+    pub fn insert_key_default(&mut self, key: &Value, default: Value) {
+        self.try_insert_key_default(key, default)
+            .unwrap_or_else(|t| panic!("{t}"));
+    }
+
+    /// Sequence insertion at `index` (appends when `index == len`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-sequences or out-of-range indices; trusted-input
+    /// callers only — interpretation paths use
+    /// [`Collection::try_insert_seq`].
+    pub fn insert_seq(&mut self, index: usize, value: Value) {
+        self.try_insert_seq(index, value)
+            .unwrap_or_else(|t| panic!("{t}"));
+    }
+
+    /// Removes a key/element/index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds sequence removals; trusted-input callers
+    /// only — interpretation paths use [`Collection::try_remove`].
+    pub fn remove(&mut self, key: &Value) {
+        self.try_remove(key).unwrap_or_else(|t| panic!("{t}"));
     }
 
     /// Removes all elements.

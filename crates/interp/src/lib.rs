@@ -49,10 +49,12 @@ mod exec;
 mod heap;
 pub mod profile;
 mod stats;
+pub mod trap;
 mod value;
 
 pub use exec::{ExecConfig, ExecError, Interpreter, Outcome};
 pub use heap::{CollId, Collection, SelectionDefaults};
 pub use profile::{FuncProfile, HotSite, SiteProfile, SiteStats};
 pub use stats::{CollOp, ImplKind, OpCounts, Phase, Stats};
+pub use trap::{Limit, TrapKind, TrapSite, ENC_SENTINEL};
 pub use value::Value;

@@ -5,6 +5,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use crate::heap::CollId;
+use crate::trap::TrapKind;
 
 /// A runtime value.
 ///
@@ -39,27 +40,85 @@ pub enum Value {
 impl Value {
     /// The `u64` inside, or a numeric coercion of `idx`.
     ///
+    /// # Errors
+    ///
+    /// [`TrapKind::TypeMismatch`] if the value is not `U64` or `Idx`.
+    pub fn try_as_u64(&self) -> Result<u64, TrapKind> {
+        match self {
+            Value::U64(v) => Ok(*v),
+            Value::Idx(v) => Ok(*v as u64),
+            other => Err(TrapKind::TypeMismatch {
+                expected: "u64",
+                got: format!("{other:?}"),
+            }),
+        }
+    }
+
+    /// The `bool` inside.
+    ///
+    /// # Errors
+    ///
+    /// [`TrapKind::TypeMismatch`] if the value is not `Bool`.
+    pub fn try_as_bool(&self) -> Result<bool, TrapKind> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(TrapKind::TypeMismatch {
+                expected: "bool",
+                got: format!("{other:?}"),
+            }),
+        }
+    }
+
+    /// The `idx` inside (accepting `U64` for directive-forced dense
+    /// implementations over integer keys).
+    ///
+    /// # Errors
+    ///
+    /// [`TrapKind::TypeMismatch`] if the value is not `Idx` or `U64`.
+    pub fn try_as_index(&self) -> Result<usize, TrapKind> {
+        match self {
+            Value::Idx(i) => Ok(*i),
+            Value::U64(v) => Ok(*v as usize),
+            other => Err(TrapKind::TypeMismatch {
+                expected: "idx",
+                got: format!("{other:?}"),
+            }),
+        }
+    }
+
+    /// The collection handle inside.
+    ///
+    /// # Errors
+    ///
+    /// [`TrapKind::TypeMismatch`] if the value is not a collection.
+    pub fn try_as_coll(&self) -> Result<CollId, TrapKind> {
+        match self {
+            Value::Coll(c) => Ok(*c),
+            other => Err(TrapKind::TypeMismatch {
+                expected: "collection",
+                got: format!("{other:?}"),
+            }),
+        }
+    }
+
+    /// The `u64` inside, or a numeric coercion of `idx`.
+    ///
     /// # Panics
     ///
-    /// Panics if the value is not `U64` or `Idx`.
+    /// Panics if the value is not `U64` or `Idx`; trusted-input callers
+    /// only — interpretation paths use [`Value::try_as_u64`].
     pub fn as_u64(&self) -> u64 {
-        match self {
-            Value::U64(v) => *v,
-            Value::Idx(v) => *v as u64,
-            other => panic!("expected u64, got {other:?}"),
-        }
+        self.try_as_u64().unwrap_or_else(|t| panic!("{t}"))
     }
 
     /// The `bool` inside.
     ///
     /// # Panics
     ///
-    /// Panics if the value is not `Bool`.
+    /// Panics if the value is not `Bool`; trusted-input callers only —
+    /// interpretation paths use [`Value::try_as_bool`].
     pub fn as_bool(&self) -> bool {
-        match self {
-            Value::Bool(b) => *b,
-            other => panic!("expected bool, got {other:?}"),
-        }
+        self.try_as_bool().unwrap_or_else(|t| panic!("{t}"))
     }
 
     /// The `idx` inside (accepting `U64` for directive-forced dense
@@ -67,25 +126,20 @@ impl Value {
     ///
     /// # Panics
     ///
-    /// Panics if the value is not `Idx` or `U64`.
+    /// Panics if the value is not `Idx` or `U64`; trusted-input callers
+    /// only — interpretation paths use [`Value::try_as_index`].
     pub fn as_index(&self) -> usize {
-        match self {
-            Value::Idx(i) => *i,
-            Value::U64(v) => *v as usize,
-            other => panic!("expected idx, got {other:?}"),
-        }
+        self.try_as_index().unwrap_or_else(|t| panic!("{t}"))
     }
 
     /// The collection handle inside.
     ///
     /// # Panics
     ///
-    /// Panics if the value is not a collection.
+    /// Panics if the value is not a collection; trusted-input callers
+    /// only — interpretation paths use [`Value::try_as_coll`].
     pub fn as_coll(&self) -> CollId {
-        match self {
-            Value::Coll(c) => *c,
-            other => panic!("expected collection, got {other:?}"),
-        }
+        self.try_as_coll().unwrap_or_else(|t| panic!("{t}"))
     }
 
     /// Whether this value may be used as a collection key.

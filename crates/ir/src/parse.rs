@@ -26,22 +26,53 @@ use crate::{
     Type, ValueData, ValueDef, ValueId,
 };
 
-/// A parse failure with a byte offset and message.
+/// A parse failure with a source position and message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     /// Byte offset into the source.
     pub offset: usize,
+    /// 1-based line of the offset (0 until located against the source).
+    pub line: u32,
+    /// 1-based column (in bytes) of the offset on its line (0 until
+    /// located against the source).
+    pub col: u32,
     /// Human-readable message.
     pub message: String,
 }
 
+impl ParseError {
+    fn at(offset: usize, message: String) -> ParseError {
+        ParseError { offset, line: 0, col: 0, message }
+    }
+
+    /// Fills in `line`/`col` from the offset. Byte-based, so it cannot
+    /// fault on arbitrary (even non-UTF-8-boundary) offsets.
+    fn locate(mut self, text: &str) -> ParseError {
+        let prefix = &text.as_bytes()[..self.offset.min(text.len())];
+        self.line = prefix.iter().filter(|&&b| b == b'\n').count() as u32 + 1;
+        self.col = prefix.iter().rev().take_while(|&&b| b != b'\n').count() as u32 + 1;
+        self
+    }
+}
+
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "parse error at line {}:{} (byte {}): {}",
+            self.line, self.col, self.offset, self.message
+        )
     }
 }
 
 impl std::error::Error for ParseError {}
+
+/// Maximum nesting depth (types, control regions, directives). Printed
+/// IR nests a handful of levels at most; the cap turns adversarial
+/// deeply-nested input into a [`ParseError`] instead of a parser stack
+/// overflow, and is sized so the recursion fits a 2 MiB test-thread
+/// stack even with debug-build frame sizes.
+const MAX_NEST_DEPTH: u32 = 64;
 
 type Result<T> = std::result::Result<T, ParseError>;
 
@@ -52,6 +83,10 @@ type Result<T> = std::result::Result<T, ParseError>;
 /// Returns a [`ParseError`] describing the first syntax or reference
 /// error encountered.
 pub fn parse_module(text: &str) -> Result<Module> {
+    parse_module_inner(text).map_err(|e| e.locate(text))
+}
+
+fn parse_module_inner(text: &str) -> Result<Module> {
     let mut p = Parser::new(text);
     let mut module = Module::new();
     // Pre-scan function signatures so call result types resolve even for
@@ -86,10 +121,7 @@ pub fn parse_function(text: &str) -> Result<Function> {
         .funcs
         .into_iter()
         .next()
-        .ok_or(ParseError {
-            offset: 0,
-            message: "no function in input".to_string(),
-        })
+        .ok_or_else(|| ParseError::at(0, "no function in input".to_string()).locate(text))
 }
 
 fn prescan_signatures(text: &str) -> Result<Vec<Type>> {
@@ -123,10 +155,9 @@ fn prescan_signatures(text: &str) -> Result<Vec<Type>> {
             }
             b'f' if text[i..].starts_with("fn @") => {
                 let rest = &text[i..];
-                let arrow = rest.find("->").ok_or(ParseError {
-                    offset: i,
-                    message: "function header missing `->`".to_string(),
-                })?;
+                let arrow = rest
+                    .find("->")
+                    .ok_or_else(|| ParseError::at(i, "function header missing `->`".to_string()))?;
                 let mut p = Parser::new(&rest[arrow + 2..]);
                 p.skip_ws();
                 rets.push(p.parse_type()?);
@@ -141,6 +172,9 @@ fn prescan_signatures(text: &str) -> Result<Vec<Type>> {
 struct Parser<'a> {
     text: &'a str,
     pos: usize,
+    /// Current nesting depth across the recursive productions (types,
+    /// control regions, directives); capped at [`MAX_NEST_DEPTH`].
+    depth: u32,
 }
 
 struct FuncCtx {
@@ -164,10 +198,10 @@ impl FuncCtx {
     }
 
     fn lookup(&self, name: &str, offset: usize) -> Result<ValueId> {
-        self.names.get(name).copied().ok_or(ParseError {
-            offset,
-            message: format!("undefined value %{name}"),
-        })
+        self.names
+            .get(name)
+            .copied()
+            .ok_or_else(|| ParseError::at(offset, format!("undefined value %{name}")))
     }
 }
 
@@ -181,14 +215,28 @@ fn parse_name_keep(text_name: &str) -> Option<String> {
 
 impl<'a> Parser<'a> {
     fn new(text: &'a str) -> Self {
-        Self { text, pos: 0 }
+        Self { text, pos: 0, depth: 0 }
     }
 
     fn error(&self, msg: impl Into<String>) -> ParseError {
-        ParseError {
-            offset: self.pos,
-            message: msg.into(),
+        ParseError::at(self.pos, msg.into())
+    }
+
+    /// Enters one level of recursive nesting; errors past the cap so
+    /// adversarial input cannot overflow the parser's stack. Every
+    /// `enter_nested` is paired with a `leave_nested` on the non-error
+    /// path (errors abort the whole parse, so the counter need not
+    /// unwind precisely).
+    fn enter_nested(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > MAX_NEST_DEPTH {
+            return Err(self.error("nesting too deep"));
         }
+        Ok(())
+    }
+
+    fn leave_nested(&mut self) {
+        self.depth -= 1;
     }
 
     fn at_end(&mut self) -> bool {
@@ -370,6 +418,13 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_type(&mut self) -> Result<Type> {
+        self.enter_nested()?;
+        let ty = self.parse_type_inner()?;
+        self.leave_nested();
+        Ok(ty)
+    }
+
+    fn parse_type_inner(&mut self) -> Result<Type> {
         self.skip_ws();
         if self.eat_punct("(") {
             let mut elems = Vec::new();
@@ -511,9 +566,11 @@ impl<'a> Parser<'a> {
         enums: &[EnumDecl],
         signatures: &[Type],
     ) -> Result<()> {
+        self.enter_nested()?;
         loop {
             self.skip_ws();
             if self.eat_punct("}") {
+                self.leave_nested();
                 return Ok(());
             }
             self.inst(region, ctx, enums, signatures)?;
@@ -665,7 +722,9 @@ impl<'a> Parser<'a> {
                 }
                 "nested" => {
                     self.expect_punct("(")?;
+                    self.enter_nested()?;
                     d.nested = Some(Box::new(self.directive_items()?));
+                    self.leave_nested();
                     self.expect_punct(")")?;
                 }
                 other => return Err(self.error(format!("unknown directive `{other}`"))),
@@ -763,12 +822,6 @@ impl<'a> Parser<'a> {
         }
 
         let op = self.ident()?;
-        let value_ty = |ctx: &FuncCtx, op: &Operand| -> Type {
-            ctx.values[op.base.index()]
-                .ty
-                .at_path(&op.path)
-                .unwrap_or_else(|| panic!("path does not apply to operand type"))
-        };
         match op {
             "const" => {
                 let c = self.const_val()?;
@@ -796,7 +849,11 @@ impl<'a> Parser<'a> {
             }
             "read" => {
                 let ops = self.operand_list_min(ctx, 2)?;
-                let ty = value_ty(ctx, &ops[0])
+                let coll_ty = ctx.values[ops[0].base.index()]
+                    .ty
+                    .at_path(&ops[0].path)
+                    .ok_or_else(|| self.error("operand path does not apply to the value's type"))?;
+                let ty = coll_ty
                     .value_type()
                     .cloned()
                     .ok_or_else(|| self.error("read target is not a collection"))?;
@@ -1126,6 +1183,53 @@ fn @f(%m: Map{Swiss}<u64, Set{Bit}<idx>>) -> void {
         let text = "fn @f() -> void {\n  frobnicate\n  ret\n}\n";
         let err = parse_module(text).expect_err("should fail");
         assert!(err.message.contains("unknown opcode"), "{err}");
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        let text = "fn @f() -> void {\n  %y = add %x, %x\n  ret\n}\n";
+        let err = parse_module(text).expect_err("should fail");
+        // `%x` first appears on line 2 at column 12.
+        assert_eq!((err.line, err.col), (2, 12), "{err}");
+        assert!(err.to_string().contains("line 2:12"), "{err}");
+    }
+
+    #[test]
+    fn deep_type_nesting_errors_instead_of_overflowing() {
+        let depth = 10_000;
+        let text = format!(
+            "fn @f() -> void {{\n  %s = new {}u64{}\n  ret\n}}\n",
+            "Seq<".repeat(depth),
+            ">".repeat(depth)
+        );
+        let err = parse_module(&text).expect_err("should fail");
+        assert!(err.message.contains("nesting too deep"), "{err}");
+    }
+
+    #[test]
+    fn deep_region_nesting_errors_instead_of_overflowing() {
+        let depth = 10_000;
+        let text = format!(
+            "fn @f() -> void {{\n  %t = const true\n{}{}  ret\n}}\n",
+            "  if %t then {\n".repeat(depth),
+            "  } else { }\n".repeat(depth)
+        );
+        let err = parse_module(&text).expect_err("should fail");
+        assert!(err.message.contains("nesting too deep"), "{err}");
+    }
+
+    #[test]
+    fn read_from_non_collection_is_an_error_not_a_panic() {
+        let text = "fn @f() -> void {\n  %x = const 1u64\n  %y = read %x, %x\n  ret\n}\n";
+        let err = parse_module(text).expect_err("should fail");
+        assert!(err.message.contains("not a collection"), "{err}");
+    }
+
+    #[test]
+    fn bad_operand_path_is_an_error_not_a_panic() {
+        let text = "fn @f() -> void {\n  %x = const 1u64\n  %y = read %x.3, %x\n  ret\n}\n";
+        let err = parse_module(text).expect_err("should fail");
+        assert!(err.message.contains("path does not apply"), "{err}");
     }
 
     #[test]

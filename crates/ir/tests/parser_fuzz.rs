@@ -156,6 +156,75 @@ fn @second(%x: str) -> u64 {
     ade_ir::verify::verify_module(&m).expect("call result types line up");
 }
 
+/// The checked-in IR corpus, as `(file name, contents)` pairs.
+fn corpus() -> Vec<(String, String)> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/ir");
+    let mut files: Vec<(String, String)> = std::fs::read_dir(&dir)
+        .expect("examples/ir exists")
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            if path.extension()? != "memoir" {
+                return None;
+            }
+            let name = path.file_name()?.to_string_lossy().into_owned();
+            Some((name, std::fs::read_to_string(&path).ok()?))
+        })
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "no .memoir files under {}", dir.display());
+    files
+}
+
+/// Parse (and, when the parse succeeds, verify) must return a typed
+/// error on malformed input — never panic or overflow.
+fn assert_no_panic(name: &str, what: &str, text: &str) {
+    let outcome = std::panic::catch_unwind(|| {
+        if let Ok(m) = parse_module(text) {
+            let _ = ade_ir::verify::verify_module(&m);
+        }
+    });
+    assert!(outcome.is_ok(), "parse/verify panicked on {name}, {what}");
+}
+
+/// Every byte-truncation of every corpus program parses to `Ok` or a
+/// `ParseError` (and verifies without panicking) — truncation models a
+/// file cut short by a crashed writer.
+#[test]
+fn corpus_truncations_never_panic() {
+    for (name, text) in corpus() {
+        for i in 0..text.len() {
+            if text.is_char_boundary(i) {
+                assert_no_panic(&name, &format!("truncated to {i} bytes"), &text[..i]);
+            }
+        }
+    }
+}
+
+/// Every single-byte mutation of every corpus program (over a set of
+/// structurally disruptive replacement bytes) parses and verifies
+/// without panicking.
+#[test]
+fn corpus_single_byte_mutations_never_panic() {
+    const REPLACEMENTS: [u8; 8] = [b'}', b'{', b'%', b'0', b'"', b'#', b'.', b' '];
+    for (name, text) in corpus() {
+        let bytes = text.as_bytes();
+        for i in 0..bytes.len() {
+            for &replacement in &REPLACEMENTS {
+                if bytes[i] == replacement {
+                    continue;
+                }
+                let mut mutated = bytes.to_vec();
+                mutated[i] = replacement;
+                // Mutations that break UTF-8 can't even be a &str; the
+                // parser only accepts strings, so skip those.
+                let Ok(mutated) = String::from_utf8(mutated) else { continue };
+                let what = format!("byte {i} replaced with {:?}", replacement as char);
+                assert_no_panic(&name, &what, &mutated);
+            }
+        }
+    }
+}
+
 #[test]
 fn control_escapes_decode() {
     let m = parse_module(
