@@ -1,14 +1,17 @@
 //! Interpreter dispatch microbenchmarks: wall time of the pre-decoded
 //! execution loop on small kernels that isolate one dispatch shape each
-//! (scalar arithmetic, set churn, map read/write, seq push + sum).
+//! (scalar arithmetic, set churn, map read/write, seq push + sum, dense
+//! read-modify-write, data-dependent branching).
 //!
 //! Unlike `collection_ops` (which times the collection library
 //! natively), this times the *interpreter* end to end, so it is the
-//! regression gate for the decoded instruction stream and the
-//! borrow-based operand path. Results go to `BENCH_interp.json` in the
-//! working directory: per-kernel best wall seconds over several runs
-//! plus logical operations per second (kernel-defined op counts, so the
-//! numbers are comparable across interpreter changes).
+//! regression gate for the decoded instruction stream, the borrow-based
+//! operand path, superinstruction fusion and unboxed scalar storage.
+//! Every kernel runs under all four optimization combinations; results
+//! go to `BENCH_interp.json` at the workspace root: per-kernel best
+//! wall seconds and logical ops/sec per configuration, the
+//! fused+unboxed speedup over the unoptimized interpreter, and the
+//! geometric-mean speedup across kernels.
 //!
 //! Self-timed (`harness = false`): run via `cargo bench --bench
 //! interp_dispatch`.
@@ -17,12 +20,22 @@ use std::time::Instant;
 
 use ade_interp::{ExecConfig, Interpreter};
 use ade_ir::builder::FunctionBuilder;
-use ade_ir::{Module, Type};
+use ade_ir::{MapSel, Module, Type};
 
 /// Iteration count per kernel — large enough that dispatch dominates
 /// the fixed per-run setup (decode + frame allocation).
 const N: u64 = 200_000;
 const RUNS: usize = 5;
+
+/// The optimization sweep: `base` is the unoptimized interpreter, the
+/// rest toggle superinstruction fusion and unboxed scalar storage.
+/// `fused_unboxed` is the production default.
+const CONFIGS: [(&str, bool, bool); 4] = [
+    ("base", false, false),
+    ("fused", true, false),
+    ("unboxed", false, true),
+    ("fused_unboxed", true, true),
+];
 
 struct Kernel {
     name: &'static str,
@@ -31,8 +44,10 @@ struct Kernel {
     module: Module,
 }
 
-/// `for i in 0..N { acc = (acc + i) * 3 - i }` — pure scalar dispatch,
-/// no collections: the floor of per-instruction interpreter cost.
+/// An eleven-operation wrapping-arithmetic chain per iteration — pure
+/// scalar dispatch, no collections: the floor of per-instruction
+/// interpreter cost and the `FusedScalars` run's best case (the whole
+/// body decodes to one superinstruction).
 fn arith_forrange() -> Kernel {
     let mut b = FunctionBuilder::new("main", &[], Type::Void);
     let lo = b.const_u64(0);
@@ -40,9 +55,18 @@ fn arith_forrange() -> Kernel {
     let zero = b.const_u64(0);
     let acc = b.for_range(lo, hi, &[zero], |b, i, c| {
         let three = b.const_u64(3);
-        let s = b.add(c[0], i);
-        let m = b.mul(s, three);
-        vec![b.sub(m, i)]
+        let five = b.const_u64(5);
+        let v = b.add(c[0], i);
+        let v = b.mul(v, three);
+        let v = b.sub(v, i);
+        let v = b.mul(v, five);
+        let v = b.add(v, three);
+        let v = b.sub(v, c[0]);
+        let v = b.mul(v, three);
+        let v = b.add(v, i);
+        let v = b.sub(v, five);
+        let v = b.mul(v, three);
+        vec![b.add(v, i)]
     })[0];
     b.print(&[acc]);
     b.ret_void();
@@ -50,13 +74,14 @@ fn arith_forrange() -> Kernel {
     module.add_function(b.finish());
     Kernel {
         name: "arith_forrange",
-        ops: N * 3, // add, mul, sub per iteration
+        ops: N * 11, // arithmetic ops per iteration
         module,
     }
 }
 
 /// Insert, probe, and conditionally remove against one hash set — the
-/// operand-resolution path for collection ops plus branching.
+/// operand-resolution path for collection ops plus branching (the
+/// `FusedHasIf` pattern over unboxed hash storage).
 fn set_churn() -> Kernel {
     let mut b = FunctionBuilder::new("main", &[], Type::Void);
     let set = b.new_collection(Type::set(Type::U64));
@@ -64,11 +89,17 @@ fn set_churn() -> Kernel {
     let hi = b.const_u64(N);
     let set = b.for_range(lo, hi, &[set], |b, i, c| {
         let seven = b.const_u64(7);
+        let three = b.const_u64(3);
         let k = b.mul(i, seven);
         let s = b.insert(c[0], k);
         let probe = b.add(k, seven);
         let hit = b.has(s, probe);
-        b.if_else(hit, |b| vec![b.remove(s, probe)], |_b| vec![s])
+        let s = b.if_else(hit, |b| vec![b.remove(s, probe)], |_b| vec![s])[0];
+        let k2 = b.add(k, three);
+        let s = b.insert(s, k2);
+        let probe2 = b.add(k2, seven);
+        let hit2 = b.has(s, probe2);
+        b.if_else(hit2, |b| vec![b.remove(s, probe2)], |_b| vec![s])
     })[0];
     let size = b.size(set);
     b.print(&[size]);
@@ -77,27 +108,35 @@ fn set_churn() -> Kernel {
     module.add_function(b.finish());
     Kernel {
         name: "set_churn",
-        ops: N * 2, // insert + has (removes are data-dependent extras)
+        ops: N * 4, // 2 inserts + 2 probes (removes are data-dependent)
         module,
     }
 }
 
 /// Write then read back every key of a map — the `Read`/`Write`
-/// instruction pair that dominates the paper's map-heavy benchmarks.
+/// instruction pair that dominates the paper's map-heavy benchmarks
+/// (the `FusedReadBin` pattern over unboxed hash storage).
 fn map_read_write() -> Kernel {
     let mut b = FunctionBuilder::new("main", &[], Type::Void);
     let map = b.new_collection(Type::map(Type::U64, Type::U64));
     let lo = b.const_u64(0);
     let hi = b.const_u64(N);
+    let shift = b.const_u64(N);
     let map = b.for_range(lo, hi, &[map], |b, i, c| {
         let one = b.const_u64(1);
         let v = b.add(i, one);
-        vec![b.write(c[0], i, v)]
+        let m = b.write(c[0], i, v);
+        let k2 = b.add(i, shift);
+        let v2 = b.add(k2, one);
+        vec![b.write(m, k2, v2)]
     })[0];
     let zero = b.const_u64(0);
     let sum = b.for_range(lo, hi, &[zero], |b, i, c| {
         let v = b.read(map, i);
-        vec![b.add(c[0], v)]
+        let acc = b.add(c[0], v);
+        let k2 = b.add(i, shift);
+        let v2 = b.read(map, k2);
+        vec![b.add(acc, v2)]
     })[0];
     b.print(&[sum]);
     b.ret_void();
@@ -105,22 +144,30 @@ fn map_read_write() -> Kernel {
     module.add_function(b.finish());
     Kernel {
         name: "map_read_write",
-        ops: N * 2, // one write + one read per key
+        ops: N * 4, // two writes + two reads per index
         module,
     }
 }
 
-/// Push N elements into a sequence, then fold it with `for_each` — the
-/// iterator fast path (snapshot + per-element dispatch).
+/// Push 2N elements into a sequence, then sum it with per-element
+/// indexed reads. The sum loop dispatches `read`/`add` per element (a
+/// `FusedReadBin` window) instead of `for_each`, whose snapshot loop
+/// iterates natively and would hide dispatch cost.
 fn seq_push_sum() -> Kernel {
     let mut b = FunctionBuilder::new("main", &[], Type::Void);
     let seq = b.new_collection(Type::seq(Type::U64));
     let lo = b.const_u64(0);
     let hi = b.const_u64(N);
-    let seq = b.for_range(lo, hi, &[seq], |b, i, c| vec![b.push(c[0], i)])[0];
+    let shift = b.const_u64(N);
+    let seq = b.for_range(lo, hi, &[seq], |b, i, c| {
+        let s = b.push(c[0], i);
+        let v2 = b.add(i, shift);
+        vec![b.push(s, v2)]
+    })[0];
+    let hi2 = b.const_u64(2 * N);
     let zero = b.const_u64(0);
-    let sum = b.for_each(seq, &[zero], |b, _i, v, c| {
-        let v = v.expect("seq elem");
+    let sum = b.for_range(lo, hi2, &[zero], |b, i, c| {
+        let v = b.read(seq, i);
         vec![b.add(c[0], v)]
     })[0];
     b.print(&[sum]);
@@ -129,51 +176,198 @@ fn seq_push_sum() -> Kernel {
     module.add_function(b.finish());
     Kernel {
         name: "seq_push_sum",
-        ops: N * 2, // one push + one folded element
+        ops: N * 4, // two pushes per build step + 2N summed reads
         module,
     }
 }
 
-fn time_kernel(k: &Kernel) -> f64 {
-    ade_ir::verify::verify_module(&k.module)
-        .unwrap_or_else(|e| panic!("[{}] verify: {e}", k.name));
-    let run = || {
-        Interpreter::new(&k.module, ExecConfig::default())
-            .run_inline("main")
-            .unwrap_or_else(|e| panic!("[{}] run: {e}", k.name))
-            .output
-            .len()
+/// Increment every slot of a dense map in place — the read-modify-write
+/// triple ADE produces for post-enumeration histograms. The loop body
+/// is exactly `read`/`add`/`write` (the increment constant is hoisted
+/// out), so it exercises `FusedReadBinWrite` over the unboxed `BitMap`.
+fn bitmap_rmw() -> Kernel {
+    let mut b = FunctionBuilder::new("main", &[], Type::Void);
+    let map = b.new_collection(Type::map_with(Type::Idx, Type::U64, MapSel::Bit));
+    let lo = b.const_u64(0);
+    let hi = b.const_u64(N);
+    let zero = b.const_u64(0);
+    let shift = b.const_u64(N);
+    let map = b.for_range(lo, hi, &[map], |b, i, c| {
+        let k = b.cast(i, Type::Idx);
+        let m = b.write(c[0], k, zero);
+        let j = b.add(i, shift);
+        let k2 = b.cast(j, Type::Idx);
+        vec![b.write(m, k2, zero)]
+    })[0];
+    let one = b.const_u64(1);
+    let map = b.for_range(lo, hi, &[map], |b, i, c| {
+        let k = b.cast(i, Type::Idx);
+        let v = b.read(c[0], k);
+        let v1 = b.add(v, one);
+        let m = b.write(c[0], k, v1);
+        let j = b.add(i, shift);
+        let k2 = b.cast(j, Type::Idx);
+        let w = b.read(m, k2);
+        let w1 = b.add(w, one);
+        vec![b.write(m, k2, w1)]
+    })[0];
+    let size = b.size(map);
+    b.print(&[size]);
+    b.ret_void();
+    let mut module = Module::new();
+    module.add_function(b.finish());
+    Kernel {
+        name: "bitmap_rmw",
+        ops: N * 6, // per index pair: 2 populate writes + 2 rmw triples
+        module,
+    }
+}
+
+/// Classify every index against a threshold and accumulate through one
+/// of two arithmetic arms — the data-dependent-branch shape ADE leaves
+/// behind after enumeration splits a keyed lookup into range classes.
+/// The loop body is exactly `cmp`/`if` (the `FusedCmpIf` pattern), and
+/// each arm is a scalar run that yields straight into the branch
+/// destinations.
+fn branchy_classify() -> Kernel {
+    let mut b = FunctionBuilder::new("main", &[], Type::Void);
+    let lo = b.const_u64(0);
+    let hi = b.const_u64(N);
+    let zero = b.const_u64(0);
+    let half = b.const_u64(N / 2);
+    let three = b.const_u64(3);
+    let five = b.const_u64(5);
+    let acc = b.for_range(lo, hi, &[zero], |b, i, c| {
+        let small = b.lt(i, half);
+        b.if_else(
+            small,
+            |b| {
+                let t = b.mul(i, three);
+                vec![b.add(c[0], t)]
+            },
+            |b| {
+                let t = b.mul(i, five);
+                vec![b.sub(c[0], t)]
+            },
+        )
+    })[0];
+    b.print(&[acc]);
+    b.ret_void();
+    let mut module = Module::new();
+    module.add_function(b.finish());
+    Kernel {
+        name: "branchy_classify",
+        ops: N * 3, // compare + two arithmetic ops in the taken arm
+        module,
+    }
+}
+
+fn run_once(k: &Kernel, fuse: bool, unbox: bool) -> usize {
+    let config = ExecConfig {
+        fuse,
+        unbox,
+        ..ExecConfig::default()
     };
-    run(); // warm-up (first decode, allocator warm)
-    let mut best = f64::INFINITY;
+    Interpreter::new(&k.module, config)
+        .run_inline("main")
+        .unwrap_or_else(|e| panic!("[{}] run: {e}", k.name))
+        .output
+        .len()
+}
+
+/// Best-of-`RUNS` wall seconds for every config, measured round-robin
+/// (one timed run per config per round) so slow drift — frequency
+/// scaling, co-tenant noise — hits all configs alike instead of
+/// whichever happened to run last.
+fn time_kernel(k: &Kernel) -> [f64; 4] {
+    for (_, fuse, unbox) in CONFIGS {
+        run_once(k, fuse, unbox); // warm-up (decode, allocator, caches)
+    }
+    let mut best = [f64::INFINITY; 4];
     for _ in 0..RUNS {
-        let t = Instant::now();
-        std::hint::black_box(run());
-        best = best.min(t.elapsed().as_secs_f64());
+        for (slot, (_, fuse, unbox)) in CONFIGS.into_iter().enumerate() {
+            let t = Instant::now();
+            std::hint::black_box(run_once(k, fuse, unbox));
+            best[slot] = best[slot].min(t.elapsed().as_secs_f64());
+        }
     }
     best
 }
 
 fn main() {
     // `cargo bench` passes harness flags (e.g. `--bench`); ignore them.
-    let kernels = [arith_forrange(), set_churn(), map_read_write(), seq_push_sum()];
+    let kernels = [
+        arith_forrange(),
+        set_churn(),
+        map_read_write(),
+        seq_push_sum(),
+        bitmap_rmw(),
+        branchy_classify(),
+    ];
     let mut rows = Vec::new();
+    let mut log_speedup_sum = 0.0;
     for k in &kernels {
-        let wall = time_kernel(k);
-        let ops_per_sec = k.ops as f64 / wall;
-        println!("{:>16}  {:>10.1} ops/s  {:.4} s", k.name, ops_per_sec, wall);
+        ade_ir::verify::verify_module(&k.module)
+            .unwrap_or_else(|e| panic!("[{}] verify: {e}", k.name));
+        let best = time_kernel(k);
+        let mut walls = Vec::new();
+        for (slot, (cname, _, _)) in CONFIGS.into_iter().enumerate() {
+            let wall = best[slot];
+            println!(
+                "{:>16} {:>14}  {:>12.1} ops/s  {:.4} s",
+                k.name,
+                cname,
+                k.ops as f64 / wall,
+                wall
+            );
+            walls.push((cname, wall));
+        }
+        let base = walls[0].1;
+        let optimized = walls[walls.len() - 1].1;
+        let speedup = base / optimized;
+        log_speedup_sum += speedup.ln();
+        println!("{:>16} {:>14}  {speedup:>11.2}x", k.name, "speedup");
+        let wall_fields: Vec<String> = walls
+            .iter()
+            .map(|(c, w)| format!("\"{c}\": {w:.6}"))
+            .collect();
+        let rate_fields: Vec<String> = walls
+            .iter()
+            .map(|(c, w)| format!("\"{c}\": {:.1}", k.ops as f64 / w))
+            .collect();
         rows.push(format!(
             concat!(
                 "    {{\"kernel\": \"{}\", \"ops\": {}, ",
-                "\"wall_seconds\": {:.6}, \"ops_per_sec\": {:.1}}}"
+                "\"wall_seconds\": {{{}}}, \"ops_per_sec\": {{{}}}, ",
+                "\"speedup_fused_unboxed\": {:.3}}}"
             ),
-            k.name, k.ops, wall, ops_per_sec
+            k.name,
+            k.ops,
+            wall_fields.join(", "),
+            rate_fields.join(", "),
+            speedup
         ));
     }
-    let json = format!(
-        "{{\n  \"iterations\": {N},\n  \"runs\": {RUNS},\n  \"kernels\": [\n{}\n  ]\n}}\n",
-        rows.join(",\n")
+    let geomean = (log_speedup_sum / kernels.len() as f64).exp();
+    println!(
+        "{:>16} {:>14}  {geomean:>11.2}x",
+        "GEOMEAN", "fused+unboxed"
     );
-    std::fs::write("BENCH_interp.json", json).expect("write BENCH_interp.json");
-    println!("wrote BENCH_interp.json");
+    let json = format!(
+        concat!(
+            "{{\n  \"iterations\": {},\n  \"runs\": {},\n",
+            "  \"configs\": [\"base\", \"fused\", \"unboxed\", \"fused_unboxed\"],\n",
+            "  \"kernels\": [\n{}\n  ],\n",
+            "  \"geomean_speedup_fused_unboxed\": {:.3}\n}}\n"
+        ),
+        N,
+        RUNS,
+        rows.join(",\n"),
+        geomean
+    );
+    // Anchor to the workspace root (cargo runs benches from the package
+    // dir) so the committed snapshot and the CI gate agree on the path.
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_interp.json");
+    std::fs::write(&out, json).expect("write BENCH_interp.json");
+    println!("wrote {}", out.display());
 }

@@ -108,8 +108,10 @@ impl FaultSpec {
         for part in spec.split(',') {
             match part.split_once('=') {
                 Some(("cell", v)) => {
-                    cell =
-                        Some(v.parse::<usize>().map_err(|_| format!("bad cell index: {v}"))?);
+                    cell = Some(
+                        v.parse::<usize>()
+                            .map_err(|_| format!("bad cell index: {v}"))?,
+                    );
                 }
                 Some(("kind", "panic")) => kind = Some(FaultKind::Panic),
                 Some(("kind", "fuel")) => kind = Some(FaultKind::Fuel),
@@ -141,6 +143,7 @@ pub struct Session {
     scheduled: usize,
     timeline: Option<Arc<Timeline>>,
     checkpoint: Option<Arc<Checkpoint>>,
+    interp_opts: crate::runner::InterpOpts,
     cache: BTreeMap<(String, ConfigKind), CellResult>,
 }
 
@@ -164,8 +167,19 @@ impl Session {
             scheduled: 0,
             timeline: None,
             checkpoint: None,
+            interp_opts: crate::runner::InterpOpts::default(),
             cache: BTreeMap::new(),
         }
+    }
+
+    /// Overrides the interpreter-optimization toggles (superinstruction
+    /// fusion, unboxed scalar storage) for every cell this session runs.
+    /// Figures and statistics are identical for all four combinations —
+    /// the differential tests sweep this knob to prove it.
+    #[must_use]
+    pub fn interp_opts(mut self, opts: crate::runner::InterpOpts) -> Self {
+        self.interp_opts = opts;
+        self
     }
 
     /// Strict mode (`--strict`): restores fail-fast semantics — the
@@ -199,7 +213,8 @@ impl Session {
     pub fn checkpoint(mut self, path: &std::path::Path) -> std::io::Result<Self> {
         let (ck, restored) = Checkpoint::open(path, self.scale, self.trials)?;
         for r in restored {
-            self.cache.insert((r.abbrev.to_string(), r.config), CellResult::Ok(r));
+            self.cache
+                .insert((r.abbrev.to_string(), r.config), CellResult::Ok(r));
         }
         self.checkpoint = Some(Arc::new(ck));
         Ok(self)
@@ -301,7 +316,10 @@ impl Session {
         // injection and checkpoint plumbing as prewarmed cells.
         let abbrev_static = benchmark_by_abbrev(abbrev).expect("known benchmark").abbrev;
         self.execute_batch(vec![(self.scheduled, (abbrev_static, kind))]);
-        self.cache.get(&key).expect("batch filled the cache").clone()
+        self.cache
+            .get(&key)
+            .expect("batch filled the cache")
+            .clone()
     }
 
     /// Runs a batch of indexed cells on the worker pool and folds every
@@ -319,21 +337,35 @@ impl Session {
         let timeline = self.timeline.clone();
         let fault = self.fault;
         let checkpoint = self.checkpoint.clone();
-        let work = move |worker: usize, (idx, (abbrev, kind)): (usize, (&'static str, ConfigKind))| {
-            if matches!(fault, Some(f) if f.cell == idx && f.kind == FaultKind::Panic) {
-                panic!("injected fault: panic at cell {idx} ({abbrev}/{})", kind.name());
-            }
-            let fuel = match fault {
-                Some(f) if f.cell == idx && f.kind == FaultKind::Fuel => Some(INJECTED_FUEL),
-                _ => None,
+        let interp_opts = self.interp_opts;
+        let work =
+            move |worker: usize, (idx, (abbrev, kind)): (usize, (&'static str, ConfigKind))| {
+                if matches!(fault, Some(f) if f.cell == idx && f.kind == FaultKind::Panic) {
+                    panic!(
+                        "injected fault: panic at cell {idx} ({abbrev}/{})",
+                        kind.name()
+                    );
+                }
+                let fuel = match fault {
+                    Some(f) if f.cell == idx && f.kind == FaultKind::Fuel => Some(INJECTED_FUEL),
+                    _ => None,
+                };
+                let r = try_run_cell(
+                    scale,
+                    trials,
+                    profile,
+                    timeline.as_deref(),
+                    worker,
+                    abbrev,
+                    kind,
+                    fuel,
+                    interp_opts,
+                )?;
+                if let Some(ck) = checkpoint.as_deref() {
+                    ck.record(&r);
+                }
+                Ok(r)
             };
-            let r =
-                try_run_cell(scale, trials, profile, timeline.as_deref(), worker, abbrev, kind, fuel)?;
-            if let Some(ck) = checkpoint.as_deref() {
-                ck.record(&r);
-            }
-            Ok(r)
-        };
         let outcomes: Vec<Result<Result<RunResult, CellError>, crate::pool::CellFailure>> =
             if self.strict {
                 crate::pool::run_ordered_with(pending, self.jobs, work)
@@ -351,7 +383,10 @@ impl Session {
                         panic!("[{abbrev} {}] {e}", kind.name());
                     }
                     eprintln!("[cell {abbrev}/{}] failed: {e}", kind.name());
-                    CellResult::Failed { code: e.code(), detail: e.to_string() }
+                    CellResult::Failed {
+                        code: e.code(),
+                        detail: e.to_string(),
+                    }
                 }
                 Err(f) => {
                     eprintln!(
@@ -360,7 +395,10 @@ impl Session {
                         f.attempts,
                         f.reason
                     );
-                    CellResult::Failed { code: "panic", detail: f.reason }
+                    CellResult::Failed {
+                        code: "panic",
+                        detail: f.reason,
+                    }
                 }
             };
             self.cache.insert((abbrev.to_string(), kind), cell);
@@ -428,7 +466,10 @@ impl Session {
             );
             mixes.push((abbrev, mix));
         }
-        let _ = writeln!(out, "\nhierarchical clustering (single linkage, 4 clusters):");
+        let _ = writeln!(
+            out,
+            "\nhierarchical clustering (single linkage, 4 clusters):"
+        );
         for (i, cluster) in cluster(&mixes, 4).iter().enumerate() {
             let _ = writeln!(out, "  cluster {}: {}", i + 1, cluster.join(" "));
         }
@@ -472,8 +513,8 @@ impl Session {
             let roi = memoir.modeled_roi_ns(&model) / ade.modeled_roi_ns(&model).max(1.0);
             let mem = ade.peak_bytes() as f64 / memoir.peak_bytes().max(1) as f64;
             let wall_txt = if self.include_wall {
-                let wall = memoir.stats.wall_total_ns() as f64
-                    / ade.stats.wall_total_ns().max(1) as f64;
+                let wall =
+                    memoir.stats.wall_total_ns() as f64 / ade.stats.wall_total_ns().max(1) as f64;
                 format!("({wall:>4.2}x)")
             } else {
                 "(  --x)".to_string()
@@ -508,7 +549,10 @@ impl Session {
     /// normalized so MEMOIR's total is 100 (as in the paper).
     pub fn table2(&mut self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "Table II: sparse/dense accesses relative to MEMOIR total (=100)");
+        let _ = writeln!(
+            out,
+            "Table II: sparse/dense accesses relative to MEMOIR total (=100)"
+        );
         let _ = writeln!(
             out,
             "{:>5} | {:>8} {:>8} | {:>8} {:>8} | {:>8} {:>8} {:>8}",
@@ -554,7 +598,11 @@ impl Session {
     pub fn table3(&mut self) -> String {
         let mut out = String::new();
         for model in [CostModel::intel_x64(), CostModel::aarch64()] {
-            let _ = writeln!(out, "Table III ({}): speedup vs Hash{{Set,Map}}", model.name);
+            let _ = writeln!(
+                out,
+                "Table III ({}): speedup vs Hash{{Set,Map}}",
+                model.name
+            );
             let _ = writeln!(
                 out,
                 "{:>13} {:>7} {:>7} {:>7} {:>7} {:>8}",
@@ -649,7 +697,10 @@ impl Session {
     /// ADE.
     pub fn fig8(&mut self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "Figure 8: peak memory with sharing disabled vs full ADE");
+        let _ = writeln!(
+            out,
+            "Figure 8: peak memory with sharing disabled vs full ADE"
+        );
         let mut ratios = Vec::new();
         for abbrev in self.abbrevs() {
             let row = match self.row(abbrev, &[ConfigKind::Ade, ConfigKind::AdeNoSharing]) {
@@ -664,7 +715,12 @@ impl Session {
             ratios.push(ratio);
             let _ = writeln!(out, "{:>5} {:>8.1}%", abbrev, ratio * 100.0);
         }
-        let _ = writeln!(out, "{:>5} {:>8.1}%   (GEO)", "GEO", geomean(ratios) * 100.0);
+        let _ = writeln!(
+            out,
+            "{:>5} {:>8.1}%   (GEO)",
+            "GEO",
+            geomean(ratios) * 100.0
+        );
         out
     }
 
@@ -683,13 +739,7 @@ impl Session {
         let _ = writeln!(
             out,
             "{:>5} | {:>11} {:>11} {:>11} | {:>9} {:>9} {:>9}",
-            "bench",
-            "swiss/hash",
-            "ade/swiss",
-            "ade+sw/sw",
-            "mem(a)",
-            "mem(b)",
-            "mem(c)"
+            "bench", "swiss/hash", "ade/swiss", "ade+sw/sw", "mem(a)", "mem(b)", "mem(c)"
         );
         let mut cols: [Vec<f64>; 6] = Default::default();
         for abbrev in self.abbrevs() {
@@ -710,7 +760,10 @@ impl Session {
             };
             let (memoir, swiss, ade, ade_swiss) = (&row[0], &row[1], &row[2], &row[3]);
             assert_eq!(memoir.output, swiss.output, "[{abbrev}] swiss diverged");
-            assert_eq!(memoir.output, ade_swiss.output, "[{abbrev}] ade-abseil diverged");
+            assert_eq!(
+                memoir.output, ade_swiss.output,
+                "[{abbrev}] ade-abseil diverged"
+            );
             let a = memoir.modeled_total_ns(&model) / swiss.modeled_total_ns(&model);
             let b = swiss.modeled_total_ns(&model) / ade.modeled_total_ns(&model);
             let c = swiss.modeled_total_ns(&model) / ade_swiss.modeled_total_ns(&model);
@@ -777,8 +830,10 @@ impl Session {
             ("select(Flat)", ConfigKind::Ade, Tuning::InnerFlat),
         ];
         let timeline = self.timeline.clone();
-        let runs: Vec<(String, RunResult)> =
-            crate::pool::run_ordered_with(variants, self.jobs, move |worker, (name, kind, tuning)| {
+        let runs: Vec<(String, RunResult)> = crate::pool::run_ordered_with(
+            variants,
+            self.jobs,
+            move |worker, (name, kind, tuning)| {
                 let started = timeline.as_deref().map(Timeline::now_ns);
                 let mut module = build_with(scale, tuning);
                 let config = ade_workloads::Config::new(kind);
@@ -807,7 +862,8 @@ impl Session {
                         profile: outcome.profile,
                     },
                 )
-            });
+            },
+        );
         let base_ns = runs[0].1.modeled_total_ns(&model);
         let base_mem = runs[0].1.peak_bytes().max(1) as f64;
         let reference = runs[0].1.output.clone();
@@ -837,16 +893,18 @@ fn try_run_cell(
     abbrev: &str,
     kind: ConfigKind,
     fuel_override: Option<u64>,
+    interp_opts: crate::runner::InterpOpts,
 ) -> Result<RunResult, CellError> {
     let bench = benchmark_by_abbrev(abbrev).expect("known benchmark");
     let started = timeline.map(Timeline::now_ns);
-    let r = crate::runner::try_run_benchmark_trials_profiled(
+    let r = crate::runner::try_run_benchmark_cell(
         &bench,
         kind,
         scale,
         trials,
         profile,
         fuel_override,
+        interp_opts,
     );
     if let (Some(t), Some(started)) = (timeline, started) {
         let mut args = vec![
@@ -856,7 +914,13 @@ fn try_run_cell(
         if let Err(e) = &r {
             args.push(("status".to_string(), format!("failed:{}", e.code())));
         }
-        t.complete(format!("{abbrev}/{}", kind.name()), "cell", worker as u32, started, args);
+        t.complete(
+            format!("{abbrev}/{}", kind.name()),
+            "cell",
+            worker as u32,
+            started,
+            args,
+        );
     }
     r
 }

@@ -115,9 +115,29 @@ pub fn run_benchmark_trials_profiled(
     trials: u32,
     profile: bool,
 ) -> RunResult {
-    try_run_benchmark_trials_profiled(bench, kind, scale, trials, profile, None).unwrap_or_else(
-        |e| panic!("[{} {}] {e}", bench.abbrev, kind.name()),
-    )
+    try_run_benchmark_trials_profiled(bench, kind, scale, trials, profile, None)
+        .unwrap_or_else(|e| panic!("[{} {}] {e}", bench.abbrev, kind.name()))
+}
+
+/// Interpreter-optimization toggles the harness threads through to
+/// [`ade_interp::ExecConfig`]. Production runs keep both on (the
+/// default); the differential tests sweep all four combinations to pin
+/// down that figures and statistics are independent of them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InterpOpts {
+    /// Superinstruction fusion ([`ade_interp::ExecConfig::fuse`]).
+    pub fuse: bool,
+    /// Unboxed scalar storage ([`ade_interp::ExecConfig::unbox`]).
+    pub unbox: bool,
+}
+
+impl Default for InterpOpts {
+    fn default() -> InterpOpts {
+        InterpOpts {
+            fuse: true,
+            unbox: true,
+        }
+    }
 }
 
 /// [`run_benchmark_trials_profiled`] returning a typed [`CellError`]
@@ -143,6 +163,36 @@ pub fn try_run_benchmark_trials_profiled(
     profile: bool,
     fuel_override: Option<u64>,
 ) -> Result<RunResult, CellError> {
+    try_run_benchmark_cell(
+        bench,
+        kind,
+        scale,
+        trials,
+        profile,
+        fuel_override,
+        InterpOpts::default(),
+    )
+}
+
+/// [`try_run_benchmark_trials_profiled`] with explicit [`InterpOpts`].
+///
+/// # Errors
+///
+/// As [`try_run_benchmark_trials_profiled`].
+///
+/// # Panics
+///
+/// Panics if `trials == 0` (a harness bug, not a cell fault).
+#[allow(clippy::too_many_arguments)]
+pub fn try_run_benchmark_cell(
+    bench: &Benchmark,
+    kind: ConfigKind,
+    scale: u32,
+    trials: u32,
+    profile: bool,
+    fuel_override: Option<u64>,
+    opts: InterpOpts,
+) -> Result<RunResult, CellError> {
     assert!(trials > 0, "at least one trial");
     let config = Config::new(kind);
     let mut module = (bench.build)(scale);
@@ -150,13 +200,23 @@ pub fn try_run_benchmark_trials_profiled(
     ade_ir::verify::verify_module(&module).map_err(|e| CellError::Verify(e.to_string()))?;
     let mut exec = config.exec.clone();
     exec.profile = profile;
+    exec.fuse = opts.fuse;
+    exec.unbox = opts.unbox;
     if let Some(fuel) = fuel_override {
         exec.fuel = Some(fuel);
     }
+    // Decode (and run the fusion peephole) once; every trial executes
+    // the same pre-decoded stream, so repeated trials measure the
+    // interpreter, not flattening overhead.
+    let decoded = ade_interp::DecodedModule::decode_with(
+        &module,
+        &ade_interp::DecodeOptions { fuse: exec.fuse },
+    );
     let mut best: Option<ade_interp::Outcome> = None;
     for _ in 0..trials {
-        let outcome =
-            Interpreter::new(&module, exec.clone()).run("main").map_err(CellError::Exec)?;
+        let outcome = Interpreter::new(&module, exec.clone())
+            .run_decoded(&decoded, "main")
+            .map_err(CellError::Exec)?;
         let better = best
             .as_ref()
             .is_none_or(|b| outcome.stats.wall_total_ns() < b.stats.wall_total_ns());

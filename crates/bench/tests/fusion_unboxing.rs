@@ -1,0 +1,125 @@
+//! Superinstruction fusion and unboxed scalar storage must be invisible
+//! everywhere except wall time: every figure byte, operation count,
+//! program output (checksums), memory highwater and per-site profile is
+//! identical across all four `InterpOpts` combinations. These tests are
+//! the tentpole's safety net — never weaken them to make a change pass.
+
+use ade_bench::figures::{cells_for_target, Session};
+use ade_bench::runner::InterpOpts;
+
+const SCALE: u32 = 5;
+
+const COMBOS: [InterpOpts; 4] = [
+    InterpOpts {
+        fuse: false,
+        unbox: false,
+    },
+    InterpOpts {
+        fuse: true,
+        unbox: false,
+    },
+    InterpOpts {
+        fuse: false,
+        unbox: true,
+    },
+    InterpOpts {
+        fuse: true,
+        unbox: true,
+    },
+];
+
+fn combo_name(o: InterpOpts) -> String {
+    format!("fuse={} unbox={}", o.fuse, o.unbox)
+}
+
+/// Fig. 5 text (wall ratios suppressed) is byte-identical whether the
+/// interpreter fuses, unboxes, both (the default), or neither.
+#[test]
+fn fig5_text_is_byte_identical_across_interp_opts() {
+    let mut reference: Option<String> = None;
+    for opts in COMBOS {
+        let mut session = Session::new(SCALE).include_wall(false).interp_opts(opts);
+        session.prewarm(&["fig5"]);
+        let text = session.fig5_or_6(false);
+        match &reference {
+            None => reference = Some(text),
+            Some(expected) => assert_eq!(
+                &text,
+                expected,
+                "fig5 text diverged under {}",
+                combo_name(opts)
+            ),
+        }
+    }
+}
+
+/// Every fig5 cell carries identical per-phase operation counts,
+/// program output (order-insensitive checksums) and memory highwater
+/// for every combination of the two optimizations.
+#[test]
+fn cell_stats_match_exactly_across_interp_opts() {
+    let cells = cells_for_target("fig5");
+    assert!(!cells.is_empty(), "fig5 must plan a non-empty matrix");
+
+    let mut baseline = Session::new(SCALE).interp_opts(InterpOpts {
+        fuse: false,
+        unbox: false,
+    });
+    baseline.prewarm(&["fig5"]);
+
+    for opts in COMBOS.into_iter().skip(1) {
+        let mut optimized = Session::new(SCALE).jobs(2).interp_opts(opts);
+        optimized.prewarm(&["fig5"]);
+        for &(abbrev, kind) in &cells {
+            let b = baseline.cell(abbrev, kind);
+            let o = optimized.cell(abbrev, kind);
+            let tag = format!("[{abbrev} {} under {}]", kind.name(), combo_name(opts));
+            assert_eq!(
+                b.stats.per_phase, o.stats.per_phase,
+                "{tag} op counts diverged"
+            );
+            assert_eq!(b.output, o.output, "{tag} program output diverged");
+            assert_eq!(
+                b.stats.peak_bytes, o.stats.peak_bytes,
+                "{tag} peak memory diverged"
+            );
+        }
+    }
+}
+
+/// Fused execution attributes work to the same instruction sites as
+/// unfused execution: the per-site profiles are byte-identical, and the
+/// fused profile still sums exactly to the aggregate statistics.
+#[test]
+fn site_profiles_are_identical_fused_vs_unfused() {
+    let cells = cells_for_target("fig5");
+
+    let mut unfused = Session::new(SCALE).profile(true).interp_opts(InterpOpts {
+        fuse: false,
+        unbox: false,
+    });
+    unfused.prewarm(&["fig5"]);
+    let mut fused = Session::new(SCALE)
+        .profile(true)
+        .interp_opts(InterpOpts::default());
+    fused.prewarm(&["fig5"]);
+
+    for (abbrev, kind) in cells {
+        let u = unfused.cell(abbrev, kind);
+        let f = fused.cell(abbrev, kind);
+        let up = u.profile.as_ref().expect("unfused profile collected");
+        let fp = f.profile.as_ref().expect("fused profile collected");
+        assert_eq!(
+            up.to_json(),
+            fp.to_json(),
+            "[{abbrev} {}] per-site profile diverged under fusion",
+            kind.name()
+        );
+        assert_eq!(
+            fp.totals(),
+            f.stats.totals(),
+            "[{abbrev} {}] fused profile no longer sums to the aggregate stats",
+            kind.name()
+        );
+    }
+}

@@ -128,7 +128,16 @@ impl<V: Default> BitMap<V> {
     /// Constant-time estimate of the heap footprint (presence bits plus
     /// dense value array capacity; value-owned heap data excluded).
     pub fn heap_bytes_fast(&self) -> usize {
-        self.present.heap_bytes_fast() + self.values.capacity() * std::mem::size_of::<V>()
+        self.heap_bytes_fast_as(std::mem::size_of::<V>())
+    }
+
+    /// [`BitMap::heap_bytes_fast`] priced as if each dense slot were
+    /// `value_bytes` wide, so a monomorphic instantiation can report
+    /// its boxed twin's footprint (`resize_with` growth is element-size
+    /// independent within the small-element class, so the capacity
+    /// trajectory matches).
+    pub fn heap_bytes_fast_as(&self, value_bytes: usize) -> usize {
+        self.present.heap_bytes_fast() + self.values.capacity() * value_bytes
     }
 
     /// Iterates over `(key, &value)` pairs in ascending key order.

@@ -153,8 +153,17 @@ impl<K: Hash + Eq, V> ChainedHashMap<K, V> {
     /// incremental memory accounting where the exact walk would be
     /// quadratic over a run.
     pub fn heap_bytes_fast(&self) -> usize {
-        self.buckets.capacity() * std::mem::size_of::<Vec<(K, V)>>()
-            + self.len * std::mem::size_of::<(K, V)>() * 2
+        self.heap_bytes_fast_as(std::mem::size_of::<(K, V)>())
+    }
+
+    /// [`ChainedHashMap::heap_bytes_fast`] priced as if each entry were
+    /// `entry_bytes` wide. Lets a monomorphic instantiation report the
+    /// footprint its boxed twin would have (the accounting the memory
+    /// figures are calibrated against) while storing something smaller;
+    /// the bucket-array term is capacity-based and `Vec`'s header size
+    /// does not depend on the entry type, so only the entry term varies.
+    pub fn heap_bytes_fast_as(&self, entry_bytes: usize) -> usize {
+        self.buckets.capacity() * std::mem::size_of::<Vec<(K, V)>>() + self.len * entry_bytes * 2
     }
 
     /// Iterates over `(key, value)` pairs in unspecified (but
@@ -290,6 +299,13 @@ impl<T: Hash + Eq> ChainedHashSet<T> {
     /// [`ChainedHashMap::heap_bytes_fast`]).
     pub fn heap_bytes_fast(&self) -> usize {
         self.map.heap_bytes_fast()
+    }
+
+    /// Footprint priced at a different entry width (see
+    /// [`ChainedHashMap::heap_bytes_fast_as`]); `entry_bytes` should be
+    /// the boxed twin's `size_of::<(T, ())>()`.
+    pub fn heap_bytes_fast_as(&self, entry_bytes: usize) -> usize {
+        self.map.heap_bytes_fast_as(entry_bytes)
     }
 
     /// Iterates over the elements in unspecified order.

@@ -133,7 +133,17 @@ impl<T> ArraySeq<T> {
     /// Constant-time estimate of the heap footprint (array capacity;
     /// element-owned heap data excluded).
     pub fn heap_bytes_fast(&self) -> usize {
-        self.items.capacity() * std::mem::size_of::<T>()
+        self.heap_bytes_fast_as(std::mem::size_of::<T>())
+    }
+
+    /// [`ArraySeq::heap_bytes_fast`] priced as if each element were
+    /// `elem_bytes` wide, so a monomorphic instantiation can report its
+    /// boxed twin's footprint. Valid because `Vec`'s growth policy does
+    /// not depend on the element size within the small-element class —
+    /// the capacity trajectory for a given operation history is the
+    /// same at both widths (locked in by a test in `ade-interp`).
+    pub fn heap_bytes_fast_as(&self, elem_bytes: usize) -> usize {
+        self.items.capacity() * elem_bytes
     }
 }
 

@@ -71,6 +71,11 @@ pub struct Options {
     /// Abort execution past this call depth (`--max-depth`; default:
     /// unlimited).
     pub max_depth: Option<u32>,
+    /// Fuse hot instruction pairs/triples into superinstructions at
+    /// decode time (`--no-fuse` clears it; default: on). Counts, figures
+    /// and traps are identical either way — the flag exists to isolate
+    /// the dispatch optimization when debugging the interpreter.
+    pub fuse: bool,
 }
 
 impl Default for Options {
@@ -87,6 +92,7 @@ impl Default for Options {
             fuel: None,
             max_heap_cells: None,
             max_depth: None,
+            fuse: true,
         }
     }
 }
@@ -161,8 +167,12 @@ fn err(phase: &'static str, message: impl fmt::Display) -> DriveError {
 /// errors, `verify` for ill-formed IR (before or after the pass),
 /// `config` for unknown configuration names, `exec` for runtime failures.
 pub fn drive(source: &str, options: &Options) -> Result<DriveOutput, DriveError> {
-    let kind = ConfigKind::from_name(&options.config)
-        .ok_or_else(|| err("config", format!("unknown configuration `{}`", options.config)))?;
+    let kind = ConfigKind::from_name(&options.config).ok_or_else(|| {
+        err(
+            "config",
+            format!("unknown configuration `{}`", options.config),
+        )
+    })?;
     let config = Config::new(kind);
     let tracer = if options.wants_trace() {
         Tracer::enabled()
@@ -202,6 +212,7 @@ pub fn drive(source: &str, options: &Options) -> Result<DriveOutput, DriveError>
         exec.fuel = options.fuel.or(exec.fuel);
         exec.max_heap_cells = options.max_heap_cells.or(exec.max_heap_cells);
         exec.max_depth = options.max_depth.or(exec.max_depth);
+        exec.fuse = options.fuse && exec.fuse;
         let outcome = {
             let _span = tracer.span("driver", "exec");
             Interpreter::new(&module, exec)
@@ -237,7 +248,7 @@ fn format_stats(stats: &ade_interp::Stats) -> String {
 /// The `adec` usage text (`--help`, and the trailer of usage errors).
 pub const USAGE: &str = "\
 usage: adec [--config NAME] [--run] [--emit-ir] [--stats] [--entry F]
-            [--fuel N] [--max-heap-cells N] [--max-depth N]
+            [--fuel N] [--max-heap-cells N] [--max-depth N] [--no-fuse]
             [--trace[=FILE]] [--trace-json FILE] [--profile FILE] INPUT.memoir
 
   --config NAME, -c    artifact configuration (memoir, ade, ade-sparse, ...)
@@ -248,6 +259,8 @@ usage: adec [--config NAME] [--run] [--emit-ir] [--stats] [--entry F]
   --fuel N             abort execution after N interpreted instructions
   --max-heap-cells N   abort execution past N live heap cells
   --max-depth N        abort execution past call depth N
+  --no-fuse            disable interpreter superinstruction fusion (counts,
+                       figures and traps are identical; isolates dispatch)
   --trace[=FILE]       human-readable pass/decision log to stderr (or FILE)
   --trace-json FILE    machine-readable trace events as JSON
   --profile FILE       per-site interpreter profile as JSON (implies --run);
@@ -269,7 +282,8 @@ pub enum Cli {
 
 fn parse_limit(value: Option<String>, flag: &str) -> Result<u64, String> {
     let v = value.ok_or_else(|| format!("missing value for {flag}"))?;
-    v.parse().map_err(|_| format!("invalid value for {flag}: `{v}`"))
+    v.parse()
+        .map_err(|_| format!("invalid value for {flag}: `{v}`"))
 }
 
 /// Parses `adec` command-line arguments into options plus an input path.
@@ -309,6 +323,7 @@ pub fn parse_args<I: Iterator<Item = String>>(args: I) -> Result<Cli, String> {
                     .map_err(|_| "value for --max-depth out of range".to_string())?;
                 options.max_depth = Some(depth);
             }
+            "--no-fuse" => options.fuse = false,
             "--trace" => options.trace = TraceMode::Stderr,
             "--trace-json" => {
                 options.trace_json = Some(args.next().ok_or("missing value for --trace-json")?);
@@ -409,9 +424,13 @@ fn @main() -> void {
                 run: true,
                 ..Options::default()
             };
-            let out = drive(PROGRAM, &opts)
-                .unwrap_or_else(|e| panic!("[{}] {e}", kind.name()));
-            assert_eq!(out.program_output.as_deref(), Some("5\n"), "{}", kind.name());
+            let out = drive(PROGRAM, &opts).unwrap_or_else(|e| panic!("[{}] {e}", kind.name()));
+            assert_eq!(
+                out.program_output.as_deref(),
+                Some("5\n"),
+                "{}",
+                kind.name()
+            );
         }
     }
 
@@ -420,8 +439,10 @@ fn @main() -> void {
         let bad_syntax = drive("fn @main() -> void { frob }", &Options::default());
         assert_eq!(bad_syntax.expect_err("fails").phase, "parse");
 
-        let bad_types =
-            drive("fn @main() -> u64 {\n  %x = const 1f64\n  ret %x\n}\n", &Options::default());
+        let bad_types = drive(
+            "fn @main() -> u64 {\n  %x = const 1f64\n  ret %x\n}\n",
+            &Options::default(),
+        );
         assert_eq!(bad_types.expect_err("fails").phase, "verify");
 
         let bad_config = drive(
@@ -447,7 +468,10 @@ fn @main() -> void {
     #[test]
     fn exit_codes_follow_the_phase_contract() {
         for (phase, code) in [("parse", 3), ("verify", 3), ("config", 2), ("exec", 1)] {
-            let e = DriveError { phase, message: String::new() };
+            let e = DriveError {
+                phase,
+                message: String::new(),
+            };
             assert_eq!(e.exit_code(), code, "{phase}");
         }
     }
@@ -522,9 +546,15 @@ fn @main() -> void {
         assert_eq!(opts.max_heap_cells, Some(256));
         assert_eq!(opts.max_depth, Some(8));
 
-        assert!(parse_drive(&["--fuel", "p.memoir"]).is_err(), "non-numeric value");
+        assert!(
+            parse_drive(&["--fuel", "p.memoir"]).is_err(),
+            "non-numeric value"
+        );
         assert!(parse_drive(&["--max-depth"]).is_err(), "missing value");
-        assert!(parse_drive(&["--max-depth", "5000000000", "p.memoir"]).is_err(), "overflow");
+        assert!(
+            parse_drive(&["--max-depth", "5000000000", "p.memoir"]).is_err(),
+            "overflow"
+        );
     }
 
     #[test]
@@ -542,9 +572,8 @@ fn @main() -> void {
         assert_eq!(opts.trace, TraceMode::Stderr);
         assert!(opts.wants_trace());
 
-        let (opts, _) =
-            parse_drive(&["--trace=log.txt", "--trace-json", "t.json", "p.memoir"])
-                .expect("parses");
+        let (opts, _) = parse_drive(&["--trace=log.txt", "--trace-json", "t.json", "p.memoir"])
+            .expect("parses");
         assert_eq!(opts.trace, TraceMode::File("log.txt".to_string()));
         assert_eq!(opts.trace_json.as_deref(), Some("t.json"));
 

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! adec [--config NAME] [--run] [--emit-ir] [--stats] [--entry F]
-//!      [--fuel N] [--max-heap-cells N] [--max-depth N]
+//!      [--fuel N] [--max-heap-cells N] [--max-depth N] [--no-fuse]
 //!      [--trace[=FILE]] [--trace-json FILE] [--profile FILE] INPUT.memoir
 //! ```
 //!
@@ -13,7 +13,9 @@
 //! events as JSON. `--profile FILE` executes the program with per-site
 //! profiling and writes a JSON profile plus a hot-site summary.
 //! `--fuel`/`--max-heap-cells`/`--max-depth` bound execution; a tripped
-//! limit reports a typed error, like any guest trap.
+//! limit reports a typed error, like any guest trap. `--no-fuse` turns
+//! off interpreter superinstruction fusion (observationally inert; for
+//! isolating the dispatch optimization).
 //!
 //! Exit codes: 0 success; 1 guest trap or limit at runtime; 2 usage
 //! error (bad flags, unknown `--config`, unreadable input); 3 parse or

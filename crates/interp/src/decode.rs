@@ -328,6 +328,18 @@ pub enum DInst {
         /// Yielded operands.
         ops: Box<[DOp]>,
     },
+    /// [`DInst::Yield`] rewritten by the fuse peephole to move its
+    /// values straight into the consumer's destination slots — the next
+    /// iteration's carried args for a loop body, the branch's dsts for
+    /// an if arm — skipping the heap-allocated `Flow::Yield` buffer.
+    /// Only built for all-slot yields (no stat bumps to preserve) with
+    /// no write-before-read hazard between the copies.
+    YieldDirect {
+        /// Source slots, copied in order.
+        srcs: Box<[u32]>,
+        /// Destination slots, `dsts[j] = srcs[j]`.
+        dsts: Box<[u32]>,
+    },
     /// Function return.
     Ret {
         /// Returned operand, if any.
@@ -338,6 +350,201 @@ pub enum DInst {
         /// `true` at `roi begin`.
         begin: bool,
     },
+
+    // ── Fused superinstructions ─────────────────────────────────────
+    //
+    // Built by the decode-time peephole (see [`DecodeOptions::fuse`])
+    // from windows of consecutive slot-operand instructions within one
+    // region. A fused instruction replaces the *first* instruction of
+    // its window; the remaining originals stay in `code` as padding the
+    // dispatch loop steps over, so code length, per-site profile
+    // indices, and trap-site numbering are unchanged. Execution replays
+    // the unfused sequence's fuel ticks, site attribution, statistic
+    // bumps, and intermediate destination writes exactly — fusion only
+    // removes dispatch and re-resolution overhead, never observable
+    // work.
+    /// A run of ≥2 consecutive scalar micro-ops (const/arith/cmp/not).
+    FusedScalars {
+        /// The window's micro-ops, in original order.
+        uops: Box<[UScalar]>,
+    },
+    /// `read` immediately feeding a binary op.
+    FusedReadBin {
+        /// Collection slot.
+        coll: u32,
+        /// Key slot.
+        key: u32,
+        /// Read destination slot.
+        rdst: u32,
+        /// Fused binary operator.
+        op: BinOp,
+        /// Left operand slot (may equal `rdst`).
+        a: u32,
+        /// Right operand slot (may equal `rdst`).
+        b: u32,
+        /// Binary-op destination slot.
+        bdst: u32,
+    },
+    /// Binary op immediately stored through `write`.
+    FusedBinWrite {
+        /// Fused binary operator.
+        op: BinOp,
+        /// Left operand slot.
+        a: u32,
+        /// Right operand slot.
+        b: u32,
+        /// Binary-op destination slot (the written value).
+        bdst: u32,
+        /// Collection slot.
+        coll: u32,
+        /// Key slot.
+        key: u32,
+        /// Write destination slot (receives the collection handle).
+        wdst: u32,
+    },
+    /// The read-modify-write triple: `read`, arith, `write` back to the
+    /// same collection.
+    FusedReadBinWrite {
+        /// Collection slot (shared by the read and the write).
+        coll: u32,
+        /// Read key slot.
+        rkey: u32,
+        /// Read destination slot.
+        rdst: u32,
+        /// Fused binary operator.
+        op: BinOp,
+        /// Left operand slot (may equal `rdst`).
+        a: u32,
+        /// Right operand slot (may equal `rdst`).
+        b: u32,
+        /// Binary-op destination slot (the written value).
+        bdst: u32,
+        /// Write key slot.
+        wkey: u32,
+        /// Write destination slot (receives the collection handle).
+        wdst: u32,
+    },
+    /// `has` immediately branching on the membership answer.
+    FusedHasIf {
+        /// Collection slot.
+        coll: u32,
+        /// Key slot.
+        key: u32,
+        /// Membership destination slot (the branch condition).
+        hdst: u32,
+        /// Decoded region index of the then-block.
+        then_r: u32,
+        /// Decoded region index of the else-block.
+        else_r: u32,
+        /// Destination slots for the region's yields.
+        dsts: Box<[u32]>,
+    },
+    /// Comparison immediately branching on the answer.
+    FusedCmpIf {
+        /// Comparison operator.
+        op: CmpOp,
+        /// Left operand slot.
+        a: u32,
+        /// Right operand slot.
+        b: u32,
+        /// Comparison destination slot (the branch condition).
+        cdst: u32,
+        /// Decoded region index of the then-block.
+        then_r: u32,
+        /// Decoded region index of the else-block.
+        else_r: u32,
+        /// Destination slots for the region's yields.
+        dsts: Box<[u32]>,
+    },
+    /// `enc` immediately keying a membership-class op (`has`/`remove`/
+    /// `read`) with the translated identifier.
+    FusedEncKey {
+        /// Enumeration index.
+        e: u32,
+        /// Key operand slot of the `enc`.
+        v: u32,
+        /// `enc` destination slot (the translated identifier).
+        edst: u32,
+        /// Which keyed op consumes the identifier.
+        kind: EncKeyKind,
+        /// Collection slot of the keyed op.
+        coll: u32,
+        /// Destination slot of the keyed op.
+        dst2: u32,
+    },
+}
+
+/// One micro-op of a [`DInst::FusedScalars`] run.
+#[derive(Clone, Copy, Debug)]
+pub enum UScalar {
+    /// Copy a pooled constant into `dst`.
+    Const {
+        /// Index into [`DFunc::consts`].
+        pool: u32,
+        /// Destination slot.
+        dst: u32,
+    },
+    /// Binary arithmetic/logic over two slots.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand slot.
+        a: u32,
+        /// Right operand slot.
+        b: u32,
+        /// Destination slot.
+        dst: u32,
+    },
+    /// Comparison over two slots.
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand slot.
+        a: u32,
+        /// Right operand slot.
+        b: u32,
+        /// Destination slot.
+        dst: u32,
+    },
+    /// Logical negation of a slot.
+    Not {
+        /// Operand slot.
+        a: u32,
+        /// Destination slot.
+        dst: u32,
+    },
+}
+
+/// The membership-class op a [`DInst::FusedEncKey`] performs with the
+/// translated identifier. All three tolerate the `enc` sentinel (for
+/// `read`, an absent key traps exactly as the unfused sequence would).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EncKeyKind {
+    /// `has(c, enc(e, v))`.
+    Has,
+    /// `remove(c, enc(e, v))`.
+    Remove,
+    /// `read(c, enc(e, v))`.
+    Read,
+}
+
+impl DInst {
+    /// How many code slots this instruction occupies: the window length
+    /// for fused superinstructions (whose tail slots are skipped-over
+    /// padding), 1 for everything else.
+    #[inline]
+    pub fn advance(&self) -> usize {
+        match self {
+            DInst::FusedScalars { uops } => uops.len(),
+            DInst::FusedReadBinWrite { .. } => 3,
+            DInst::FusedReadBin { .. }
+            | DInst::FusedBinWrite { .. }
+            | DInst::FusedHasIf { .. }
+            | DInst::FusedCmpIf { .. }
+            | DInst::FusedEncKey { .. } => 2,
+            _ => 1,
+        }
+    }
 }
 
 /// A decoded region: argument slots plus a contiguous range of the
@@ -380,6 +587,22 @@ pub struct DecodedModule<'m> {
     pub funcs: Box<[DFunc]>,
 }
 
+/// Options for [`DecodedModule::decode_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct DecodeOptions {
+    /// Run the superinstruction peephole (see the `Fused*` arms of
+    /// [`DInst`]). Defaults to `true`; [`DecodedModule::decode`] stays
+    /// purely structural (no fusion) for tests and tools that inspect
+    /// the stream one source instruction at a time.
+    pub fuse: bool,
+}
+
+impl Default for DecodeOptions {
+    fn default() -> DecodeOptions {
+        DecodeOptions { fuse: true }
+    }
+}
+
 impl<'m> DecodedModule<'m> {
     /// Decodes every function of `module`.
     ///
@@ -392,11 +615,31 @@ impl<'m> DecodedModule<'m> {
     ///
     /// Panics in debug builds if the module fails verification.
     pub fn decode(module: &'m Module) -> Self {
+        Self::decode_with(module, &DecodeOptions { fuse: false })
+    }
+
+    /// [`DecodedModule::decode`] with explicit [`DecodeOptions`]
+    /// (notably the superinstruction peephole).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the module fails verification.
+    pub fn decode_with(module: &'m Module, options: &DecodeOptions) -> Self {
         #[cfg(debug_assertions)]
         if let Err(e) = ade_ir::verify::verify_module(module) {
             panic!("refusing to decode an unverifiable module: {e}");
         }
-        let funcs = module.funcs.iter().map(decode_function).collect();
+        let funcs = module
+            .funcs
+            .iter()
+            .map(|f| {
+                let mut d = decode_function(f);
+                if options.fuse {
+                    fuse_function(&mut d);
+                }
+                d
+            })
+            .collect();
         DecodedModule { module, funcs }
     }
 
@@ -420,7 +663,11 @@ fn decode_function(func: &Function) -> DFunc {
         func,
         code: Vec::with_capacity(func.insts.len()),
         regions: vec![
-            DRegion { args: Box::new([]), start: 0, end: 0 };
+            DRegion {
+                args: Box::new([]),
+                start: 0,
+                end: 0
+            };
             func.regions.len()
         ],
         consts: Vec::new(),
@@ -682,6 +929,286 @@ impl FuncDecoder<'_> {
     }
 }
 
+/// The frame slot behind a plain-slot operand; `None` for nesting
+/// paths, whose resolution bumps per-level read counts and therefore
+/// must stay per-instruction (fusing one would merge its counts).
+fn sl(op: &DOp) -> Option<u32> {
+    match op {
+        DOp::Slot(s) => Some(*s),
+        DOp::Path(_) => None,
+    }
+}
+
+/// Runs the superinstruction peephole over every region of `d`.
+///
+/// Windows never cross region boundaries (regions are disjoint,
+/// contiguous code ranges and execute linearly, so nothing can jump
+/// into the middle of a window). A matched window's head slot is
+/// replaced by the fused instruction; its tail slots keep the original
+/// instructions as padding, preserving code length and instruction
+/// indices for the profiler and trap sites.
+fn fuse_function(d: &mut DFunc) {
+    for r in d.regions.iter() {
+        let (start, end) = (r.start as usize, r.end as usize);
+        let mut i = start;
+        while i < end {
+            if let Some(fused) = match_window(&d.code[i..end]) {
+                let len = fused.advance();
+                d.code[i] = fused;
+                i += len;
+            } else {
+                i += 1;
+            }
+        }
+    }
+    direct_yields(d);
+}
+
+/// Rewrites the terminal [`DInst::Yield`] of loop bodies and branch
+/// arms into [`DInst::YieldDirect`] targeting the consumer's slots.
+/// Runs after window fusion so branches that became
+/// [`DInst::FusedHasIf`]/[`DInst::FusedCmpIf`] are covered too.
+///
+/// Observables are unchanged: the terminator keeps its code slot (same
+/// fuel tick, same profiler site), slot-only yields bump no statistics
+/// and cannot trap, and the copies land exactly where the buffered
+/// values would have. Yields with a nesting-path operand (whose
+/// resolution bumps read counts) or a write-before-read hazard between
+/// the copies keep the buffered path.
+fn direct_yields(d: &mut DFunc) {
+    let mut plans: Vec<(u32, Box<[u32]>)> = Vec::new();
+    for inst in d.code.iter() {
+        match inst {
+            DInst::ForRange { body, .. } => {
+                let args = &d.regions[*body as usize].args;
+                plans.push((*body, args[1..].into()));
+            }
+            DInst::ForEach {
+                body, binds_value, ..
+            } => {
+                let skip = 1 + usize::from(*binds_value);
+                let args = &d.regions[*body as usize].args;
+                plans.push((*body, args[skip..].into()));
+            }
+            DInst::If {
+                then_r,
+                else_r,
+                dsts,
+                ..
+            }
+            | DInst::FusedHasIf {
+                then_r,
+                else_r,
+                dsts,
+                ..
+            }
+            | DInst::FusedCmpIf {
+                then_r,
+                else_r,
+                dsts,
+                ..
+            } => {
+                plans.push((*then_r, dsts.clone()));
+                plans.push((*else_r, dsts.clone()));
+            }
+            _ => {}
+        }
+    }
+    for (r, dsts) in plans {
+        let region = &d.regions[r as usize];
+        if region.end == region.start {
+            continue;
+        }
+        let term = region.end as usize - 1;
+        let DInst::Yield { ops } = &d.code[term] else {
+            continue;
+        };
+        if ops.len() != dsts.len() {
+            continue;
+        }
+        let Some(srcs) = ops.iter().map(sl).collect::<Option<Vec<u32>>>() else {
+            continue;
+        };
+        if srcs.iter().enumerate().any(|(j, s)| dsts[..j].contains(s)) {
+            continue;
+        }
+        d.code[term] = DInst::YieldDirect {
+            srcs: srcs.into(),
+            dsts,
+        };
+    }
+}
+
+/// Tries every fusion pattern at the head of `w`, longest/most-specific
+/// first. Only all-slot-operand windows fuse (see [`sl`]).
+fn match_window(w: &[DInst]) -> Option<DInst> {
+    match w {
+        // read + arith (+ write back to the same collection).
+        [DInst::Read {
+            coll,
+            key,
+            dst: rdst,
+        }, DInst::Bin {
+            op,
+            a,
+            b,
+            dst: bdst,
+        }, rest @ ..] => {
+            let (coll, rkey) = (sl(coll)?, sl(key)?);
+            let (a, b) = (sl(a)?, sl(b)?);
+            if a != *rdst && b != *rdst {
+                return None;
+            }
+            if let [DInst::Write {
+                coll: wcoll,
+                key: wkey,
+                val,
+                dst: wdst,
+            }, ..] = rest
+            {
+                if sl(wcoll) == Some(coll) && sl(val) == Some(*bdst) {
+                    if let Some(wkey) = sl(wkey) {
+                        return Some(DInst::FusedReadBinWrite {
+                            coll,
+                            rkey,
+                            rdst: *rdst,
+                            op: *op,
+                            a,
+                            b,
+                            bdst: *bdst,
+                            wkey,
+                            wdst: *wdst,
+                        });
+                    }
+                }
+            }
+            Some(DInst::FusedReadBin {
+                coll,
+                key: rkey,
+                rdst: *rdst,
+                op: *op,
+                a,
+                b,
+                bdst: *bdst,
+            })
+        }
+        // membership probe + branch.
+        [DInst::Has { coll, key, dst }, DInst::If {
+            cond,
+            then_r,
+            else_r,
+            dsts,
+        }, ..]
+            if sl(cond) == Some(*dst) =>
+        {
+            Some(DInst::FusedHasIf {
+                coll: sl(coll)?,
+                key: sl(key)?,
+                hdst: *dst,
+                then_r: *then_r,
+                else_r: *else_r,
+                dsts: dsts.clone(),
+            })
+        }
+        // comparison + branch.
+        [DInst::Cmp { op, a, b, dst }, DInst::If {
+            cond,
+            then_r,
+            else_r,
+            dsts,
+        }, ..]
+            if sl(cond) == Some(*dst) =>
+        {
+            Some(DInst::FusedCmpIf {
+                op: *op,
+                a: sl(a)?,
+                b: sl(b)?,
+                cdst: *dst,
+                then_r: *then_r,
+                else_r: *else_r,
+                dsts: dsts.clone(),
+            })
+        }
+        // enc + keyed membership-class op on the translated id.
+        [DInst::Enc { e, v, dst }, second, ..] => {
+            let (kind, coll, dst2) = match second {
+                DInst::Has { coll, key, dst: d2 } if sl(key) == Some(*dst) => {
+                    (EncKeyKind::Has, sl(coll)?, *d2)
+                }
+                DInst::Remove { coll, key, dst: d2 } if sl(key) == Some(*dst) => {
+                    (EncKeyKind::Remove, sl(coll)?, *d2)
+                }
+                DInst::Read { coll, key, dst: d2 } if sl(key) == Some(*dst) => {
+                    (EncKeyKind::Read, sl(coll)?, *d2)
+                }
+                _ => return None,
+            };
+            Some(DInst::FusedEncKey {
+                e: *e,
+                v: sl(v)?,
+                edst: *dst,
+                kind,
+                coll,
+                dst2,
+            })
+        }
+        // arith + store of the result.
+        [DInst::Bin { op, a, b, dst }, DInst::Write {
+            coll,
+            key,
+            val,
+            dst: wdst,
+        }, ..]
+            if sl(val) == Some(*dst) =>
+        {
+            Some(DInst::FusedBinWrite {
+                op: *op,
+                a: sl(a)?,
+                b: sl(b)?,
+                bdst: *dst,
+                coll: sl(coll)?,
+                key: sl(key)?,
+                wdst: *wdst,
+            })
+        }
+        // a run of pure scalar micro-ops.
+        _ => {
+            let as_uop = |inst: &DInst| -> Option<UScalar> {
+                Some(match inst {
+                    DInst::Const { pool, dst } => UScalar::Const {
+                        pool: *pool,
+                        dst: *dst,
+                    },
+                    DInst::Bin { op, a, b, dst } => UScalar::Bin {
+                        op: *op,
+                        a: sl(a)?,
+                        b: sl(b)?,
+                        dst: *dst,
+                    },
+                    DInst::Cmp { op, a, b, dst } => UScalar::Cmp {
+                        op: *op,
+                        a: sl(a)?,
+                        b: sl(b)?,
+                        dst: *dst,
+                    },
+                    DInst::Not { a, dst } => UScalar::Not {
+                        a: sl(a)?,
+                        dst: *dst,
+                    },
+                    _ => return None,
+                })
+            };
+            let uops: Vec<UScalar> = w.iter().map_while(as_uop).collect();
+            if uops.len() < 2 {
+                return None;
+            }
+            Some(DInst::FusedScalars {
+                uops: uops.into_boxed_slice(),
+            })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -699,10 +1226,7 @@ mod tests {
         assert_eq!(f.code.len(), m.funcs[0].insts.len());
         assert_eq!(f.frame_size as usize, m.funcs[0].values.len());
         // The insert against a set type decodes to the set flavor.
-        assert!(f
-            .code
-            .iter()
-            .any(|i| matches!(i, DInst::InsertSet { .. })));
+        assert!(f.code.iter().any(|i| matches!(i, DInst::InsertSet { .. })));
     }
 
     #[test]
@@ -740,12 +1264,142 @@ fn @main() -> void {
 
     #[test]
     fn string_consts_are_pooled_once() {
-        let m = parse_module(
-            "fn @main() -> void {\n  %a = const \"hello\"\n  print %a\n  ret\n}\n",
-        )
-        .expect("parses");
+        let m =
+            parse_module("fn @main() -> void {\n  %a = const \"hello\"\n  print %a\n  ret\n}\n")
+                .expect("parses");
         let d = DecodedModule::decode(&m);
         assert_eq!(d.funcs[0].consts.len(), 1);
         assert_eq!(d.funcs[0].consts[0], Value::Str("hello".into()));
+    }
+
+    const RMW: &str = r#"
+fn @main() -> void {
+  %m = new Map<u64, u64>
+  %k = const 3u64
+  %m1 = insert %m, %k
+  %one = const 1u64
+  %v = read %m1, %k
+  %v1 = add %v, %one
+  %m2 = write %m1, %k, %v1
+  print %v1
+  ret
+}
+"#;
+
+    #[test]
+    fn peephole_fuses_rmw_triple_in_place() {
+        let m = parse_module(RMW).expect("parses");
+        let unfused = DecodedModule::decode(&m);
+        let fused = DecodedModule::decode_with(&m, &DecodeOptions { fuse: true });
+        let (u, f) = (&unfused.funcs[0], &fused.funcs[0]);
+        // Head replacement: code length, region boundaries and the
+        // padding slots' original instructions are all preserved.
+        assert_eq!(u.code.len(), f.code.len());
+        assert!(matches!(u.code[4], DInst::Read { .. }));
+        assert!(matches!(f.code[4], DInst::FusedReadBinWrite { .. }));
+        assert_eq!(f.code[4].advance(), 3);
+        assert!(
+            matches!(f.code[5], DInst::Bin { .. }),
+            "padding keeps the original"
+        );
+        assert!(
+            matches!(f.code[6], DInst::Write { .. }),
+            "padding keeps the original"
+        );
+        assert!(matches!(f.code[7], DInst::Print { .. }));
+    }
+
+    #[test]
+    fn peephole_fuses_membership_branch_and_scalar_runs() {
+        // The histogram body: `has` feeding `if`, then a const+add run.
+        let m = parse_module(
+            r#"
+fn @main() -> void {
+  %h = new Map<u64, u64>
+  %k = const 3u64
+  %h0 = insert %h, %k
+  %cond = has %h0, %k
+  %h2, %freq = if %cond then {
+    %f = read %h0, %k
+    yield %h0, %f
+  } else {
+    %zero = const 0u64
+    yield %h0, %zero
+  }
+  %one = const 1u64
+  %freq1 = add %freq, %one
+  %h3 = write %h2, %k, %freq1
+  print %freq1
+  ret
+}
+"#,
+        )
+        .expect("parses");
+        let fused = DecodedModule::decode_with(&m, &DecodeOptions { fuse: true });
+        let f = &fused.funcs[0];
+        assert!(f.code.iter().any(|i| matches!(i, DInst::FusedHasIf { .. })));
+        let run = f
+            .code
+            .iter()
+            .find_map(|i| match i {
+                DInst::FusedScalars { uops } => Some(uops.len()),
+                _ => None,
+            })
+            .expect("const+add fused as a scalar run");
+        assert_eq!(run, 2);
+    }
+
+    #[test]
+    fn fuse_rewrites_slot_only_loop_yields_to_direct() {
+        let m = parse_module(
+            r#"
+fn @main() -> void {
+  %lo = const 0u64
+  %hi = const 4u64
+  %zero = const 0u64
+  %acc = forrange %lo, %hi carry(%zero) as (%i: u64, %a: u64) {
+    %n = add %a, %i
+    yield %n
+  }
+  print %acc
+  ret
+}
+"#,
+        )
+        .expect("parses");
+        // Plain decode keeps the buffered yield; the fuse peephole
+        // rewrites it to copy straight into the body's carried slot.
+        let plain = DecodedModule::decode(&m);
+        assert!(plain.funcs[0]
+            .code
+            .iter()
+            .all(|i| !matches!(i, DInst::YieldDirect { .. })));
+        let fused = DecodedModule::decode_with(&m, &DecodeOptions { fuse: true });
+        let f = &fused.funcs[0];
+        let body = f
+            .code
+            .iter()
+            .find_map(|i| match i {
+                DInst::ForRange { body, .. } => Some(*body),
+                _ => None,
+            })
+            .expect("forrange decoded");
+        let region = &f.regions[body as usize];
+        let term = region.end as usize - 1;
+        let DInst::YieldDirect { srcs, dsts } = &f.code[term] else {
+            panic!("loop yield rewritten to YieldDirect");
+        };
+        assert_eq!(srcs.len(), 1);
+        assert_eq!(dsts.as_ref(), &region.args[1..]);
+    }
+
+    #[test]
+    fn peephole_is_off_for_plain_decode() {
+        let m = parse_module(RMW).expect("parses");
+        let d = DecodedModule::decode(&m);
+        assert!(
+            !d.funcs[0].code.iter().any(|i| i.advance() != 1),
+            "decode() must stay purely structural"
+        );
     }
 }

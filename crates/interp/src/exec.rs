@@ -16,7 +16,9 @@ use std::time::Instant;
 use ade_collections::SwissMap;
 use ade_ir::{BinOp, CmpOp, FuncId, Module, Type};
 
-use crate::decode::{DAccess, DFunc, DInst, DOp, DPath, DScalar, DecodedModule};
+use crate::decode::{
+    DAccess, DFunc, DInst, DOp, DPath, DScalar, DecodedModule, EncKeyKind, UScalar,
+};
 use crate::heap::{CollId, Collection, SelectionDefaults};
 use crate::profile::{Recorder, SiteProfile};
 use crate::stats::{CollOp, ImplKind, Phase, Stats};
@@ -25,7 +27,6 @@ use crate::value::{Res, Value};
 
 /// Interpreter configuration.
 #[derive(Clone, Debug)]
-#[derive(Default)]
 pub struct ExecConfig {
     /// Implementations for empty (`Auto`) selections.
     pub defaults: SelectionDefaults,
@@ -44,8 +45,32 @@ pub struct ExecConfig {
     /// Costs nothing when `false`: the hot loop's only extra work is a
     /// branch on an `Option` discriminant.
     pub profile: bool,
+    /// Fuse hot instruction pairs/triples into superinstructions at
+    /// decode time (default `true`; see [`crate::decode`]'s peephole).
+    /// Observationally inert: fused arms replay the unfused sequence's
+    /// fuel ticks, statistic bumps, and site attribution exactly.
+    pub fuse: bool,
+    /// Select unboxed monomorphic storage when a collection's static
+    /// element/key types are scalar (default `true`; see
+    /// [`Collection::new_for`]). Observationally inert: unboxed
+    /// backends report the boxed twin's [`ImplKind`] and byte
+    /// accounting and preserve iteration order.
+    pub unbox: bool,
 }
 
+impl Default for ExecConfig {
+    fn default() -> ExecConfig {
+        ExecConfig {
+            defaults: SelectionDefaults::default(),
+            fuel: None,
+            max_heap_cells: None,
+            max_depth: None,
+            profile: false,
+            fuse: true,
+            unbox: true,
+        }
+    }
+}
 
 /// A runtime failure, classified so harnesses can degrade per failure
 /// class instead of aborting: guest undefined behavior becomes
@@ -116,7 +141,10 @@ impl fmt::Display for ExecError {
             ExecError::LimitExceeded {
                 limit: Limit::Fuel,
                 budget,
-            } => write!(f, "execution error: fuel exhausted after {budget} instructions"),
+            } => write!(
+                f,
+                "execution error: fuel exhausted after {budget} instructions"
+            ),
             ExecError::LimitExceeded {
                 limit: Limit::HeapCells,
                 budget,
@@ -175,6 +203,9 @@ impl RuntimeEnum {
 enum Flow {
     Continue,
     Yield(Vec<Value>),
+    /// A [`DInst::YieldDirect`] already copied its values into the
+    /// consumer's destination slots; there is nothing to carry.
+    YieldedDirect,
     Ret(Option<Value>),
 }
 
@@ -200,6 +231,10 @@ pub struct Interpreter<'m> {
     /// `Some` only when [`ExecConfig::profile`]; boxed so the disabled
     /// case costs one word in the interpreter struct.
     profiler: Option<Box<Recorder>>,
+    /// Free list of spent [`Flow::Yield`] buffers. Every loop iteration
+    /// and branch join yields a `Vec<Value>`; recycling them turns the
+    /// hottest allocation in the dispatch loop into a pop/push pair.
+    flow_pool: Vec<Vec<Value>>,
 }
 
 impl<'m> Interpreter<'m> {
@@ -219,6 +254,23 @@ impl<'m> Interpreter<'m> {
             fuel_used: 0,
             depth: 0,
             profiler: None,
+            flow_pool: Vec::new(),
+        }
+    }
+
+    /// Pops a recycled yield buffer (or allocates the first time).
+    #[inline]
+    fn pool_get(&mut self) -> Vec<Value> {
+        self.flow_pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a spent yield buffer to the free list. Bounded so a
+    /// deeply nested one-off can't pin arbitrary memory.
+    #[inline]
+    fn pool_put(&mut self, mut v: Vec<Value>) {
+        if self.flow_pool.len() < 16 {
+            v.clear();
+            self.flow_pool.push(v);
         }
     }
 
@@ -230,6 +282,30 @@ impl<'m> Interpreter<'m> {
     /// undefined behavior is trapped, or a configured execution limit
     /// (fuel, heap cells, depth) runs out.
     pub fn run(self, entry: &str) -> Result<Outcome, ExecError> {
+        self.run_threaded(None, entry)
+    }
+
+    /// [`Interpreter::run`] over a pre-decoded instruction stream,
+    /// letting callers that execute one module many times (benchmark
+    /// trials) pay for decoding and the peephole once. `decoded` must
+    /// come from this interpreter's module.
+    ///
+    /// # Errors
+    ///
+    /// As [`Interpreter::run`].
+    pub fn run_decoded(
+        self,
+        decoded: &DecodedModule<'m>,
+        entry: &str,
+    ) -> Result<Outcome, ExecError> {
+        self.run_threaded(Some(decoded), entry)
+    }
+
+    fn run_threaded(
+        self,
+        decoded: Option<&DecodedModule<'m>>,
+        entry: &str,
+    ) -> Result<Outcome, ExecError> {
         // Guest programs may recurse deeply (the IR has first-class
         // calls); debug-build interpreter frames would exhaust a worker
         // thread's default 2 MiB stack, so execution gets its own
@@ -243,7 +319,10 @@ impl<'m> Interpreter<'m> {
             // `spawn_scoped` consumes the closure only on success, so the
             // interpreter can be reclaimed for the fallback path.
             let interp = carrier.take().expect("interpreter present");
-            match builder.spawn_scoped(scope, move || interp.run_inline(entry)) {
+            match builder.spawn_scoped(scope, move || match decoded {
+                Some(d) => interp.run_decoded_inline(d, entry),
+                None => interp.run_inline(entry),
+            }) {
                 Ok(handle) => match handle.join() {
                     Ok(result) => result,
                     // Guest undefined behavior returns a typed error;
@@ -264,14 +343,42 @@ impl<'m> Interpreter<'m> {
     /// [`Interpreter::run`] unless the caller controls its own stack
     /// (e.g. benchmarks measuring non-recursive programs that want to
     /// avoid per-run thread-spawn overhead).
-    pub fn run_inline(mut self, entry: &str) -> Result<Outcome, ExecError> {
+    pub fn run_inline(self, entry: &str) -> Result<Outcome, ExecError> {
+        let decoded = DecodedModule::decode_with(
+            self.module,
+            &crate::decode::DecodeOptions {
+                fuse: self.config.fuse,
+            },
+        );
+        self.run_decoded_inline(&decoded, entry)
+    }
+
+    /// [`Interpreter::run_inline`] over a pre-decoded stream (see
+    /// [`Interpreter::run_decoded`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Interpreter::run`].
+    pub fn run_decoded_inline(
+        mut self,
+        decoded: &DecodedModule<'m>,
+        entry: &str,
+    ) -> Result<Outcome, ExecError> {
+        debug_assert!(
+            std::ptr::eq(decoded.module, self.module),
+            "decoded stream must come from this interpreter's module"
+        );
         let Some(fid) = self.module.function_by_name(entry) else {
             return Err(ExecError::NoEntry {
                 entry: entry.to_string(),
             });
         };
-        let decoded = DecodedModule::decode(self.module);
-        self.enums = self.module.enums.iter().map(|_| RuntimeEnum::default()).collect();
+        self.enums = self
+            .module
+            .enums
+            .iter()
+            .map(|_| RuntimeEnum::default())
+            .collect();
         if self.config.profile {
             self.profiler = Some(Box::new(Recorder::new(
                 self.module
@@ -286,7 +393,7 @@ impl<'m> Interpreter<'m> {
         // Wall-time bookkeeping happens at ROI transitions; we thread the
         // phase-start instant through a cell on self via a small closure
         // protocol: exec notes transitions in `stats.wall_ns` directly.
-        let result = self.call_function(&decoded, fid, Vec::new(), &mut phase_start)?;
+        let result = self.call_function(decoded, fid, Vec::new(), &mut phase_start)?;
         let elapsed = Stats::clamp_ns(phase_start.elapsed().as_nanos());
         self.stats.wall_ns[self.phase as usize] =
             self.stats.wall_ns[self.phase as usize].saturating_add(elapsed);
@@ -347,7 +454,7 @@ impl<'m> Interpreter<'m> {
                 });
             }
         }
-        let coll = Collection::new_for(ty, self.config.defaults);
+        let coll = Collection::new_for(ty, self.config.defaults, self.config.unbox);
         let bytes = coll.bytes_estimate();
         let id = CollId(u32::try_from(self.heap.len()).expect("heap fits u32"));
         self.coll_impls.push(coll.impl_kind());
@@ -373,8 +480,8 @@ impl<'m> Interpreter<'m> {
                 let vals = elems
                     .iter()
                     .map(|t| self.default_value(t))
-                    .collect::<Result<_, _>>()?;
-                Value::Tuple(std::sync::Arc::new(vals))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Value::Tuple(vals.into())
             }
             coll => Value::Coll(self.alloc_collection(coll)?),
         })
@@ -403,15 +510,12 @@ impl<'m> Interpreter<'m> {
                     self.heap[id.0 as usize].try_read(&key).map_err(trap)?
                 }
                 DAccess::Field(n) => match cur {
-                    Value::Tuple(t) => t
-                        .get(*n as usize)
-                        .cloned()
-                        .ok_or_else(|| {
-                            trap(TrapKind::OutOfBounds {
-                                index: u64::from(*n),
-                                len: t.len(),
-                            })
-                        })?,
+                    Value::Tuple(t) => t.get(*n as usize).cloned().ok_or_else(|| {
+                        trap(TrapKind::OutOfBounds {
+                            index: u64::from(*n),
+                            len: t.len(),
+                        })
+                    })?,
                     other => {
                         return Err(trap(TrapKind::TypeMismatch {
                             expected: "tuple",
@@ -439,10 +543,9 @@ impl<'m> Interpreter<'m> {
     /// directive-forced dense collections over integer domains.
     fn coerce_key(&self, id: CollId, key: Value) -> Value {
         match (self.impl_of(id), &key) {
-            (
-                ImplKind::BitSet | ImplKind::SparseBitSet | ImplKind::BitMap,
-                Value::U64(n),
-            ) => Value::Idx(*n as usize),
+            (ImplKind::BitSet | ImplKind::SparseBitSet | ImplKind::BitMap, Value::U64(n)) => {
+                Value::Idx(*n as usize)
+            }
             _ => key,
         }
     }
@@ -452,10 +555,9 @@ impl<'m> Interpreter<'m> {
     #[inline]
     fn coerce_key_res<'a>(&self, id: CollId, key: Res<'a>) -> Res<'a> {
         match (self.impl_of(id), &*key) {
-            (
-                ImplKind::BitSet | ImplKind::SparseBitSet | ImplKind::BitMap,
-                Value::U64(n),
-            ) => Res::Owned(Value::Idx(*n as usize)),
+            (ImplKind::BitSet | ImplKind::SparseBitSet | ImplKind::BitMap, Value::U64(n)) => {
+                Res::Owned(Value::Idx(*n as usize))
+            }
             _ => key,
         }
     }
@@ -542,7 +644,12 @@ impl<'m> Interpreter<'m> {
         phase_start: &mut Instant,
     ) -> Result<Flow, ExecError> {
         let r = &func.regions[region as usize];
-        for idx in r.start as usize..r.end as usize {
+        let end = r.end as usize;
+        let mut idx = r.start as usize;
+        // Fused superinstructions occupy `advance()` code slots (their
+        // window tails are skipped-over padding), so the cursor moves by
+        // a per-instruction stride rather than a fixed 1.
+        while idx < end {
             let inst = &func.code[idx];
             self.fuel_used += 1;
             if let Some(fuel) = self.config.fuel {
@@ -559,12 +666,13 @@ impl<'m> Interpreter<'m> {
             if let Some(p) = self.profiler.as_deref_mut() {
                 p.set_site(fid.0, idx as u32);
             }
-            match self.exec_inst(d, fid, func, frame, inst, phase_start) {
+            match self.exec_inst(d, fid, func, frame, inst, idx, phase_start) {
                 Ok(Flow::Continue) => {}
                 Ok(other) => return Ok(other),
                 // A trap bubbling up without a site is ours: attribute it
                 // to the instruction that raised it. Traps from nested
                 // regions/calls arrive already sited and pass through.
+                // (Fused arms site their non-head components themselves.)
                 Err(ExecError::GuestTrap { site: None, kind }) => {
                     return Err(ExecError::GuestTrap {
                         site: Some(TrapSite {
@@ -576,6 +684,7 @@ impl<'m> Interpreter<'m> {
                 }
                 Err(other) => return Err(other),
             }
+            idx += inst.advance();
         }
         Err(trap(TrapKind::Malformed {
             what: "region fell through without a terminator",
@@ -594,6 +703,7 @@ impl<'m> Interpreter<'m> {
         func: &DFunc,
         frame: &mut Vec<Value>,
         inst: &DInst,
+        idx: usize,
         phase_start: &mut Instant,
     ) -> Result<Flow, ExecError> {
         match inst {
@@ -617,10 +727,12 @@ impl<'m> Interpreter<'m> {
                 let cond = self.resolve(frame, cond)?.try_as_bool().map_err(trap)?;
                 let region = if cond { *then_r } else { *else_r };
                 match self.exec_region(d, fid, func, frame, region, phase_start)? {
-                    Flow::Yield(vals) => {
-                        for (&r, v) in dsts.iter().zip(vals) {
+                    Flow::YieldedDirect => Ok(Flow::Continue),
+                    Flow::Yield(mut vals) => {
+                        for (&r, v) in dsts.iter().zip(vals.drain(..)) {
                             frame[r as usize] = v;
                         }
+                        self.pool_put(vals);
                         Ok(Flow::Continue)
                     }
                     other => Ok(other),
@@ -630,11 +742,19 @@ impl<'m> Interpreter<'m> {
             DInst::ForRange { .. } => self.exec_forrange(d, fid, func, frame, inst, phase_start),
             DInst::DoWhile { .. } => self.exec_dowhile(d, fid, func, frame, inst, phase_start),
             DInst::Yield { ops } => {
-                let vals = ops
-                    .iter()
-                    .map(|op| self.resolve(frame, op).map(Res::into_owned))
-                    .collect::<Result<_, _>>()?;
+                let mut vals = self.pool_get();
+                for op in ops.iter() {
+                    vals.push(self.resolve(frame, op)?.into_owned());
+                }
                 Ok(Flow::Yield(vals))
+            }
+            DInst::YieldDirect { srcs, dsts } => {
+                for (&s, &t) in srcs.iter().zip(dsts.iter()) {
+                    if s != t {
+                        frame[t as usize] = frame[s as usize].clone();
+                    }
+                }
+                Ok(Flow::YieldedDirect)
             }
             DInst::Ret { op } => {
                 let v = match op {
@@ -652,11 +772,307 @@ impl<'m> Interpreter<'m> {
                 self.phase = if *begin { Phase::Roi } else { Phase::Init };
                 Ok(Flow::Continue)
             }
+            DInst::FusedHasIf {
+                coll,
+                key,
+                hdst,
+                then_r,
+                else_r,
+                dsts,
+            } => {
+                // Component 0: the membership probe, exactly as `has`.
+                let id = frame[*coll as usize].try_as_coll().map_err(trap)?;
+                let key = self.coerce_key_res(id, Res::Ref(&frame[*key as usize]));
+                let imp = self.impl_of(id);
+                self.bump(imp, CollOp::Has, 1);
+                let cond = self.heap[id.0 as usize].try_has(&key).map_err(trap)?;
+                frame[*hdst as usize] = Value::Bool(cond);
+                // Component 1: the branch, exactly as `if` at `idx + 1`.
+                self.fused_step(fid, idx + 1)?;
+                let region = if cond { *then_r } else { *else_r };
+                match self.exec_region(d, fid, func, frame, region, phase_start)? {
+                    Flow::YieldedDirect => Ok(Flow::Continue),
+                    Flow::Yield(mut vals) => {
+                        for (&r, v) in dsts.iter().zip(vals.drain(..)) {
+                            frame[r as usize] = v;
+                        }
+                        self.pool_put(vals);
+                        Ok(Flow::Continue)
+                    }
+                    other => Ok(other),
+                }
+            }
+            DInst::FusedCmpIf {
+                op,
+                a,
+                b,
+                cdst,
+                then_r,
+                else_r,
+                dsts,
+            } => {
+                let cond = eval_cmp(*op, &frame[*a as usize], &frame[*b as usize]);
+                frame[*cdst as usize] = Value::Bool(cond);
+                self.fused_step(fid, idx + 1)?;
+                let region = if cond { *then_r } else { *else_r };
+                match self.exec_region(d, fid, func, frame, region, phase_start)? {
+                    Flow::YieldedDirect => Ok(Flow::Continue),
+                    Flow::Yield(mut vals) => {
+                        for (&r, v) in dsts.iter().zip(vals.drain(..)) {
+                            frame[r as usize] = v;
+                        }
+                        self.pool_put(vals);
+                        Ok(Flow::Continue)
+                    }
+                    other => Ok(other),
+                }
+            }
+            DInst::FusedScalars { .. }
+            | DInst::FusedReadBin { .. }
+            | DInst::FusedBinWrite { .. }
+            | DInst::FusedReadBinWrite { .. }
+            | DInst::FusedEncKey { .. } => {
+                self.exec_fused_straight(fid, func, frame, inst, idx)?;
+                Ok(Flow::Continue)
+            }
             simple => {
                 self.exec_simple_inst(func, frame, simple)?;
                 Ok(Flow::Continue)
             }
         }
+    }
+
+    /// Per-component preamble for the non-head slots of a fused window:
+    /// the fuel tick, fuel check, and profiler re-aim the dispatch loop
+    /// would have performed had the component dispatched on its own.
+    #[inline]
+    fn fused_step(&mut self, fid: FuncId, site: usize) -> Result<(), ExecError> {
+        // With no fuel limit and no profiler attached, the replayed
+        // bookkeeping has no observable effect (`fuel_used` is only
+        // ever compared against `config.fuel`), so the straight-line
+        // window skips it — this is where fusion buys its wall time.
+        if self.config.fuel.is_none() && self.profiler.is_none() {
+            return Ok(());
+        }
+        self.fuel_used += 1;
+        if let Some(fuel) = self.config.fuel {
+            if self.fuel_used > fuel {
+                return Err(ExecError::LimitExceeded {
+                    limit: Limit::Fuel,
+                    budget: fuel,
+                });
+            }
+        }
+        if let Some(p) = self.profiler.as_deref_mut() {
+            p.set_site(fid.0, site as u32);
+        }
+        Ok(())
+    }
+
+    /// A guest trap attributed to `inst` of `fid`. Fused arms use this to
+    /// site errors raised by non-head window components at the padding
+    /// slot holding the original instruction, matching unfused execution.
+    fn trap_at(&self, fid: FuncId, inst: usize, kind: TrapKind) -> ExecError {
+        ExecError::GuestTrap {
+            site: Some(TrapSite {
+                func: self.module.funcs[fid.index()].name.clone(),
+                inst: inst as u32,
+            }),
+            kind,
+        }
+    }
+
+    /// Straight-line fused superinstructions. Each component replays its
+    /// unfused opcode's exact observable sequence — fuel tick, statistic
+    /// bumps, intermediate destination writes, trap sites — so every
+    /// figure, profile, and trap message is bit-identical with fusion
+    /// off. Only dispatch and operand re-resolution are saved.
+    #[inline(never)]
+    fn exec_fused_straight(
+        &mut self,
+        fid: FuncId,
+        func: &DFunc,
+        frame: &mut Vec<Value>,
+        inst: &DInst,
+        idx: usize,
+    ) -> Result<(), ExecError> {
+        match inst {
+            DInst::FusedScalars { uops } => {
+                for (j, u) in uops.iter().enumerate() {
+                    if j > 0 {
+                        self.fused_step(fid, idx + j)?;
+                    }
+                    match *u {
+                        UScalar::Const { pool, dst } => {
+                            frame[dst as usize] = func.consts[pool as usize].clone();
+                        }
+                        UScalar::Bin { op, a, b, dst } => {
+                            let v = eval_bin(op, &frame[a as usize], &frame[b as usize])
+                                .map_err(|k| self.trap_at(fid, idx + j, k))?;
+                            frame[dst as usize] = v;
+                        }
+                        UScalar::Cmp { op, a, b, dst } => {
+                            let v = eval_cmp(op, &frame[a as usize], &frame[b as usize]);
+                            frame[dst as usize] = Value::Bool(v);
+                        }
+                        UScalar::Not { a, dst } => {
+                            let v = !frame[a as usize]
+                                .try_as_bool()
+                                .map_err(|k| self.trap_at(fid, idx + j, k))?;
+                            frame[dst as usize] = Value::Bool(v);
+                        }
+                    }
+                }
+            }
+            DInst::FusedReadBin {
+                coll,
+                key,
+                rdst,
+                op,
+                a,
+                b,
+                bdst,
+            } => {
+                let id = frame[*coll as usize].try_as_coll().map_err(trap)?;
+                let key = self.coerce_key_res(id, Res::Ref(&frame[*key as usize]));
+                let imp = self.impl_of(id);
+                self.bump(imp, CollOp::Read, 1);
+                let v = self.heap[id.0 as usize].try_read(&key).map_err(trap)?;
+                frame[*rdst as usize] = v;
+                self.fused_step(fid, idx + 1)?;
+                let v = eval_bin(*op, &frame[*a as usize], &frame[*b as usize])
+                    .map_err(|k| self.trap_at(fid, idx + 1, k))?;
+                frame[*bdst as usize] = v;
+            }
+            DInst::FusedBinWrite {
+                op,
+                a,
+                b,
+                bdst,
+                coll,
+                key,
+                wdst,
+            } => {
+                let v = eval_bin(*op, &frame[*a as usize], &frame[*b as usize]).map_err(trap)?;
+                frame[*bdst as usize] = v;
+                self.fused_step(fid, idx + 1)?;
+                self.fused_write(fid, idx + 1, frame, *coll, *key, *bdst, *wdst)?;
+            }
+            DInst::FusedReadBinWrite {
+                coll,
+                rkey,
+                rdst,
+                op,
+                a,
+                b,
+                bdst,
+                wkey,
+                wdst,
+            } => {
+                let id = frame[*coll as usize].try_as_coll().map_err(trap)?;
+                let key = self.coerce_key_res(id, Res::Ref(&frame[*rkey as usize]));
+                let imp = self.impl_of(id);
+                self.bump(imp, CollOp::Read, 1);
+                let v = self.heap[id.0 as usize].try_read(&key).map_err(trap)?;
+                frame[*rdst as usize] = v;
+                self.fused_step(fid, idx + 1)?;
+                let v = eval_bin(*op, &frame[*a as usize], &frame[*b as usize])
+                    .map_err(|k| self.trap_at(fid, idx + 1, k))?;
+                frame[*bdst as usize] = v;
+                self.fused_step(fid, idx + 2)?;
+                // The matcher pins the write to the read's collection
+                // slot and the interposed `Bin` writes only its scalar
+                // destination, so the handle resolved for the read is
+                // still the write's collection — no re-resolution.
+                let key = self.coerce_key_res(id, Res::Ref(&frame[*wkey as usize]));
+                let value = frame[*bdst as usize].clone();
+                self.bump(imp, CollOp::Write, 1);
+                self.heap[id.0 as usize]
+                    .try_write(&key, value)
+                    .map_err(|k| self.trap_at(fid, idx + 2, k))?;
+                self.refresh_bytes(id);
+                frame[*wdst as usize] = frame[*coll as usize].clone();
+            }
+            DInst::FusedEncKey {
+                e,
+                v,
+                edst,
+                kind,
+                coll,
+                dst2,
+            } => {
+                // Component 0: the `enc`, including the sentinel fallback
+                // for values outside the enumeration (see `DInst::Enc`).
+                self.bump(ImplKind::EnumEnc, CollOp::Read, 1);
+                let translated = self.enums[*e as usize]
+                    .enc
+                    .get(&frame[*v as usize])
+                    .copied()
+                    .unwrap_or(crate::trap::ENC_SENTINEL);
+                frame[*edst as usize] = Value::Idx(translated);
+                // Component 1: the keyed membership-class op at `idx + 1`.
+                self.fused_step(fid, idx + 1)?;
+                let id = frame[*coll as usize]
+                    .try_as_coll()
+                    .map_err(|k| self.trap_at(fid, idx + 1, k))?;
+                let key = self.coerce_key_res(id, Res::Ref(&frame[*edst as usize]));
+                let imp = self.impl_of(id);
+                match kind {
+                    EncKeyKind::Has => {
+                        self.bump(imp, CollOp::Has, 1);
+                        let present = self.heap[id.0 as usize]
+                            .try_has(&key)
+                            .map_err(|k| self.trap_at(fid, idx + 1, k))?;
+                        frame[*dst2 as usize] = Value::Bool(present);
+                    }
+                    EncKeyKind::Remove => {
+                        self.bump(imp, CollOp::Remove, 1);
+                        self.heap[id.0 as usize]
+                            .try_remove(&key)
+                            .map_err(|k| self.trap_at(fid, idx + 1, k))?;
+                        self.refresh_bytes(id);
+                        frame[*dst2 as usize] = frame[*coll as usize].clone();
+                    }
+                    EncKeyKind::Read => {
+                        self.bump(imp, CollOp::Read, 1);
+                        let v = self.heap[id.0 as usize]
+                            .try_read(&key)
+                            .map_err(|k| self.trap_at(fid, idx + 1, k))?;
+                        frame[*dst2 as usize] = v;
+                    }
+                }
+            }
+            other => unreachable!("non-fused opcode {other:?} reached exec_fused_straight"),
+        }
+        Ok(())
+    }
+
+    /// The `write` component of a fused window: replays the unfused
+    /// `DInst::Write` sequence (re-resolving the collection slot, as the
+    /// standalone instruction would), siting any trap at `site`.
+    fn fused_write(
+        &mut self,
+        fid: FuncId,
+        site: usize,
+        frame: &mut Vec<Value>,
+        coll: u32,
+        key: u32,
+        val: u32,
+        dst: u32,
+    ) -> Result<(), ExecError> {
+        let id = frame[coll as usize]
+            .try_as_coll()
+            .map_err(|k| self.trap_at(fid, site, k))?;
+        let key = self.coerce_key_res(id, Res::Ref(&frame[key as usize]));
+        let value = frame[val as usize].clone();
+        let imp = self.impl_of(id);
+        self.bump(imp, CollOp::Write, 1);
+        self.heap[id.0 as usize]
+            .try_write(&key, value)
+            .map_err(|k| self.trap_at(fid, site, k))?;
+        self.refresh_bytes(id);
+        frame[dst as usize] = frame[coll as usize].clone();
+        Ok(())
     }
 
     /// Straight-line (non-control) opcodes.
@@ -702,7 +1118,9 @@ impl<'m> Interpreter<'m> {
                 let value = self.resolve(frame, val)?.into_owned();
                 let imp = self.impl_of(id);
                 self.bump(imp, CollOp::Write, 1);
-                self.heap[id.0 as usize].try_write(&key, value).map_err(trap)?;
+                self.heap[id.0 as usize]
+                    .try_write(&key, value)
+                    .map_err(trap)?;
                 self.refresh_bytes(id);
                 frame[*dst as usize] = frame[coll.base_slot() as usize].clone();
             }
@@ -721,7 +1139,9 @@ impl<'m> Interpreter<'m> {
                 self.bump(imp, CollOp::Insert, 1);
                 let elem = self.resolve(frame, elem)?.into_owned();
                 let elem = self.coerce_key(id, elem);
-                self.heap[id.0 as usize].try_insert_elem(elem).map_err(trap)?;
+                self.heap[id.0 as usize]
+                    .try_insert_elem(elem)
+                    .map_err(trap)?;
                 self.refresh_bytes(id);
                 frame[*dst as usize] = frame[coll.base_slot() as usize].clone();
             }
@@ -907,7 +1327,36 @@ impl<'m> Interpreter<'m> {
                 }
             }
         }
-        let args = &func.regions[*body as usize].args;
+        let region = &func.regions[*body as usize];
+        let args = &region.args;
+        // Direct-yield bodies keep the carried values in the arg slots
+        // across iterations; the buffered path below is the fallback.
+        if region.end > region.start
+            && matches!(
+                func.code[region.end as usize - 1],
+                DInst::YieldDirect { .. }
+            )
+        {
+            let skip = 1 + usize::from(*binds_value);
+            for (j, op) in carried_ops.iter().enumerate() {
+                let v = self.resolve(frame, op)?.into_owned();
+                frame[args[skip + j] as usize] = v;
+            }
+            for (key, value) in entries {
+                frame[args[0] as usize] = key;
+                if *binds_value {
+                    frame[args[1] as usize] = value;
+                }
+                match self.exec_region(d, fid, func, frame, *body, phase_start)? {
+                    Flow::YieldedDirect => {}
+                    other => return Ok(other),
+                }
+            }
+            for (&r, &a) in dsts.iter().zip(args[skip..].iter()) {
+                frame[r as usize] = frame[a as usize].clone();
+            }
+            return Ok(Flow::Continue);
+        }
         let mut carried: Vec<Value> = carried_ops
             .iter()
             .map(|op| self.resolve(frame, op).map(Res::into_owned))
@@ -920,17 +1369,18 @@ impl<'m> Interpreter<'m> {
                 frame[args[slot] as usize] = value;
                 slot += 1;
             }
-            for (i, c) in carried.iter().enumerate() {
-                frame[args[slot + i] as usize] = c.clone();
+            for (i, c) in carried.drain(..).enumerate() {
+                frame[args[slot + i] as usize] = c;
             }
             match self.exec_region(d, fid, func, frame, *body, phase_start)? {
-                Flow::Yield(next) => carried = next,
+                Flow::Yield(next) => self.pool_put(std::mem::replace(&mut carried, next)),
                 other => return Ok(other),
             }
         }
-        for (&r, v) in dsts.iter().zip(carried) {
+        for (&r, v) in dsts.iter().zip(carried.drain(..)) {
             frame[r as usize] = v;
         }
+        self.pool_put(carried);
         Ok(Flow::Continue)
     }
 
@@ -956,24 +1406,53 @@ impl<'m> Interpreter<'m> {
         };
         let lo = self.resolve(frame, lo)?.try_as_u64().map_err(trap)?;
         let hi = self.resolve(frame, hi)?.try_as_u64().map_err(trap)?;
-        let args = &func.regions[*body as usize].args;
+        let region = &func.regions[*body as usize];
+        let args = &region.args;
+        // A body whose terminator was rewritten to `YieldDirect` keeps
+        // the carried values in the arg slots across iterations; the
+        // buffered path below is the fallback.
+        if region.end > region.start
+            && matches!(
+                func.code[region.end as usize - 1],
+                DInst::YieldDirect { .. }
+            )
+        {
+            for (j, op) in carried_ops.iter().enumerate() {
+                let v = self.resolve(frame, op)?.into_owned();
+                frame[args[1 + j] as usize] = v;
+            }
+            for i in lo..hi {
+                frame[args[0] as usize] = Value::U64(i);
+                match self.exec_region(d, fid, func, frame, *body, phase_start)? {
+                    Flow::YieldedDirect => {}
+                    other => return Ok(other),
+                }
+            }
+            for (&r, &a) in dsts.iter().zip(args[1..].iter()) {
+                frame[r as usize] = frame[a as usize].clone();
+            }
+            return Ok(Flow::Continue);
+        }
         let mut carried: Vec<Value> = carried_ops
             .iter()
             .map(|op| self.resolve(frame, op).map(Res::into_owned))
             .collect::<Result<_, _>>()?;
         for i in lo..hi {
             frame[args[0] as usize] = Value::U64(i);
-            for (j, c) in carried.iter().enumerate() {
-                frame[args[1 + j] as usize] = c.clone();
+            // The carried values are dead after this fill (the body's
+            // yield replaces them), so move instead of cloning.
+            for (j, c) in carried.drain(..).enumerate() {
+                frame[args[1 + j] as usize] = c;
             }
             match self.exec_region(d, fid, func, frame, *body, phase_start)? {
-                Flow::Yield(next) => carried = next,
+                Flow::Yield(next) => self.pool_put(std::mem::replace(&mut carried, next)),
                 other => return Ok(other),
             }
         }
-        for (&r, v) in dsts.iter().zip(carried) {
+        for (&r, v) in dsts.iter().zip(carried.drain(..)) {
             frame[r as usize] = v;
         }
+        self.pool_put(carried);
         Ok(Flow::Continue)
     }
 
@@ -1001,8 +1480,8 @@ impl<'m> Interpreter<'m> {
             .map(|op| self.resolve(frame, op).map(Res::into_owned))
             .collect::<Result<_, _>>()?;
         loop {
-            for (j, c) in carried.iter().enumerate() {
-                frame[args[j] as usize] = c.clone();
+            for (j, c) in carried.drain(..).enumerate() {
+                frame[args[j] as usize] = c;
             }
             match self.exec_region(d, fid, func, frame, *body, phase_start)? {
                 Flow::Yield(mut vals) => {
@@ -1012,7 +1491,7 @@ impl<'m> Interpreter<'m> {
                         }));
                     }
                     let cond = vals.remove(0).try_as_bool().map_err(trap)?;
-                    carried = vals;
+                    self.pool_put(std::mem::replace(&mut carried, vals));
                     if !cond {
                         break;
                     }
@@ -1020,9 +1499,10 @@ impl<'m> Interpreter<'m> {
                 other => return Ok(other),
             }
         }
-        for (&r, v) in dsts.iter().zip(carried) {
+        for (&r, v) in dsts.iter().zip(carried.drain(..)) {
             frame[r as usize] = v;
         }
+        self.pool_put(carried);
         Ok(Flow::Continue)
     }
 
@@ -1254,8 +1734,7 @@ mod tests {
 
     #[test]
     fn histogram_counts_duplicates() {
-        let out = run(
-            r#"
+        let out = run(r#"
 fn @main() -> void {
   %input = new Seq<f64>
   %a = const 1.5f64
@@ -1287,15 +1766,13 @@ fn @main() -> void {
   print %c1, %c2
   ret
 }
-"#,
-        );
+"#);
         assert_eq!(out.output, "2 1\n");
     }
 
     #[test]
     fn enum_translations_round_trip() {
-        let out = run(
-            r#"
+        let out = run(r#"
 enum e0: str
 
 fn @main() -> void {
@@ -1310,8 +1787,7 @@ fn @main() -> void {
   print %same, %diff, %v
   ret
 }
-"#,
-        );
+"#);
         assert_eq!(out.output, "true true foo\n");
     }
 
@@ -1349,14 +1825,16 @@ fn @main() -> void {
             ..ExecConfig::default()
         };
         let out = Interpreter::new(&m, cfg).run("main").expect("runs");
-        assert_eq!(out.stats.totals().get(ImplKind::SwissSet, CollOp::Insert), 1);
+        assert_eq!(
+            out.stats.totals().get(ImplKind::SwissSet, CollOp::Insert),
+            1
+        );
         assert_eq!(out.stats.totals().get(ImplKind::HashSet, CollOp::Insert), 0);
     }
 
     #[test]
     fn foreach_set_and_dowhile() {
-        let out = run(
-            r#"
+        let out = run(r#"
 fn @main() -> void {
   %s = new Set<u64>
   %a = const 10u64
@@ -1379,15 +1857,13 @@ fn @main() -> void {
   print %count
   ret
 }
-"#,
-        );
+"#);
         assert_eq!(out.output, "30\n5\n");
     }
 
     #[test]
     fn nested_collections_and_union() {
-        let out = run(
-            r#"
+        let out = run(r#"
 fn @main() -> void {
   %m = new Map<u64, Set<u64>>
   %k1 = const 1u64
@@ -1406,15 +1882,13 @@ fn @main() -> void {
   print %n
   ret
 }
-"#,
-        );
+"#);
         assert_eq!(out.output, "2\n");
     }
 
     #[test]
     fn calls_pass_scalars_and_collections() {
-        let out = run(
-            r#"
+        let out = run(r#"
 fn @main() -> void {
   %s = new Set<u64>
   %x = const 5u64
@@ -1428,8 +1902,7 @@ fn @count(%c: Set<u64>) -> u64 {
   %n = size %c
   ret %n
 }
-"#,
-        );
+"#);
         assert_eq!(out.output, "1\n");
     }
 
@@ -1450,9 +1923,24 @@ fn @main() -> void {
         let out = Interpreter::new(&m, ExecConfig::default())
             .run("main")
             .expect("runs");
-        assert_eq!(out.stats.phase(Phase::Init).get(ImplKind::HashSet, CollOp::Insert), 1);
-        assert_eq!(out.stats.phase(Phase::Roi).get(ImplKind::HashSet, CollOp::Has), 1);
-        assert_eq!(out.stats.phase(Phase::Init).get(ImplKind::HashSet, CollOp::Has), 0);
+        assert_eq!(
+            out.stats
+                .phase(Phase::Init)
+                .get(ImplKind::HashSet, CollOp::Insert),
+            1
+        );
+        assert_eq!(
+            out.stats
+                .phase(Phase::Roi)
+                .get(ImplKind::HashSet, CollOp::Has),
+            1
+        );
+        assert_eq!(
+            out.stats
+                .phase(Phase::Init)
+                .get(ImplKind::HashSet, CollOp::Has),
+            0
+        );
     }
 
     #[test]
@@ -1509,7 +1997,11 @@ fn @tally(%c: Set<u64>) -> u64 {
         // The cross-check: per-site counts sum exactly to the aggregate.
         assert_eq!(profile.totals(), profiled.stats.totals());
         // Work in a callee is attributed to the callee's sites.
-        let tally = profile.funcs.iter().find(|f| f.name == "tally").expect("tally profiled");
+        let tally = profile
+            .funcs
+            .iter()
+            .find(|f| f.name == "tally")
+            .expect("tally profiled");
         assert!(tally.sites.iter().any(|s| s.counts.total() > 0));
         // The set reaches 7 distinct elements; its insert site saw that.
         let hwm = profile
@@ -1539,7 +2031,9 @@ fn @main() -> void {
             fuel: Some(10_000),
             ..ExecConfig::default()
         };
-        let err = Interpreter::new(&m, cfg).run("main").expect_err("must stop");
+        let err = Interpreter::new(&m, cfg)
+            .run("main")
+            .expect_err("must stop");
         assert_eq!(
             err,
             ExecError::LimitExceeded {
@@ -1570,7 +2064,9 @@ fn @main() -> void {
             max_heap_cells: Some(8),
             ..ExecConfig::default()
         };
-        let err = Interpreter::new(&m, cfg).run("main").expect_err("must stop");
+        let err = Interpreter::new(&m, cfg)
+            .run("main")
+            .expect_err("must stop");
         assert_eq!(
             err,
             ExecError::LimitExceeded {
@@ -1602,7 +2098,9 @@ fn @spin(%n: u64) -> u64 {
             max_depth: Some(64),
             ..ExecConfig::default()
         };
-        let err = Interpreter::new(&m, cfg).run("main").expect_err("must stop");
+        let err = Interpreter::new(&m, cfg)
+            .run("main")
+            .expect_err("must stop");
         assert_eq!(
             err,
             ExecError::LimitExceeded {
@@ -1723,6 +2221,9 @@ fn @main() -> void {
             .run("main")
             .expect("runs");
         assert!(out.stats.peak_bytes > 1000 * 16, "{}", out.stats.peak_bytes);
-        assert_eq!(out.stats.totals().get(ImplKind::HashSet, CollOp::Insert), 1000);
+        assert_eq!(
+            out.stats.totals().get(ImplKind::HashSet, CollOp::Insert),
+            1000
+        );
     }
 }

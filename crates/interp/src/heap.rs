@@ -9,7 +9,7 @@ use ade_ir::{MapSel, SetSel, Type};
 
 use crate::stats::ImplKind;
 use crate::trap::{TrapKind, ENC_SENTINEL};
-use crate::value::Value;
+use crate::value::{ScalarVal, Value};
 
 /// Handle into the interpreter's collection heap.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -56,34 +56,108 @@ pub enum Collection {
     SwissMap(SwissMap<Value, Value>),
     /// Dense bitmap (enumerated keys).
     BitMap(BitMap<Value>),
+    /// [`Collection::Seq`] with unboxed scalar elements.
+    ///
+    /// The unboxed variants are pure physical-representation swaps: the
+    /// same backend code instantiated at [`ScalarVal`] instead of
+    /// [`Value`], picked by [`Collection::new_for`] when the static
+    /// element/key type is scalar. They report the boxed twin's
+    /// [`ImplKind`] and byte accounting, so statistics, modeled cost,
+    /// and the memory figures cannot tell the difference — only wall
+    /// time can.
+    UnboxedSeq(ArraySeq<ScalarVal>),
+    /// [`Collection::HashSet`] with unboxed scalar elements. Same
+    /// hash/eq as the boxed twin (see [`ScalarVal`]), hence the same
+    /// bucket order.
+    UnboxedHashSet(ChainedHashSet<ScalarVal>),
+    /// [`Collection::HashMap`] with unboxed scalar keys and values.
+    UnboxedHashMap(ChainedHashMap<ScalarVal, ScalarVal>),
+    /// [`Collection::BitMap`] with unboxed scalar values.
+    UnboxedBitMap(BitMap<ScalarVal>),
+}
+
+/// Whether a static element/key type can be stored unboxed.
+fn unboxable(ty: &Type) -> bool {
+    matches!(
+        ty,
+        Type::Bool | Type::U64 | Type::I64 | Type::F64 | Type::Idx
+    )
+}
+
+/// Packs a value for an unboxed *store* (insert/write). Conversion can
+/// only fail on IR the verifier would reject (a non-scalar flowing into
+/// a scalar-typed collection), where the boxed twin would silently
+/// store the mistyped value; the unboxed backend traps instead.
+fn unbox_store(value: &Value) -> Result<ScalarVal, TrapKind> {
+    ScalarVal::from_value(value).ok_or_else(|| TrapKind::TypeMismatch {
+        expected: "unboxed scalar",
+        got: format!("{value:?}"),
+    })
 }
 
 impl Collection {
     /// Allocates the implementation selected by `ty` (with `defaults`
-    /// resolving empty selections).
+    /// resolving empty selections). When `unbox` is set and the static
+    /// element/key/value types are scalar, the chained-hash, sequence,
+    /// and dense-map backends store packed [`ScalarVal`]s instead of
+    /// boxed [`Value`]s; the boxed variants remain the general
+    /// fallback (and the swiss/flat/bit backends are unaffected — the
+    /// bit sets already store raw indices).
     ///
     /// # Panics
     ///
     /// Panics if `ty` is not a collection type.
-    pub fn new_for(ty: &Type, defaults: SelectionDefaults) -> Collection {
+    pub fn new_for(ty: &Type, defaults: SelectionDefaults, unbox: bool) -> Collection {
         match ty {
-            Type::Seq(_) => Collection::Seq(ArraySeq::new()),
-            Type::Set { sel, .. } => {
-                let sel = if *sel == SetSel::Auto { defaults.set } else { *sel };
+            Type::Seq(elem) => {
+                if unbox && unboxable(elem) {
+                    Collection::UnboxedSeq(ArraySeq::new())
+                } else {
+                    Collection::Seq(ArraySeq::new())
+                }
+            }
+            Type::Set { elem, sel } => {
+                let sel = if *sel == SetSel::Auto {
+                    defaults.set
+                } else {
+                    *sel
+                };
                 match sel {
-                    SetSel::Auto | SetSel::Hash => Collection::HashSet(ChainedHashSet::new()),
+                    SetSel::Auto | SetSel::Hash => {
+                        if unbox && unboxable(elem) {
+                            Collection::UnboxedHashSet(ChainedHashSet::new())
+                        } else {
+                            Collection::HashSet(ChainedHashSet::new())
+                        }
+                    }
                     SetSel::Swiss => Collection::SwissSet(SwissSet::new()),
                     SetSel::Flat => Collection::FlatSet(FlatSet::new()),
                     SetSel::Bit => Collection::BitSet(DynamicBitSet::new()),
                     SetSel::SparseBit => Collection::SparseBitSet(SparseBitSet::new()),
                 }
             }
-            Type::Map { sel, .. } => {
-                let sel = if *sel == MapSel::Auto { defaults.map } else { *sel };
+            Type::Map { key, val, sel } => {
+                let sel = if *sel == MapSel::Auto {
+                    defaults.map
+                } else {
+                    *sel
+                };
                 match sel {
-                    MapSel::Auto | MapSel::Hash => Collection::HashMap(ChainedHashMap::new()),
+                    MapSel::Auto | MapSel::Hash => {
+                        if unbox && unboxable(key) && unboxable(val) {
+                            Collection::UnboxedHashMap(ChainedHashMap::new())
+                        } else {
+                            Collection::HashMap(ChainedHashMap::new())
+                        }
+                    }
                     MapSel::Swiss => Collection::SwissMap(SwissMap::new()),
-                    MapSel::Bit => Collection::BitMap(BitMap::new()),
+                    MapSel::Bit => {
+                        if unbox && unboxable(val) {
+                            Collection::UnboxedBitMap(BitMap::new())
+                        } else {
+                            Collection::BitMap(BitMap::new())
+                        }
+                    }
                 }
             }
             other => panic!("cannot allocate non-collection type {other}"),
@@ -102,6 +176,13 @@ impl Collection {
             Collection::HashMap(_) => ImplKind::HashMap,
             Collection::SwissMap(_) => ImplKind::SwissMap,
             Collection::BitMap(_) => ImplKind::BitMap,
+            // Unboxing is a physical-representation choice, not a Table I
+            // implementation: report the boxed twin's kind so statistics
+            // and modeled cost are keyed identically.
+            Collection::UnboxedSeq(_) => ImplKind::Seq,
+            Collection::UnboxedHashSet(_) => ImplKind::HashSet,
+            Collection::UnboxedHashMap(_) => ImplKind::HashMap,
+            Collection::UnboxedBitMap(_) => ImplKind::BitMap,
         }
     }
 
@@ -117,6 +198,10 @@ impl Collection {
             Collection::HashMap(m) => m.len(),
             Collection::SwissMap(m) => m.len(),
             Collection::BitMap(m) => m.len(),
+            Collection::UnboxedSeq(s) => s.len(),
+            Collection::UnboxedHashSet(s) => s.len(),
+            Collection::UnboxedHashMap(m) => m.len(),
+            Collection::UnboxedBitMap(m) => m.len(),
         }
     }
 
@@ -138,6 +223,19 @@ impl Collection {
             Collection::HashMap(m) => m.heap_bytes_fast(),
             Collection::SwissMap(m) => m.heap_bytes_fast(),
             Collection::BitMap(m) => m.heap_bytes_fast(),
+            // Unboxed backends price their footprint at the boxed entry
+            // width: the figures' memory accounting is calibrated
+            // against the boxed layouts, and the backends' capacity
+            // trajectories are identical at both widths, so the boxed
+            // and unboxed runs report byte-identical sizes.
+            Collection::UnboxedSeq(s) => s.heap_bytes_fast_as(std::mem::size_of::<Value>()),
+            Collection::UnboxedHashSet(s) => {
+                s.heap_bytes_fast_as(std::mem::size_of::<(Value, ())>())
+            }
+            Collection::UnboxedHashMap(m) => {
+                m.heap_bytes_fast_as(std::mem::size_of::<(Value, Value)>())
+            }
+            Collection::UnboxedBitMap(m) => m.heap_bytes_fast_as(std::mem::size_of::<Value>()),
         }
     }
 
@@ -158,7 +256,17 @@ impl Collection {
             Collection::HashMap(m) => m.contains_key(key),
             Collection::SwissMap(m) => m.contains_key(key),
             Collection::BitMap(m) => m.contains_key(key.try_as_index()?),
-            Collection::Seq(_) => {
+            // An unconvertible probe key can equal no stored scalar, so
+            // membership is `false` — the same answer the boxed twin
+            // gives (only scalars ever reach an unboxed store).
+            Collection::UnboxedHashSet(s) => {
+                ScalarVal::from_value(key).is_some_and(|k| s.contains(&k))
+            }
+            Collection::UnboxedHashMap(m) => {
+                ScalarVal::from_value(key).is_some_and(|k| m.contains_key(&k))
+            }
+            Collection::UnboxedBitMap(m) => m.contains_key(key.try_as_index()?),
+            Collection::Seq(_) | Collection::UnboxedSeq(_) => {
                 return Err(TrapKind::UnsupportedOp {
                     op: "has",
                     on: "a sequence".to_string(),
@@ -188,9 +296,24 @@ impl Collection {
             }
             Collection::HashMap(m) => m.get(key).cloned().ok_or_else(absent),
             Collection::SwissMap(m) => m.get(key).cloned().ok_or_else(absent),
-            Collection::BitMap(m) => {
-                m.get(key.try_as_index()?).cloned().ok_or_else(absent)
+            Collection::BitMap(m) => m.get(key.try_as_index()?).cloned().ok_or_else(absent),
+            Collection::UnboxedSeq(s) => {
+                let i = key.try_as_u64()?;
+                s.get(i as usize)
+                    .map(|v| v.to_value())
+                    .ok_or(TrapKind::OutOfBounds {
+                        index: i,
+                        len: s.len(),
+                    })
             }
+            Collection::UnboxedHashMap(m) => ScalarVal::from_value(key)
+                .and_then(|k| m.get(&k))
+                .map(|v| v.to_value())
+                .ok_or_else(absent),
+            Collection::UnboxedBitMap(m) => m
+                .get(key.try_as_index()?)
+                .map(|v| v.to_value())
+                .ok_or_else(absent),
             other => Err(TrapKind::UnsupportedOp {
                 op: "read",
                 on: format!("{:?}", other.impl_kind()),
@@ -227,6 +350,22 @@ impl Collection {
             Collection::BitMap(m) => {
                 m.insert(Self::dense_key(key)?, value);
             }
+            Collection::UnboxedSeq(s) => {
+                let i = key.try_as_u64()?;
+                if i as usize >= s.len() {
+                    return Err(TrapKind::OutOfBounds {
+                        index: i,
+                        len: s.len(),
+                    });
+                }
+                s.set(i as usize, unbox_store(&value)?);
+            }
+            Collection::UnboxedHashMap(m) => {
+                m.insert(unbox_store(key)?, unbox_store(&value)?);
+            }
+            Collection::UnboxedBitMap(m) => {
+                m.insert(Self::dense_key(key)?, unbox_store(&value)?);
+            }
             other => {
                 return Err(TrapKind::UnsupportedOp {
                     op: "write",
@@ -251,6 +390,7 @@ impl Collection {
             Collection::FlatSet(s) => s.insert(value),
             Collection::BitSet(s) => s.insert(Self::dense_key(&value)?),
             Collection::SparseBitSet(s) => s.insert(Self::dense_key(&value)?),
+            Collection::UnboxedHashSet(s) => s.insert(unbox_store(&value)?),
             other => {
                 return Err(TrapKind::UnsupportedOp {
                     op: "set insert",
@@ -267,11 +407,7 @@ impl Collection {
     /// [`TrapKind::UnsupportedOp`] on non-maps;
     /// [`TrapKind::SentinelInsert`] when the `enc` sentinel reaches a
     /// dense map.
-    pub fn try_insert_key_default(
-        &mut self,
-        key: &Value,
-        default: Value,
-    ) -> Result<(), TrapKind> {
+    pub fn try_insert_key_default(&mut self, key: &Value, default: Value) -> Result<(), TrapKind> {
         match self {
             Collection::HashMap(m) => {
                 if !m.contains_key(key) {
@@ -287,6 +423,18 @@ impl Collection {
                 let i = Self::dense_key(key)?;
                 if !m.contains_key(i) {
                     m.insert(i, default);
+                }
+            }
+            Collection::UnboxedHashMap(m) => {
+                let k = unbox_store(key)?;
+                if !m.contains_key(&k) {
+                    m.insert(k, unbox_store(&default)?);
+                }
+            }
+            Collection::UnboxedBitMap(m) => {
+                let i = Self::dense_key(key)?;
+                if !m.contains_key(i) {
+                    m.insert(i, unbox_store(&default)?);
                 }
             }
             other => {
@@ -317,6 +465,21 @@ impl Collection {
                         index: index as u64,
                         len: s.len(),
                     });
+                }
+                Ok(())
+            }
+            Collection::UnboxedSeq(s) => {
+                if index > s.len() {
+                    return Err(TrapKind::OutOfBounds {
+                        index: index as u64,
+                        len: s.len(),
+                    });
+                }
+                let v = unbox_store(&value)?;
+                if index == s.len() {
+                    s.push(v);
+                } else {
+                    s.insert(index, v);
                 }
                 Ok(())
             }
@@ -369,6 +532,29 @@ impl Collection {
                 m.remove(key);
             }
             Collection::BitMap(m) => {
+                m.remove(key.try_as_index()?);
+            }
+            Collection::UnboxedSeq(s) => {
+                let i = key.try_as_u64()?;
+                if i as usize >= s.len() {
+                    return Err(TrapKind::OutOfBounds {
+                        index: i,
+                        len: s.len(),
+                    });
+                }
+                s.remove(i as usize);
+            }
+            Collection::UnboxedHashSet(s) => {
+                if let Some(k) = ScalarVal::from_value(key) {
+                    s.remove(&k);
+                }
+            }
+            Collection::UnboxedHashMap(m) => {
+                if let Some(k) = ScalarVal::from_value(key) {
+                    m.remove(&k);
+                }
+            }
+            Collection::UnboxedBitMap(m) => {
                 m.remove(key.try_as_index()?);
             }
         }
@@ -426,7 +612,8 @@ impl Collection {
     /// Panics on non-set collections; trusted-input callers only —
     /// interpretation paths use [`Collection::try_insert_elem`].
     pub fn insert_elem(&mut self, value: Value) -> bool {
-        self.try_insert_elem(value).unwrap_or_else(|t| panic!("{t}"))
+        self.try_insert_elem(value)
+            .unwrap_or_else(|t| panic!("{t}"))
     }
 
     /// Map-key insertion: default-initializes the slot if absent.
@@ -474,6 +661,10 @@ impl Collection {
             Collection::HashMap(m) => m.clear(),
             Collection::SwissMap(m) => m.clear(),
             Collection::BitMap(m) => m.clear(),
+            Collection::UnboxedSeq(s) => s.clear(),
+            Collection::UnboxedHashSet(s) => s.clear(),
+            Collection::UnboxedHashMap(m) => m.clear(),
+            Collection::UnboxedBitMap(m) => m.clear(),
         }
     }
 
@@ -491,18 +682,25 @@ impl Collection {
             Collection::SwissSet(s) => s.iter().map(|v| (v.clone(), Value::Void)).collect(),
             Collection::FlatSet(s) => s.iter().map(|v| (v.clone(), Value::Void)).collect(),
             Collection::BitSet(s) => s.iter().map(|i| (Value::Idx(i), Value::Void)).collect(),
-            Collection::SparseBitSet(s) => {
-                s.iter().map(|i| (Value::Idx(i), Value::Void)).collect()
-            }
-            Collection::HashMap(m) => {
-                m.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
-            }
-            Collection::SwissMap(m) => {
-                m.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
-            }
-            Collection::BitMap(m) => m
+            Collection::SparseBitSet(s) => s.iter().map(|i| (Value::Idx(i), Value::Void)).collect(),
+            Collection::HashMap(m) => m.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+            Collection::SwissMap(m) => m.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+            Collection::BitMap(m) => m.iter().map(|(k, v)| (Value::Idx(k), v.clone())).collect(),
+            Collection::UnboxedSeq(s) => s
                 .iter()
-                .map(|(k, v)| (Value::Idx(k), v.clone()))
+                .enumerate()
+                .map(|(i, v)| (Value::U64(i as u64), v.to_value()))
+                .collect(),
+            Collection::UnboxedHashSet(s) => {
+                s.iter().map(|v| (v.to_value(), Value::Void)).collect()
+            }
+            Collection::UnboxedHashMap(m) => m
+                .iter()
+                .map(|(k, v)| (k.to_value(), v.to_value()))
+                .collect(),
+            Collection::UnboxedBitMap(m) => m
+                .iter()
+                .map(|(k, v)| (Value::Idx(k), v.to_value()))
                 .collect(),
         }
     }
@@ -521,7 +719,14 @@ impl Collection {
             Collection::SwissSet(s) => (s.heap_bytes_fast() / 64) as u64,
             Collection::HashMap(m) => (m.heap_bytes_fast() / 64) as u64,
             Collection::SwissMap(m) => (m.heap_bytes_fast() / 64) as u64,
-            Collection::Seq(_) | Collection::FlatSet(_) => 0,
+            // Unboxed twins charge from the boxed-width estimate so the
+            // IterWord counts (and hence modeled time) match the boxed
+            // run exactly.
+            Collection::UnboxedBitMap(_) => (self.bytes_estimate() / 8) as u64,
+            Collection::UnboxedHashSet(_) | Collection::UnboxedHashMap(_) => {
+                (self.bytes_estimate() / 64) as u64
+            }
+            Collection::Seq(_) | Collection::UnboxedSeq(_) | Collection::FlatSet(_) => 0,
         }
     }
 }
@@ -531,7 +736,11 @@ mod tests {
     use super::*;
 
     fn set_of(sel: SetSel) -> Collection {
-        Collection::new_for(&Type::set_with(Type::Idx, sel), SelectionDefaults::default())
+        Collection::new_for(
+            &Type::set_with(Type::Idx, sel),
+            SelectionDefaults::default(),
+            false,
+        )
     }
 
     #[test]
@@ -540,10 +749,14 @@ mod tests {
         assert_eq!(set_of(SetSel::Swiss).impl_kind(), ImplKind::SwissSet);
         assert_eq!(set_of(SetSel::Flat).impl_kind(), ImplKind::FlatSet);
         assert_eq!(set_of(SetSel::Bit).impl_kind(), ImplKind::BitSet);
-        assert_eq!(set_of(SetSel::SparseBit).impl_kind(), ImplKind::SparseBitSet);
+        assert_eq!(
+            set_of(SetSel::SparseBit).impl_kind(),
+            ImplKind::SparseBitSet
+        );
         let m = Collection::new_for(
             &Type::map_with(Type::Idx, Type::U64, MapSel::Bit),
             SelectionDefaults::default(),
+            false,
         );
         assert_eq!(m.impl_kind(), ImplKind::BitMap);
     }
@@ -554,15 +767,21 @@ mod tests {
             set: SetSel::Swiss,
             map: MapSel::Swiss,
         };
-        let s = Collection::new_for(&Type::set(Type::U64), swiss_default);
+        let s = Collection::new_for(&Type::set(Type::U64), swiss_default, false);
         assert_eq!(s.impl_kind(), ImplKind::SwissSet);
-        let m = Collection::new_for(&Type::map(Type::U64, Type::U64), swiss_default);
+        let m = Collection::new_for(&Type::map(Type::U64, Type::U64), swiss_default, false);
         assert_eq!(m.impl_kind(), ImplKind::SwissMap);
     }
 
     #[test]
     fn set_ops_across_impls() {
-        for sel in [SetSel::Hash, SetSel::Swiss, SetSel::Flat, SetSel::Bit, SetSel::SparseBit] {
+        for sel in [
+            SetSel::Hash,
+            SetSel::Swiss,
+            SetSel::Flat,
+            SetSel::Bit,
+            SetSel::SparseBit,
+        ] {
             let mut s = set_of(sel);
             assert!(s.insert_elem(Value::Idx(5)));
             assert!(!s.insert_elem(Value::Idx(5)));
@@ -580,6 +799,7 @@ mod tests {
             let mut m = Collection::new_for(
                 &Type::map_with(Type::Idx, Type::U64, sel),
                 SelectionDefaults::default(),
+                false,
             );
             m.insert_key_default(&Value::Idx(3), Value::U64(0));
             assert_eq!(m.read(&Value::Idx(3)), Value::U64(0));
@@ -593,7 +813,7 @@ mod tests {
 
     #[test]
     fn seq_ops() {
-        let mut s = Collection::new_for(&Type::seq(Type::U64), SelectionDefaults::default());
+        let mut s = Collection::new_for(&Type::seq(Type::U64), SelectionDefaults::default(), false);
         s.insert_seq(0, Value::U64(1));
         s.insert_seq(1, Value::U64(3));
         s.insert_seq(1, Value::U64(2));
@@ -621,5 +841,101 @@ mod tests {
         let before = s.bytes_estimate();
         s.insert_elem(Value::Idx(100_000));
         assert!(s.bytes_estimate() > before);
+    }
+
+    /// Every scalar-typed collection flavor selects the unboxed backend
+    /// when asked, and the twin pair stays observationally identical —
+    /// same reported implementation kind, same snapshot (iteration
+    /// order included), same byte estimate — across an op history long
+    /// enough to trigger bucket growth and `Vec` reallocation.
+    #[test]
+    fn unboxed_twins_are_observationally_identical() {
+        let defaults = SelectionDefaults::default();
+        let tys = [
+            Type::seq(Type::U64),
+            Type::set_with(Type::U64, SetSel::Hash),
+            Type::map_with(Type::U64, Type::U64, MapSel::Hash),
+            Type::map_with(Type::Idx, Type::U64, MapSel::Bit),
+        ];
+        for ty in tys {
+            let mut boxed = Collection::new_for(&ty, defaults, false);
+            let mut unboxed = Collection::new_for(&ty, defaults, true);
+            assert_eq!(boxed.impl_kind(), unboxed.impl_kind(), "{ty:?}");
+            for target in [&mut boxed, &mut unboxed] {
+                for i in 0..100u64 {
+                    // A mix that exercises growth, overwrite and removal.
+                    let k = (i * 7) % 64;
+                    match &ty {
+                        Type::Seq(_) => target.insert_seq(target.len(), Value::U64(k)),
+                        Type::Set { .. } => {
+                            target.insert_elem(Value::U64(k));
+                        }
+                        Type::Map { key, .. } if **key == Type::Idx => {
+                            target.write(&Value::Idx(k as usize), Value::U64(i));
+                        }
+                        _ => target.write(&Value::U64(k), Value::U64(i)),
+                    }
+                }
+                match &ty {
+                    Type::Seq(_) => {}
+                    Type::Map { key, .. } if **key == Type::Idx => target.remove(&Value::Idx(7)),
+                    _ => target.remove(&Value::U64(7)),
+                }
+            }
+            assert_eq!(boxed.len(), unboxed.len(), "{ty:?}");
+            assert_eq!(
+                boxed.snapshot(),
+                unboxed.snapshot(),
+                "{ty:?} iteration order"
+            );
+            assert_eq!(
+                boxed.bytes_estimate(),
+                unboxed.bytes_estimate(),
+                "{ty:?} byte accounting"
+            );
+            assert_eq!(boxed.iter_scan_words(), unboxed.iter_scan_words(), "{ty:?}");
+        }
+    }
+
+    /// The `enc` sentinel must never reach a dense insert — the unboxed
+    /// dense backends trap exactly as their boxed twins do, while
+    /// membership probes observe clean absence.
+    #[test]
+    fn unboxed_dense_backends_keep_the_sentinel_discipline() {
+        for unbox in [false, true] {
+            let mut m = Collection::new_for(
+                &Type::map_with(Type::Idx, Type::U64, MapSel::Bit),
+                SelectionDefaults::default(),
+                unbox,
+            );
+            let sentinel = Value::Idx(ENC_SENTINEL);
+            assert!(matches!(
+                m.try_write(&sentinel, Value::U64(1)),
+                Err(TrapKind::SentinelInsert),
+            ));
+            assert!(!m.try_has(&sentinel).expect("probe tolerates the sentinel"));
+        }
+    }
+
+    /// `Vec`'s growth policy is element-size independent in the small
+    /// element class, so an unboxed backend priced via
+    /// `heap_bytes_fast_as(boxed width)` reports exactly its boxed
+    /// twin's capacity trajectory. This is the assumption behind
+    /// `heap_bytes_fast_as` (see `ade_collections::seq`); the twin test
+    /// above exercises it end-to-end, this one isolates the claim.
+    #[test]
+    fn capacity_trajectories_match_across_element_widths() {
+        use crate::value::ScalarVal;
+        let mut boxed: ade_collections::ArraySeq<Value> = ade_collections::ArraySeq::new();
+        let mut unboxed: ade_collections::ArraySeq<ScalarVal> = ade_collections::ArraySeq::new();
+        for i in 0..1000u64 {
+            boxed.push(Value::U64(i));
+            unboxed.push(ScalarVal::from_value(&Value::U64(i)).expect("scalar"));
+            assert_eq!(
+                boxed.heap_bytes_fast(),
+                unboxed.heap_bytes_fast_as(std::mem::size_of::<Value>()),
+                "capacity diverged at push {i}"
+            );
+        }
     }
 }

@@ -52,9 +52,10 @@ mod stats;
 pub mod trap;
 mod value;
 
+pub use decode::{DecodeOptions, DecodedModule};
 pub use exec::{ExecConfig, ExecError, Interpreter, Outcome};
 pub use heap::{CollId, Collection, SelectionDefaults};
 pub use profile::{FuncProfile, HotSite, SiteProfile, SiteStats};
 pub use stats::{CollOp, ImplKind, OpCounts, Phase, Stats};
 pub use trap::{Limit, TrapKind, TrapSite, ENC_SENTINEL};
-pub use value::Value;
+pub use value::{ScalarVal, Value};

@@ -32,7 +32,7 @@ pub enum Value {
     /// Enumeration identifier (dense, `[0, N)`).
     Idx(usize),
     /// Tuple of values.
-    Tuple(Arc<Vec<Value>>),
+    Tuple(Arc<[Value]>),
     /// Collection handle.
     Coll(CollId),
 }
@@ -145,6 +145,98 @@ impl Value {
     /// Whether this value may be used as a collection key.
     pub fn is_key(&self) -> bool {
         !matches!(self, Value::Coll(_) | Value::Void)
+    }
+}
+
+/// An unboxed scalar: the packed `(tag, bits)` representation the
+/// monomorphic collection backends store instead of a full [`Value`].
+///
+/// Bijective with the scalar `Value` variants (`Bool`/`U64`/`I64`/
+/// `F64`/`Idx`, plus `Void` as the vacant filler dense maps pad with),
+/// so `U64(5)` and `Idx(5)` stay distinct exactly as they do boxed.
+/// `Copy` and 16 bytes against `Value`'s 24, with no niche for `Arc`
+/// drop glue — cloning an unboxed backend's element is a register move.
+///
+/// Equality and hashing MUST agree with the boxed twin: the chained
+/// hash backends are instantiated at this type, and their bucket
+/// assignment/iteration order is observable through `snapshot()` (and
+/// from there through enumeration assignment order, heap growth, and
+/// ultimately figure bytes). `Hash` therefore delegates to the
+/// corresponding `Value` — constructing a scalar `Value` on the stack
+/// is free of allocation — which makes hash parity true by definition
+/// rather than by mirroring std's discriminant hashing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScalarVal {
+    tag: ScalarTag,
+    bits: u64,
+}
+
+/// Discriminant of a [`ScalarVal`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ScalarTag {
+    Void,
+    Bool,
+    U64,
+    I64,
+    F64,
+    Idx,
+}
+
+impl Default for ScalarVal {
+    /// The vacant filler value ([`Value::Void`]): only ever stored in
+    /// dense-map padding slots whose presence bit is clear, never
+    /// observed by guest code.
+    fn default() -> ScalarVal {
+        ScalarVal {
+            tag: ScalarTag::Void,
+            bits: 0,
+        }
+    }
+}
+
+impl ScalarVal {
+    /// Packs a scalar `Value`; `None` for `Str`/`Tuple`/`Coll`, which
+    /// only the boxed backends can store.
+    #[inline]
+    pub fn from_value(v: &Value) -> Option<ScalarVal> {
+        let (tag, bits) = match v {
+            Value::Void => (ScalarTag::Void, 0),
+            Value::Bool(b) => (ScalarTag::Bool, u64::from(*b)),
+            Value::U64(v) => (ScalarTag::U64, *v),
+            Value::I64(v) => (ScalarTag::I64, *v as u64),
+            Value::F64(v) => (ScalarTag::F64, v.to_bits()),
+            Value::Idx(i) => (ScalarTag::Idx, *i as u64),
+            Value::Str(_) | Value::Tuple(_) | Value::Coll(_) => return None,
+        };
+        Some(ScalarVal { tag, bits })
+    }
+
+    /// Unpacks back into the boxed representation.
+    #[inline]
+    pub fn to_value(self) -> Value {
+        match self.tag {
+            ScalarTag::Void => Value::Void,
+            ScalarTag::Bool => Value::Bool(self.bits != 0),
+            ScalarTag::U64 => Value::U64(self.bits),
+            ScalarTag::I64 => Value::I64(self.bits as i64),
+            ScalarTag::F64 => Value::F64(f64::from_bits(self.bits)),
+            ScalarTag::Idx => Value::Idx(self.bits as usize),
+        }
+    }
+}
+
+impl Hash for ScalarVal {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Delegate to the boxed twin so bucket assignment (and hence
+        // iteration order) is identical by construction.
+        self.to_value().hash(state);
+    }
+}
+
+impl ade_collections::HeapSize for ScalarVal {
+    fn heap_bytes(&self) -> usize {
+        0
     }
 }
 
@@ -287,7 +379,9 @@ impl ade_collections::HeapSize for Value {
             Value::Str(s) => s.len(),
             Value::Tuple(t) => {
                 t.len() * std::mem::size_of::<Value>()
-                    + t.iter().map(ade_collections::HeapSize::heap_bytes).sum::<usize>()
+                    + t.iter()
+                        .map(ade_collections::HeapSize::heap_bytes)
+                        .sum::<usize>()
             }
             _ => 0,
         }
@@ -349,8 +443,46 @@ mod tests {
         assert_eq!(Value::Idx(3).to_string(), "#3");
         assert_eq!(Value::Str("hi".into()).to_string(), "hi");
         assert_eq!(
-            Value::Tuple(Arc::new(vec![Value::U64(1), Value::Bool(true)])).to_string(),
+            Value::Tuple(vec![Value::U64(1), Value::Bool(true)].into()).to_string(),
             "(1, true)"
         );
+    }
+
+    /// The unboxed scalar must hash exactly like its boxed twin under
+    /// the collections' hasher: identical hashes mean identical bucket
+    /// assignment, which is what makes unboxed hash backends iterate in
+    /// the same order as boxed ones (and hence keeps enumeration
+    /// assignment — and every downstream figure — bit-identical).
+    #[test]
+    fn scalar_hash_matches_boxed_value_hash() {
+        use ade_collections::fx::hash_one;
+        let samples = [
+            Value::Void,
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::U64(0),
+            Value::U64(u64::MAX),
+            Value::I64(-5),
+            Value::F64(1.5),
+            Value::F64(-0.0),
+            Value::Idx(0),
+            Value::Idx(12345),
+        ];
+        for v in samples {
+            let s = ScalarVal::from_value(&v).expect("scalar");
+            assert_eq!(hash_one(&v), hash_one(&s), "{v:?}");
+            assert_eq!(s.to_value(), v, "round trip");
+        }
+    }
+
+    /// `U64(n)` and `Idx(n)` carry the same bits but are distinct keys —
+    /// the packed form must preserve that distinction.
+    #[test]
+    fn scalar_tags_keep_kinds_distinct() {
+        let u = ScalarVal::from_value(&Value::U64(5)).expect("scalar");
+        let i = ScalarVal::from_value(&Value::Idx(5)).expect("scalar");
+        assert_ne!(u, i);
+        assert!(ScalarVal::from_value(&Value::Str("s".into())).is_none());
+        assert!(ScalarVal::from_value(&Value::Tuple(vec![].into())).is_none());
     }
 }
