@@ -1,17 +1,18 @@
 //! Interpreter dispatch microbenchmarks: wall time of the pre-decoded
 //! execution loop on small kernels that isolate one dispatch shape each
 //! (scalar arithmetic, set churn, map read/write, seq push + sum, dense
-//! read-modify-write, data-dependent branching).
+//! read-modify-write, data-dependent branching, sequence filter-sum
+//! streaming, bulk set probing).
 //!
 //! Unlike `collection_ops` (which times the collection library
 //! natively), this times the *interpreter* end to end, so it is the
 //! regression gate for the decoded instruction stream, the borrow-based
-//! operand path, superinstruction fusion and unboxed scalar storage.
-//! Every kernel runs under all four optimization combinations; results
-//! go to `BENCH_interp.json` at the workspace root: per-kernel best
-//! wall seconds and logical ops/sec per configuration, the
-//! fused+unboxed speedup over the unoptimized interpreter, and the
-//! geometric-mean speedup across kernels.
+//! operand path, superinstruction fusion, unboxed scalar storage and
+//! loop-granular stream fusion. Every kernel runs under six
+//! optimization configurations; results go to `BENCH_interp.json` at
+//! the workspace root: per-kernel best wall seconds and logical ops/sec
+//! per configuration, the fully-optimized speedup over the unoptimized
+//! interpreter, and the geometric-mean speedup across kernels.
 //!
 //! Self-timed (`harness = false`): run via `cargo bench --bench
 //! interp_dispatch`.
@@ -25,16 +26,18 @@ use ade_ir::{MapSel, Module, Type};
 /// Iteration count per kernel — large enough that dispatch dominates
 /// the fixed per-run setup (decode + frame allocation).
 const N: u64 = 200_000;
-const RUNS: usize = 5;
+const RUNS: usize = 9;
 
 /// The optimization sweep: `base` is the unoptimized interpreter, the
-/// rest toggle superinstruction fusion and unboxed scalar storage.
-/// `fused_unboxed` is the production default.
-const CONFIGS: [(&str, bool, bool); 4] = [
-    ("base", false, false),
-    ("fused", true, false),
-    ("unboxed", false, true),
-    ("fused_unboxed", true, true),
+/// rest toggle superinstruction fusion, unboxed scalar storage and
+/// loop-granular stream fusion. `full` is the production default.
+const CONFIGS: [(&str, bool, bool, bool); 6] = [
+    ("base", false, false, false),
+    ("fused", true, false, false),
+    ("unboxed", false, true, false),
+    ("fused_unboxed", true, true, false),
+    ("loop_fused", false, false, true),
+    ("full", true, true, true),
 ];
 
 struct Kernel {
@@ -262,10 +265,88 @@ fn branchy_classify() -> Kernel {
     }
 }
 
-fn run_once(k: &Kernel, fuse: bool, unbox: bool) -> usize {
+/// Build a sequence with `for_range` pushes, then filter-sum it with a
+/// `foreach` whose body is exactly `cmp`/`if`(add | pass) — the shape
+/// loop fusion classifies as a `FilterReduce` streaming kernel over the
+/// unboxed sequence slice. Half the elements pass the threshold, so the
+/// branch is unpredictable for the dispatch-based configurations.
+fn seq_filter_sum() -> Kernel {
+    let mut b = FunctionBuilder::new("main", &[], Type::Void);
+    let seq = b.new_collection(Type::seq(Type::U64));
+    let lo = b.const_u64(0);
+    let hi = b.const_u64(2 * N);
+    let seq = b.for_range(lo, hi, &[seq], |b, i, c| {
+        let three = b.const_u64(3);
+        let v = b.mul(i, three);
+        vec![b.push(c[0], v)]
+    })[0];
+    let zero = b.const_u64(0);
+    let threshold = b.const_u64(3 * N); // half the values exceed it
+    let sum = b.for_each(seq, &[zero], |b, _i, v, c| {
+        let v = v.expect("sequence iteration binds values");
+        let big = b.lt(threshold, v);
+        b.if_else(big, |b| vec![b.add(c[0], v)], |_b| vec![c[0]])
+    })[0];
+    b.print(&[sum]);
+    b.ret_void();
+    let mut module = Module::new();
+    module.add_function(b.finish());
+    Kernel {
+        name: "seq_filter_sum",
+        ops: N * 6, // 2N build pushes + 2N compares + ~N taken-arm adds
+        module,
+    }
+}
+
+/// Copy a sequence into a hash set with one `foreach`, then count how
+/// many elements of a second sequence are members with another — the
+/// `CopyInto` and `ProbeCount` streaming kernels, which bulk-insert and
+/// group-probe the hash backend instead of re-resolving the handle and
+/// re-dispatching `has`/`cast`/`add` per element (~50% hit rate).
+fn set_bulk_probe() -> Kernel {
+    let mut b = FunctionBuilder::new("main", &[], Type::Void);
+    let evens = b.new_collection(Type::seq(Type::U64));
+    let trips = b.new_collection(Type::seq(Type::U64));
+    let lo = b.const_u64(0);
+    let hi = b.const_u64(N);
+    let built = b.for_range(lo, hi, &[evens, trips], |b, i, c| {
+        let two = b.const_u64(2);
+        let three = b.const_u64(3);
+        let va = b.mul(i, two);
+        let s0 = b.push(c[0], va);
+        let vb = b.mul(i, three);
+        let s1 = b.push(c[1], vb);
+        vec![s0, s1]
+    });
+    let (evens, trips) = (built[0], built[1]);
+    let set = b.new_collection(Type::set(Type::U64));
+    let set = b.for_each(evens, &[set], |b, _i, v, c| {
+        let v = v.expect("sequence iteration binds values");
+        vec![b.insert(c[0], v)]
+    })[0];
+    let zero = b.const_u64(0);
+    let hits = b.for_each(trips, &[zero], |b, _i, v, c| {
+        let v = v.expect("sequence iteration binds values");
+        let h = b.has(set, v);
+        let hu = b.cast(h, Type::U64);
+        vec![b.add(c[0], hu)]
+    })[0];
+    b.print(&[hits]);
+    b.ret_void();
+    let mut module = Module::new();
+    module.add_function(b.finish());
+    Kernel {
+        name: "set_bulk_probe",
+        ops: N * 4, // 2 build pushes + 1 set insert + 1 probe per index
+        module,
+    }
+}
+
+fn run_once(k: &Kernel, fuse: bool, unbox: bool, loop_fuse: bool) -> usize {
     let config = ExecConfig {
         fuse,
         unbox,
+        loop_fuse,
         ..ExecConfig::default()
     };
     Interpreter::new(&k.module, config)
@@ -279,15 +360,15 @@ fn run_once(k: &Kernel, fuse: bool, unbox: bool) -> usize {
 /// (one timed run per config per round) so slow drift — frequency
 /// scaling, co-tenant noise — hits all configs alike instead of
 /// whichever happened to run last.
-fn time_kernel(k: &Kernel) -> [f64; 4] {
-    for (_, fuse, unbox) in CONFIGS {
-        run_once(k, fuse, unbox); // warm-up (decode, allocator, caches)
+fn time_kernel(k: &Kernel) -> [f64; 6] {
+    for (_, fuse, unbox, loop_fuse) in CONFIGS {
+        run_once(k, fuse, unbox, loop_fuse); // warm-up (decode, allocator, caches)
     }
-    let mut best = [f64::INFINITY; 4];
+    let mut best = [f64::INFINITY; 6];
     for _ in 0..RUNS {
-        for (slot, (_, fuse, unbox)) in CONFIGS.into_iter().enumerate() {
+        for (slot, (_, fuse, unbox, loop_fuse)) in CONFIGS.into_iter().enumerate() {
             let t = Instant::now();
-            std::hint::black_box(run_once(k, fuse, unbox));
+            std::hint::black_box(run_once(k, fuse, unbox, loop_fuse));
             best[slot] = best[slot].min(t.elapsed().as_secs_f64());
         }
     }
@@ -303,6 +384,8 @@ fn main() {
         seq_push_sum(),
         bitmap_rmw(),
         branchy_classify(),
+        seq_filter_sum(),
+        set_bulk_probe(),
     ];
     let mut rows = Vec::new();
     let mut log_speedup_sum = 0.0;
@@ -311,7 +394,7 @@ fn main() {
             .unwrap_or_else(|e| panic!("[{}] verify: {e}", k.name));
         let best = time_kernel(k);
         let mut walls = Vec::new();
-        for (slot, (cname, _, _)) in CONFIGS.into_iter().enumerate() {
+        for (slot, (cname, _, _, _)) in CONFIGS.into_iter().enumerate() {
             let wall = best[slot];
             println!(
                 "{:>16} {:>14}  {:>12.1} ops/s  {:.4} s",
@@ -339,7 +422,7 @@ fn main() {
             concat!(
                 "    {{\"kernel\": \"{}\", \"ops\": {}, ",
                 "\"wall_seconds\": {{{}}}, \"ops_per_sec\": {{{}}}, ",
-                "\"speedup_fused_unboxed\": {:.3}}}"
+                "\"speedup_full\": {:.3}}}"
             ),
             k.name,
             k.ops,
@@ -349,16 +432,14 @@ fn main() {
         ));
     }
     let geomean = (log_speedup_sum / kernels.len() as f64).exp();
-    println!(
-        "{:>16} {:>14}  {geomean:>11.2}x",
-        "GEOMEAN", "fused+unboxed"
-    );
+    println!("{:>16} {:>14}  {geomean:>11.2}x", "GEOMEAN", "full");
     let json = format!(
         concat!(
             "{{\n  \"iterations\": {},\n  \"runs\": {},\n",
-            "  \"configs\": [\"base\", \"fused\", \"unboxed\", \"fused_unboxed\"],\n",
+            "  \"configs\": [\"base\", \"fused\", \"unboxed\", \"fused_unboxed\", ",
+            "\"loop_fused\", \"full\"],\n",
             "  \"kernels\": [\n{}\n  ],\n",
-            "  \"geomean_speedup_fused_unboxed\": {:.3}\n}}\n"
+            "  \"geomean_speedup_full\": {:.3}\n}}\n"
         ),
         N,
         RUNS,

@@ -120,8 +120,8 @@ pub fn run_benchmark_trials_profiled(
 }
 
 /// Interpreter-optimization toggles the harness threads through to
-/// [`ade_interp::ExecConfig`]. Production runs keep both on (the
-/// default); the differential tests sweep all four combinations to pin
+/// [`ade_interp::ExecConfig`]. Production runs keep all three on (the
+/// default); the differential tests sweep every combination to pin
 /// down that figures and statistics are independent of them.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct InterpOpts {
@@ -129,6 +129,9 @@ pub struct InterpOpts {
     pub fuse: bool,
     /// Unboxed scalar storage ([`ade_interp::ExecConfig::unbox`]).
     pub unbox: bool,
+    /// Loop-granular stream fusion
+    /// ([`ade_interp::ExecConfig::loop_fuse`]).
+    pub loop_fuse: bool,
 }
 
 impl Default for InterpOpts {
@@ -136,6 +139,7 @@ impl Default for InterpOpts {
         InterpOpts {
             fuse: true,
             unbox: true,
+            loop_fuse: true,
         }
     }
 }
@@ -202,15 +206,19 @@ pub fn try_run_benchmark_cell(
     exec.profile = profile;
     exec.fuse = opts.fuse;
     exec.unbox = opts.unbox;
+    exec.loop_fuse = opts.loop_fuse;
     if let Some(fuel) = fuel_override {
         exec.fuel = Some(fuel);
     }
-    // Decode (and run the fusion peephole) once; every trial executes
+    // Decode (and run the fusion tiers) once; every trial executes
     // the same pre-decoded stream, so repeated trials measure the
     // interpreter, not flattening overhead.
     let decoded = ade_interp::DecodedModule::decode_with(
         &module,
-        &ade_interp::DecodeOptions { fuse: exec.fuse },
+        &ade_interp::DecodeOptions {
+            fuse: exec.fuse,
+            loop_fuse: exec.loop_fuse,
+        },
     );
     let mut best: Option<ade_interp::Outcome> = None;
     for _ in 0..trials {

@@ -1,39 +1,68 @@
-//! Superinstruction fusion and unboxed scalar storage must be invisible
-//! everywhere except wall time: every figure byte, operation count,
-//! program output (checksums), memory highwater and per-site profile is
-//! identical across all four `InterpOpts` combinations. These tests are
-//! the tentpole's safety net — never weaken them to make a change pass.
+//! Superinstruction fusion, unboxed scalar storage and loop-granular
+//! stream fusion must be invisible everywhere except wall time: every
+//! figure byte, operation count, program output (checksums), memory
+//! highwater and per-site profile is identical across all eight
+//! `InterpOpts` combinations. These tests are the tentpole's safety net
+//! — never weaken them to make a change pass.
 
 use ade_bench::figures::{cells_for_target, Session};
-use ade_bench::runner::InterpOpts;
+use ade_bench::runner::{try_run_benchmark_cell, InterpOpts};
+use ade_workloads::bench::benchmark_by_abbrev;
 
 const SCALE: u32 = 5;
 
-const COMBOS: [InterpOpts; 4] = [
+const COMBOS: [InterpOpts; 8] = [
     InterpOpts {
         fuse: false,
         unbox: false,
+        loop_fuse: false,
     },
     InterpOpts {
         fuse: true,
         unbox: false,
+        loop_fuse: false,
     },
     InterpOpts {
         fuse: false,
         unbox: true,
+        loop_fuse: false,
     },
     InterpOpts {
         fuse: true,
         unbox: true,
+        loop_fuse: false,
+    },
+    InterpOpts {
+        fuse: false,
+        unbox: false,
+        loop_fuse: true,
+    },
+    InterpOpts {
+        fuse: true,
+        unbox: false,
+        loop_fuse: true,
+    },
+    InterpOpts {
+        fuse: false,
+        unbox: true,
+        loop_fuse: true,
+    },
+    InterpOpts {
+        fuse: true,
+        unbox: true,
+        loop_fuse: true,
     },
 ];
 
 fn combo_name(o: InterpOpts) -> String {
-    format!("fuse={} unbox={}", o.fuse, o.unbox)
+    format!(
+        "fuse={} unbox={} loop_fuse={}",
+        o.fuse, o.unbox, o.loop_fuse
+    )
 }
 
-/// Fig. 5 text (wall ratios suppressed) is byte-identical whether the
-/// interpreter fuses, unboxes, both (the default), or neither.
+/// Fig. 5 text (wall ratios suppressed) is byte-identical under every
+/// combination of the three interpreter optimizations.
 #[test]
 fn fig5_text_is_byte_identical_across_interp_opts() {
     let mut reference: Option<String> = None;
@@ -55,7 +84,7 @@ fn fig5_text_is_byte_identical_across_interp_opts() {
 
 /// Every fig5 cell carries identical per-phase operation counts,
 /// program output (order-insensitive checksums) and memory highwater
-/// for every combination of the two optimizations.
+/// for every combination of the three optimizations.
 #[test]
 fn cell_stats_match_exactly_across_interp_opts() {
     let cells = cells_for_target("fig5");
@@ -64,6 +93,7 @@ fn cell_stats_match_exactly_across_interp_opts() {
     let mut baseline = Session::new(SCALE).interp_opts(InterpOpts {
         fuse: false,
         unbox: false,
+        loop_fuse: false,
     });
     baseline.prewarm(&["fig5"]);
 
@@ -87,9 +117,9 @@ fn cell_stats_match_exactly_across_interp_opts() {
     }
 }
 
-/// Fused execution attributes work to the same instruction sites as
-/// unfused execution: the per-site profiles are byte-identical, and the
-/// fused profile still sums exactly to the aggregate statistics.
+/// Optimized execution attributes work to the same instruction sites as
+/// unoptimized execution: the per-site profiles are byte-identical, and
+/// the optimized profile still sums exactly to the aggregate statistics.
 #[test]
 fn site_profiles_are_identical_fused_vs_unfused() {
     let cells = cells_for_target("fig5");
@@ -97,6 +127,7 @@ fn site_profiles_are_identical_fused_vs_unfused() {
     let mut unfused = Session::new(SCALE).profile(true).interp_opts(InterpOpts {
         fuse: false,
         unbox: false,
+        loop_fuse: false,
     });
     unfused.prewarm(&["fig5"]);
     let mut fused = Session::new(SCALE)
@@ -121,5 +152,55 @@ fn site_profiles_are_identical_fused_vs_unfused() {
             "[{abbrev} {}] fused profile no longer sums to the aggregate stats",
             kind.name()
         );
+    }
+}
+
+/// A fuel budget that trips mid-loop must trip at the identical point
+/// whether or not loop fusion is on: bulk kernels never change where a
+/// limit (or any trap) lands. Sweeps budgets from "trips immediately"
+/// through "completes" and requires bit-identical outcomes — same error
+/// text on the trapping side, same output/stats on the completing side.
+#[test]
+fn fuel_trap_point_is_identical_with_and_without_loop_fusion() {
+    let cells = cells_for_target("fig5");
+    let &(abbrev, kind) = cells.first().expect("fig5 plans at least one cell");
+    let bench = benchmark_by_abbrev(abbrev).expect("known benchmark");
+
+    for fuel in [1u64, 37, 1_000, 25_000, u64::MAX] {
+        let run = |loop_fuse: bool| {
+            try_run_benchmark_cell(
+                &bench,
+                kind,
+                SCALE,
+                1,
+                false,
+                Some(fuel),
+                InterpOpts {
+                    loop_fuse,
+                    ..InterpOpts::default()
+                },
+            )
+        };
+        match (run(false), run(true)) {
+            (Ok(off), Ok(on)) => {
+                assert_eq!(
+                    off.output, on.output,
+                    "[{abbrev} fuel={fuel}] output diverged under loop fusion"
+                );
+                assert_eq!(
+                    off.stats.per_phase, on.stats.per_phase,
+                    "[{abbrev} fuel={fuel}] op counts diverged under loop fusion"
+                );
+            }
+            (Err(off), Err(on)) => assert_eq!(
+                off.to_string(),
+                on.to_string(),
+                "[{abbrev} fuel={fuel}] trap point diverged under loop fusion"
+            ),
+            (off, on) => panic!(
+                "[{abbrev} fuel={fuel}] one side trapped, the other did not: \
+                 off={off:?} on={on:?}"
+            ),
+        }
     }
 }

@@ -5,6 +5,14 @@
 //! rehash at a load factor of 1.0, which is what gives swiss tables (one
 //! contiguous probe sequence, no per-node indirection) their edge in the
 //! paper's Table III microbenchmarks.
+//!
+//! As a wall-clock concession the first entry of every chain is stored
+//! inline in the bucket array ([`Bucket`]): at load factor ≤ 1.0 most
+//! chains hold zero or one entry, so this removes the per-bucket heap
+//! allocation from the hot insert path while keeping chaining semantics
+//! (and iteration order) bit-for-bit what a `Vec`-per-bucket table gives.
+//! The *modeled* cost and the fast byte estimate are unchanged — figures
+//! never see this.
 
 use std::fmt;
 use std::hash::Hash;
@@ -13,6 +21,81 @@ use crate::fx::hash_one;
 use crate::HeapSize;
 
 const MIN_BUCKETS: usize = 8;
+
+/// A chain bucket. The first entry lives inline in the bucket array; a
+/// heap-allocated spill vector is materialized only on collision. Every
+/// operation mirrors the `Vec<(K, V)>` chain it replaces — same entry
+/// order, same swap-remove semantics — so iteration order is identical
+/// for any insertion/removal history.
+#[derive(Clone)]
+enum Bucket<K, V> {
+    /// No entries.
+    Empty,
+    /// Exactly one entry, stored inline (the common case at load ≤ 1.0).
+    One((K, V)),
+    /// Two or more entries — or a drained spill retained for reuse,
+    /// exactly as a cleared `Vec` chain would retain its capacity.
+    Many(Vec<(K, V)>),
+}
+
+impl<K, V> Bucket<K, V> {
+    fn as_slice(&self) -> &[(K, V)] {
+        match self {
+            Bucket::Empty => &[],
+            Bucket::One(pair) => std::slice::from_ref(pair),
+            Bucket::Many(chain) => chain,
+        }
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [(K, V)] {
+        match self {
+            Bucket::Empty => &mut [],
+            Bucket::One(pair) => std::slice::from_mut(pair),
+            Bucket::Many(chain) => chain,
+        }
+    }
+
+    /// Appends an entry whose key the caller has already established is
+    /// not in the chain (mirrors `Vec::push` on the old representation).
+    fn push(&mut self, pair: (K, V)) {
+        match self {
+            Bucket::Empty => *self = Bucket::One(pair),
+            Bucket::One(_) => {
+                let Bucket::One(first) = std::mem::replace(self, Bucket::Empty) else {
+                    unreachable!()
+                };
+                *self = Bucket::Many(vec![first, pair]);
+            }
+            Bucket::Many(chain) => chain.push(pair),
+        }
+    }
+
+    /// Removes and returns the entry at `pos` with `Vec::swap_remove`
+    /// order semantics.
+    fn swap_remove(&mut self, pos: usize) -> (K, V) {
+        match self {
+            Bucket::Empty => unreachable!("remove from empty bucket"),
+            Bucket::One(_) => {
+                debug_assert_eq!(pos, 0);
+                let Bucket::One(pair) = std::mem::replace(self, Bucket::Empty) else {
+                    unreachable!()
+                };
+                pair
+            }
+            Bucket::Many(chain) => chain.swap_remove(pos),
+        }
+    }
+
+    /// Drops all entries, retaining any spill allocation (as `Vec::clear`
+    /// retains capacity).
+    fn clear(&mut self) {
+        match self {
+            Bucket::Empty => {}
+            Bucket::One(_) => *self = Bucket::Empty,
+            Bucket::Many(chain) => chain.clear(),
+        }
+    }
+}
 
 /// A hash map with separate chaining.
 ///
@@ -30,7 +113,7 @@ const MIN_BUCKETS: usize = 8;
 /// ```
 #[derive(Clone)]
 pub struct ChainedHashMap<K, V> {
-    buckets: Vec<Vec<(K, V)>>,
+    buckets: Vec<Bucket<K, V>>,
     len: usize,
 }
 
@@ -53,7 +136,7 @@ impl<K: Hash + Eq, V> ChainedHashMap<K, V> {
     pub fn with_capacity(cap: usize) -> Self {
         let buckets = cap.next_power_of_two().max(MIN_BUCKETS);
         Self {
-            buckets: (0..buckets).map(|_| Vec::new()).collect(),
+            buckets: (0..buckets).map(|_| Bucket::Empty).collect(),
             len: 0,
         }
     }
@@ -70,7 +153,7 @@ impl<K: Hash + Eq, V> ChainedHashMap<K, V> {
 
     /// Removes all entries, keeping the bucket array.
     pub fn clear(&mut self) {
-        self.buckets.iter_mut().for_each(Vec::clear);
+        self.buckets.iter_mut().for_each(Bucket::clear);
         self.len = 0;
     }
 
@@ -82,7 +165,7 @@ impl<K: Hash + Eq, V> ChainedHashMap<K, V> {
 
     fn grow_if_needed(&mut self) {
         if self.buckets.is_empty() {
-            self.buckets = (0..MIN_BUCKETS).map(|_| Vec::new()).collect();
+            self.buckets = (0..MIN_BUCKETS).map(|_| Bucket::Empty).collect();
             return;
         }
         if self.len < self.buckets.len() {
@@ -90,11 +173,28 @@ impl<K: Hash + Eq, V> ChainedHashMap<K, V> {
         }
         let new_size = self.buckets.len() * 2;
         let old = std::mem::take(&mut self.buckets);
-        self.buckets = (0..new_size).map(|_| Vec::new()).collect();
-        for (k, v) in old.into_iter().flatten() {
-            let b = (hash_one(&k) as usize) & (new_size - 1);
-            self.buckets[b].push((k, v));
+        self.buckets = (0..new_size).map(|_| Bucket::Empty).collect();
+        // Entries are re-appended in old-table iteration order, exactly
+        // as the `Vec`-chain rehash did, so chain order (and therefore
+        // iteration order) is preserved bit-for-bit.
+        for bucket in old {
+            match bucket {
+                Bucket::Empty => {}
+                Bucket::One(pair) => Self::rehash_into(&mut self.buckets, pair),
+                Bucket::Many(chain) => {
+                    for pair in chain {
+                        Self::rehash_into(&mut self.buckets, pair);
+                    }
+                }
+            }
         }
+    }
+
+    /// Re-appends an entry during a rehash (keys are already unique, so
+    /// no chain scan is needed).
+    fn rehash_into(buckets: &mut [Bucket<K, V>], pair: (K, V)) {
+        let b = (hash_one(&pair.0) as usize) & (buckets.len() - 1);
+        buckets[b].push(pair);
     }
 
     /// Returns a reference to the value for `key`, if present.
@@ -103,7 +203,11 @@ impl<K: Hash + Eq, V> ChainedHashMap<K, V> {
             return None;
         }
         let b = self.bucket_of(key);
-        self.buckets[b].iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        self.buckets[b]
+            .as_slice()
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
     }
 
     /// Returns a mutable reference to the value for `key`, if present.
@@ -113,6 +217,7 @@ impl<K: Hash + Eq, V> ChainedHashMap<K, V> {
         }
         let b = self.bucket_of(key);
         self.buckets[b]
+            .as_mut_slice()
             .iter_mut()
             .find(|(k, _)| k == key)
             .map(|(_, v)| v)
@@ -128,7 +233,7 @@ impl<K: Hash + Eq, V> ChainedHashMap<K, V> {
         self.grow_if_needed();
         let b = self.bucket_of(&key);
         let chain = &mut self.buckets[b];
-        if let Some((_, v)) = chain.iter_mut().find(|(k, _)| *k == key) {
+        if let Some((_, v)) = chain.as_mut_slice().iter_mut().find(|(k, _)| *k == key) {
             return Some(std::mem::replace(v, value));
         }
         chain.push((key, value));
@@ -143,7 +248,7 @@ impl<K: Hash + Eq, V> ChainedHashMap<K, V> {
         }
         let b = self.bucket_of(key);
         let chain = &mut self.buckets[b];
-        let pos = chain.iter().position(|(k, _)| k == key)?;
+        let pos = chain.as_slice().iter().position(|(k, _)| k == key)?;
         self.len -= 1;
         Some(chain.swap_remove(pos).1)
     }
@@ -159,9 +264,12 @@ impl<K: Hash + Eq, V> ChainedHashMap<K, V> {
     /// [`ChainedHashMap::heap_bytes_fast`] priced as if each entry were
     /// `entry_bytes` wide. Lets a monomorphic instantiation report the
     /// footprint its boxed twin would have (the accounting the memory
-    /// figures are calibrated against) while storing something smaller;
-    /// the bucket-array term is capacity-based and `Vec`'s header size
-    /// does not depend on the entry type, so only the entry term varies.
+    /// figures are calibrated against) while storing something smaller.
+    /// The bucket-array term prices each slot at a chain-header width
+    /// (`size_of::<Vec<_>>`, a model constant independent of both the
+    /// entry type and the inline-bucket layout actually in memory), so
+    /// only the entry term varies — which is what keeps boxed and
+    /// unboxed twins in exact byte agreement.
     pub fn heap_bytes_fast_as(&self, entry_bytes: usize) -> usize {
         self.buckets.capacity() * std::mem::size_of::<Vec<(K, V)>>() + self.len * entry_bytes * 2
     }
@@ -169,7 +277,10 @@ impl<K: Hash + Eq, V> ChainedHashMap<K, V> {
     /// Iterates over `(key, value)` pairs in unspecified (but
     /// deterministic for a fixed insertion history) order.
     pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
-        self.buckets.iter().flatten().map(|(k, v)| (k, v))
+        self.buckets
+            .iter()
+            .flat_map(Bucket::as_slice)
+            .map(|(k, v)| (k, v))
     }
 
     /// Iterates over keys.
@@ -186,7 +297,12 @@ impl<K: Hash + Eq, V> ChainedHashMap<K, V> {
 impl<K: fmt::Debug, V: fmt::Debug> fmt::Debug for ChainedHashMap<K, V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_map()
-            .entries(self.buckets.iter().flatten().map(|(k, v)| (k, v)))
+            .entries(
+                self.buckets
+                    .iter()
+                    .flat_map(Bucket::as_slice)
+                    .map(|(k, v)| (k, v)),
+            )
             .finish()
     }
 }
@@ -209,13 +325,18 @@ impl<K: Hash + Eq, V> Extend<(K, V)> for ChainedHashMap<K, V> {
 
 impl<K: HeapSize, V: HeapSize> HeapSize for ChainedHashMap<K, V> {
     fn heap_bytes(&self) -> usize {
-        let bucket_array = self.buckets.capacity() * std::mem::size_of::<Vec<(K, V)>>();
+        let bucket_array = self.buckets.capacity() * std::mem::size_of::<Bucket<K, V>>();
         let chains: usize = self
             .buckets
             .iter()
-            .map(|c| {
-                c.capacity() * std::mem::size_of::<(K, V)>()
-                    + c.iter()
+            .map(|b| {
+                let spill = match b {
+                    Bucket::Many(chain) => chain.capacity() * std::mem::size_of::<(K, V)>(),
+                    _ => 0,
+                };
+                spill
+                    + b.as_slice()
+                        .iter()
                         .map(|(k, v)| k.heap_bytes() + v.heap_bytes())
                         .sum::<usize>()
             })
@@ -312,12 +433,50 @@ impl<T: Hash + Eq> ChainedHashSet<T> {
     pub fn iter(&self) -> impl Iterator<Item = &T> {
         self.map.keys()
     }
+
+    /// Bulk membership: how many of `values` are in the set.
+    ///
+    /// One pass over the keys with the bucket mask hoisted out of the
+    /// loop — each key is hashed once and its chain scanned directly,
+    /// with no per-call empty-table branch. Semantically identical to
+    /// counting [`ChainedHashSet::contains`] hits one key at a time.
+    pub fn contains_batch(&self, values: &[T]) -> u64 {
+        if self.map.buckets.is_empty() {
+            return 0;
+        }
+        let mask = self.map.buckets.len() - 1;
+        values
+            .iter()
+            .filter(|v| {
+                let b = (hash_one(*v) as usize) & mask;
+                self.map.buckets[b].as_slice().iter().any(|(k, _)| k == *v)
+            })
+            .count() as u64
+    }
+
+    /// Bulk insert: adds every value, returning how many were newly
+    /// inserted. Equivalent to repeated [`ChainedHashSet::insert`]
+    /// (growth happens at exactly the same points, so the resulting
+    /// bucket layout is identical to the one-at-a-time history).
+    pub fn insert_batch<I: IntoIterator<Item = T>>(&mut self, values: I) -> u64 {
+        let mut added = 0;
+        for v in values {
+            added += u64::from(self.insert(v));
+        }
+        added
+    }
 }
 
 impl<T: fmt::Debug> fmt::Debug for ChainedHashSet<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_set()
-            .entries(self.map.buckets.iter().flatten().map(|(k, _)| k))
+            .entries(
+                self.map
+                    .buckets
+                    .iter()
+                    .flat_map(Bucket::as_slice)
+                    .map(|(k, _)| k),
+            )
             .finish()
     }
 }

@@ -76,6 +76,13 @@ pub struct Options {
     /// and traps are identical either way — the flag exists to isolate
     /// the dispatch optimization when debugging the interpreter.
     pub fuse: bool,
+    /// Store scalar-typed collections unboxed (`--no-unbox` clears it;
+    /// default: on). Observationally inert like `fuse`.
+    pub unbox: bool,
+    /// Compile straight-line collection loops into bulk backend kernels
+    /// at decode time (`--no-loop-fuse` clears it; default: on).
+    /// Observationally inert like `fuse`.
+    pub loop_fuse: bool,
 }
 
 impl Default for Options {
@@ -93,6 +100,8 @@ impl Default for Options {
             max_heap_cells: None,
             max_depth: None,
             fuse: true,
+            unbox: true,
+            loop_fuse: true,
         }
     }
 }
@@ -213,6 +222,8 @@ pub fn drive(source: &str, options: &Options) -> Result<DriveOutput, DriveError>
         exec.max_heap_cells = options.max_heap_cells.or(exec.max_heap_cells);
         exec.max_depth = options.max_depth.or(exec.max_depth);
         exec.fuse = options.fuse && exec.fuse;
+        exec.unbox = options.unbox && exec.unbox;
+        exec.loop_fuse = options.loop_fuse && exec.loop_fuse;
         let outcome = {
             let _span = tracer.span("driver", "exec");
             Interpreter::new(&module, exec)
@@ -249,7 +260,8 @@ fn format_stats(stats: &ade_interp::Stats) -> String {
 pub const USAGE: &str = "\
 usage: adec [--config NAME] [--run] [--emit-ir] [--stats] [--entry F]
             [--fuel N] [--max-heap-cells N] [--max-depth N] [--no-fuse]
-            [--trace[=FILE]] [--trace-json FILE] [--profile FILE] INPUT.memoir
+            [--no-unbox] [--no-loop-fuse] [--trace[=FILE]]
+            [--trace-json FILE] [--profile FILE] INPUT.memoir
 
   --config NAME, -c    artifact configuration (memoir, ade, ade-sparse, ...)
   --run, -r            execute the program after compilation
@@ -261,6 +273,10 @@ usage: adec [--config NAME] [--run] [--emit-ir] [--stats] [--entry F]
   --max-depth N        abort execution past call depth N
   --no-fuse            disable interpreter superinstruction fusion (counts,
                        figures and traps are identical; isolates dispatch)
+  --no-unbox           disable unboxed scalar collection storage (identical
+                       observables; isolates the storage representation)
+  --no-loop-fuse       disable bulk collection-loop kernels (identical
+                       observables; isolates loop-granular stream fusion)
   --trace[=FILE]       human-readable pass/decision log to stderr (or FILE)
   --trace-json FILE    machine-readable trace events as JSON
   --profile FILE       per-site interpreter profile as JSON (implies --run);
@@ -324,6 +340,8 @@ pub fn parse_args<I: Iterator<Item = String>>(args: I) -> Result<Cli, String> {
                 options.max_depth = Some(depth);
             }
             "--no-fuse" => options.fuse = false,
+            "--no-unbox" => options.unbox = false,
+            "--no-loop-fuse" => options.loop_fuse = false,
             "--trace" => options.trace = TraceMode::Stderr,
             "--trace-json" => {
                 options.trace_json = Some(args.next().ok_or("missing value for --trace-json")?);
@@ -555,6 +573,41 @@ fn @main() -> void {
             parse_drive(&["--max-depth", "5000000000", "p.memoir"]).is_err(),
             "overflow"
         );
+    }
+
+    #[test]
+    fn cli_optimization_toggles_parse_and_stay_inert() {
+        let (opts, _) = parse_drive(&["--no-fuse", "--no-unbox", "--no-loop-fuse", "p.memoir"])
+            .expect("parses");
+        assert!(!opts.fuse && !opts.unbox && !opts.loop_fuse);
+
+        let run = |fuse: bool, unbox: bool, loop_fuse: bool| {
+            drive(
+                PROGRAM,
+                &Options {
+                    run: true,
+                    fuse,
+                    unbox,
+                    loop_fuse,
+                    ..Options::default()
+                },
+            )
+            .expect("drives")
+            .program_output
+        };
+        let reference = run(true, true, true);
+        for (fuse, unbox, loop_fuse) in [
+            (false, false, false),
+            (false, true, true),
+            (true, false, true),
+            (true, true, false),
+        ] {
+            assert_eq!(
+                run(fuse, unbox, loop_fuse),
+                reference,
+                "fuse={fuse} unbox={unbox} loop_fuse={loop_fuse}"
+            );
+        }
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! ```text
 //! adec [--config NAME] [--run] [--emit-ir] [--stats] [--entry F]
 //!      [--fuel N] [--max-heap-cells N] [--max-depth N] [--no-fuse]
-//!      [--trace[=FILE]] [--trace-json FILE] [--profile FILE] INPUT.memoir
+//!      [--no-unbox] [--no-loop-fuse] [--trace[=FILE]]
+//!      [--trace-json FILE] [--profile FILE] INPUT.memoir
 //! ```
 //!
 //! With no action flags the transformed IR is printed (`--emit-ir`).
@@ -14,8 +15,9 @@
 //! profiling and writes a JSON profile plus a hot-site summary.
 //! `--fuel`/`--max-heap-cells`/`--max-depth` bound execution; a tripped
 //! limit reports a typed error, like any guest trap. `--no-fuse` turns
-//! off interpreter superinstruction fusion (observationally inert; for
-//! isolating the dispatch optimization).
+//! off interpreter superinstruction fusion, `--no-unbox` boxed-width
+//! scalar storage, `--no-loop-fuse` bulk collection-loop kernels (all
+//! observationally inert; for isolating one optimization at a time).
 //!
 //! Exit codes: 0 success; 1 guest trap or limit at runtime; 2 usage
 //! error (bad flags, unknown `--config`, unreadable input); 3 parse or

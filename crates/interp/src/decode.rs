@@ -24,8 +24,8 @@
 //! never hide behind the faster execution path.
 
 use ade_ir::{
-    Access, BinOp, CmpOp, ConstVal, FuncId, Function, Inst, InstKind, Module, Operand, RegionId,
-    Scalar, Type,
+    Access, BinOp, CmpOp, ConstVal, FuncId, Function, Inst, InstKind, MapSel, Module, Operand,
+    RegionId, Scalar, SetSel, Type, ValueId,
 };
 
 use crate::value::Value;
@@ -472,6 +472,53 @@ pub enum DInst {
         /// Destination slot of the keyed op.
         dst2: u32,
     },
+
+    // ── Bulk loop superinstructions ─────────────────────────────────
+    //
+    // Built by the loop-granular fusion tier (see
+    // [`DecodeOptions::loop_fuse`]): a [`DInst::ForEach`] /
+    // [`DInst::ForRange`] whose whole body compiled into a [`BulkPlan`]
+    // is replaced in place by its bulk twin. The body region's
+    // instructions stay in `code` untouched, so code length, per-site
+    // profile indices, and trap-site numbering are unchanged, and the
+    // interpreter can still run the loop generically (it does so
+    // whenever fuel metering, profiling, or a depth limit is active —
+    // exactly the configurations where per-iteration accounting is
+    // observable).
+    /// [`DInst::ForEach`] with a compiled bulk body plan.
+    ForEachBulk {
+        /// Collection operand.
+        coll: DOp,
+        /// Initial carried values.
+        carried: Box<[DOp]>,
+        /// Decoded body region index.
+        body: u32,
+        /// Whether the body binds `(key, value)` (sequences and maps)
+        /// rather than just the element.
+        binds_value: bool,
+        /// Whether iterated dense keys must be presented as `u64`
+        /// (directive-forced dense collection over a `u64` domain).
+        uncoerce_u64: bool,
+        /// Destination slots for the final carried values.
+        dsts: Box<[u32]>,
+        /// The compiled body plan.
+        plan: Box<BulkPlan>,
+    },
+    /// [`DInst::ForRange`] with a compiled bulk body plan.
+    ForRangeBulk {
+        /// Lower bound operand.
+        lo: DOp,
+        /// Upper bound operand.
+        hi: DOp,
+        /// Initial carried values.
+        carried: Box<[DOp]>,
+        /// Decoded body region index.
+        body: u32,
+        /// Destination slots for the final carried values.
+        dsts: Box<[u32]>,
+        /// The compiled body plan.
+        plan: Box<BulkPlan>,
+    },
 }
 
 /// One micro-op of a [`DInst::FusedScalars`] run.
@@ -526,6 +573,604 @@ pub enum EncKeyKind {
     Remove,
     /// `read(c, enc(e, v))`.
     Read,
+}
+
+/// A compiled loop body: the straight-line component sequence of a
+/// single-collection `iter` loop, with every operand resolved to a
+/// plain frame slot at decode time.
+///
+/// The plan is built from the loop body's *components* — peephole
+/// windows ([`DInst::FusedScalars`] etc.) are expanded back into their
+/// constituent ops with their original code indices — so the same plan
+/// is produced whether or not [`DecodeOptions::fuse`] ran, and every
+/// [`PlanOp::site`] names the exact code slot the unfused loop would
+/// trap at.
+#[derive(Clone, Debug)]
+pub struct BulkPlan {
+    /// Loop-invariant `const` components hoisted out of the body. SSA
+    /// single-assignment plus dominance make the hoist sound: the slot
+    /// has exactly one writer, every read follows it in program order,
+    /// and the written value does not depend on the iteration.
+    pub prelude: Box<[PlanOp]>,
+    /// The per-iteration component sequence, in original order (hoisted
+    /// consts excluded).
+    pub ops: Box<[PlanOp]>,
+    /// Source slots of the body's terminal yield, copied into the
+    /// carried argument slots after each iteration (already checked for
+    /// write-before-read hazards, like [`DInst::YieldDirect`]).
+    pub yield_srcs: Box<[u32]>,
+    /// A recognized streaming shape the interpreter may execute as one
+    /// call into the collection backend (`None` runs the plan op by
+    /// op, which already skips per-component dispatch and region
+    /// machinery).
+    pub fast: Option<FastKind>,
+    /// A register-specialized twin of the body (`forrange` plans whose
+    /// every slot is statically scalar or a linearly threaded
+    /// collection handle) — the tier between the streaming kernels and
+    /// the op-by-op plan executor. `None` when any component needs the
+    /// general boxed machinery.
+    pub spec: Option<Box<SpecPlan>>,
+}
+
+/// One component of a [`BulkPlan`] with its trap/profile site.
+#[derive(Clone, Debug)]
+pub struct PlanOp {
+    /// Absolute index into [`DFunc::code`] of the component this op
+    /// replays — the site a trap raised here must be attributed to.
+    pub site: u32,
+    /// The operation.
+    pub op: BulkOp,
+}
+
+/// A [`BulkPlan`] operation. Mirrors the corresponding [`DInst`] arms
+/// with every operand already a plain frame slot.
+#[derive(Clone, Debug)]
+pub enum BulkOp {
+    /// Copy a pooled constant into `dst`.
+    Const {
+        /// Index into [`DFunc::consts`].
+        pool: u32,
+        /// Destination slot.
+        dst: u32,
+    },
+    /// Binary arithmetic/logic.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand slot.
+        a: u32,
+        /// Right operand slot.
+        b: u32,
+        /// Destination slot.
+        dst: u32,
+    },
+    /// Comparison.
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand slot.
+        a: u32,
+        /// Right operand slot.
+        b: u32,
+        /// Destination slot.
+        dst: u32,
+    },
+    /// Logical negation.
+    Not {
+        /// Operand slot.
+        a: u32,
+        /// Destination slot.
+        dst: u32,
+    },
+    /// Numeric conversion to a pooled type.
+    Cast {
+        /// Pooled target type.
+        ty: u32,
+        /// Operand slot.
+        a: u32,
+        /// Destination slot.
+        dst: u32,
+    },
+    /// `read(c, k)`.
+    Read {
+        /// Collection slot.
+        coll: u32,
+        /// Key slot.
+        key: u32,
+        /// Destination slot.
+        dst: u32,
+    },
+    /// `write(c, k, v) → c'`.
+    Write {
+        /// Collection slot.
+        coll: u32,
+        /// Key slot.
+        key: u32,
+        /// Value slot.
+        val: u32,
+        /// Destination slot (receives the collection handle).
+        dst: u32,
+    },
+    /// `has(c, k)`.
+    Has {
+        /// Collection slot.
+        coll: u32,
+        /// Key slot.
+        key: u32,
+        /// Destination slot.
+        dst: u32,
+    },
+    /// Set-flavored insert.
+    InsertSet {
+        /// Collection slot.
+        coll: u32,
+        /// Element slot.
+        elem: u32,
+        /// Destination slot (receives the collection handle).
+        dst: u32,
+    },
+    /// Map-flavored insert.
+    InsertMap {
+        /// Collection slot.
+        coll: u32,
+        /// Key slot.
+        key: u32,
+        /// Pooled value type used for default initialization.
+        val_ty: u32,
+        /// Destination slot (receives the collection handle).
+        dst: u32,
+    },
+    /// Sequence-flavored insert.
+    InsertSeq {
+        /// Collection slot.
+        coll: u32,
+        /// Index slot.
+        index: u32,
+        /// Value slot.
+        val: u32,
+        /// Destination slot (receives the collection handle).
+        dst: u32,
+    },
+    /// `remove(c, k) → c'`.
+    Remove {
+        /// Collection slot.
+        coll: u32,
+        /// Key slot.
+        key: u32,
+        /// Destination slot (receives the collection handle).
+        dst: u32,
+    },
+    /// `size(c)`.
+    Size {
+        /// Collection slot.
+        coll: u32,
+        /// Destination slot.
+        dst: u32,
+    },
+    /// Structured if-else over straight-line arms (no nesting).
+    If {
+        /// Condition slot.
+        cond: u32,
+        /// Then-arm components.
+        then_ops: Box<[PlanOp]>,
+        /// Then-arm yield source slots.
+        then_srcs: Box<[u32]>,
+        /// Else-arm components.
+        else_ops: Box<[PlanOp]>,
+        /// Else-arm yield source slots.
+        else_srcs: Box<[u32]>,
+        /// Destination slots receiving the taken arm's yields.
+        dsts: Box<[u32]>,
+    },
+}
+
+/// A streaming loop shape the interpreter can hand to the collection
+/// backend as one bulk call. Classified only for [`DInst::ForEachBulk`]
+/// with a single carried value; the element slot and the carried
+/// (accumulator) slot are implied by the body region's arguments.
+/// Whether a shape actually streams is re-checked at run time against
+/// the live collection representation — any mismatch falls back to the
+/// op-by-op plan, which is always semantically exact.
+#[derive(Clone, Copy, Debug)]
+pub enum FastKind {
+    /// `acc = op(acc, elem)` (sum, min-max, and friends).
+    Reduce {
+        /// The folded operator.
+        op: BinOp,
+        /// `true` if the element is the left operand.
+        elem_first: bool,
+        /// Code site of the `bin` component (division traps).
+        site: u32,
+    },
+    /// `if cmp(elem, rhs) { acc = bin(acc, x) }` — filtered fold
+    /// (filter-sum when `x` is the element, conditional count when `x`
+    /// is a loop-invariant constant).
+    FilterReduce {
+        /// The filter comparison.
+        cmp: CmpOp,
+        /// `true` if the element is the comparison's left operand.
+        elem_lhs: bool,
+        /// Loop-invariant slot compared against the element.
+        rhs: u32,
+        /// `true` if the fold happens on the comparison's then-arm.
+        acc_on_true: bool,
+        /// The folded operator.
+        bin: BinOp,
+        /// `true` if the accumulator is the fold's left operand.
+        acc_lhs: bool,
+        /// `true` if the fold's other operand is the element (otherwise
+        /// it is the loop-invariant slot `bin_other`).
+        bin_elem: bool,
+        /// Loop-invariant fold operand when `bin_elem` is `false`.
+        bin_other: u32,
+        /// Code site of the `bin` component (division traps).
+        bin_site: u32,
+    },
+    /// `acc = acc + (has(set, elem) as u64)` — bulk membership count.
+    ProbeCount {
+        /// Loop-invariant slot holding the probed set's handle.
+        set: u32,
+    },
+    /// `set = insert(set, elem)` — bulk copy into the carried set.
+    CopyInto,
+    /// `if cmp(elem, rhs) { set = insert(set, elem) }` — filtered bulk
+    /// copy into the carried set.
+    FilterInto {
+        /// The filter comparison.
+        cmp: CmpOp,
+        /// `true` if the element is the comparison's left operand.
+        elem_lhs: bool,
+        /// Loop-invariant slot compared against the element.
+        rhs: u32,
+        /// `true` if the insert happens on the comparison's then-arm.
+        insert_on_true: bool,
+    },
+}
+
+/// Static scalar kind of a specialized register. Register payloads are
+/// raw `u64`s; the tag records how to rebox them (and how inputs must
+/// be tagged at loop entry).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpecTag {
+    /// [`Value::U64`] — payload is the number itself.
+    U64,
+    /// [`Value::Idx`] — payload is the index widened to `u64`.
+    Idx,
+    /// [`Value::Bool`] — payload is 0 or 1.
+    Bool,
+}
+
+/// The unboxed collection representation a specialized group requires
+/// at run time. The decode-time choice is made from the static IR type
+/// under the active configuration's selection rules; the live heap cell
+/// is re-checked at loop entry, and any mismatch abandons the
+/// specialization before its first side effect.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpecBackend {
+    /// [`crate::heap::Collection::UnboxedSeq`].
+    Seq,
+    /// [`crate::heap::Collection::UnboxedHashSet`].
+    HashSet,
+    /// [`crate::heap::Collection::UnboxedHashMap`].
+    HashMap,
+    /// [`crate::heap::Collection::UnboxedBitMap`].
+    BitMap,
+}
+
+/// Abstract content of a specialized frame slot at loop exit: either a
+/// scalar register (rebox with the tag) or a collection group handle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpecVal {
+    /// Scalar register; the payload lives in the register file.
+    Reg(SpecTag),
+    /// Collection handle; the group index names the `CollId` resolved
+    /// at loop entry.
+    Coll(u8),
+}
+
+/// One specialized operation with its trap/profile site.
+#[derive(Clone, Debug)]
+pub struct SpecOp {
+    /// Absolute index into [`DFunc::code`] of the component this op
+    /// replays — the site a trap raised here must be attributed to.
+    pub site: u32,
+    /// The operation.
+    pub kind: SpecKind,
+}
+
+/// A register-specialized [`BulkPlan`] operation. Operands name slots
+/// of a flat `u64` register file (tags are static); collections are
+/// pre-resolved groups whose [`ImplKind`](crate::stats::ImplKind) is
+/// implied by the backend, so every collection op feeds the same stats
+/// bump and capacity refresh the generic executor would.
+#[derive(Clone, Debug)]
+pub enum SpecKind {
+    /// Load an immediate payload.
+    Const {
+        /// The raw payload.
+        val: u64,
+        /// Destination register.
+        dst: u32,
+    },
+    /// Binary arithmetic on `U64`/`Idx` registers.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// `true` when the result is an `Idx` and must re-wrap through
+        /// `usize` width, matching [`Value::Idx`] arithmetic.
+        idx: bool,
+        /// Left operand register.
+        a: u32,
+        /// Right operand register.
+        b: u32,
+        /// Destination register.
+        dst: u32,
+    },
+    /// Boolean `and`/`or`/`xor` on 0/1 payloads.
+    BinBool {
+        /// Operator (only `And`/`Or`/`Xor`).
+        op: BinOp,
+        /// Left operand register.
+        a: u32,
+        /// Right operand register.
+        b: u32,
+        /// Destination register.
+        dst: u32,
+    },
+    /// Comparison of two same-tagged registers (payload order matches
+    /// [`Value`] order for every scalar tag).
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand register.
+        a: u32,
+        /// Right operand register.
+        b: u32,
+        /// Destination register.
+        dst: u32,
+    },
+    /// Boolean negation (`payload ^ 1`).
+    Not {
+        /// Operand register.
+        a: u32,
+        /// Destination register.
+        dst: u32,
+    },
+    /// Scalar conversion: payload move, re-wrapped through `usize`
+    /// width when the target is `Idx`.
+    Cast {
+        /// `true` when the target type is `Idx`.
+        idx: bool,
+        /// Operand register.
+        a: u32,
+        /// Destination register.
+        dst: u32,
+    },
+    /// `size(c)`.
+    Size {
+        /// Collection group.
+        grp: u8,
+        /// Destination register.
+        dst: u32,
+    },
+    /// `read(seq, i)` on an unboxed sequence.
+    SeqRead {
+        /// Collection group.
+        grp: u8,
+        /// Index register.
+        index: u32,
+        /// Static element tag (what the loaded scalar must unpack as).
+        vtag: SpecTag,
+        /// Destination register.
+        dst: u32,
+    },
+    /// `write(seq, i, v)` on an unboxed sequence.
+    SeqWrite {
+        /// Collection group.
+        grp: u8,
+        /// Index register.
+        index: u32,
+        /// Value register.
+        val: u32,
+        /// Value tag.
+        vtag: SpecTag,
+    },
+    /// `insert(seq, i, v)` on an unboxed sequence.
+    SeqInsert {
+        /// Collection group.
+        grp: u8,
+        /// Index register.
+        index: u32,
+        /// Value register.
+        val: u32,
+        /// Value tag.
+        vtag: SpecTag,
+    },
+    /// `insert(set, e)` on an unboxed hash set.
+    SetInsert {
+        /// Collection group.
+        grp: u8,
+        /// Element register.
+        elem: u32,
+        /// Element tag.
+        tag: SpecTag,
+    },
+    /// `has(set, k)` on an unboxed hash set.
+    SetHas {
+        /// Collection group.
+        grp: u8,
+        /// Key register.
+        key: u32,
+        /// Key tag.
+        tag: SpecTag,
+        /// Destination register.
+        dst: u32,
+    },
+    /// `remove(set, k)` on an unboxed hash set.
+    SetRemove {
+        /// Collection group.
+        grp: u8,
+        /// Key register.
+        key: u32,
+        /// Key tag.
+        tag: SpecTag,
+    },
+    /// `read(map, k)` on an unboxed hash map.
+    MapRead {
+        /// Collection group.
+        grp: u8,
+        /// Key register.
+        key: u32,
+        /// Key tag.
+        ktag: SpecTag,
+        /// Static value tag (what the loaded scalar must unpack as).
+        vtag: SpecTag,
+        /// Destination register.
+        dst: u32,
+    },
+    /// `write(map, k, v)` on an unboxed hash map.
+    MapWrite {
+        /// Collection group.
+        grp: u8,
+        /// Key register.
+        key: u32,
+        /// Key tag.
+        ktag: SpecTag,
+        /// Value register.
+        val: u32,
+        /// Value tag.
+        vtag: SpecTag,
+    },
+    /// `has(map, k)` on an unboxed hash map.
+    MapHas {
+        /// Collection group.
+        grp: u8,
+        /// Key register.
+        key: u32,
+        /// Key tag.
+        ktag: SpecTag,
+        /// Destination register.
+        dst: u32,
+    },
+    /// Map-flavored `insert(map, k)` (default-initializing) on an
+    /// unboxed hash map.
+    MapInsert {
+        /// Collection group.
+        grp: u8,
+        /// Key register.
+        key: u32,
+        /// Key tag.
+        ktag: SpecTag,
+        /// Default value tag (payload 0 of this tag).
+        vtag: SpecTag,
+    },
+    /// `remove(map, k)` on an unboxed hash map.
+    MapRemove {
+        /// Collection group.
+        grp: u8,
+        /// Key register.
+        key: u32,
+        /// Key tag.
+        ktag: SpecTag,
+    },
+    /// `read(map, k)` on an unboxed bit map (dense keys).
+    DenseRead {
+        /// Collection group.
+        grp: u8,
+        /// Key register.
+        key: u32,
+        /// Static value tag (what the loaded scalar must unpack as).
+        vtag: SpecTag,
+        /// Destination register.
+        dst: u32,
+    },
+    /// `write(map, k, v)` on an unboxed bit map (sentinel-checked).
+    DenseWrite {
+        /// Collection group.
+        grp: u8,
+        /// Key register.
+        key: u32,
+        /// Value register.
+        val: u32,
+        /// Value tag.
+        vtag: SpecTag,
+    },
+    /// `has(map, k)` on an unboxed bit map (sentinel-tolerant probe).
+    DenseHas {
+        /// Collection group.
+        grp: u8,
+        /// Key register.
+        key: u32,
+        /// Destination register.
+        dst: u32,
+    },
+    /// Map-flavored `insert(map, k)` on an unboxed bit map
+    /// (sentinel-checked, default-initializing).
+    DenseInsert {
+        /// Collection group.
+        grp: u8,
+        /// Key register.
+        key: u32,
+        /// Default value tag (payload 0 of this tag).
+        vtag: SpecTag,
+    },
+    /// `remove(map, k)` on an unboxed bit map.
+    DenseRemove {
+        /// Collection group.
+        grp: u8,
+        /// Key register.
+        key: u32,
+    },
+    /// Structured if-else over straight-line specialized arms.
+    If {
+        /// Condition register (0/1).
+        cond: u32,
+        /// Then-arm operations.
+        then_ops: Box<[SpecOp]>,
+        /// Then-arm `(dst, src)` register copies for the yield.
+        then_copies: Box<[(u32, u32)]>,
+        /// Else-arm operations.
+        else_ops: Box<[SpecOp]>,
+        /// Else-arm `(dst, src)` register copies for the yield.
+        else_copies: Box<[(u32, u32)]>,
+    },
+}
+
+/// A register-specialized `forrange` body: the middle execution tier
+/// between the bulk streaming kernels and the op-by-op [`BulkPlan`]
+/// executor. Every frame slot the body touches is statically a scalar
+/// (`u64`/`idx`/`bool`) or a linearly threaded handle to an unboxed
+/// collection, so iterations run over a flat `u64` register file with
+/// collections resolved to concrete heap cells once at loop entry —
+/// no per-op boxing, handle re-resolution, or `Value` dispatch.
+///
+/// Observational inertness: every collection op performs the same
+/// stats bump and capacity refresh, in the same order, as its
+/// [`BulkOp`] twin (the backend fixes the `ImplKind` statically);
+/// traps carry the same site and kind; handles are stable across the
+/// loop because the IR's linear-update discipline mutates collections
+/// in place (`write(c, ..) → c` returns the same `CollId`), which the
+/// builder enforces by requiring every yielded handle to be the same
+/// group as the carried slot it feeds.
+#[derive(Clone, Debug)]
+pub struct SpecPlan {
+    /// Register of the loop induction variable (`args[0]`).
+    pub loop_var: u32,
+    /// Scalar frame slots read at loop entry, with the tag each must
+    /// carry — a mismatch abandons the specialization.
+    pub scalar_inputs: Box<[(u32, SpecTag)]>,
+    /// Collection frame slots resolved at loop entry, with the heap
+    /// representation each must have — a mismatch abandons the
+    /// specialization.
+    pub coll_inputs: Box<[(u32, SpecBackend)]>,
+    /// The per-iteration operations.
+    pub ops: Box<[SpecOp]>,
+    /// `(carried slot, yield source)` register copies applied after
+    /// each iteration (only pairs whose slots differ).
+    pub scalar_yields: Box<[(u32, u32)]>,
+    /// Frame writebacks at loop exit: rebox a register or store a
+    /// group's handle.
+    pub writebacks: Box<[(u32, SpecVal)]>,
 }
 
 impl DInst {
@@ -595,11 +1240,20 @@ pub struct DecodeOptions {
     /// purely structural (no fusion) for tests and tools that inspect
     /// the stream one source instruction at a time.
     pub fuse: bool,
+    /// Run the loop-granular fusion tier (see [`DInst::ForEachBulk`] /
+    /// [`DInst::ForRangeBulk`] and [`BulkPlan`]). Defaults to `true`;
+    /// independent of `fuse` — the matcher normalizes peephole windows
+    /// back into their components, so the compiled plan is identical
+    /// whether or not the peephole ran first.
+    pub loop_fuse: bool,
 }
 
 impl Default for DecodeOptions {
     fn default() -> DecodeOptions {
-        DecodeOptions { fuse: true }
+        DecodeOptions {
+            fuse: true,
+            loop_fuse: true,
+        }
     }
 }
 
@@ -615,7 +1269,13 @@ impl<'m> DecodedModule<'m> {
     ///
     /// Panics in debug builds if the module fails verification.
     pub fn decode(module: &'m Module) -> Self {
-        Self::decode_with(module, &DecodeOptions { fuse: false })
+        Self::decode_with(
+            module,
+            &DecodeOptions {
+                fuse: false,
+                loop_fuse: false,
+            },
+        )
     }
 
     /// [`DecodedModule::decode`] with explicit [`DecodeOptions`]
@@ -636,6 +1296,9 @@ impl<'m> DecodedModule<'m> {
                 let mut d = decode_function(f);
                 if options.fuse {
                     fuse_function(&mut d);
+                }
+                if options.loop_fuse {
+                    loop_fuse_function(&mut d, f);
                 }
                 d
             })
@@ -1209,6 +1872,1268 @@ fn match_window(w: &[DInst]) -> Option<DInst> {
     }
 }
 
+/// Runs the loop-granular fusion tier over every region of `d`:
+/// `foreach`/`forrange` headers whose whole body compiles to a
+/// [`BulkPlan`] are replaced in place by [`DInst::ForEachBulk`] /
+/// [`DInst::ForRangeBulk`]. The body region's instructions are left
+/// untouched (the header occupies one code slot either way), so code
+/// length, profile indices, and trap-site numbering are unchanged and
+/// the generic loop path can still execute the region when
+/// per-iteration accounting is observable.
+///
+/// Runs after [`fuse_function`] when both tiers are on; the component
+/// expansion in [`compile_ops`] makes the result independent of whether
+/// the peephole ran.
+fn loop_fuse_function(d: &mut DFunc, f: &Function) {
+    for ri in 0..d.regions.len() {
+        let (start, end) = (d.regions[ri].start as usize, d.regions[ri].end as usize);
+        let mut i = start;
+        while i < end {
+            let adv = d.code[i].advance();
+            if let Some(bulk) = try_bulk_loop(d, f, i) {
+                d.code[i] = bulk;
+            }
+            i += adv;
+        }
+    }
+}
+
+/// Compiles the loop header at `idx` into its bulk twin, if its body is
+/// a straight-line single-level window the plan language can express.
+fn try_bulk_loop(d: &DFunc, f: &Function, idx: usize) -> Option<DInst> {
+    match &d.code[idx] {
+        DInst::ForEach {
+            coll,
+            carried,
+            body,
+            binds_value,
+            uncoerce_u64,
+            dsts,
+        } => {
+            let region = &d.regions[*body as usize];
+            let skip = 1 + usize::from(*binds_value);
+            let carried_args = region.args.get(skip..)?;
+            let mut plan = compile_plan(d, region, carried_args)?;
+            if carried.len() == 1 {
+                let elem = if *binds_value { region.args[1] } else { region.args[0] };
+                plan.fast = classify_fast(d, &plan, region.args[0], elem, carried_args[0]);
+            }
+            Some(DInst::ForEachBulk {
+                coll: coll.clone(),
+                carried: carried.clone(),
+                body: *body,
+                binds_value: *binds_value,
+                uncoerce_u64: *uncoerce_u64,
+                dsts: dsts.clone(),
+                plan: Box::new(plan),
+            })
+        }
+        DInst::ForRange {
+            lo,
+            hi,
+            carried,
+            body,
+            dsts,
+        } => {
+            let region = &d.regions[*body as usize];
+            let carried_args = region.args.get(1..)?;
+            let mut plan = compile_plan(d, region, carried_args)?;
+            plan.spec = specialize_forrange(f, d, &plan, &region.args);
+            Some(DInst::ForRangeBulk {
+                lo: lo.clone(),
+                hi: hi.clone(),
+                carried: carried.clone(),
+                body: *body,
+                dsts: dsts.clone(),
+                plan: Box::new(plan),
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Compiles a loop body region into a [`BulkPlan`]: every component
+/// must be expressible as a [`BulkOp`], the terminator must be an
+/// all-slot yield of the carried values, and the copies back into the
+/// carried argument slots must be hazard-free (the same rule
+/// [`direct_yields`] applies). Top-level `const` components are hoisted
+/// into the prelude.
+fn compile_plan(d: &DFunc, region: &DRegion, carried_args: &[u32]) -> Option<BulkPlan> {
+    let (start, end) = (region.start as usize, region.end as usize);
+    if end == start {
+        return None;
+    }
+    let term = end - 1;
+    let body = compile_ops(d, start, term, true)?;
+    let yield_srcs = yield_slots(&d.code[term], carried_args)?;
+    let (prelude, ops): (Vec<PlanOp>, Vec<PlanOp>) = body
+        .into_iter()
+        .partition(|p| matches!(p.op, BulkOp::Const { .. }));
+    Some(BulkPlan {
+        prelude: prelude.into_boxed_slice(),
+        ops: ops.into_boxed_slice(),
+        yield_srcs: yield_srcs.into_boxed_slice(),
+        fast: None,
+        spec: None,
+    })
+}
+
+/// The all-slot source list of a region terminator, checked against the
+/// consumer's destination slots for length and write-before-read
+/// hazards. `None` for anything else (buffered yields with path
+/// operands bump read counts and must stay per-instruction).
+fn yield_slots(term: &DInst, dsts: &[u32]) -> Option<Vec<u32>> {
+    let srcs: Vec<u32> = match term {
+        DInst::Yield { ops } => ops.iter().map(sl).collect::<Option<Vec<u32>>>()?,
+        DInst::YieldDirect { srcs, .. } => srcs.to_vec(),
+        _ => return None,
+    };
+    if srcs.len() != dsts.len() {
+        return None;
+    }
+    if srcs.iter().enumerate().any(|(j, s)| dsts[..j].contains(s)) {
+        return None;
+    }
+    Some(srcs)
+}
+
+/// Compiles the code range `[start, end)` into plan components,
+/// expanding peephole windows back into their constituent ops at their
+/// original code indices. `allow_if` is `true` only at the top level:
+/// branch arms must be straight-line (one nesting level keeps the plan
+/// executor non-recursive in spirit and the inertness argument short).
+fn compile_ops(d: &DFunc, start: usize, end: usize, allow_if: bool) -> Option<Vec<PlanOp>> {
+    let mut out = Vec::new();
+    let mut i = start;
+    while i < end {
+        let inst = &d.code[i];
+        let adv = inst.advance();
+        if i + adv > end {
+            return None;
+        }
+        push_components(d, i, inst, allow_if, &mut out)?;
+        i += adv;
+    }
+    Some(out)
+}
+
+/// Compiles one branch arm: straight-line components plus a terminal
+/// yield of the branch's destination count.
+fn compile_arm(d: &DFunc, r: u32, if_dsts: &[u32]) -> Option<(Box<[PlanOp]>, Box<[u32]>)> {
+    let region = &d.regions[r as usize];
+    let (start, end) = (region.start as usize, region.end as usize);
+    if end == start {
+        return None;
+    }
+    let term = end - 1;
+    let ops = compile_ops(d, start, term, false)?;
+    let srcs = yield_slots(&d.code[term], if_dsts)?;
+    Some((ops.into_boxed_slice(), srcs.into_boxed_slice()))
+}
+
+/// Appends the plan components of the instruction (or peephole window)
+/// at `idx`. Component `j` of a window gets site `idx + j` — the code
+/// slot of the original instruction it replays — so bulk execution
+/// traps at exactly the site the unfused loop would. Anything with a
+/// nesting-path operand, observable side channel (print, ROI, calls,
+/// enumeration ops), allocation, or nested control flow rejects the
+/// whole loop.
+fn push_components(
+    d: &DFunc,
+    idx: usize,
+    inst: &DInst,
+    allow_if: bool,
+    out: &mut Vec<PlanOp>,
+) -> Option<()> {
+    let site = |j: usize| slot(idx + j);
+    match inst {
+        DInst::Const { pool, dst } => out.push(PlanOp {
+            site: site(0),
+            op: BulkOp::Const {
+                pool: *pool,
+                dst: *dst,
+            },
+        }),
+        DInst::Bin { op, a, b, dst } => out.push(PlanOp {
+            site: site(0),
+            op: BulkOp::Bin {
+                op: *op,
+                a: sl(a)?,
+                b: sl(b)?,
+                dst: *dst,
+            },
+        }),
+        DInst::Cmp { op, a, b, dst } => out.push(PlanOp {
+            site: site(0),
+            op: BulkOp::Cmp {
+                op: *op,
+                a: sl(a)?,
+                b: sl(b)?,
+                dst: *dst,
+            },
+        }),
+        DInst::Not { a, dst } => out.push(PlanOp {
+            site: site(0),
+            op: BulkOp::Not {
+                a: sl(a)?,
+                dst: *dst,
+            },
+        }),
+        DInst::Cast { ty, a, dst } => out.push(PlanOp {
+            site: site(0),
+            op: BulkOp::Cast {
+                ty: *ty,
+                a: sl(a)?,
+                dst: *dst,
+            },
+        }),
+        DInst::Read { coll, key, dst } => out.push(PlanOp {
+            site: site(0),
+            op: BulkOp::Read {
+                coll: sl(coll)?,
+                key: sl(key)?,
+                dst: *dst,
+            },
+        }),
+        DInst::Write {
+            coll,
+            key,
+            val,
+            dst,
+        } => out.push(PlanOp {
+            site: site(0),
+            op: BulkOp::Write {
+                coll: sl(coll)?,
+                key: sl(key)?,
+                val: sl(val)?,
+                dst: *dst,
+            },
+        }),
+        DInst::Has { coll, key, dst } => out.push(PlanOp {
+            site: site(0),
+            op: BulkOp::Has {
+                coll: sl(coll)?,
+                key: sl(key)?,
+                dst: *dst,
+            },
+        }),
+        DInst::InsertSet { coll, elem, dst } => out.push(PlanOp {
+            site: site(0),
+            op: BulkOp::InsertSet {
+                coll: sl(coll)?,
+                elem: sl(elem)?,
+                dst: *dst,
+            },
+        }),
+        DInst::InsertMap {
+            coll,
+            key,
+            val_ty,
+            dst,
+        } => out.push(PlanOp {
+            site: site(0),
+            op: BulkOp::InsertMap {
+                coll: sl(coll)?,
+                key: sl(key)?,
+                val_ty: *val_ty,
+                dst: *dst,
+            },
+        }),
+        DInst::InsertSeq {
+            coll,
+            index,
+            val,
+            dst,
+        } => out.push(PlanOp {
+            site: site(0),
+            op: BulkOp::InsertSeq {
+                coll: sl(coll)?,
+                index: sl(index)?,
+                val: sl(val)?,
+                dst: *dst,
+            },
+        }),
+        DInst::Remove { coll, key, dst } => out.push(PlanOp {
+            site: site(0),
+            op: BulkOp::Remove {
+                coll: sl(coll)?,
+                key: sl(key)?,
+                dst: *dst,
+            },
+        }),
+        DInst::Size { coll, dst } => out.push(PlanOp {
+            site: site(0),
+            op: BulkOp::Size {
+                coll: sl(coll)?,
+                dst: *dst,
+            },
+        }),
+        DInst::If {
+            cond,
+            then_r,
+            else_r,
+            dsts,
+        } if allow_if => {
+            let (then_ops, then_srcs) = compile_arm(d, *then_r, dsts)?;
+            let (else_ops, else_srcs) = compile_arm(d, *else_r, dsts)?;
+            out.push(PlanOp {
+                site: site(0),
+                op: BulkOp::If {
+                    cond: sl(cond)?,
+                    then_ops,
+                    then_srcs,
+                    else_ops,
+                    else_srcs,
+                    dsts: dsts.clone(),
+                },
+            });
+        }
+        DInst::FusedScalars { uops } => {
+            for (j, u) in uops.iter().enumerate() {
+                let op = match u {
+                    UScalar::Const { pool, dst } => BulkOp::Const {
+                        pool: *pool,
+                        dst: *dst,
+                    },
+                    UScalar::Bin { op, a, b, dst } => BulkOp::Bin {
+                        op: *op,
+                        a: *a,
+                        b: *b,
+                        dst: *dst,
+                    },
+                    UScalar::Cmp { op, a, b, dst } => BulkOp::Cmp {
+                        op: *op,
+                        a: *a,
+                        b: *b,
+                        dst: *dst,
+                    },
+                    UScalar::Not { a, dst } => BulkOp::Not { a: *a, dst: *dst },
+                };
+                out.push(PlanOp { site: site(j), op });
+            }
+        }
+        DInst::FusedReadBin {
+            coll,
+            key,
+            rdst,
+            op,
+            a,
+            b,
+            bdst,
+        } => {
+            out.push(PlanOp {
+                site: site(0),
+                op: BulkOp::Read {
+                    coll: *coll,
+                    key: *key,
+                    dst: *rdst,
+                },
+            });
+            out.push(PlanOp {
+                site: site(1),
+                op: BulkOp::Bin {
+                    op: *op,
+                    a: *a,
+                    b: *b,
+                    dst: *bdst,
+                },
+            });
+        }
+        DInst::FusedBinWrite {
+            op,
+            a,
+            b,
+            bdst,
+            coll,
+            key,
+            wdst,
+        } => {
+            out.push(PlanOp {
+                site: site(0),
+                op: BulkOp::Bin {
+                    op: *op,
+                    a: *a,
+                    b: *b,
+                    dst: *bdst,
+                },
+            });
+            out.push(PlanOp {
+                site: site(1),
+                op: BulkOp::Write {
+                    coll: *coll,
+                    key: *key,
+                    val: *bdst,
+                    dst: *wdst,
+                },
+            });
+        }
+        DInst::FusedReadBinWrite {
+            coll,
+            rkey,
+            rdst,
+            op,
+            a,
+            b,
+            bdst,
+            wkey,
+            wdst,
+        } => {
+            out.push(PlanOp {
+                site: site(0),
+                op: BulkOp::Read {
+                    coll: *coll,
+                    key: *rkey,
+                    dst: *rdst,
+                },
+            });
+            out.push(PlanOp {
+                site: site(1),
+                op: BulkOp::Bin {
+                    op: *op,
+                    a: *a,
+                    b: *b,
+                    dst: *bdst,
+                },
+            });
+            out.push(PlanOp {
+                site: site(2),
+                op: BulkOp::Write {
+                    coll: *coll,
+                    key: *wkey,
+                    val: *bdst,
+                    dst: *wdst,
+                },
+            });
+        }
+        DInst::FusedHasIf {
+            coll,
+            key,
+            hdst,
+            then_r,
+            else_r,
+            dsts,
+        } if allow_if => {
+            let (then_ops, then_srcs) = compile_arm(d, *then_r, dsts)?;
+            let (else_ops, else_srcs) = compile_arm(d, *else_r, dsts)?;
+            out.push(PlanOp {
+                site: site(0),
+                op: BulkOp::Has {
+                    coll: *coll,
+                    key: *key,
+                    dst: *hdst,
+                },
+            });
+            out.push(PlanOp {
+                site: site(1),
+                op: BulkOp::If {
+                    cond: *hdst,
+                    then_ops,
+                    then_srcs,
+                    else_ops,
+                    else_srcs,
+                    dsts: dsts.clone(),
+                },
+            });
+        }
+        DInst::FusedCmpIf {
+            op,
+            a,
+            b,
+            cdst,
+            then_r,
+            else_r,
+            dsts,
+        } if allow_if => {
+            let (then_ops, then_srcs) = compile_arm(d, *then_r, dsts)?;
+            let (else_ops, else_srcs) = compile_arm(d, *else_r, dsts)?;
+            out.push(PlanOp {
+                site: site(0),
+                op: BulkOp::Cmp {
+                    op: *op,
+                    a: *a,
+                    b: *b,
+                    dst: *cdst,
+                },
+            });
+            out.push(PlanOp {
+                site: site(1),
+                op: BulkOp::If {
+                    cond: *cdst,
+                    then_ops,
+                    then_srcs,
+                    else_ops,
+                    else_srcs,
+                    dsts: dsts.clone(),
+                },
+            });
+        }
+        _ => return None,
+    }
+    Some(())
+}
+
+/// Pushes every slot the component list writes per iteration
+/// (including branch destinations and arm-internal writes).
+fn collect_dsts(ops: &[PlanOp], out: &mut Vec<u32>) {
+    for p in ops {
+        match &p.op {
+            BulkOp::Const { dst, .. }
+            | BulkOp::Bin { dst, .. }
+            | BulkOp::Cmp { dst, .. }
+            | BulkOp::Not { dst, .. }
+            | BulkOp::Cast { dst, .. }
+            | BulkOp::Read { dst, .. }
+            | BulkOp::Write { dst, .. }
+            | BulkOp::Has { dst, .. }
+            | BulkOp::InsertSet { dst, .. }
+            | BulkOp::InsertMap { dst, .. }
+            | BulkOp::InsertSeq { dst, .. }
+            | BulkOp::Remove { dst, .. }
+            | BulkOp::Size { dst, .. } => out.push(*dst),
+            BulkOp::If {
+                then_ops,
+                else_ops,
+                dsts,
+                ..
+            } => {
+                out.extend(dsts.iter().copied());
+                collect_dsts(then_ops, out);
+                collect_dsts(else_ops, out);
+            }
+        }
+    }
+}
+
+/// What one branch arm of a candidate filter loop does.
+enum ArmShape {
+    /// Passes the accumulator through unchanged.
+    Pass,
+    /// Folds into the accumulator: `bin(acc, x)` in some order.
+    Fold {
+        bin: BinOp,
+        acc_lhs: bool,
+        bin_elem: bool,
+        bin_other: u32,
+        site: u32,
+    },
+    /// Inserts the element into the carried set.
+    Insert,
+}
+
+/// Classifies one branch arm against the `(elem, acc)` pair.
+fn arm_shape(
+    ops: &[PlanOp],
+    srcs: &[u32],
+    elem: u32,
+    acc: u32,
+    inv: &dyn Fn(u32) -> bool,
+) -> Option<ArmShape> {
+    match (ops, srcs) {
+        ([], [s]) if *s == acc => Some(ArmShape::Pass),
+        ([PlanOp {
+            site,
+            op: BulkOp::Bin { op, a, b, dst },
+        }], [s])
+            if *s == *dst =>
+        {
+            let (acc_lhs, other) = if *a == acc {
+                (true, *b)
+            } else if *b == acc {
+                (false, *a)
+            } else {
+                return None;
+            };
+            let (bin_elem, bin_other) = if other == elem {
+                (true, 0)
+            } else if inv(other) {
+                (false, other)
+            } else {
+                return None;
+            };
+            Some(ArmShape::Fold {
+                bin: *op,
+                acc_lhs,
+                bin_elem,
+                bin_other,
+                site: *site,
+            })
+        }
+        ([PlanOp {
+            op: BulkOp::InsertSet { coll, elem: e, dst },
+            ..
+        }], [s])
+            if *coll == acc && *e == elem && *s == *dst =>
+        {
+            Some(ArmShape::Insert)
+        }
+        _ => None,
+    }
+}
+
+/// Recognizes the streaming shapes of a single-carry `foreach` plan
+/// (see [`FastKind`]). Operands that must be loop-invariant are checked
+/// against the set of slots written per iteration; prelude-const slots
+/// count as invariant (the prelude runs once, before the loop).
+fn classify_fast(
+    d: &DFunc,
+    plan: &BulkPlan,
+    key_slot: u32,
+    elem: u32,
+    acc: u32,
+) -> Option<FastKind> {
+    let mut variant = vec![key_slot, elem, acc];
+    collect_dsts(&plan.ops, &mut variant);
+    let inv = |s: u32| !variant.contains(&s);
+    match &plan.ops[..] {
+        // acc = op(acc, elem)
+        [PlanOp {
+            site,
+            op: BulkOp::Bin { op, a, b, dst },
+        }] if plan.yield_srcs.as_ref() == [*dst] => {
+            let elem_first = if *a == elem && *b == acc {
+                true
+            } else if *a == acc && *b == elem {
+                false
+            } else {
+                return None;
+            };
+            Some(FastKind::Reduce {
+                op: *op,
+                elem_first,
+                site: *site,
+            })
+        }
+        // set = insert(set, elem)
+        [PlanOp {
+            op: BulkOp::InsertSet { coll, elem: e, dst },
+            ..
+        }] if *coll == acc && *e == elem && plan.yield_srcs.as_ref() == [*dst] => {
+            Some(FastKind::CopyInto)
+        }
+        // acc = acc + (has(set, elem) as u64)
+        [PlanOp {
+            op:
+                BulkOp::Has {
+                    coll: set,
+                    key,
+                    dst: hdst,
+                },
+            ..
+        }, PlanOp {
+            op:
+                BulkOp::Cast {
+                    ty,
+                    a: cast_a,
+                    dst: cdst,
+                },
+            ..
+        }, PlanOp {
+            op:
+                BulkOp::Bin {
+                    op: BinOp::Add,
+                    a: ba,
+                    b: bb,
+                    dst: sum,
+                },
+            ..
+        }] if *key == elem
+            && inv(*set)
+            && *cast_a == *hdst
+            && d.types.get(*ty as usize) == Some(&Type::U64)
+            && ((*ba == acc && *bb == *cdst) || (*ba == *cdst && *bb == acc))
+            && plan.yield_srcs.as_ref() == [*sum] =>
+        {
+            Some(FastKind::ProbeCount { set: *set })
+        }
+        // if cmp(elem, rhs) { fold or insert } else { pass } (either arm)
+        [PlanOp {
+            op:
+                BulkOp::Cmp {
+                    op: cmp,
+                    a: ca,
+                    b: cb,
+                    dst: cdst,
+                },
+            ..
+        }, PlanOp {
+            op:
+                BulkOp::If {
+                    cond,
+                    then_ops,
+                    then_srcs,
+                    else_ops,
+                    else_srcs,
+                    dsts,
+                },
+            ..
+        }] if *cond == *cdst && dsts.len() == 1 && plan.yield_srcs.as_ref() == [dsts[0]] => {
+            let (elem_lhs, rhs) = if *ca == elem && inv(*cb) {
+                (true, *cb)
+            } else if *cb == elem && inv(*ca) {
+                (false, *ca)
+            } else {
+                return None;
+            };
+            let then_shape = arm_shape(then_ops, then_srcs, elem, acc, &inv)?;
+            let else_shape = arm_shape(else_ops, else_srcs, elem, acc, &inv)?;
+            match (then_shape, else_shape) {
+                (
+                    ArmShape::Fold {
+                        bin,
+                        acc_lhs,
+                        bin_elem,
+                        bin_other,
+                        site,
+                    },
+                    ArmShape::Pass,
+                ) => Some(FastKind::FilterReduce {
+                    cmp: *cmp,
+                    elem_lhs,
+                    rhs,
+                    acc_on_true: true,
+                    bin,
+                    acc_lhs,
+                    bin_elem,
+                    bin_other,
+                    bin_site: site,
+                }),
+                (
+                    ArmShape::Pass,
+                    ArmShape::Fold {
+                        bin,
+                        acc_lhs,
+                        bin_elem,
+                        bin_other,
+                        site,
+                    },
+                ) => Some(FastKind::FilterReduce {
+                    cmp: *cmp,
+                    elem_lhs,
+                    rhs,
+                    acc_on_true: false,
+                    bin,
+                    acc_lhs,
+                    bin_elem,
+                    bin_other,
+                    bin_site: site,
+                }),
+                (ArmShape::Insert, ArmShape::Pass) => Some(FastKind::FilterInto {
+                    cmp: *cmp,
+                    elem_lhs,
+                    rhs,
+                    insert_on_true: true,
+                }),
+                (ArmShape::Pass, ArmShape::Insert) => Some(FastKind::FilterInto {
+                    cmp: *cmp,
+                    elem_lhs,
+                    rhs,
+                    insert_on_true: false,
+                }),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// What a collection group statically is: the required unboxed backend
+/// plus the value/element tag its static type prescribes (key tags are
+/// taken from the key *operand*'s static type at each use, which is
+/// what the generic executor passes through verbatim).
+#[derive(Clone, Copy)]
+struct GroupInfo {
+    backend: SpecBackend,
+    vtag: SpecTag,
+}
+
+/// The static scalar tag of a type, when the spec tier can register it.
+fn spec_tag(ty: &Type) -> Option<SpecTag> {
+    match ty {
+        Type::U64 => Some(SpecTag::U64),
+        Type::Idx => Some(SpecTag::Idx),
+        Type::Bool => Some(SpecTag::Bool),
+        _ => None,
+    }
+}
+
+/// The unboxed backend a collection type selects under the default
+/// configuration (`unbox` on, hash defaults). The live heap cell is
+/// re-checked at loop entry, so a run under any other configuration
+/// simply abandons the specialization there.
+fn spec_backend(ty: &Type) -> Option<GroupInfo> {
+    match ty {
+        Type::Seq(elem) => Some(GroupInfo {
+            backend: SpecBackend::Seq,
+            vtag: spec_tag(elem)?,
+        }),
+        Type::Set {
+            elem,
+            sel: SetSel::Auto | SetSel::Hash,
+        } => Some(GroupInfo {
+            backend: SpecBackend::HashSet,
+            vtag: spec_tag(elem)?,
+        }),
+        Type::Map {
+            key,
+            val,
+            sel: MapSel::Auto | MapSel::Hash,
+        } => {
+            spec_tag(key)?;
+            Some(GroupInfo {
+                backend: SpecBackend::HashMap,
+                vtag: spec_tag(val)?,
+            })
+        }
+        Type::Map {
+            key,
+            val,
+            sel: MapSel::Bit,
+        } => {
+            if spec_tag(key)? == SpecTag::Bool {
+                return None;
+            }
+            Some(GroupInfo {
+                backend: SpecBackend::BitMap,
+                vtag: spec_tag(val)?,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Abstract interpreter that compiles a [`BulkPlan`] into its
+/// [`SpecPlan`] twin. Walks the per-iteration ops tracking, per frame
+/// slot, whether it holds a scalar register or a collection group;
+/// slots read before any write are loop inputs typed from the static
+/// IR (the same `ValueId` index is the frame slot, by construction of
+/// [`decode_function`]).
+struct SpecBuilder<'a> {
+    f: &'a Function,
+    abs: Vec<Option<SpecVal>>,
+    scalar_inputs: Vec<(u32, SpecTag)>,
+    coll_inputs: Vec<(u32, SpecBackend)>,
+    groups: Vec<GroupInfo>,
+}
+
+impl SpecBuilder<'_> {
+    /// The abstract value of a slot, registering it as a loop input on
+    /// first read. `None` rejects the specialization (a type the
+    /// register file cannot carry).
+    fn read(&mut self, slot: u32) -> Option<SpecVal> {
+        if let Some(v) = self.abs[slot as usize] {
+            return Some(v);
+        }
+        let ty = self.f.value_ty(ValueId::from_index(slot as usize));
+        let v = if let Some(tag) = spec_tag(ty) {
+            self.scalar_inputs.push((slot, tag));
+            SpecVal::Reg(tag)
+        } else {
+            let info = spec_backend(ty)?;
+            let g = u8::try_from(self.groups.len()).ok()?;
+            self.coll_inputs.push((slot, info.backend));
+            self.groups.push(info);
+            SpecVal::Coll(g)
+        };
+        self.abs[slot as usize] = Some(v);
+        Some(v)
+    }
+
+    fn read_reg(&mut self, slot: u32) -> Option<SpecTag> {
+        match self.read(slot)? {
+            SpecVal::Reg(t) => Some(t),
+            SpecVal::Coll(_) => None,
+        }
+    }
+
+    fn read_coll(&mut self, slot: u32) -> Option<(u8, GroupInfo)> {
+        match self.read(slot)? {
+            SpecVal::Coll(g) => Some((g, self.groups[g as usize])),
+            SpecVal::Reg(_) => None,
+        }
+    }
+
+    fn write(&mut self, slot: u32, v: SpecVal) {
+        self.abs[slot as usize] = Some(v);
+    }
+
+    /// A key register for a dense (bit-map) backend: `u64` keys are
+    /// coerced to `idx` by the executor, `bool` keys never reach a
+    /// dense implementation the builder accepts.
+    fn dense_key_reg(&mut self, slot: u32) -> Option<u32> {
+        match self.read_reg(slot)? {
+            SpecTag::U64 | SpecTag::Idx => Some(slot),
+            SpecTag::Bool => None,
+        }
+    }
+
+    /// Compiles one plan op, updating the abstract state. `None`
+    /// rejects the whole specialization.
+    fn compile(&mut self, d: &DFunc, p: &PlanOp) -> Option<SpecOp> {
+        let kind = match &p.op {
+            BulkOp::Const { pool, dst } => {
+                let (val, tag) = match &d.consts[*pool as usize] {
+                    Value::U64(n) => (*n, SpecTag::U64),
+                    Value::Idx(i) => (*i as u64, SpecTag::Idx),
+                    Value::Bool(b) => (u64::from(*b), SpecTag::Bool),
+                    _ => return None,
+                };
+                self.write(*dst, SpecVal::Reg(tag));
+                SpecKind::Const { val, dst: *dst }
+            }
+            BulkOp::Bin { op, a, b, dst } => {
+                let (ta, tb) = (self.read_reg(*a)?, self.read_reg(*b)?);
+                if ta != tb {
+                    return None;
+                }
+                match ta {
+                    SpecTag::U64 | SpecTag::Idx => {
+                        self.write(*dst, SpecVal::Reg(ta));
+                        SpecKind::Bin {
+                            op: *op,
+                            idx: ta == SpecTag::Idx,
+                            a: *a,
+                            b: *b,
+                            dst: *dst,
+                        }
+                    }
+                    SpecTag::Bool => {
+                        if !matches!(op, BinOp::And | BinOp::Or | BinOp::Xor) {
+                            return None;
+                        }
+                        self.write(*dst, SpecVal::Reg(SpecTag::Bool));
+                        SpecKind::BinBool {
+                            op: *op,
+                            a: *a,
+                            b: *b,
+                            dst: *dst,
+                        }
+                    }
+                }
+            }
+            BulkOp::Cmp { op, a, b, dst } => {
+                if self.read_reg(*a)? != self.read_reg(*b)? {
+                    return None;
+                }
+                self.write(*dst, SpecVal::Reg(SpecTag::Bool));
+                SpecKind::Cmp {
+                    op: *op,
+                    a: *a,
+                    b: *b,
+                    dst: *dst,
+                }
+            }
+            BulkOp::Not { a, dst } => {
+                if self.read_reg(*a)? != SpecTag::Bool {
+                    return None;
+                }
+                self.write(*dst, SpecVal::Reg(SpecTag::Bool));
+                SpecKind::Not { a: *a, dst: *dst }
+            }
+            BulkOp::Cast { ty, a, dst } => {
+                self.read_reg(*a)?;
+                let idx = match &d.types[*ty as usize] {
+                    Type::U64 => false,
+                    Type::Idx => true,
+                    _ => return None,
+                };
+                let tag = if idx { SpecTag::Idx } else { SpecTag::U64 };
+                self.write(*dst, SpecVal::Reg(tag));
+                SpecKind::Cast {
+                    idx,
+                    a: *a,
+                    dst: *dst,
+                }
+            }
+            BulkOp::Read { coll, key, dst } => {
+                let (grp, info) = self.read_coll(*coll)?;
+                let kind = match info.backend {
+                    SpecBackend::Seq => SpecKind::SeqRead {
+                        grp,
+                        index: self.dense_key_reg(*key)?,
+                        vtag: info.vtag,
+                        dst: *dst,
+                    },
+                    SpecBackend::HashMap => SpecKind::MapRead {
+                        grp,
+                        key: *key,
+                        ktag: self.read_reg(*key)?,
+                        vtag: info.vtag,
+                        dst: *dst,
+                    },
+                    SpecBackend::BitMap => SpecKind::DenseRead {
+                        grp,
+                        key: self.dense_key_reg(*key)?,
+                        vtag: info.vtag,
+                        dst: *dst,
+                    },
+                    SpecBackend::HashSet => return None,
+                };
+                self.write(*dst, SpecVal::Reg(info.vtag));
+                kind
+            }
+            BulkOp::Write {
+                coll,
+                key,
+                val,
+                dst,
+            } => {
+                let (grp, info) = self.read_coll(*coll)?;
+                let vtag = self.read_reg(*val)?;
+                let kind = match info.backend {
+                    SpecBackend::Seq => SpecKind::SeqWrite {
+                        grp,
+                        index: self.dense_key_reg(*key)?,
+                        val: *val,
+                        vtag,
+                    },
+                    SpecBackend::HashMap => SpecKind::MapWrite {
+                        grp,
+                        key: *key,
+                        ktag: self.read_reg(*key)?,
+                        val: *val,
+                        vtag,
+                    },
+                    SpecBackend::BitMap => SpecKind::DenseWrite {
+                        grp,
+                        key: self.dense_key_reg(*key)?,
+                        val: *val,
+                        vtag,
+                    },
+                    SpecBackend::HashSet => return None,
+                };
+                self.write(*dst, SpecVal::Coll(grp));
+                kind
+            }
+            BulkOp::Has { coll, key, dst } => {
+                let (grp, info) = self.read_coll(*coll)?;
+                let kind = match info.backend {
+                    SpecBackend::HashSet => SpecKind::SetHas {
+                        grp,
+                        key: *key,
+                        tag: self.read_reg(*key)?,
+                        dst: *dst,
+                    },
+                    SpecBackend::HashMap => SpecKind::MapHas {
+                        grp,
+                        key: *key,
+                        ktag: self.read_reg(*key)?,
+                        dst: *dst,
+                    },
+                    SpecBackend::BitMap => SpecKind::DenseHas {
+                        grp,
+                        key: self.dense_key_reg(*key)?,
+                        dst: *dst,
+                    },
+                    SpecBackend::Seq => return None,
+                };
+                self.write(*dst, SpecVal::Reg(SpecTag::Bool));
+                kind
+            }
+            BulkOp::InsertSet { coll, elem, dst } => {
+                let (grp, info) = self.read_coll(*coll)?;
+                if info.backend != SpecBackend::HashSet {
+                    return None;
+                }
+                let tag = self.read_reg(*elem)?;
+                self.write(*dst, SpecVal::Coll(grp));
+                SpecKind::SetInsert {
+                    grp,
+                    elem: *elem,
+                    tag,
+                }
+            }
+            BulkOp::InsertMap {
+                coll,
+                key,
+                val_ty,
+                dst,
+            } => {
+                let (grp, info) = self.read_coll(*coll)?;
+                let vtag = spec_tag(&d.types[*val_ty as usize])?;
+                let kind = match info.backend {
+                    SpecBackend::HashMap => SpecKind::MapInsert {
+                        grp,
+                        key: *key,
+                        ktag: self.read_reg(*key)?,
+                        vtag,
+                    },
+                    SpecBackend::BitMap => SpecKind::DenseInsert {
+                        grp,
+                        key: self.dense_key_reg(*key)?,
+                        vtag,
+                    },
+                    _ => return None,
+                };
+                self.write(*dst, SpecVal::Coll(grp));
+                kind
+            }
+            BulkOp::InsertSeq {
+                coll,
+                index,
+                val,
+                dst,
+            } => {
+                let (grp, info) = self.read_coll(*coll)?;
+                if info.backend != SpecBackend::Seq {
+                    return None;
+                }
+                let index = self.dense_key_reg(*index)?;
+                let vtag = self.read_reg(*val)?;
+                self.write(*dst, SpecVal::Coll(grp));
+                SpecKind::SeqInsert {
+                    grp,
+                    index,
+                    val: *val,
+                    vtag,
+                }
+            }
+            BulkOp::Remove { coll, key, dst } => {
+                let (grp, info) = self.read_coll(*coll)?;
+                let kind = match info.backend {
+                    SpecBackend::HashSet => SpecKind::SetRemove {
+                        grp,
+                        key: *key,
+                        tag: self.read_reg(*key)?,
+                    },
+                    SpecBackend::HashMap => SpecKind::MapRemove {
+                        grp,
+                        key: *key,
+                        ktag: self.read_reg(*key)?,
+                    },
+                    SpecBackend::BitMap => SpecKind::DenseRemove {
+                        grp,
+                        key: self.dense_key_reg(*key)?,
+                    },
+                    SpecBackend::Seq => return None,
+                };
+                self.write(*dst, SpecVal::Coll(grp));
+                kind
+            }
+            BulkOp::Size { coll, dst } => {
+                let (grp, _) = self.read_coll(*coll)?;
+                self.write(*dst, SpecVal::Reg(SpecTag::U64));
+                SpecKind::Size { grp, dst: *dst }
+            }
+            BulkOp::If {
+                cond,
+                then_ops,
+                then_srcs,
+                else_ops,
+                else_srcs,
+                dsts,
+            } => {
+                if self.read_reg(*cond)? != SpecTag::Bool {
+                    return None;
+                }
+                // SSA single assignment makes the arm-local dsts
+                // disjoint between arms, so both arms can be compiled
+                // in one shared abstract state.
+                let (then_ops, then_copies) = self.compile_arm(d, then_ops, then_srcs, dsts)?;
+                let (else_ops, else_copies) = self.compile_arm(d, else_ops, else_srcs, dsts)?;
+                // The branch dst takes the taken arm's yield; both
+                // arms must agree on what that abstractly is.
+                for (j, &dst) in dsts.iter().enumerate() {
+                    let tv = self.read(then_srcs[j])?;
+                    let ev = self.read(else_srcs[j])?;
+                    if tv != ev {
+                        return None;
+                    }
+                    self.write(dst, tv);
+                }
+                SpecKind::If {
+                    cond: *cond,
+                    then_ops,
+                    then_copies,
+                    else_ops,
+                    else_copies,
+                }
+            }
+        };
+        Some(SpecOp { site: p.site, kind })
+    }
+
+    /// Compiles one branch arm plus its `(dst, src)` register copies
+    /// (collection yields need no copy — the group already names the
+    /// handle).
+    fn compile_arm(
+        &mut self,
+        d: &DFunc,
+        ops: &[PlanOp],
+        srcs: &[u32],
+        dsts: &[u32],
+    ) -> Option<(Box<[SpecOp]>, Box<[(u32, u32)]>)> {
+        let compiled = ops
+            .iter()
+            .map(|q| self.compile(d, q))
+            .collect::<Option<Vec<_>>>()?;
+        let mut copies = Vec::new();
+        for (&s, &t) in srcs.iter().zip(dsts.iter()) {
+            if let SpecVal::Reg(_) = self.read(s)? {
+                if s != t {
+                    copies.push((t, s));
+                }
+            }
+        }
+        Some((compiled.into_boxed_slice(), copies.into_boxed_slice()))
+    }
+}
+
+/// Builds the register-specialized twin of a `forrange` plan, or
+/// `None` when any component, operand type, or yield shape needs the
+/// general boxed machinery. `args` are the body region's argument
+/// slots (`args[0]` is the induction variable).
+fn specialize_forrange(
+    f: &Function,
+    d: &DFunc,
+    plan: &BulkPlan,
+    args: &[u32],
+) -> Option<Box<SpecPlan>> {
+    let mut b = SpecBuilder {
+        f,
+        abs: vec![None; d.frame_size as usize],
+        scalar_inputs: Vec::new(),
+        coll_inputs: Vec::new(),
+        groups: Vec::new(),
+    };
+    // The induction variable is defined by the loop itself, not loaded
+    // from the frame.
+    b.abs[args[0] as usize] = Some(SpecVal::Reg(SpecTag::U64));
+    let ops = plan
+        .ops
+        .iter()
+        .map(|p| b.compile(d, p))
+        .collect::<Option<Box<[SpecOp]>>>()?;
+    let mut scalar_yields = Vec::new();
+    for (&s, &a) in plan.yield_srcs.iter().zip(args[1..].iter()) {
+        let v = b.read(s)?;
+        match (v, b.abs[a as usize]) {
+            // A carried handle must thread back to itself: yielding a
+            // *different* group would rebind the slot to a handle the
+            // entry-time resolution never saw.
+            (_, Some(prev)) if prev != v => return None,
+            (SpecVal::Reg(_), _) => {
+                if s != a {
+                    scalar_yields.push((a, s));
+                }
+            }
+            (SpecVal::Coll(_), _) => {}
+        }
+        b.abs[a as usize] = Some(v);
+    }
+    let writebacks = args[1..]
+        .iter()
+        .map(|&a| Some((a, b.abs[a as usize]?)))
+        .collect::<Option<Box<[(u32, SpecVal)]>>>()?;
+    Some(Box::new(SpecPlan {
+        loop_var: args[0],
+        scalar_inputs: b.scalar_inputs.into_boxed_slice(),
+        coll_inputs: b.coll_inputs.into_boxed_slice(),
+        ops,
+        scalar_yields: scalar_yields.into_boxed_slice(),
+        writebacks,
+    }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1290,7 +3215,7 @@ fn @main() -> void {
     fn peephole_fuses_rmw_triple_in_place() {
         let m = parse_module(RMW).expect("parses");
         let unfused = DecodedModule::decode(&m);
-        let fused = DecodedModule::decode_with(&m, &DecodeOptions { fuse: true });
+        let fused = DecodedModule::decode_with(&m, &DecodeOptions { fuse: true, loop_fuse: false });
         let (u, f) = (&unfused.funcs[0], &fused.funcs[0]);
         // Head replacement: code length, region boundaries and the
         // padding slots' original instructions are all preserved.
@@ -1335,7 +3260,7 @@ fn @main() -> void {
 "#,
         )
         .expect("parses");
-        let fused = DecodedModule::decode_with(&m, &DecodeOptions { fuse: true });
+        let fused = DecodedModule::decode_with(&m, &DecodeOptions { fuse: true, loop_fuse: false });
         let f = &fused.funcs[0];
         assert!(f.code.iter().any(|i| matches!(i, DInst::FusedHasIf { .. })));
         let run = f
@@ -1374,7 +3299,7 @@ fn @main() -> void {
             .code
             .iter()
             .all(|i| !matches!(i, DInst::YieldDirect { .. })));
-        let fused = DecodedModule::decode_with(&m, &DecodeOptions { fuse: true });
+        let fused = DecodedModule::decode_with(&m, &DecodeOptions { fuse: true, loop_fuse: false });
         let f = &fused.funcs[0];
         let body = f
             .code
@@ -1400,6 +3325,90 @@ fn @main() -> void {
         assert!(
             !d.funcs[0].code.iter().any(|i| i.advance() != 1),
             "decode() must stay purely structural"
+        );
+    }
+
+    const CHURN_LOOP: &str = r#"
+fn @main() -> void {
+  %s = new Set<u64>
+  %lo = const 0u64
+  %hi = const 100u64
+  %sf = forrange %lo, %hi carry(%s) as (%i: u64, %c: Set<u64>) {
+    %seven = const 7u64
+    %k = mul %i, %seven
+    %c1 = insert %c, %k
+    yield %c1
+  }
+  %n = size %sf
+  print %n
+  ret
+}
+"#;
+
+    #[test]
+    fn loop_fuse_compiles_forrange_bulk_with_spec_twin() {
+        let m = parse_module(CHURN_LOOP).expect("parses");
+        let d = DecodedModule::decode_with(&m, &DecodeOptions::default());
+        let plan = d.funcs[0]
+            .code
+            .iter()
+            .find_map(|i| match i {
+                DInst::ForRangeBulk { plan, .. } => Some(plan),
+                _ => None,
+            })
+            .expect("scalar forrange body compiles to a bulk header");
+        let spec = plan
+            .spec
+            .as_ref()
+            .expect("all-scalar hash-set body register-specializes");
+        assert_eq!(spec.coll_inputs.len(), 1);
+        assert!(matches!(spec.coll_inputs[0].1, SpecBackend::HashSet));
+    }
+
+    #[test]
+    fn spec_twin_is_absent_for_non_scalar_payloads() {
+        // A `str` element can't live in the u64 register file; the
+        // generic bulk plan still applies, the specialized twin must not.
+        let m = parse_module(
+            r#"
+fn @main() -> void {
+  %s = new Set<str>
+  %lo = const 0u64
+  %hi = const 100u64
+  %k = const "tag"
+  %sf = forrange %lo, %hi carry(%s) as (%i: u64, %c: Set<str>) {
+    %c1 = insert %c, %k
+    yield %c1
+  }
+  %n = size %sf
+  print %n
+  ret
+}
+"#,
+        )
+        .expect("parses");
+        let d = DecodedModule::decode_with(&m, &DecodeOptions::default());
+        let plan = d.funcs[0]
+            .code
+            .iter()
+            .find_map(|i| match i {
+                DInst::ForRangeBulk { plan, .. } => Some(plan),
+                _ => None,
+            })
+            .expect("boxed-payload body still gets the generic bulk plan");
+        assert!(plan.spec.is_none(), "str payloads must not specialize");
+    }
+
+    #[test]
+    fn plain_decode_has_no_bulk_headers() {
+        let m = parse_module(CHURN_LOOP).expect("parses");
+        let d = DecodedModule::decode(&m);
+        assert!(
+            d.funcs[0]
+                .code
+                .iter()
+                .all(|i| !matches!(i, DInst::ForRangeBulk { .. } | DInst::ForEachBulk { .. })),
+            "decode() must not run the loop-fusion tier"
         );
     }
 }

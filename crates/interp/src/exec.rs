@@ -17,13 +17,14 @@ use ade_collections::SwissMap;
 use ade_ir::{BinOp, CmpOp, FuncId, Module, Type};
 
 use crate::decode::{
-    DAccess, DFunc, DInst, DOp, DPath, DScalar, DecodedModule, EncKeyKind, UScalar,
+    BulkOp, BulkPlan, DAccess, DFunc, DInst, DOp, DPath, DScalar, DecodedModule, EncKeyKind,
+    FastKind, PlanOp, SpecBackend, SpecKind, SpecOp, SpecPlan, SpecTag, SpecVal, UScalar,
 };
 use crate::heap::{CollId, Collection, SelectionDefaults};
 use crate::profile::{Recorder, SiteProfile};
 use crate::stats::{CollOp, ImplKind, Phase, Stats};
-use crate::trap::{Limit, TrapKind, TrapSite};
-use crate::value::{Res, Value};
+use crate::trap::{Limit, TrapKind, TrapSite, ENC_SENTINEL};
+use crate::value::{Res, ScalarVal, Value};
 
 /// Interpreter configuration.
 #[derive(Clone, Debug)]
@@ -50,6 +51,15 @@ pub struct ExecConfig {
     /// Observationally inert: fused arms replay the unfused sequence's
     /// fuel ticks, statistic bumps, and site attribution exactly.
     pub fuse: bool,
+    /// Compile whole collection/range loops into bulk superinstructions
+    /// at decode time (default `true`; see [`crate::decode`]'s
+    /// loop-fusion tier) and execute them as streaming backend kernels.
+    /// Observationally inert: bulk execution replays the unfused loop's
+    /// statistic bumps, byte accounting, and trap sites exactly, and any
+    /// configuration that makes per-iteration accounting observable
+    /// (fuel, profiling, a depth limit) routes bulk headers through the
+    /// generic per-instruction loop.
+    pub loop_fuse: bool,
     /// Select unboxed monomorphic storage when a collection's static
     /// element/key types are scalar (default `true`; see
     /// [`Collection::new_for`]). Observationally inert: unboxed
@@ -68,6 +78,7 @@ impl Default for ExecConfig {
             profile: false,
             fuse: true,
             unbox: true,
+            loop_fuse: true,
         }
     }
 }
@@ -348,6 +359,7 @@ impl<'m> Interpreter<'m> {
             self.module,
             &crate::decode::DecodeOptions {
                 fuse: self.config.fuse,
+                loop_fuse: self.config.loop_fuse,
             },
         );
         self.run_decoded_inline(&decoded, entry)
@@ -740,6 +752,20 @@ impl<'m> Interpreter<'m> {
             }
             DInst::ForEach { .. } => self.exec_foreach(d, fid, func, frame, inst, phase_start),
             DInst::ForRange { .. } => self.exec_forrange(d, fid, func, frame, inst, phase_start),
+            DInst::ForEachBulk { .. } => {
+                if self.bulk_enabled() {
+                    self.exec_foreach_bulk(fid, func, frame, inst)
+                } else {
+                    self.exec_foreach(d, fid, func, frame, inst, phase_start)
+                }
+            }
+            DInst::ForRangeBulk { .. } => {
+                if self.bulk_enabled() {
+                    self.exec_forrange_bulk(fid, func, frame, inst)
+                } else {
+                    self.exec_forrange(d, fid, func, frame, inst, phase_start)
+                }
+            }
             DInst::DoWhile { .. } => self.exec_dowhile(d, fid, func, frame, inst, phase_start),
             DInst::Yield { ops } => {
                 let mut vals = self.pool_get();
@@ -1303,14 +1329,23 @@ impl<'m> Interpreter<'m> {
         inst: &DInst,
         phase_start: &mut Instant,
     ) -> Result<Flow, ExecError> {
-        let DInst::ForEach {
+        let (DInst::ForEach {
             coll,
             carried: carried_ops,
             body,
             binds_value,
             uncoerce_u64,
             dsts,
-        } = inst
+        }
+        | DInst::ForEachBulk {
+            coll,
+            carried: carried_ops,
+            body,
+            binds_value,
+            uncoerce_u64,
+            dsts,
+            plan: _,
+        }) = inst
         else {
             unreachable!()
         };
@@ -1394,13 +1429,21 @@ impl<'m> Interpreter<'m> {
         inst: &DInst,
         phase_start: &mut Instant,
     ) -> Result<Flow, ExecError> {
-        let DInst::ForRange {
+        let (DInst::ForRange {
             lo,
             hi,
             carried: carried_ops,
             body,
             dsts,
-        } = inst
+        }
+        | DInst::ForRangeBulk {
+            lo,
+            hi,
+            carried: carried_ops,
+            body,
+            dsts,
+            plan: _,
+        }) = inst
         else {
             unreachable!()
         };
@@ -1504,6 +1547,1140 @@ impl<'m> Interpreter<'m> {
         }
         self.pool_put(carried);
         Ok(Flow::Continue)
+    }
+
+    /// Whether bulk loop kernels may run. Any configuration that makes
+    /// per-iteration accounting observable — a fuel budget (each body
+    /// instruction ticks fuel), an attached profiler (per-site
+    /// attribution and size high-water marks), or a depth limit (each
+    /// iteration enters the body region) — routes bulk headers through
+    /// the generic loop instead, which replays those observables
+    /// per-instruction and byte-identically.
+    #[inline]
+    fn bulk_enabled(&self) -> bool {
+        self.config.fuel.is_none() && self.profiler.is_none() && self.config.max_depth.is_none()
+    }
+
+    /// Bulk `foreach`: one header dispatch for the whole nest. The
+    /// common prefix (collection resolution, iteration bumps, carried
+    /// resolution, hoisted constants) replays the generic loop; then
+    /// either a backend streaming kernel (Tier B, recognized
+    /// single-carry shapes over dense storage) or the plan executor
+    /// (Tier A) runs the body without per-instruction dispatch.
+    #[inline(never)]
+    fn exec_foreach_bulk(
+        &mut self,
+        fid: FuncId,
+        func: &DFunc,
+        frame: &mut Vec<Value>,
+        inst: &DInst,
+    ) -> Result<Flow, ExecError> {
+        let DInst::ForEachBulk {
+            coll,
+            carried: carried_ops,
+            body,
+            binds_value,
+            uncoerce_u64,
+            dsts,
+            plan,
+        } = inst
+        else {
+            unreachable!()
+        };
+        let id = self.resolve_coll(frame, coll)?;
+        let imp = self.impl_of(id);
+        let n = self.heap[id.0 as usize].len() as u64;
+        let words = self.heap[id.0 as usize].iter_scan_words();
+        self.bump(imp, CollOp::IterElem, n);
+        self.bump(imp, CollOp::IterWord, words);
+        let region = &func.regions[*body as usize];
+        let args = &region.args;
+        let skip = 1 + usize::from(*binds_value);
+        for (j, op) in carried_ops.iter().enumerate() {
+            let v = self.resolve(frame, op)?.into_owned();
+            frame[args[skip + j] as usize] = v;
+        }
+        // The prelude holds hoisted loop constants; fast kernels read
+        // their invariant operands from the frame, so it runs first.
+        for p in plan.prelude.iter() {
+            self.exec_plan_op(fid, func, frame, p)?;
+        }
+        let mut done = false;
+        if *binds_value {
+            if let Some(fast) = plan.fast {
+                done = self.try_fast_foreach(fid, frame, id, fast, plan, args[skip])?;
+            }
+        }
+        if !done {
+            let mut entries = self.heap[id.0 as usize].snapshot();
+            if *uncoerce_u64 {
+                for (k, _) in &mut entries {
+                    if let Value::Idx(i) = k {
+                        *k = Value::U64(*i as u64);
+                    }
+                }
+            }
+            for (key, value) in entries {
+                frame[args[0] as usize] = key;
+                if *binds_value {
+                    frame[args[1] as usize] = value;
+                }
+                for p in plan.ops.iter() {
+                    self.exec_plan_op(fid, func, frame, p)?;
+                }
+                for (&s, &a) in plan.yield_srcs.iter().zip(args[skip..].iter()) {
+                    if s != a {
+                        frame[a as usize] = frame[s as usize].clone();
+                    }
+                }
+            }
+        }
+        for (&r, &a) in dsts.iter().zip(args[skip..].iter()) {
+            frame[r as usize] = frame[a as usize].clone();
+        }
+        Ok(Flow::Continue)
+    }
+
+    /// Bulk `forrange`: the plan executor over an integer range, with no
+    /// per-iteration region entry or instruction dispatch.
+    #[inline(never)]
+    fn exec_forrange_bulk(
+        &mut self,
+        fid: FuncId,
+        func: &DFunc,
+        frame: &mut Vec<Value>,
+        inst: &DInst,
+    ) -> Result<Flow, ExecError> {
+        let DInst::ForRangeBulk {
+            lo,
+            hi,
+            carried: carried_ops,
+            body,
+            dsts,
+            plan,
+        } = inst
+        else {
+            unreachable!()
+        };
+        let lo = self.resolve(frame, lo)?.try_as_u64().map_err(trap)?;
+        let hi = self.resolve(frame, hi)?.try_as_u64().map_err(trap)?;
+        let region = &func.regions[*body as usize];
+        let args = &region.args;
+        for (j, op) in carried_ops.iter().enumerate() {
+            let v = self.resolve(frame, op)?.into_owned();
+            frame[args[1 + j] as usize] = v;
+        }
+        for p in plan.prelude.iter() {
+            self.exec_plan_op(fid, func, frame, p)?;
+        }
+        let specialized = match &plan.spec {
+            Some(spec) => self.try_spec_forrange(fid, frame, lo, hi, spec)?,
+            None => false,
+        };
+        if !specialized {
+            for i in lo..hi {
+                frame[args[0] as usize] = Value::U64(i);
+                for p in plan.ops.iter() {
+                    self.exec_plan_op(fid, func, frame, p)?;
+                }
+                for (&s, &a) in plan.yield_srcs.iter().zip(args[1..].iter()) {
+                    if s != a {
+                        frame[a as usize] = frame[s as usize].clone();
+                    }
+                }
+            }
+        }
+        for (&r, &a) in dsts.iter().zip(args[1..].iter()) {
+            frame[r as usize] = frame[a as usize].clone();
+        }
+        Ok(Flow::Continue)
+    }
+
+    /// Runs a `forrange` plan's register-specialized twin, or returns
+    /// `Ok(false)` — before any side effect — when the live frame and
+    /// heap don't match the specialization's static assumptions (boxed
+    /// backends, non-default selections, unexpected value shapes).
+    ///
+    /// The register file holds raw payloads (`u64` bits of the
+    /// statically known tags); collections are resolved to heap cells
+    /// once at entry. Handles stay valid across iterations because the
+    /// verified IR's linear-update discipline mutates collections in
+    /// place — a threaded `write(c, ..) → c'` yields the same `CollId`.
+    /// Every collection op replays the same stats bump and byte
+    /// refresh, in the same order, as its [`BulkOp`] twin, so the tier
+    /// is observationally inert.
+    fn try_spec_forrange(
+        &mut self,
+        fid: FuncId,
+        frame: &mut [Value],
+        lo: u64,
+        hi: u64,
+        spec: &SpecPlan,
+    ) -> Result<bool, ExecError> {
+        if lo >= hi {
+            // An empty range leaves every carried slot at its entry
+            // value; the generic loop does that for free.
+            return Ok(false);
+        }
+        let mut groups: Vec<CollId> = Vec::with_capacity(spec.coll_inputs.len());
+        for &(slot, backend) in spec.coll_inputs.iter() {
+            let Value::Coll(id) = frame[slot as usize] else {
+                return Ok(false);
+            };
+            let ok = matches!(
+                (backend, &self.heap[id.0 as usize]),
+                (SpecBackend::Seq, Collection::UnboxedSeq(_))
+                    | (SpecBackend::HashSet, Collection::UnboxedHashSet(_))
+                    | (SpecBackend::HashMap, Collection::UnboxedHashMap(_))
+                    | (SpecBackend::BitMap, Collection::UnboxedBitMap(_))
+            );
+            if !ok {
+                return Ok(false);
+            }
+            groups.push(id);
+        }
+        let mut regs = vec![0u64; frame.len()];
+        for &(slot, tag) in spec.scalar_inputs.iter() {
+            regs[slot as usize] = match (tag, &frame[slot as usize]) {
+                (SpecTag::U64, Value::U64(n)) => *n,
+                (SpecTag::Idx, Value::Idx(i)) => *i as u64,
+                (SpecTag::Bool, Value::Bool(b)) => u64::from(*b),
+                _ => return Ok(false),
+            };
+        }
+        for i in lo..hi {
+            regs[spec.loop_var as usize] = i;
+            for op in spec.ops.iter() {
+                self.exec_spec_op(fid, &mut regs, &groups, op)?;
+            }
+            for &(a, s) in spec.scalar_yields.iter() {
+                regs[a as usize] = regs[s as usize];
+            }
+        }
+        // What the generic loop leaves behind: the induction variable's
+        // last value and the carried slots' final values. Other body
+        // slots are region-scoped and dead after the loop.
+        frame[spec.loop_var as usize] = Value::U64(hi - 1);
+        for &(slot, v) in spec.writebacks.iter() {
+            frame[slot as usize] = match v {
+                SpecVal::Reg(tag) => spec_rebox(tag, regs[slot as usize]),
+                SpecVal::Coll(g) => Value::Coll(groups[g as usize]),
+            };
+        }
+        Ok(true)
+    }
+
+    /// One specialized component. Mirrors the corresponding
+    /// [`BulkOp`] arm bump-for-bump on pre-resolved groups, siting
+    /// traps at the component's original code index.
+    fn exec_spec_op(
+        &mut self,
+        fid: FuncId,
+        regs: &mut [u64],
+        groups: &[CollId],
+        op: &SpecOp,
+    ) -> Result<(), ExecError> {
+        let site = op.site as usize;
+        match &op.kind {
+            SpecKind::Const { val, dst } => regs[*dst as usize] = *val,
+            SpecKind::Bin { op, idx, a, b, dst } => {
+                let v = eval_bin_u64(*op, regs[*a as usize], regs[*b as usize])
+                    .map_err(|k| self.trap_at(fid, site, k))?;
+                // `Idx` arithmetic re-wraps through `usize` width,
+                // matching `eval_bin` on boxed `Idx` operands.
+                regs[*dst as usize] = if *idx { v as usize as u64 } else { v };
+            }
+            SpecKind::BinBool { op, a, b, dst } => {
+                let (x, y) = (regs[*a as usize], regs[*b as usize]);
+                regs[*dst as usize] = match op {
+                    BinOp::And => x & y,
+                    BinOp::Or => x | y,
+                    _ => x ^ y,
+                };
+            }
+            SpecKind::Cmp { op, a, b, dst } => {
+                // Same-tag payloads compare exactly like their boxed
+                // twins (`false < true` is `0 < 1`).
+                regs[*dst as usize] =
+                    u64::from(cmp_u64(*op, regs[*a as usize], regs[*b as usize]));
+            }
+            SpecKind::Not { a, dst } => regs[*dst as usize] = regs[*a as usize] ^ 1,
+            SpecKind::Cast { idx, a, dst } => {
+                let v = regs[*a as usize];
+                regs[*dst as usize] = if *idx { v as usize as u64 } else { v };
+            }
+            SpecKind::Size { grp, dst } => {
+                let id = groups[*grp as usize];
+                let imp = self.impl_of(id);
+                self.bump(imp, CollOp::Size, 1);
+                regs[*dst as usize] = self.heap[id.0 as usize].len() as u64;
+            }
+            SpecKind::SeqRead {
+                grp,
+                index,
+                vtag,
+                dst,
+            } => {
+                let id = groups[*grp as usize];
+                self.bump(ImplKind::Seq, CollOp::Read, 1);
+                let i = regs[*index as usize];
+                let Collection::UnboxedSeq(s) = &self.heap[id.0 as usize] else {
+                    unreachable!()
+                };
+                let (got, len) = (s.get(i as usize).copied(), s.len());
+                let Some(sv) = got else {
+                    return Err(self.trap_at(fid, site, TrapKind::OutOfBounds { index: i, len }));
+                };
+                regs[*dst as usize] =
+                    spec_payload(sv, *vtag).map_err(|k| self.trap_at(fid, site, k))?;
+            }
+            SpecKind::SeqWrite {
+                grp,
+                index,
+                val,
+                vtag,
+            } => {
+                let id = groups[*grp as usize];
+                self.bump(ImplKind::Seq, CollOp::Write, 1);
+                let i = regs[*index as usize];
+                let sv = spec_scalar(*vtag, regs[*val as usize]);
+                let Collection::UnboxedSeq(s) = &mut self.heap[id.0 as usize] else {
+                    unreachable!()
+                };
+                if i as usize >= s.len() {
+                    let len = s.len();
+                    return Err(self.trap_at(fid, site, TrapKind::OutOfBounds { index: i, len }));
+                }
+                s.set(i as usize, sv);
+                self.refresh_bytes(id);
+            }
+            SpecKind::SeqInsert {
+                grp,
+                index,
+                val,
+                vtag,
+            } => {
+                let id = groups[*grp as usize];
+                self.bump(ImplKind::Seq, CollOp::Insert, 1);
+                let i = regs[*index as usize] as usize;
+                let sv = spec_scalar(*vtag, regs[*val as usize]);
+                let Collection::UnboxedSeq(s) = &mut self.heap[id.0 as usize] else {
+                    unreachable!()
+                };
+                if i > s.len() {
+                    let (index, len) = (i as u64, s.len());
+                    return Err(self.trap_at(fid, site, TrapKind::OutOfBounds { index, len }));
+                }
+                if i == s.len() {
+                    s.push(sv);
+                } else {
+                    s.insert(i, sv);
+                }
+                self.refresh_bytes(id);
+            }
+            SpecKind::SetInsert { grp, elem, tag } => {
+                let id = groups[*grp as usize];
+                self.bump(ImplKind::HashSet, CollOp::Insert, 1);
+                let sv = spec_scalar(*tag, regs[*elem as usize]);
+                let Collection::UnboxedHashSet(s) = &mut self.heap[id.0 as usize] else {
+                    unreachable!()
+                };
+                s.insert(sv);
+                self.refresh_bytes(id);
+            }
+            SpecKind::SetHas { grp, key, tag, dst } => {
+                let id = groups[*grp as usize];
+                self.bump(ImplKind::HashSet, CollOp::Has, 1);
+                let sv = spec_scalar(*tag, regs[*key as usize]);
+                let Collection::UnboxedHashSet(s) = &self.heap[id.0 as usize] else {
+                    unreachable!()
+                };
+                regs[*dst as usize] = u64::from(s.contains(&sv));
+            }
+            SpecKind::SetRemove { grp, key, tag } => {
+                let id = groups[*grp as usize];
+                self.bump(ImplKind::HashSet, CollOp::Remove, 1);
+                let sv = spec_scalar(*tag, regs[*key as usize]);
+                let Collection::UnboxedHashSet(s) = &mut self.heap[id.0 as usize] else {
+                    unreachable!()
+                };
+                s.remove(&sv);
+                self.refresh_bytes(id);
+            }
+            SpecKind::MapRead {
+                grp,
+                key,
+                ktag,
+                vtag,
+                dst,
+            } => {
+                let id = groups[*grp as usize];
+                self.bump(ImplKind::HashMap, CollOp::Read, 1);
+                let kp = regs[*key as usize];
+                let k = spec_scalar(*ktag, kp);
+                let Collection::UnboxedHashMap(m) = &self.heap[id.0 as usize] else {
+                    unreachable!()
+                };
+                let Some(sv) = m.get(&k).copied() else {
+                    let key = spec_rebox(*ktag, kp).to_string();
+                    return Err(self.trap_at(fid, site, TrapKind::MissingKey { key }));
+                };
+                regs[*dst as usize] =
+                    spec_payload(sv, *vtag).map_err(|k| self.trap_at(fid, site, k))?;
+            }
+            SpecKind::MapWrite {
+                grp,
+                key,
+                ktag,
+                val,
+                vtag,
+            } => {
+                let id = groups[*grp as usize];
+                self.bump(ImplKind::HashMap, CollOp::Write, 1);
+                let k = spec_scalar(*ktag, regs[*key as usize]);
+                let v = spec_scalar(*vtag, regs[*val as usize]);
+                let Collection::UnboxedHashMap(m) = &mut self.heap[id.0 as usize] else {
+                    unreachable!()
+                };
+                m.insert(k, v);
+                self.refresh_bytes(id);
+            }
+            SpecKind::MapHas {
+                grp,
+                key,
+                ktag,
+                dst,
+            } => {
+                let id = groups[*grp as usize];
+                self.bump(ImplKind::HashMap, CollOp::Has, 1);
+                let k = spec_scalar(*ktag, regs[*key as usize]);
+                let Collection::UnboxedHashMap(m) = &self.heap[id.0 as usize] else {
+                    unreachable!()
+                };
+                regs[*dst as usize] = u64::from(m.contains_key(&k));
+            }
+            SpecKind::MapInsert {
+                grp,
+                key,
+                ktag,
+                vtag,
+            } => {
+                let id = groups[*grp as usize];
+                self.bump(ImplKind::HashMap, CollOp::Insert, 1);
+                let k = spec_scalar(*ktag, regs[*key as usize]);
+                let Collection::UnboxedHashMap(m) = &mut self.heap[id.0 as usize] else {
+                    unreachable!()
+                };
+                if !m.contains_key(&k) {
+                    m.insert(k, spec_scalar(*vtag, 0));
+                }
+                self.refresh_bytes(id);
+            }
+            SpecKind::MapRemove { grp, key, ktag } => {
+                let id = groups[*grp as usize];
+                self.bump(ImplKind::HashMap, CollOp::Remove, 1);
+                let k = spec_scalar(*ktag, regs[*key as usize]);
+                let Collection::UnboxedHashMap(m) = &mut self.heap[id.0 as usize] else {
+                    unreachable!()
+                };
+                m.remove(&k);
+                self.refresh_bytes(id);
+            }
+            SpecKind::DenseRead {
+                grp,
+                key,
+                vtag,
+                dst,
+            } => {
+                let id = groups[*grp as usize];
+                self.bump(ImplKind::BitMap, CollOp::Read, 1);
+                // `u64` keys coerce to `idx` before a dense access,
+                // exactly like `coerce_key_res`.
+                let i = regs[*key as usize] as usize;
+                let Collection::UnboxedBitMap(m) = &self.heap[id.0 as usize] else {
+                    unreachable!()
+                };
+                let Some(sv) = m.get(i).copied() else {
+                    let key = Value::Idx(i).to_string();
+                    return Err(self.trap_at(fid, site, TrapKind::MissingKey { key }));
+                };
+                regs[*dst as usize] =
+                    spec_payload(sv, *vtag).map_err(|k| self.trap_at(fid, site, k))?;
+            }
+            SpecKind::DenseWrite {
+                grp,
+                key,
+                val,
+                vtag,
+            } => {
+                let id = groups[*grp as usize];
+                self.bump(ImplKind::BitMap, CollOp::Write, 1);
+                let i = regs[*key as usize] as usize;
+                if i == ENC_SENTINEL {
+                    return Err(self.trap_at(fid, site, TrapKind::SentinelInsert));
+                }
+                let sv = spec_scalar(*vtag, regs[*val as usize]);
+                let Collection::UnboxedBitMap(m) = &mut self.heap[id.0 as usize] else {
+                    unreachable!()
+                };
+                m.insert(i, sv);
+                self.refresh_bytes(id);
+            }
+            SpecKind::DenseHas { grp, key, dst } => {
+                let id = groups[*grp as usize];
+                self.bump(ImplKind::BitMap, CollOp::Has, 1);
+                let i = regs[*key as usize] as usize;
+                let Collection::UnboxedBitMap(m) = &self.heap[id.0 as usize] else {
+                    unreachable!()
+                };
+                regs[*dst as usize] = u64::from(m.contains_key(i));
+            }
+            SpecKind::DenseInsert { grp, key, vtag } => {
+                let id = groups[*grp as usize];
+                self.bump(ImplKind::BitMap, CollOp::Insert, 1);
+                let i = regs[*key as usize] as usize;
+                let sv = spec_scalar(*vtag, 0);
+                let Collection::UnboxedBitMap(m) = &mut self.heap[id.0 as usize] else {
+                    unreachable!()
+                };
+                // The membership probe is sentinel-tolerant; only an
+                // actual insertion trips the sentinel check (the same
+                // split `InsertMap` gets from `dense_key`).
+                if !m.contains_key(i) {
+                    if i == ENC_SENTINEL {
+                        return Err(self.trap_at(fid, site, TrapKind::SentinelInsert));
+                    }
+                    m.insert(i, sv);
+                }
+                self.refresh_bytes(id);
+            }
+            SpecKind::DenseRemove { grp, key } => {
+                let id = groups[*grp as usize];
+                self.bump(ImplKind::BitMap, CollOp::Remove, 1);
+                let i = regs[*key as usize] as usize;
+                let Collection::UnboxedBitMap(m) = &mut self.heap[id.0 as usize] else {
+                    unreachable!()
+                };
+                m.remove(i);
+                self.refresh_bytes(id);
+            }
+            SpecKind::If {
+                cond,
+                then_ops,
+                then_copies,
+                else_ops,
+                else_copies,
+            } => {
+                let (ops, copies) = if regs[*cond as usize] != 0 {
+                    (then_ops, then_copies)
+                } else {
+                    (else_ops, else_copies)
+                };
+                for q in ops.iter() {
+                    self.exec_spec_op(fid, regs, groups, q)?;
+                }
+                for &(t, s) in copies.iter() {
+                    regs[t as usize] = regs[s as usize];
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// One plan component. Mirrors the corresponding arm of
+    /// [`Self::exec_simple_inst`] bump-for-bump (operands are plain
+    /// slots by construction), siting traps at the component's original
+    /// code index — the site the unfused loop would report.
+    fn exec_plan_op(
+        &mut self,
+        fid: FuncId,
+        func: &DFunc,
+        frame: &mut Vec<Value>,
+        p: &PlanOp,
+    ) -> Result<(), ExecError> {
+        let site = p.site as usize;
+        match &p.op {
+            BulkOp::Const { pool, dst } => {
+                frame[*dst as usize] = func.consts[*pool as usize].clone();
+            }
+            BulkOp::Bin { op, a, b, dst } => {
+                let v = eval_bin(*op, &frame[*a as usize], &frame[*b as usize])
+                    .map_err(|k| self.trap_at(fid, site, k))?;
+                frame[*dst as usize] = v;
+            }
+            BulkOp::Cmp { op, a, b, dst } => {
+                let v = eval_cmp(*op, &frame[*a as usize], &frame[*b as usize]);
+                frame[*dst as usize] = Value::Bool(v);
+            }
+            BulkOp::Not { a, dst } => {
+                let v = !frame[*a as usize]
+                    .try_as_bool()
+                    .map_err(|k| self.trap_at(fid, site, k))?;
+                frame[*dst as usize] = Value::Bool(v);
+            }
+            BulkOp::Cast { ty, a, dst } => {
+                let v = eval_cast(&frame[*a as usize], &func.types[*ty as usize])
+                    .map_err(|k| self.trap_at(fid, site, k))?;
+                frame[*dst as usize] = v;
+            }
+            BulkOp::Read { coll, key, dst } => {
+                let id = frame[*coll as usize]
+                    .try_as_coll()
+                    .map_err(|k| self.trap_at(fid, site, k))?;
+                let key = self.coerce_key_res(id, Res::Ref(&frame[*key as usize]));
+                let imp = self.impl_of(id);
+                self.bump(imp, CollOp::Read, 1);
+                let v = self.heap[id.0 as usize]
+                    .try_read(&key)
+                    .map_err(|k| self.trap_at(fid, site, k))?;
+                frame[*dst as usize] = v;
+            }
+            BulkOp::Write {
+                coll,
+                key,
+                val,
+                dst,
+            } => {
+                let id = frame[*coll as usize]
+                    .try_as_coll()
+                    .map_err(|k| self.trap_at(fid, site, k))?;
+                let key = self.coerce_key_res(id, Res::Ref(&frame[*key as usize]));
+                let value = frame[*val as usize].clone();
+                let imp = self.impl_of(id);
+                self.bump(imp, CollOp::Write, 1);
+                self.heap[id.0 as usize]
+                    .try_write(&key, value)
+                    .map_err(|k| self.trap_at(fid, site, k))?;
+                self.refresh_bytes(id);
+                frame[*dst as usize] = frame[*coll as usize].clone();
+            }
+            BulkOp::Has { coll, key, dst } => {
+                let id = frame[*coll as usize]
+                    .try_as_coll()
+                    .map_err(|k| self.trap_at(fid, site, k))?;
+                let key = self.coerce_key_res(id, Res::Ref(&frame[*key as usize]));
+                let imp = self.impl_of(id);
+                self.bump(imp, CollOp::Has, 1);
+                let v = self.heap[id.0 as usize]
+                    .try_has(&key)
+                    .map_err(|k| self.trap_at(fid, site, k))?;
+                frame[*dst as usize] = Value::Bool(v);
+            }
+            BulkOp::InsertSet { coll, elem, dst } => {
+                let id = frame[*coll as usize]
+                    .try_as_coll()
+                    .map_err(|k| self.trap_at(fid, site, k))?;
+                let imp = self.impl_of(id);
+                self.bump(imp, CollOp::Insert, 1);
+                let elem = self.coerce_key(id, frame[*elem as usize].clone());
+                self.heap[id.0 as usize]
+                    .try_insert_elem(elem)
+                    .map_err(|k| self.trap_at(fid, site, k))?;
+                self.refresh_bytes(id);
+                frame[*dst as usize] = frame[*coll as usize].clone();
+            }
+            BulkOp::InsertMap {
+                coll,
+                key,
+                val_ty,
+                dst,
+            } => {
+                let id = frame[*coll as usize]
+                    .try_as_coll()
+                    .map_err(|k| self.trap_at(fid, site, k))?;
+                let imp = self.impl_of(id);
+                self.bump(imp, CollOp::Insert, 1);
+                let key = self.coerce_key_res(id, Res::Ref(&frame[*key as usize]));
+                if !self.heap[id.0 as usize]
+                    .try_has(&key)
+                    .map_err(|k| self.trap_at(fid, site, k))?
+                {
+                    let key = key.into_owned();
+                    let default = self.default_value(&func.types[*val_ty as usize])?;
+                    self.heap[id.0 as usize]
+                        .try_insert_key_default(&key, default)
+                        .map_err(|k| self.trap_at(fid, site, k))?;
+                }
+                self.refresh_bytes(id);
+                frame[*dst as usize] = frame[*coll as usize].clone();
+            }
+            BulkOp::InsertSeq {
+                coll,
+                index,
+                val,
+                dst,
+            } => {
+                let id = frame[*coll as usize]
+                    .try_as_coll()
+                    .map_err(|k| self.trap_at(fid, site, k))?;
+                let imp = self.impl_of(id);
+                self.bump(imp, CollOp::Insert, 1);
+                let index = frame[*index as usize]
+                    .try_as_u64()
+                    .map_err(|k| self.trap_at(fid, site, k))? as usize;
+                let value = frame[*val as usize].clone();
+                self.heap[id.0 as usize]
+                    .try_insert_seq(index, value)
+                    .map_err(|k| self.trap_at(fid, site, k))?;
+                self.refresh_bytes(id);
+                frame[*dst as usize] = frame[*coll as usize].clone();
+            }
+            BulkOp::Remove { coll, key, dst } => {
+                let id = frame[*coll as usize]
+                    .try_as_coll()
+                    .map_err(|k| self.trap_at(fid, site, k))?;
+                let key = self.coerce_key_res(id, Res::Ref(&frame[*key as usize]));
+                let imp = self.impl_of(id);
+                self.bump(imp, CollOp::Remove, 1);
+                self.heap[id.0 as usize]
+                    .try_remove(&key)
+                    .map_err(|k| self.trap_at(fid, site, k))?;
+                self.refresh_bytes(id);
+                frame[*dst as usize] = frame[*coll as usize].clone();
+            }
+            BulkOp::Size { coll, dst } => {
+                let id = frame[*coll as usize]
+                    .try_as_coll()
+                    .map_err(|k| self.trap_at(fid, site, k))?;
+                let imp = self.impl_of(id);
+                self.bump(imp, CollOp::Size, 1);
+                let len = self.heap[id.0 as usize].len() as u64;
+                frame[*dst as usize] = Value::U64(len);
+            }
+            BulkOp::If {
+                cond,
+                then_ops,
+                then_srcs,
+                else_ops,
+                else_srcs,
+                dsts,
+            } => {
+                let c = frame[*cond as usize]
+                    .try_as_bool()
+                    .map_err(|k| self.trap_at(fid, site, k))?;
+                let (ops, srcs) = if c {
+                    (then_ops, then_srcs)
+                } else {
+                    (else_ops, else_srcs)
+                };
+                for q in ops.iter() {
+                    self.exec_plan_op(fid, func, frame, q)?;
+                }
+                for (&s, &t) in srcs.iter().zip(dsts.iter()) {
+                    if s != t {
+                        frame[t as usize] = frame[s as usize].clone();
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Dispatches a recognized streaming shape to its backend kernel.
+    /// Returns `Ok(false)` when the runtime operands don't fit the
+    /// kernel's requirements (collection variants, scalar accumulator,
+    /// distinct source/destination) — the caller falls back to the plan
+    /// executor, which handles every case bit-identically.
+    fn try_fast_foreach(
+        &mut self,
+        fid: FuncId,
+        frame: &mut Vec<Value>,
+        src: CollId,
+        fast: FastKind,
+        plan: &BulkPlan,
+        acc_slot: u32,
+    ) -> Result<bool, ExecError> {
+        match fast {
+            FastKind::Reduce {
+                op,
+                elem_first,
+                site,
+            } => self.fast_reduce(fid, frame, src, op, elem_first, site, acc_slot),
+            FastKind::FilterReduce { .. } => {
+                self.fast_filter_reduce(fid, frame, src, fast, acc_slot)
+            }
+            FastKind::ProbeCount { set } => {
+                let has_site = plan.ops[0].site;
+                self.fast_probe_count(fid, frame, src, set, has_site, acc_slot)
+            }
+            FastKind::CopyInto => {
+                let insert_site = plan.ops[0].site;
+                self.fast_copy_into(fid, frame, src, insert_site, acc_slot)
+            }
+            FastKind::FilterInto {
+                cmp,
+                elem_lhs,
+                rhs,
+                insert_on_true,
+            } => {
+                let BulkOp::If {
+                    then_ops, else_ops, ..
+                } = &plan.ops[1].op
+                else {
+                    unreachable!("FilterInto plans end in a branch")
+                };
+                let arm = if insert_on_true { then_ops } else { else_ops };
+                let insert_site = arm[0].site;
+                self.fast_filter_into(
+                    fid,
+                    frame,
+                    src,
+                    cmp,
+                    elem_lhs,
+                    rhs,
+                    insert_on_true,
+                    insert_site,
+                    acc_slot,
+                )
+            }
+        }
+    }
+
+    /// Streams `src`'s values (in iteration order) through a fallible
+    /// fold. Callers have already checked that `src` is a value-stream
+    /// source (sequence or dense map).
+    fn stream_fold(
+        &self,
+        src: CollId,
+        acc0: Value,
+        mut step: impl FnMut(Value, &Value) -> Result<Value, ExecError>,
+    ) -> Result<Value, ExecError> {
+        match &self.heap[src.0 as usize] {
+            Collection::Seq(s) => s.try_fold(acc0, &mut step),
+            Collection::UnboxedSeq(s) => s.try_fold(acc0, |a, sv| step(a, &sv.to_value())),
+            Collection::BitMap(m) => m.try_fold_values(acc0, &mut step),
+            Collection::UnboxedBitMap(m) => m.try_fold_values(acc0, |a, sv| step(a, &sv.to_value())),
+            _ => unreachable!("caller checked the source variant"),
+        }
+    }
+
+    /// `acc = op(acc, elem)` over every streamed value: the unboxed u64
+    /// storage gets a tight slice/word loop; everything else streams
+    /// through [`eval_bin`] with the unfused loop's exact trap behavior.
+    fn fast_reduce(
+        &mut self,
+        fid: FuncId,
+        frame: &mut Vec<Value>,
+        src: CollId,
+        op: BinOp,
+        elem_first: bool,
+        site: u32,
+        acc_slot: u32,
+    ) -> Result<bool, ExecError> {
+        if !is_stream_src(&self.heap[src.0 as usize]) {
+            return Ok(false);
+        }
+        let acc0 = frame[acc_slot as usize].clone();
+        let fastened = match (&self.heap[src.0 as usize], &acc0) {
+            (Collection::UnboxedSeq(s), Value::U64(a0)) => {
+                fold_u64(op, elem_first, *a0, s.as_slice().iter().map(|sv| sv.as_u64()))
+            }
+            (Collection::UnboxedBitMap(m), Value::U64(a0)) => {
+                fold_u64(op, elem_first, *a0, m.values().map(|sv| sv.as_u64()))
+            }
+            _ => None,
+        };
+        let acc = match fastened {
+            Some(r) => Value::U64(r),
+            None => {
+                let site = site as usize;
+                self.stream_fold(src, acc0, |acc, v| {
+                    let (l, r) = if elem_first { (v, &acc) } else { (&acc, v) };
+                    eval_bin(op, l, r).map_err(|k| self.trap_at(fid, site, k))
+                })?
+            }
+        };
+        frame[acc_slot as usize] = acc;
+        Ok(true)
+    }
+
+    /// `if cmp(elem, rhs) { acc = bin(acc, x) }` over every streamed
+    /// value (either branch polarity, either operand order).
+    fn fast_filter_reduce(
+        &mut self,
+        fid: FuncId,
+        frame: &mut Vec<Value>,
+        src: CollId,
+        fast: FastKind,
+        acc_slot: u32,
+    ) -> Result<bool, ExecError> {
+        let FastKind::FilterReduce {
+            cmp,
+            elem_lhs,
+            rhs,
+            acc_on_true,
+            bin,
+            acc_lhs,
+            bin_elem,
+            bin_other,
+            bin_site,
+        } = fast
+        else {
+            unreachable!()
+        };
+        if !is_stream_src(&self.heap[src.0 as usize]) {
+            return Ok(false);
+        }
+        let acc0 = frame[acc_slot as usize].clone();
+        let rhs_val = frame[rhs as usize].clone();
+        let other_val = if bin_elem {
+            Value::Void
+        } else {
+            frame[bin_other as usize].clone()
+        };
+        let other_u64 = if bin_elem {
+            Some(0)
+        } else if let Value::U64(o) = &other_val {
+            Some(*o)
+        } else {
+            None
+        };
+        let fastened = match (&self.heap[src.0 as usize], &acc0, &rhs_val, other_u64) {
+            (Collection::UnboxedSeq(s), Value::U64(a0), Value::U64(r0), Some(o)) => {
+                filter_fold_u64(
+                    cmp,
+                    elem_lhs,
+                    *r0,
+                    acc_on_true,
+                    bin,
+                    acc_lhs,
+                    bin_elem,
+                    o,
+                    *a0,
+                    s.as_slice().iter().map(|sv| sv.as_u64()),
+                )
+            }
+            (Collection::UnboxedBitMap(m), Value::U64(a0), Value::U64(r0), Some(o)) => {
+                filter_fold_u64(
+                    cmp,
+                    elem_lhs,
+                    *r0,
+                    acc_on_true,
+                    bin,
+                    acc_lhs,
+                    bin_elem,
+                    o,
+                    *a0,
+                    m.values().map(|sv| sv.as_u64()),
+                )
+            }
+            _ => None,
+        };
+        let acc = match fastened {
+            Some(r) => Value::U64(r),
+            None => {
+                let site = bin_site as usize;
+                self.stream_fold(src, acc0, |acc, v| {
+                    let c = if elem_lhs {
+                        eval_cmp(cmp, v, &rhs_val)
+                    } else {
+                        eval_cmp(cmp, &rhs_val, v)
+                    };
+                    if c != acc_on_true {
+                        return Ok(acc);
+                    }
+                    let x = if bin_elem { v } else { &other_val };
+                    let (l, r) = if acc_lhs { (&acc, x) } else { (x, &acc) };
+                    eval_bin(bin, l, r).map_err(|k| self.trap_at(fid, site, k))
+                })?
+            }
+        };
+        frame[acc_slot as usize] = acc;
+        Ok(true)
+    }
+
+    /// `acc += has(set, elem) as u64` over every streamed value: one
+    /// `Has` bump of the stream length, then group-probing bulk
+    /// membership on the hash backends.
+    fn fast_probe_count(
+        &mut self,
+        fid: FuncId,
+        frame: &mut Vec<Value>,
+        src: CollId,
+        set: u32,
+        has_site: u32,
+        acc_slot: u32,
+    ) -> Result<bool, ExecError> {
+        let Value::U64(a0) = frame[acc_slot as usize] else {
+            return Ok(false);
+        };
+        let Ok(set_id) = frame[set as usize].try_as_coll() else {
+            return Ok(false);
+        };
+        let set_imp = self.impl_of(set_id);
+        // Hash/swiss probes take any key without coercion and never
+        // trap; other implementations fall back to the plan executor.
+        if !matches!(set_imp, ImplKind::HashSet | ImplKind::SwissSet) {
+            return Ok(false);
+        }
+        if !is_stream_src(&self.heap[src.0 as usize]) {
+            return Ok(false);
+        }
+        let n = self.heap[src.0 as usize].len() as u64;
+        self.bump(set_imp, CollOp::Has, n);
+        let src_ref = &self.heap[src.0 as usize];
+        let set_ref = &self.heap[set_id.0 as usize];
+        let hits = match (src_ref, set_ref) {
+            // Aligned unboxed pair: probe the chained table's groups
+            // directly over the packed element slice.
+            (Collection::UnboxedSeq(s), Collection::UnboxedHashSet(hs)) => {
+                hs.contains_batch(s.as_slice())
+            }
+            (Collection::Seq(s), Collection::SwissSet(ss)) => ss.contains_batch(s.as_slice()),
+            (Collection::Seq(s), Collection::HashSet(hs)) => hs.contains_batch(s.as_slice()),
+            (src_ref, set_ref) => {
+                let mut hits = 0u64;
+                let probe = |v: &Value| set_ref.try_has(v).unwrap_or(false);
+                match src_ref {
+                    Collection::Seq(s) => {
+                        hits += s.iter().filter(|v| probe(v)).count() as u64;
+                    }
+                    Collection::UnboxedSeq(s) => {
+                        hits += s
+                            .iter()
+                            .filter(|sv| probe(&sv.to_value()))
+                            .count() as u64;
+                    }
+                    Collection::BitMap(m) => {
+                        hits += m.values().filter(|v| probe(v)).count() as u64;
+                    }
+                    Collection::UnboxedBitMap(m) => {
+                        hits += m.values().filter(|sv| probe(&sv.to_value())).count() as u64;
+                    }
+                    _ => unreachable!("caller checked the source variant"),
+                }
+                hits
+            }
+        };
+        let _ = (fid, has_site);
+        frame[acc_slot as usize] = Value::U64(a0.wrapping_add(hits));
+        Ok(true)
+    }
+
+    /// `insert(dst, elem)` for every streamed value: one `Insert` bump
+    /// of the stream length, batch insertion, a single byte-accounting
+    /// refresh (hash footprints grow monotonically under insert-only
+    /// histories, so the final estimate is also the running peak).
+    fn fast_copy_into(
+        &mut self,
+        fid: FuncId,
+        frame: &mut Vec<Value>,
+        src: CollId,
+        insert_site: u32,
+        acc_slot: u32,
+    ) -> Result<bool, ExecError> {
+        let Ok(dst_id) = frame[acc_slot as usize].try_as_coll() else {
+            return Ok(false);
+        };
+        if dst_id == src {
+            return Ok(false);
+        }
+        let dst_imp = self.impl_of(dst_id);
+        if !matches!(dst_imp, ImplKind::HashSet | ImplKind::SwissSet) {
+            return Ok(false);
+        }
+        if !is_stream_src(&self.heap[src.0 as usize]) {
+            return Ok(false);
+        }
+        let n = self.heap[src.0 as usize].len() as u64;
+        self.bump(dst_imp, CollOp::Insert, n);
+        let (dst_mut, src_ref) = two_heap(&mut self.heap, dst_id, src);
+        let failed: Option<TrapKind> = match (dst_mut, src_ref) {
+            (Collection::UnboxedHashSet(hs), Collection::UnboxedSeq(s)) => {
+                hs.insert_batch(s.as_slice().iter().copied());
+                None
+            }
+            (Collection::HashSet(hs), Collection::Seq(s)) => {
+                hs.insert_batch(s.as_slice().iter().cloned());
+                None
+            }
+            (Collection::SwissSet(ss), Collection::Seq(s)) => {
+                ss.insert_batch(s.as_slice().iter().cloned());
+                None
+            }
+            (dst_mut, src_ref) => {
+                let mut step = |v: Value| dst_mut.try_insert_elem(v).map(|_| ());
+                let r: Result<(), TrapKind> = match src_ref {
+                    Collection::Seq(s) => s.try_fold((), |(), v| step(v.clone())),
+                    Collection::UnboxedSeq(s) => s.try_fold((), |(), sv| step(sv.to_value())),
+                    Collection::BitMap(m) => m.try_fold_values((), |(), v| step(v.clone())),
+                    Collection::UnboxedBitMap(m) => {
+                        m.try_fold_values((), |(), sv| step(sv.to_value()))
+                    }
+                    _ => unreachable!("caller checked the source variant"),
+                };
+                r.err()
+            }
+        };
+        if let Some(k) = failed {
+            return Err(self.trap_at(fid, insert_site as usize, k));
+        }
+        self.refresh_bytes(dst_id);
+        Ok(true)
+    }
+
+    /// `if cmp(elem, rhs) { insert(dst, elem) }` for every streamed
+    /// value (either branch polarity).
+    #[allow(clippy::too_many_arguments)]
+    fn fast_filter_into(
+        &mut self,
+        fid: FuncId,
+        frame: &mut Vec<Value>,
+        src: CollId,
+        cmp: CmpOp,
+        elem_lhs: bool,
+        rhs: u32,
+        insert_on_true: bool,
+        insert_site: u32,
+        acc_slot: u32,
+    ) -> Result<bool, ExecError> {
+        let Ok(dst_id) = frame[acc_slot as usize].try_as_coll() else {
+            return Ok(false);
+        };
+        if dst_id == src {
+            return Ok(false);
+        }
+        let dst_imp = self.impl_of(dst_id);
+        if !matches!(dst_imp, ImplKind::HashSet | ImplKind::SwissSet) {
+            return Ok(false);
+        }
+        if !is_stream_src(&self.heap[src.0 as usize]) {
+            return Ok(false);
+        }
+        let rhs_val = frame[rhs as usize].clone();
+        let (dst_mut, src_ref) = two_heap(&mut self.heap, dst_id, src);
+        let mut count = 0u64;
+        let keep = |v: &Value| {
+            let c = if elem_lhs {
+                eval_cmp(cmp, v, &rhs_val)
+            } else {
+                eval_cmp(cmp, &rhs_val, v)
+            };
+            c == insert_on_true
+        };
+        let mut step = |v: &Value| -> Result<(), TrapKind> {
+            if keep(v) {
+                count += 1;
+                dst_mut.try_insert_elem(v.clone())?;
+            }
+            Ok(())
+        };
+        let r: Result<(), TrapKind> = match src_ref {
+            Collection::Seq(s) => s.try_fold((), |(), v| step(v)),
+            Collection::UnboxedSeq(s) => s.try_fold((), |(), sv| step(&sv.to_value())),
+            Collection::BitMap(m) => m.try_fold_values((), |(), v| step(v)),
+            Collection::UnboxedBitMap(m) => m.try_fold_values((), |(), sv| step(&sv.to_value())),
+            _ => unreachable!("caller checked the source variant"),
+        };
+        drop(step);
+        // On a trap the run's statistics are discarded with the error,
+        // so the bump accompanies only successful sweeps.
+        self.bump(dst_imp, CollOp::Insert, count);
+        if let Err(k) = r {
+            return Err(self.trap_at(fid, insert_site as usize, k));
+        }
+        self.refresh_bytes(dst_id);
+        Ok(true)
     }
 
     fn enum_add(&mut self, e: usize, key: Value) -> usize {
@@ -1707,6 +2884,146 @@ fn eval_cast(a: &Value, ty: &Type) -> Result<Value, TrapKind> {
                 got: format!("{other}"),
             })
         }
+    })
+}
+
+/// Collections whose values bulk kernels can stream in iteration order:
+/// sequences (index order) and dense maps (ascending key order).
+fn is_stream_src(c: &Collection) -> bool {
+    matches!(
+        c,
+        Collection::Seq(_)
+            | Collection::UnboxedSeq(_)
+            | Collection::BitMap(_)
+            | Collection::UnboxedBitMap(_)
+    )
+}
+
+/// Disjoint mutable/shared borrows of two distinct heap cells.
+fn two_heap(heap: &mut [Collection], dst: CollId, src: CollId) -> (&mut Collection, &Collection) {
+    let (di, si) = (dst.0 as usize, src.0 as usize);
+    if di < si {
+        let (lo, hi) = heap.split_at_mut(si);
+        (&mut lo[di], &hi[0])
+    } else {
+        let (lo, hi) = heap.split_at_mut(di);
+        (&mut hi[0], &lo[si])
+    }
+}
+
+/// Reboxes a specialized register payload into its tagged [`Value`].
+fn spec_rebox(tag: SpecTag, p: u64) -> Value {
+    match tag {
+        SpecTag::U64 => Value::U64(p),
+        SpecTag::Idx => Value::Idx(p as usize),
+        SpecTag::Bool => Value::Bool(p != 0),
+    }
+}
+
+/// Packs a specialized register payload into the [`ScalarVal`] its
+/// boxed twin would store (same tag, same bits, same hash).
+fn spec_scalar(tag: SpecTag, p: u64) -> ScalarVal {
+    ScalarVal::from_value(&spec_rebox(tag, p)).expect("scalar tags pack")
+}
+
+/// Unpacks a stored scalar into a register payload of the statically
+/// expected tag. A tag mismatch is unreachable on verified IR (the
+/// stored value's type is the collection's static element/value type,
+/// which is what the builder recorded); an unverified module traps
+/// instead of computing with misinterpreted bits.
+fn spec_payload(sv: ScalarVal, tag: SpecTag) -> Result<u64, TrapKind> {
+    let v = sv.to_value();
+    match (tag, &v) {
+        (SpecTag::U64, Value::U64(n)) => Ok(*n),
+        (SpecTag::Idx, Value::Idx(i)) => Ok(*i as u64),
+        (SpecTag::Bool, Value::Bool(b)) => Ok(u64::from(*b)),
+        _ => Err(TrapKind::TypeMismatch {
+            expected: "specialized scalar",
+            got: format!("{v:?}"),
+        }),
+    }
+}
+
+/// `eval_cmp` restricted to `u64` operands (identical to comparing the
+/// boxed `Value::U64`s: equality is value equality, ordering is integer
+/// ordering).
+fn cmp_u64(op: CmpOp, a: u64, b: u64) -> bool {
+    match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+    }
+}
+
+/// Unboxed reduce kernel: folds a `u64` stream with [`eval_bin_u64`]
+/// semantics. Returns `None` when an element is not a `u64` or the op
+/// can trap (`Div`/`Rem`), sending the caller to the boxed stream.
+fn fold_u64(
+    op: BinOp,
+    elem_first: bool,
+    acc0: u64,
+    mut it: impl Iterator<Item = Option<u64>>,
+) -> Option<u64> {
+    match op {
+        BinOp::Add => it.try_fold(acc0, |a, x| Some(a.wrapping_add(x?))),
+        BinOp::Min => it.try_fold(acc0, |a, x| Some(a.min(x?))),
+        BinOp::Max => it.try_fold(acc0, |a, x| Some(a.max(x?))),
+        BinOp::Div | BinOp::Rem => None,
+        op => it.try_fold(acc0, |a, x| {
+            let x = x?;
+            let (l, r) = if elem_first { (x, a) } else { (a, x) };
+            eval_bin_u64(op, l, r).ok()
+        }),
+    }
+}
+
+/// Unboxed filter-reduce kernel: `if cmp(elem, rhs) { acc = bin(acc, x) }`
+/// over a `u64` stream, with the sum shape (`bin == Add`) getting a
+/// branch-light specialization.
+#[allow(clippy::too_many_arguments)]
+fn filter_fold_u64(
+    cmp: CmpOp,
+    elem_lhs: bool,
+    rhs: u64,
+    keep_on: bool,
+    bin: BinOp,
+    acc_lhs: bool,
+    bin_elem: bool,
+    other: u64,
+    acc0: u64,
+    mut it: impl Iterator<Item = Option<u64>>,
+) -> Option<u64> {
+    if matches!(bin, BinOp::Div | BinOp::Rem) {
+        return None;
+    }
+    if bin == BinOp::Add {
+        return it.try_fold(acc0, |acc, x| {
+            let x = x?;
+            let c = if elem_lhs {
+                cmp_u64(cmp, x, rhs)
+            } else {
+                cmp_u64(cmp, rhs, x)
+            };
+            let e = if bin_elem { x } else { other };
+            Some(if c == keep_on { acc.wrapping_add(e) } else { acc })
+        });
+    }
+    it.try_fold(acc0, |acc, x| {
+        let x = x?;
+        let c = if elem_lhs {
+            cmp_u64(cmp, x, rhs)
+        } else {
+            cmp_u64(cmp, rhs, x)
+        };
+        if c != keep_on {
+            return Some(acc);
+        }
+        let e = if bin_elem { x } else { other };
+        let (l, r) = if acc_lhs { (acc, e) } else { (e, acc) };
+        eval_bin_u64(bin, l, r).ok()
     })
 }
 

@@ -211,6 +211,16 @@ impl ScalarVal {
         Some(ScalarVal { tag, bits })
     }
 
+    /// The raw `u64` payload when this scalar is a `U64`, `None`
+    /// otherwise. Bulk loop kernels use this to stream unboxed storage
+    /// through tight integer loops without constructing boxed values;
+    /// any non-`U64` tag routes the element through the general
+    /// [`ScalarVal::to_value`] path instead.
+    #[inline]
+    pub(crate) fn as_u64(self) -> Option<u64> {
+        matches!(self.tag, ScalarTag::U64).then_some(self.bits)
+    }
+
     /// Unpacks back into the boxed representation.
     #[inline]
     pub fn to_value(self) -> Value {
