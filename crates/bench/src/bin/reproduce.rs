@@ -4,8 +4,8 @@
 //! ```text
 //! reproduce [--scale N] [--trials N] [--jobs N] [--no-wall]
 //!           [--strict] [--checkpoint FILE] [--inject-fault SPEC]
-//!           [--timeline FILE] [--obs-dir DIR]
-//!           [fig4|fig5|fig6|fig7|fig8|fig9|table2|table3|rq4|all]
+//!           [--timeline FILE] [--obs-dir DIR] [--feedback]
+//!           [fig4|fig5|fig6|fig7|fig8|fig9|table2|table3|rq4|feedback|all]
 //! ```
 //!
 //! The default scale (9: ≈512-node graphs with thousands of edges) runs
@@ -31,6 +31,13 @@
 //! K-th scheduled cell (worker panic, or a 100-instruction fuel budget
 //! that trips the interpreter's typed limit) — the CI smoke hook for
 //! the isolation machinery.
+//!
+//! `--feedback` (or the `feedback` target) runs the profile → compile
+//! loop RQ: per benchmark, profile the static `ade` configuration, feed
+//! the measured op mixes back into selection, re-run, and print a
+//! static vs feedback-directed vs oracle comparison. It is not part of
+//! `all`, so every pre-existing figure is byte-identical with the flag
+//! off.
 //!
 //! Observability (figure text stays byte-identical either way):
 //! `--timeline FILE` writes a Chrome-trace JSON of the worker pool —
@@ -98,6 +105,11 @@ fn main() {
             "--obs-dir" => {
                 obs_dir = Some(args.next().unwrap_or_else(|| usage("missing value for --obs-dir")));
             }
+            "--feedback" => {
+                if !targets.iter().any(|t| t == "feedback") {
+                    targets.push("feedback".to_string());
+                }
+            }
             other => targets.push(other.to_string()),
         }
     }
@@ -108,7 +120,11 @@ fn main() {
         "fig4", "fig5", "fig6", "table2", "table3", "fig7", "fig8", "fig9", "rq4",
     ];
     for target in &targets {
-        if !(target == "all" || target == "fig10" || ALL.contains(&target.as_str())) {
+        if !(target == "all"
+            || target == "fig10"
+            || target == "feedback"
+            || ALL.contains(&target.as_str()))
+        {
             usage(&format!("unknown target `{target}`"));
         }
     }
@@ -157,6 +173,7 @@ fn main() {
                 "table2" => print!("{}", session.table2()),
                 "table3" => print!("{}", session.table3()),
                 "rq4" => print!("{}", session.rq4()),
+                "feedback" => print!("{}", session.feedback_rq()),
                 "all" => {
                     for part in [
                         session.fig4(),
@@ -214,7 +231,7 @@ fn write_file(path: &str, contents: &str) {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: reproduce [--scale N] [--trials N] [--jobs N] [--no-wall] [--strict] [--checkpoint FILE] [--inject-fault cell=K,kind=panic|fuel] [--timeline FILE] [--obs-dir DIR] [fig4|fig5|fig6|fig7|fig8|fig9|table2|table3|rq4|all]"
+        "usage: reproduce [--scale N] [--trials N] [--jobs N] [--no-wall] [--strict] [--checkpoint FILE] [--inject-fault cell=K,kind=panic|fuel] [--timeline FILE] [--obs-dir DIR] [--feedback] [fig4|fig5|fig6|fig7|fig8|fig9|table2|table3|rq4|feedback|all]"
     );
     std::process::exit(2);
 }

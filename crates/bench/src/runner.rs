@@ -242,6 +242,76 @@ pub fn try_run_benchmark_cell(
     })
 }
 
+/// Runs the profile → compile loop for one benchmark: profile the
+/// static `ade` configuration, feed the measured op mixes back into
+/// selection, and run the feedback-directed result. Returns the
+/// feedback run plus the selection ledger its compile produced (for the
+/// figure's "picked" column and the explain report).
+///
+/// # Errors
+///
+/// [`CellError`] from either the profiling run or the feedback-directed
+/// run.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`, or if the interpreter emits a profile the
+/// strict reader rejects (a contract violation between the two, not a
+/// cell fault).
+pub fn try_run_feedback_cell(
+    bench: &Benchmark,
+    scale: u32,
+    trials: u32,
+    opts: InterpOpts,
+) -> Result<(RunResult, ade_obs::SelectionLedger), CellError> {
+    let profiled = try_run_benchmark_cell(bench, ConfigKind::Ade, scale, 1, true, None, opts)?;
+    let json = profiled.profile.as_ref().expect("profiled run").to_json();
+    let data = ade_obs::read_profile(&json)
+        .unwrap_or_else(|e| panic!("[{}] interpreter wrote an invalid profile: {e}", bench.abbrev));
+    let fb = ade_workloads::feedback::feedback_from_profile("in-run profile", &data);
+
+    let mut config = Config::new(ConfigKind::Ade);
+    config.ade.as_mut().expect("ade configuration has a pass").feedback = Some(fb);
+    let mut module = (bench.build)(scale);
+    let report = config.compile(&mut module).expect("ade pass ran");
+    ade_ir::verify::verify_module(&module).map_err(|e| CellError::Verify(e.to_string()))?;
+    let mut exec = config.exec.clone();
+    exec.fuse = opts.fuse;
+    exec.unbox = opts.unbox;
+    exec.loop_fuse = opts.loop_fuse;
+    let decoded = ade_interp::DecodedModule::decode_with(
+        &module,
+        &ade_interp::DecodeOptions {
+            fuse: exec.fuse,
+            loop_fuse: exec.loop_fuse,
+        },
+    );
+    assert!(trials > 0, "at least one trial");
+    let mut best: Option<ade_interp::Outcome> = None;
+    for _ in 0..trials {
+        let outcome = Interpreter::new(&module, exec.clone())
+            .run_decoded(&decoded, "main")
+            .map_err(CellError::Exec)?;
+        let better = best
+            .as_ref()
+            .is_none_or(|b| outcome.stats.wall_total_ns() < b.stats.wall_total_ns());
+        if better {
+            best = Some(outcome);
+        }
+    }
+    let outcome = best.expect("ran at least once");
+    Ok((
+        RunResult {
+            abbrev: bench.abbrev,
+            config: ConfigKind::Ade,
+            output: outcome.output,
+            stats: outcome.stats,
+            profile: None,
+        },
+        report.ledger,
+    ))
+}
+
 /// Geometric mean of a sequence of ratios.
 pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
     let mut log_sum = 0.0;

@@ -72,6 +72,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod feedback;
 pub mod interproc;
 pub mod opt;
 pub mod patch;
@@ -112,6 +113,11 @@ pub struct AdeOptions {
     pub nested_set_impl: Option<SetSel>,
     /// Honor `#pragma ade` directives (§III-I).
     pub respect_directives: bool,
+    /// Measured feedback for selection (`adec --profile-in`): per-
+    /// function op mixes plus a candidate cost table. `None` (the
+    /// default) keeps the static heuristics bit-for-bit; see
+    /// [`feedback`].
+    pub feedback: Option<feedback::SelectionFeedback>,
 }
 
 impl Default for AdeOptions {
@@ -123,6 +129,7 @@ impl Default for AdeOptions {
             enumerated_set_impl: SetSel::Bit,
             nested_set_impl: None,
             respect_directives: true,
+            feedback: None,
         }
     }
 }
@@ -166,6 +173,9 @@ pub struct AdeReport {
     pub cloned_functions: Vec<String>,
     /// Total trim-set sizes (the benefit actually realized).
     pub total_benefit: usize,
+    /// Every selection decision the pass made, with candidate costs
+    /// (the `adec --explain` report's data).
+    pub ledger: ade_obs::SelectionLedger,
 }
 
 /// Runs the full ADE pipeline over `module` in place.
@@ -183,14 +193,14 @@ pub fn run_ade_traced(module: &mut Module, options: &AdeOptions, tracer: &Tracer
         let _span = tracer.span("pass", "plan");
         interproc::plan_module_traced(module, options, tracer)
     };
-    let report = {
+    let mut report = {
         let _span = tracer.span("pass", "transform");
         transform::apply_traced(module, &plan, options, tracer)
     };
-    {
+    report.ledger = {
         let _span = tracer.span("pass", "select");
-        select::apply_selection_traced(module, &plan, options, tracer);
-    }
+        select::apply_selection_traced(module, &plan, options, tracer)
+    };
     if options.rte {
         {
             let _span = tracer.span("pass", "peephole");

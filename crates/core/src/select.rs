@@ -2,40 +2,63 @@
 //! specialized implementations — `BitSet`/`BitMap` by default,
 //! `SparseBitSet` under the `ade-sparse` knobs — and `select(...)`
 //! directives override any choice (§III-I).
+//!
+//! When [`AdeOptions::feedback`] carries measured per-function op mixes
+//! (`adec --profile-in`), the pass prices every candidate backend under
+//! the class's merged measured mix and picks the cheapest instead of
+//! applying the static default. Either way it records every keyed-site
+//! decision — candidates, costs, winner, deciding term — in a
+//! [`ade_obs::SelectionLedger`] (the `adec --explain` report) and as
+//! decision events on the tracer.
+
+use std::collections::BTreeMap;
 
 use ade_analysis::RedefChains;
 use ade_ir::{
     Function, InstKind, MapSel, Module, SelectionChoice, SetSel, Type, ValueDef, ValueId,
 };
+use ade_obs::ledger::{CandidateEval, DecisionSource, SelectionDecision, SelectionLedger};
 
+use crate::feedback::{static_reference_mix, FuncMeasurement, OpMix, SelectionFeedback};
 use crate::interproc::ModulePlan;
 use crate::AdeOptions;
 
 /// Applies implementation selection: `select(...)` directives on any
 /// allocation (enumerated or not — paper Listing 5 pins a swiss map on a
-/// `noenumerate` collection), then the dense defaults for enumerated
-/// entities.
+/// `noenumerate` collection), then the dense defaults (or the
+/// measured-cheapest candidate, under feedback) for enumerated entities.
 pub fn apply_selection(module: &mut Module, plan: &ModulePlan, options: &AdeOptions) {
-    apply_selection_traced(module, plan, options, &ade_obs::Tracer::disabled())
+    apply_selection_traced(module, plan, options, &ade_obs::Tracer::disabled());
 }
 
-/// [`apply_selection`] with one decision event per keyed member: which
-/// set/map implementation it received and whether a `select(...)`
-/// directive forced the choice.
+/// How one enumeration class was decided (computed once per class so
+/// members unified across call boundaries keep identical physical
+/// types, then recorded per keyed member).
+struct ClassDecision {
+    set_sel: SetSel,
+    map_sel: MapSel,
+    source: DecisionSource,
+    deciding: String,
+    candidates: Vec<CandidateEval>,
+}
+
+/// [`apply_selection`] with a decision record per keyed member: the
+/// returned ledger holds every candidate's modeled costs, the winner
+/// and the deciding term; the tracer gets a `choice` event per member
+/// plus a `candidate` event per priced backend.
 pub fn apply_selection_traced(
     module: &mut Module,
     plan: &ModulePlan,
     options: &AdeOptions,
     tracer: &ade_obs::Tracer,
-) {
+) -> SelectionLedger {
     if options.respect_directives {
         apply_directive_selections(module);
     }
     // A `select(...)` directive on any member of an enumeration class
     // governs the whole class: collections unified across call
     // boundaries must end up with identical physical types.
-    let mut class_selection: std::collections::BTreeMap<usize, SelectionChoice> =
-        std::collections::BTreeMap::new();
+    let mut class_selection: BTreeMap<usize, SelectionChoice> = BTreeMap::new();
     if options.respect_directives {
         for (&fidx, func_plan) in &plan.func_plans {
             let func = &module.funcs[fidx as usize];
@@ -50,6 +73,25 @@ pub fn apply_selection_traced(
             }
         }
     }
+    // Merge the measured mixes of every function holding a keyed member
+    // of each class: the class gets one physical type, so it gets one
+    // (combined) measurement.
+    let mut class_measured: BTreeMap<usize, FuncMeasurement> = BTreeMap::new();
+    if let Some(fb) = &options.feedback {
+        for (&fidx, func_plan) in &plan.func_plans {
+            let Some(m) = fb.funcs.get(&module.funcs[fidx as usize].name) else {
+                continue;
+            };
+            for cand in &func_plan.candidates {
+                if cand.members.iter().any(|member| member.role.keys) {
+                    let entry = class_measured.entry(cand.enum_idx).or_default();
+                    entry.mix.merge(&m.mix);
+                    entry.size_hwm = entry.size_hwm.max(m.size_hwm);
+                }
+            }
+        }
+    }
+    let mut ledger = SelectionLedger::default();
     for (&fidx, func_plan) in &plan.func_plans {
         let func = &mut module.funcs[fidx as usize];
         for cand in &func_plan.candidates {
@@ -58,29 +100,180 @@ pub fn apply_selection_traced(
                     continue; // propagator-only members keep their impl
                 }
                 let directive_sel = class_selection.get(&cand.enum_idx).copied();
-                let set_sel = directive_sel
-                    .map(selection_to_set)
-                    .unwrap_or(if m.entity.depth > 0 {
-                        options.nested_set_impl.unwrap_or(options.enumerated_set_impl)
-                    } else {
-                        options.enumerated_set_impl
-                    });
-                let map_sel = directive_sel
-                    .map(selection_to_map)
-                    .unwrap_or(MapSel::Bit);
+                let static_set = if m.entity.depth > 0 {
+                    options.nested_set_impl.unwrap_or(options.enumerated_set_impl)
+                } else {
+                    options.enumerated_set_impl
+                };
+                let decision = decide_class(
+                    options.feedback.as_ref(),
+                    directive_sel,
+                    class_measured.get(&cand.enum_idx),
+                    static_set,
+                );
+                let root_label = ade_analysis::value_label(func, m.entity.root);
                 tracer
                     .event("select", "choice")
                     .field("func", func.name.as_str())
-                    .field("root", ade_analysis::value_label(func, m.entity.root))
+                    .field("root", root_label.clone())
                     .field("depth", m.entity.depth)
-                    .field("set", format!("{set_sel:?}"))
-                    .field("map", format!("{map_sel:?}"))
+                    .field("set", format!("{:?}", decision.set_sel))
+                    .field("map", format!("{:?}", decision.map_sel))
                     .field("directive", directive_sel.is_some())
+                    .field("source", decision.source.to_string())
                     .emit();
-                retype_selection(func, m.entity.root, m.entity.depth, set_sel, map_sel);
+                for c in &decision.candidates {
+                    let event = tracer
+                        .event("select", "candidate")
+                        .field("func", func.name.as_str())
+                        .field("root", root_label.clone())
+                        .field("class", cand.enum_idx)
+                        .field("backend", c.backend.as_str())
+                        .field("static_ns", c.static_ns)
+                        .field("winner", c.backend == format!("{:?}", decision.set_sel));
+                    match c.measured_ns {
+                        Some(ns) => event.field("measured_ns", ns).emit(),
+                        None => event.emit(),
+                    }
+                }
+                ledger.decisions.push(SelectionDecision {
+                    func: func.name.clone(),
+                    member: root_label,
+                    depth: m.entity.depth,
+                    enum_class: cand.enum_idx,
+                    set_impl: format!("{:?}", decision.set_sel),
+                    map_impl: format!("{:?}", decision.map_sel),
+                    source: decision.source,
+                    deciding: decision.deciding,
+                    candidates: decision.candidates,
+                });
+                retype_selection(
+                    func,
+                    m.entity.root,
+                    m.entity.depth,
+                    decision.set_sel,
+                    decision.map_sel,
+                );
             }
         }
     }
+    ledger
+}
+
+/// Picks the winner for one keyed member and prices the candidates for
+/// the ledger. Precedence: directive > measured argmin > static
+/// heuristic. Without feedback the result is exactly the pre-feedback
+/// static behavior (and the candidate table is empty — there is nothing
+/// to price with).
+fn decide_class(
+    feedback: Option<&SelectionFeedback>,
+    directive_sel: Option<SelectionChoice>,
+    measured: Option<&FuncMeasurement>,
+    static_set: SetSel,
+) -> ClassDecision {
+    let static_mix = static_reference_mix();
+    let measured_mix: Option<&OpMix> = measured.map(|m| &m.mix);
+    let candidates: Vec<CandidateEval> = feedback
+        .map(|fb| {
+            fb.candidates
+                .iter()
+                .map(|c| CandidateEval {
+                    backend: c.name.to_string(),
+                    static_ns: c.cost_ns(&static_mix),
+                    measured_ns: measured_mix.map(|mix| c.cost_ns(mix)),
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+
+    if let Some(choice) = directive_sel {
+        return ClassDecision {
+            set_sel: selection_to_set(choice),
+            map_sel: selection_to_map(choice),
+            source: DecisionSource::Directive,
+            deciding: "select(...) directive governs the class".to_string(),
+            candidates,
+        };
+    }
+
+    if let (Some(fb), Some(mix)) = (feedback, measured_mix) {
+        if !fb.candidates.is_empty() {
+            // Argmin under the measured mix; ties keep the earlier
+            // candidate (the dense default leads the table).
+            let mut winner = 0usize;
+            for (i, c) in fb.candidates.iter().enumerate().skip(1) {
+                if c.cost_ns(mix) < fb.candidates[winner].cost_ns(mix) {
+                    winner = i;
+                }
+            }
+            let w = &fb.candidates[winner];
+            return ClassDecision {
+                set_sel: w.set_impl,
+                map_sel: w.map_impl,
+                source: DecisionSource::Measured,
+                deciding: deciding_term(fb, winner, mix, "measured"),
+                candidates,
+            };
+        }
+    }
+
+    // Static fallback: price the heuristic's pick under the reference
+    // mix when the candidate table knows it, so the ledger's static
+    // column annotates the same choice the heuristic made.
+    let deciding = match feedback {
+        Some(fb) => match fb
+            .candidates
+            .iter()
+            .position(|c| c.set_impl == static_set && c.map_impl == MapSel::Bit)
+        {
+            Some(idx) if fb.candidates.len() > 1 => {
+                deciding_term(fb, idx, &static_mix, "static reference mix")
+            }
+            _ => format!("static heuristic ({static_set:?})"),
+        },
+        None => format!("static heuristic ({static_set:?})"),
+    };
+    ClassDecision {
+        set_sel: static_set,
+        map_sel: MapSel::Bit,
+        source: DecisionSource::Static,
+        deciding,
+        candidates,
+    }
+}
+
+/// Names the operation kind that separates `winner` from the runner-up
+/// under `mix` — the term whose cost difference contributes most to the
+/// winner's advantage (ties keep the earliest op in declaration order).
+fn deciding_term(fb: &SelectionFeedback, winner: usize, mix: &OpMix, label: &str) -> String {
+    let w = &fb.candidates[winner];
+    let runner_up = fb
+        .candidates
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != winner)
+        .min_by(|(_, a), (_, b)| a.cost_ns(mix).total_cmp(&b.cost_ns(mix)));
+    let Some((_, r)) = runner_up else {
+        return format!("only candidate ({label})");
+    };
+    let w_terms = w.terms(mix);
+    let r_terms = r.terms(mix);
+    let mut best = 0usize;
+    let mut best_gap = f64::MIN;
+    for (i, ((_, w_ns), (_, r_ns))) in w_terms.iter().zip(r_terms.iter()).enumerate() {
+        let gap = r_ns - w_ns;
+        if gap > best_gap {
+            best_gap = gap;
+            best = i;
+        }
+    }
+    format!(
+        "{} favors {} over {} by {:.1} ns ({label})",
+        w_terms[best].0,
+        w.name,
+        r.name,
+        r.cost_ns(mix) - w.cost_ns(mix)
+    )
 }
 
 /// Honors every `select(...)` directive in the module, at every nesting
@@ -215,5 +408,172 @@ mod tests {
         assert_eq!(selection_to_set(SelectionChoice::SparseBit), SetSel::SparseBit);
         assert_eq!(selection_to_map(SelectionChoice::Swiss), MapSel::Swiss);
         assert_eq!(selection_to_map(SelectionChoice::Flat), MapSel::Bit);
+    }
+
+    const DEDUP: &str = r#"
+fn @main() -> void {
+  %work = new Seq<u64>
+  %lo = const 0u64
+  %hi = const 40u64
+  %filled = forrange %lo, %hi carry(%work) as (%i: u64, %s: Seq<u64>) {
+    %five = const 5u64
+    %v = rem %i, %five
+    %n = size %s
+    %s1 = insert %s, %n, %v
+    yield %s1
+  }
+  %seen = new Set<u64>
+  %uniq, %sout = foreach %filled carry(%lo, %seen) as (%i: u64, %v: u64, %acc: u64, %ss: Set<u64>) {
+    %h = has %ss, %v
+    %acc2, %s2 = if %h then {
+      yield %acc, %ss
+    } else {
+      %s1 = insert %ss, %v
+      %one = const 1u64
+      %a1 = add %acc, %one
+      yield %a1, %s1
+    }
+    yield %acc2, %s2
+  }
+  print %uniq
+  ret
+}
+"#;
+
+    /// A hand-written two-candidate table for tests: a dense backend
+    /// that pays per word scanned, a sparse one that pays a premium per
+    /// element but skips empty words.
+    fn test_candidates() -> Vec<crate::feedback::BackendCandidate> {
+        use crate::feedback::{BackendCandidate, OpCostTable};
+        let dense = OpCostTable {
+            read: 3.0,
+            write: 3.0,
+            insert: 3.0,
+            remove: 3.0,
+            has: 3.0,
+            size: 1.0,
+            clear: 1.0,
+            iter_elem: 2.0,
+            iter_word: 0.5,
+            union_elem: 3.0,
+            union_word: 0.5,
+        };
+        let sparse = OpCostTable {
+            read: 9.0,
+            write: 9.0,
+            insert: 9.0,
+            remove: 9.0,
+            has: 9.0,
+            size: 1.0,
+            clear: 1.0,
+            iter_elem: 4.0,
+            iter_word: 0.5,
+            union_elem: 9.0,
+            union_word: 0.5,
+        };
+        vec![
+            BackendCandidate {
+                name: "Bit",
+                set_impl: SetSel::Bit,
+                map_impl: MapSel::Bit,
+                charges_word_ops: true,
+                costs: dense,
+            },
+            BackendCandidate {
+                name: "SparseBit",
+                set_impl: SetSel::SparseBit,
+                map_impl: MapSel::Bit,
+                charges_word_ops: false,
+                costs: sparse,
+            },
+        ]
+    }
+
+    fn run_dedup(feedback: Option<crate::feedback::SelectionFeedback>) -> (String, crate::AdeReport) {
+        let mut module = ade_ir::parse::parse_module(DEDUP).expect("parses");
+        let options = crate::AdeOptions {
+            feedback,
+            ..crate::AdeOptions::default()
+        };
+        let report = crate::run_ade(&mut module, &options);
+        ade_ir::verify::verify_module(&module).expect("verifies post-ADE");
+        (ade_ir::print::print_module(&module), report)
+    }
+
+    #[test]
+    fn feedback_none_keeps_static_choice_and_ledger_records_it() {
+        let (ir, report) = run_dedup(None);
+        assert!(ir.contains("Set{Bit}<idx>"), "{ir}");
+        assert_eq!(report.ledger.decisions.len(), 1);
+        let d = &report.ledger.decisions[0];
+        assert_eq!(d.source, ade_obs::DecisionSource::Static);
+        assert!(d.candidates.is_empty(), "no cost table, nothing to price");
+        assert!(d.deciding.contains("static heuristic"), "{}", d.deciding);
+    }
+
+    #[test]
+    fn measured_word_heavy_mix_flips_the_class_to_sparse() {
+        use crate::feedback::{FuncMeasurement, OpMix, SelectionFeedback};
+        // A mix dominated by word scans over a huge, nearly-empty
+        // bitset: dense pays 40_000 * 0.5 ns in IterWord, sparse skips
+        // the empty words entirely.
+        let mix = OpMix {
+            insert: 10,
+            has: 10,
+            iter_elem: 10,
+            iter_word: 40_000,
+            ..OpMix::default()
+        };
+        let mut funcs = std::collections::BTreeMap::new();
+        funcs.insert(
+            "main".to_string(),
+            FuncMeasurement {
+                mix,
+                size_hwm: 10,
+            },
+        );
+        let fb = SelectionFeedback {
+            source: "test".to_string(),
+            funcs,
+            candidates: test_candidates(),
+        };
+        let (ir, report) = run_dedup(Some(fb));
+        assert!(ir.contains("Set{SparseBit}<idx>"), "{ir}");
+        let d = &report.ledger.decisions[0];
+        assert_eq!(d.source, ade_obs::DecisionSource::Measured);
+        assert_eq!(d.set_impl, "SparseBit");
+        assert_eq!(d.candidates.len(), 2);
+        let bit = &d.candidates[0];
+        let sparse = &d.candidates[1];
+        assert!(bit.measured_ns.unwrap() > sparse.measured_ns.unwrap());
+        assert!(
+            d.deciding.contains("IterWord favors SparseBit over Bit"),
+            "{}",
+            d.deciding
+        );
+        // Static column still prices the reference mix, under which the
+        // dense default is cheaper.
+        assert!(bit.static_ns < sparse.static_ns);
+    }
+
+    #[test]
+    fn feedback_without_measurements_prices_but_keeps_static_choice() {
+        use crate::feedback::SelectionFeedback;
+        let fb = SelectionFeedback {
+            source: "no profile".to_string(),
+            funcs: std::collections::BTreeMap::new(),
+            candidates: test_candidates(),
+        };
+        let (ir, report) = run_dedup(Some(fb));
+        assert!(ir.contains("Set{Bit}<idx>"), "{ir}");
+        let d = &report.ledger.decisions[0];
+        assert_eq!(d.source, ade_obs::DecisionSource::Static);
+        assert_eq!(d.candidates.len(), 2);
+        assert!(d.candidates.iter().all(|c| c.measured_ns.is_none()));
+        assert!(
+            d.deciding.contains("static reference mix"),
+            "{}",
+            d.deciding
+        );
     }
 }

@@ -41,6 +41,18 @@ pub enum TraceMode {
     File(String),
 }
 
+/// Where the selection-ledger explain report goes (`--explain[=FILE]`).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum ExplainMode {
+    /// No explain report.
+    #[default]
+    Off,
+    /// Render the report to stderr after compilation.
+    Stderr,
+    /// Write the rendered report to a file.
+    File(String),
+}
+
 /// Driver options (mirrors the `adec` CLI flags).
 #[derive(Clone, Debug)]
 pub struct Options {
@@ -62,6 +74,13 @@ pub struct Options {
     /// Write a per-site interpreter profile (JSON) to this path
     /// (implies `run`).
     pub profile: Option<String>,
+    /// Read a previously written `ade-site-profile-v1` profile and feed
+    /// its measured op mixes into selection (`--profile-in FILE`).
+    pub profile_in: Option<String>,
+    /// Selection-ledger explain report destination (`--explain[=FILE]`):
+    /// per keyed site, every candidate backend, its modeled cost under
+    /// static and measured inputs, the winner and the deciding term.
+    pub explain: ExplainMode,
     /// Abort execution after this many interpreted instructions
     /// (`--fuel`; default: unlimited).
     pub fuel: Option<u64>,
@@ -96,6 +115,8 @@ impl Default for Options {
             trace: TraceMode::Off,
             trace_json: None,
             profile: None,
+            profile_in: None,
+            explain: ExplainMode::Off,
             fuel: None,
             max_heap_cells: None,
             max_depth: None,
@@ -110,6 +131,11 @@ impl Options {
     /// Whether any trace output was requested.
     pub fn wants_trace(&self) -> bool {
         self.trace != TraceMode::Off || self.trace_json.is_some()
+    }
+
+    /// Whether an explain report was requested.
+    pub fn wants_explain(&self) -> bool {
+        self.explain != ExplainMode::Off
     }
 }
 
@@ -128,12 +154,16 @@ pub struct DriveOutput {
     pub events: Vec<ade_obs::Event>,
     /// Per-site interpreter profile (when `Options::profile` is set).
     pub profile: Option<ade_interp::SiteProfile>,
+    /// Rendered selection-ledger explain report (when
+    /// [`Options::wants_explain`]).
+    pub explain: Option<String>,
 }
 
 /// A driver failure with a phase tag.
 #[derive(Debug)]
 pub struct DriveError {
-    /// Which phase failed (`parse`, `verify`, `config`, `exec`).
+    /// Which phase failed (`parse`, `verify`, `config`, `profile-in`,
+    /// `exec`).
     pub phase: &'static str,
     /// Human-readable message.
     pub message: String,
@@ -141,13 +171,14 @@ pub struct DriveError {
 
 impl DriveError {
     /// The `adec` process exit code for this failure: 3 for a rejected
-    /// input (`parse`/`verify`), 2 for a usage-class mistake (`config`),
-    /// 1 for a guest failure at runtime (`exec`). 0 is success.
+    /// input (`parse`/`verify`), 2 for a usage-class mistake (`config`,
+    /// or an unreadable/invalid `--profile-in` file), 1 for a guest
+    /// failure at runtime (`exec`). 0 is success.
     #[must_use]
     pub fn exit_code(&self) -> i32 {
         match self.phase {
             "parse" | "verify" => 3,
-            "config" => 2,
+            "config" | "profile-in" => 2,
             _ => 1,
         }
     }
@@ -182,7 +213,22 @@ pub fn drive(source: &str, options: &Options) -> Result<DriveOutput, DriveError>
             format!("unknown configuration `{}`", options.config),
         )
     })?;
-    let config = Config::new(kind);
+    let mut config = Config::new(kind);
+    let feedback = if let Some(path) = &options.profile_in {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| err("profile-in", format!("cannot read `{path}`: {e}")))?;
+        let data = ade_obs::read_profile(&text)
+            .map_err(|e| err("profile-in", format!("`{path}`: {e}")))?;
+        Some(ade_workloads::feedback::feedback_from_profile(path, &data))
+    } else if options.wants_explain() {
+        // No measurements, but --explain still wants priced candidates.
+        Some(ade_workloads::feedback::static_feedback())
+    } else {
+        None
+    };
+    if let (Some(fb), Some(ade)) = (feedback, config.ade.as_mut()) {
+        ade.feedback = Some(fb);
+    }
     let tracer = if options.wants_trace() {
         Tracer::enabled()
     } else {
@@ -214,6 +260,25 @@ pub fn drive(source: &str, options: &Options) -> Result<DriveOutput, DriveError>
     };
     if options.emit_ir {
         out.ir = Some(ade_ir::print::print_module(&module));
+    }
+    if options.wants_explain() {
+        out.explain = Some(match &out.report {
+            Some(report) => {
+                let source = config
+                    .ade
+                    .as_ref()
+                    .and_then(|a| a.feedback.as_ref())
+                    .map_or("static", |f| f.source.as_str());
+                format!(
+                    "feedback source: {source}\n{}",
+                    report.ledger.render_report()
+                )
+            }
+            None => format!(
+                "no ADE pass ran (configuration `{}`); no selection decisions to explain\n",
+                options.config
+            ),
+        });
     }
     if options.run || options.stats || options.profile.is_some() {
         let mut exec = config.exec.clone();
@@ -261,7 +326,8 @@ pub const USAGE: &str = "\
 usage: adec [--config NAME] [--run] [--emit-ir] [--stats] [--entry F]
             [--fuel N] [--max-heap-cells N] [--max-depth N] [--no-fuse]
             [--no-unbox] [--no-loop-fuse] [--trace[=FILE]]
-            [--trace-json FILE] [--profile FILE] INPUT.memoir
+            [--trace-json FILE] [--profile FILE] [--profile-in FILE]
+            [--explain[=FILE]] INPUT.memoir
 
   --config NAME, -c    artifact configuration (memoir, ade, ade-sparse, ...)
   --run, -r            execute the program after compilation
@@ -281,10 +347,17 @@ usage: adec [--config NAME] [--run] [--emit-ir] [--stats] [--entry F]
   --trace-json FILE    machine-readable trace events as JSON
   --profile FILE       per-site interpreter profile as JSON (implies --run);
                        also prints a hot-site summary to stderr
+  --profile-in FILE    feed a previously written profile (ade-site-profile-v1)
+                       back into selection: measured op mixes bias the
+                       per-class backend choice
+  --explain[=FILE]     selection-ledger report to stderr (or FILE): every
+                       candidate backend per keyed site, modeled costs under
+                       static and measured inputs, winner and deciding term
   --help, -h           show this message
 
 exit codes: 0 success, 1 guest trap or limit at runtime, 2 usage error
-(including unknown --config and unreadable input), 3 parse or verify error
+(including unknown --config, unreadable input, an invalid --profile-in
+file, and unwritable output paths), 3 parse or verify error
 ";
 
 /// A parsed `adec` command line.
@@ -350,8 +423,15 @@ pub fn parse_args<I: Iterator<Item = String>>(args: I) -> Result<Cli, String> {
                 options.profile = Some(args.next().ok_or("missing value for --profile")?);
                 options.run = true;
             }
+            "--profile-in" => {
+                options.profile_in = Some(args.next().ok_or("missing value for --profile-in")?);
+            }
+            "--explain" => options.explain = ExplainMode::Stderr,
             flag if flag.starts_with("--trace=") => {
                 options.trace = TraceMode::File(flag["--trace=".len()..].to_string());
+            }
+            flag if flag.starts_with("--explain=") => {
+                options.explain = ExplainMode::File(flag["--explain=".len()..].to_string());
             }
             flag if flag.starts_with('-') => {
                 return Err(format!("unknown flag `{flag}`"));
@@ -634,6 +714,120 @@ fn @main() -> void {
         let (opts, _) = parse_drive(&["--profile", "p.json", "p.memoir"]).expect("parses");
         assert_eq!(opts.profile.as_deref(), Some("p.json"));
         assert!(opts.run && !opts.emit_ir);
+    }
+
+    #[test]
+    fn cli_feedback_flags() {
+        let (opts, _) = parse_drive(&["--profile-in", "p.json", "--explain", "p.memoir"])
+            .expect("parses");
+        assert_eq!(opts.profile_in.as_deref(), Some("p.json"));
+        assert_eq!(opts.explain, ExplainMode::Stderr);
+        assert!(opts.wants_explain());
+
+        let (opts, _) = parse_drive(&["--explain=ledger.txt", "p.memoir"]).expect("parses");
+        assert_eq!(opts.explain, ExplainMode::File("ledger.txt".to_string()));
+
+        assert!(parse_drive(&["--profile-in"]).is_err(), "missing value");
+        let (opts, _) = parse_drive(&["p.memoir"]).expect("parses");
+        assert!(!opts.wants_explain());
+    }
+
+    #[test]
+    fn profile_in_errors_are_usage_class() {
+        let missing = drive(
+            PROGRAM,
+            &Options {
+                profile_in: Some("/nonexistent/profile.json".to_string()),
+                ..Options::default()
+            },
+        )
+        .expect_err("unreadable profile must fail");
+        assert_eq!(missing.phase, "profile-in");
+        assert_eq!(missing.exit_code(), 2);
+
+        let dir = std::env::temp_dir().join("ade-driver-lib-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let bad = dir.join("bad-version.json");
+        std::fs::write(&bad, r#"{"schema":"ade-site-profile-v2","functions":[]}"#)
+            .expect("write");
+        let wrong_version = drive(
+            PROGRAM,
+            &Options {
+                profile_in: Some(bad.to_string_lossy().into_owned()),
+                ..Options::default()
+            },
+        )
+        .expect_err("wrong schema version must fail");
+        assert_eq!(wrong_version.phase, "profile-in");
+        assert!(
+            wrong_version.message.contains("ade-site-profile-v2"),
+            "{wrong_version}"
+        );
+    }
+
+    #[test]
+    fn explain_reports_the_ledger_and_profiles_round_trip() {
+        // --explain without a profile: static source, priced candidates.
+        let explained = drive(
+            PROGRAM,
+            &Options {
+                explain: ExplainMode::Stderr,
+                ..Options::default()
+            },
+        )
+        .expect("drives");
+        let text = explained.explain.expect("explain text");
+        assert!(text.contains("feedback source: static (no profile)"), "{text}");
+        assert!(text.contains("selection ledger: 1 decision(s)"), "{text}");
+        assert!(text.contains("> Bit"), "static winner marked: {text}");
+        assert!(text.contains("per-function summary:"), "{text}");
+
+        // Round trip: --profile output feeds --profile-in unchanged.
+        let profiled = drive(
+            PROGRAM,
+            &Options {
+                run: true,
+                profile: Some("unused.json".to_string()),
+                ..Options::default()
+            },
+        )
+        .expect("profiling run drives");
+        let json = profiled.profile.expect("profile").to_json();
+        let dir = std::env::temp_dir().join("ade-driver-lib-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("round-trip.json");
+        std::fs::write(&path, &json).expect("write profile");
+        let fed = drive(
+            PROGRAM,
+            &Options {
+                run: true,
+                profile_in: Some(path.to_string_lossy().into_owned()),
+                explain: ExplainMode::Stderr,
+                ..Options::default()
+            },
+        )
+        .expect("feedback run drives");
+        // Feedback must preserve behavior exactly.
+        assert_eq!(fed.program_output, profiled.program_output);
+        let text = fed.explain.expect("explain text");
+        assert!(text.contains("1 measured"), "{text}");
+        assert!(text.contains("measured-ns"), "{text}");
+
+        // memoir runs no pass: the explain text says so instead of
+        // rendering an empty ledger.
+        let memoir = drive(
+            PROGRAM,
+            &Options {
+                config: "memoir".to_string(),
+                explain: ExplainMode::Stderr,
+                ..Options::default()
+            },
+        )
+        .expect("drives");
+        assert!(
+            memoir.explain.expect("stub").contains("no ADE pass ran"),
+            "memoir stub"
+        );
     }
 
     #[test]

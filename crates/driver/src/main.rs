@@ -4,7 +4,8 @@
 //! adec [--config NAME] [--run] [--emit-ir] [--stats] [--entry F]
 //!      [--fuel N] [--max-heap-cells N] [--max-depth N] [--no-fuse]
 //!      [--no-unbox] [--no-loop-fuse] [--trace[=FILE]]
-//!      [--trace-json FILE] [--profile FILE] INPUT.memoir
+//!      [--trace-json FILE] [--profile FILE] [--profile-in FILE]
+//!      [--explain[=FILE]] INPUT.memoir
 //! ```
 //!
 //! With no action flags the transformed IR is printed (`--emit-ir`).
@@ -12,7 +13,11 @@
 //! verdicts, sharing candidates, RTE trims, selection choices) to stderr
 //! — `--trace=FILE` redirects it, `--trace-json FILE` dumps the raw
 //! events as JSON. `--profile FILE` executes the program with per-site
-//! profiling and writes a JSON profile plus a hot-site summary.
+//! profiling and writes a JSON profile plus a hot-site summary;
+//! `--profile-in FILE` feeds such a profile back into selection so
+//! measured op mixes pick the backend per enumeration class, and
+//! `--explain[=FILE]` renders the selection ledger (candidates, modeled
+//! costs, winner, deciding term).
 //! `--fuel`/`--max-heap-cells`/`--max-depth` bound execution; a tripped
 //! limit reports a typed error, like any guest trap. `--no-fuse` turns
 //! off interpreter superinstruction fusion, `--no-unbox` boxed-width
@@ -20,10 +25,11 @@
 //! observationally inert; for isolating one optimization at a time).
 //!
 //! Exit codes: 0 success; 1 guest trap or limit at runtime; 2 usage
-//! error (bad flags, unknown `--config`, unreadable input); 3 parse or
-//! verify error.
+//! error (bad flags, unknown `--config`, unreadable input, an invalid
+//! `--profile-in` file, unwritable output paths); 3 parse or verify
+//! error.
 
-use ade_driver::{Cli, TraceMode, USAGE};
+use ade_driver::{Cli, ExplainMode, TraceMode, USAGE};
 
 fn main() {
     let (options, input) = match ade_driver::parse_args(std::env::args().skip(1)) {
@@ -79,6 +85,15 @@ fn main() {
                 let model = ade_interp::cost::CostModel::intel_x64();
                 eprint!("{}", profile.report(&model, 10));
             }
+            match &options.explain {
+                ExplainMode::Off => {}
+                ExplainMode::Stderr => {
+                    eprint!("{}", out.explain.as_deref().unwrap_or(""));
+                }
+                ExplainMode::File(path) => {
+                    write_file(path, out.explain.as_deref().unwrap_or(""));
+                }
+            }
         }
         Err(e) => {
             eprintln!("error: {e}");
@@ -87,9 +102,11 @@ fn main() {
     }
 }
 
+/// An unwritable output path is a usage-class mistake (the compile
+/// itself succeeded), so it exits 2 like any other bad argument.
 fn write_file(path: &str, contents: &str) {
     if let Err(e) = std::fs::write(path, contents) {
         eprintln!("error: cannot write {path}: {e}");
-        std::process::exit(1);
+        std::process::exit(2);
     }
 }

@@ -1,6 +1,7 @@
 //! The `adec` process exit-code contract, end to end: 0 success,
 //! 1 guest trap or limit at runtime, 2 usage error (bad flags, unknown
-//! `--config`, unreadable input), 3 parse or verify error.
+//! `--config`, unreadable input, invalid `--profile-in` files,
+//! unwritable output paths), 3 parse or verify error.
 
 use std::process::Command;
 
@@ -56,6 +57,53 @@ fn parse_and_verify_errors_are_three() {
 
     let _ = std::fs::remove_file(bad_syntax);
     let _ = std::fs::remove_file(bad_types);
+}
+
+#[test]
+fn unwritable_output_paths_are_two() {
+    // The compile itself succeeds; failing to persist the requested
+    // artifact is a usage-class mistake, not a guest failure.
+    for flag in [
+        "--trace-json",
+        "--profile",
+        "--trace=/nonexistent/dir/out.txt",
+        "--explain=/nonexistent/dir/out.txt",
+    ] {
+        let args: Vec<&str> = if flag.contains('=') {
+            vec!["--run", flag]
+        } else {
+            vec!["--run", flag, "/nonexistent/dir/out.json"]
+        };
+        let mut args = args;
+        let input = sample();
+        args.push(&input);
+        let (code, err) = adec(&args);
+        assert_eq!(code, 2, "{flag}: {err}");
+        assert!(err.contains("cannot write"), "{flag}: {err}");
+    }
+}
+
+#[test]
+fn profile_in_errors_are_two() {
+    let (code, err) = adec(&["--profile-in", "/nonexistent/p.json", &sample()]);
+    assert_eq!(code, 2, "unreadable profile: {err}");
+    assert!(err.contains("profile-in"), "{err}");
+
+    let malformed = temp_file("malformed-profile.json", "{ not json");
+    let (code, err) = adec(&["--profile-in", malformed.to_str().unwrap(), &sample()]);
+    assert_eq!(code, 2, "malformed profile: {err}");
+    assert!(err.contains("malformed JSON"), "{err}");
+
+    let wrong_version = temp_file(
+        "wrong-version.json",
+        r#"{"schema":"ade-site-profile-v9","functions":[]}"#,
+    );
+    let (code, err) = adec(&["--profile-in", wrong_version.to_str().unwrap(), &sample()]);
+    assert_eq!(code, 2, "version mismatch: {err}");
+    assert!(err.contains("ade-site-profile-v9"), "{err}");
+
+    let _ = std::fs::remove_file(malformed);
+    let _ = std::fs::remove_file(wrong_version);
 }
 
 #[test]

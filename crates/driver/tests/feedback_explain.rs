@@ -1,0 +1,129 @@
+//! The profile → compile loop, end to end through the `adec` binary:
+//! `--profile` output feeds `--profile-in` unchanged, `--explain`
+//! renders the selection ledger, and the rendered report is
+//! byte-identical across repeated runs and every interpreter
+//! optimization combination (the ledger is modeled, not measured).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn adec(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_adec"))
+        .args(args)
+        .output()
+        .expect("adec runs");
+    (
+        out.status.code().expect("exit code, not a signal"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn sample() -> String {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/ir/histogram.memoir").to_string()
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("adec-feedback-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn profile_round_trips_into_explain() {
+    let profile = temp_path("profile.json");
+    let (code, _, err) = adec(&[
+        "--config",
+        "ade",
+        "--profile",
+        profile.to_str().unwrap(),
+        &sample(),
+    ]);
+    assert_eq!(code, 0, "{err}");
+    assert!(err.contains("top "), "hot-site summary on stderr: {err}");
+
+    let explain = temp_path("explain.txt");
+    let (code, stdout_a, err) = adec(&[
+        "--config",
+        "ade",
+        "--run",
+        "--profile-in",
+        profile.to_str().unwrap(),
+        &format!("--explain={}", explain.to_str().unwrap()),
+        &sample(),
+    ]);
+    assert_eq!(code, 0, "{err}");
+    let report = std::fs::read_to_string(&explain).expect("explain file written");
+    assert!(report.contains("selection ledger:"), "{report}");
+    assert!(report.contains("measured-ns"), "{report}");
+    assert!(
+        report.contains(&format!("feedback source: {}", profile.to_str().unwrap())),
+        "{report}"
+    );
+
+    // Feedback must preserve behavior exactly: same program output as a
+    // plain ade run.
+    let (code, stdout_b, err) = adec(&["--config", "ade", "--run", &sample()]);
+    assert_eq!(code, 0, "{err}");
+    assert_eq!(stdout_a, stdout_b, "feedback-directed run changed output");
+
+    let _ = std::fs::remove_file(profile);
+    let _ = std::fs::remove_file(explain);
+}
+
+#[test]
+fn explain_report_is_byte_identical_across_runs_and_interp_opts() {
+    let combos: [&[&str]; 5] = [
+        &[],
+        &["--no-fuse"],
+        &["--no-unbox"],
+        &["--no-loop-fuse"],
+        &["--no-fuse", "--no-unbox", "--no-loop-fuse"],
+    ];
+    let mut reference: Option<String> = None;
+    for (i, combo) in combos.iter().enumerate() {
+        let explain = temp_path(&format!("combo-{i}.txt"));
+        let mut args: Vec<String> = vec![
+            "--config".to_string(),
+            "ade".to_string(),
+            "--run".to_string(),
+            format!("--explain={}", explain.to_str().unwrap()),
+        ];
+        args.extend(combo.iter().map(|s| s.to_string()));
+        args.push(sample());
+        let arg_refs: Vec<&str> = args.iter().map(String::as_str).collect();
+        let (code, _, err) = adec(&arg_refs);
+        assert_eq!(code, 0, "{combo:?}: {err}");
+        let text = std::fs::read_to_string(&explain).expect("explain written");
+        let _ = std::fs::remove_file(&explain);
+        match &reference {
+            None => reference = Some(text),
+            Some(reference) => assert_eq!(&text, reference, "{combo:?}"),
+        }
+    }
+
+    // And across repeated identical invocations.
+    let explain = temp_path("repeat.txt");
+    let args = [
+        "--config",
+        "ade",
+        "--run",
+        &format!("--explain={}", explain.to_str().unwrap()),
+        &sample(),
+    ];
+    let mut texts = Vec::new();
+    for _ in 0..2 {
+        let (code, _, err) = adec(&args.iter().map(|s| &**s).collect::<Vec<_>>());
+        assert_eq!(code, 0, "{err}");
+        texts.push(std::fs::read_to_string(&explain).expect("explain written"));
+    }
+    assert_eq!(texts[0], texts[1]);
+    let _ = std::fs::remove_file(explain);
+}
+
+#[test]
+fn explain_to_stderr_renders_without_a_file() {
+    let (code, _, err) = adec(&["--config", "ade", "--explain", &sample()]);
+    assert_eq!(code, 0, "{err}");
+    assert!(err.contains("selection ledger:"), "{err}");
+    assert!(err.contains("feedback source: static (no profile)"), "{err}");
+    assert!(err.contains("per-function summary:"), "{err}");
+}

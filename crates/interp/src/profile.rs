@@ -74,8 +74,10 @@ impl SiteProfile {
         out
     }
 
-    /// Sites with any recorded activity, most modeled-expensive first
-    /// (ties broken by declaration order for determinism).
+    /// Sites with any recorded activity, most modeled-expensive first.
+    /// Ties are broken deterministically: higher op count first, then
+    /// declaration order (function name, instruction index) — so equal-
+    /// cost sites render identically on every run and platform.
     pub fn hot_sites(&self, model: &CostModel) -> Vec<HotSite> {
         let mut rows: Vec<HotSite> = Vec::new();
         for f in &self.funcs {
@@ -94,8 +96,8 @@ impl SiteProfile {
         }
         rows.sort_by(|a, b| {
             b.modeled_ns
-                .partial_cmp(&a.modeled_ns)
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&a.modeled_ns)
+                .then_with(|| b.ops.cmp(&a.ops))
                 .then_with(|| a.func.cmp(&b.func))
                 .then_with(|| a.inst.cmp(&b.inst))
         });
@@ -280,6 +282,40 @@ mod tests {
         assert!(rows[0].modeled_ns > rows[1].modeled_ns);
         let report = p.report(&CostModel::intel_x64(), 10);
         assert!(report.contains("@main#1"), "{report}");
+    }
+
+    #[test]
+    fn hot_sites_break_cost_ties_by_op_count_then_site_id() {
+        // 5 hash iterations (6 ns each) price exactly like 1 hash read
+        // (30 ns): the tie must go to the higher op count even though
+        // that site comes later in declaration order.
+        let mut r = Recorder::new(
+            [("a".to_string(), 1), ("b".to_string(), 1)].into_iter(),
+        );
+        r.set_site(0, 0);
+        r.bump(ImplKind::HashSet, CollOp::Read, 1);
+        r.set_site(1, 0);
+        r.bump(ImplKind::HashSet, CollOp::IterElem, 5);
+        let p = r.finish();
+        let rows = p.hot_sites(&CostModel::intel_x64());
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].modeled_ns, rows[1].modeled_ns, "tie premise");
+        assert_eq!((rows[0].func.as_str(), rows[0].ops), ("b", 5));
+        assert_eq!((rows[1].func.as_str(), rows[1].ops), ("a", 1));
+
+        // Identical counts tie on ops too: declaration order (function
+        // name, then instruction index) settles it.
+        let mut r = Recorder::new(
+            [("b".to_string(), 1), ("a".to_string(), 1)].into_iter(),
+        );
+        r.set_site(0, 0);
+        r.bump(ImplKind::HashSet, CollOp::Read, 2);
+        r.set_site(1, 0);
+        r.bump(ImplKind::HashSet, CollOp::Read, 2);
+        let p = r.finish();
+        let rows = p.hot_sites(&CostModel::intel_x64());
+        assert_eq!(rows[0].func, "a");
+        assert_eq!(rows[1].func, "b");
     }
 
     #[test]

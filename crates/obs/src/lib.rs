@@ -9,8 +9,15 @@
 //!   markers, instant decision events, counters) with nanosecond
 //!   timestamps from one monotonic clock.
 //! - [`json`]: a hand-rolled JSON writer (string escaping, number
-//!   formatting) plus a tiny validating parser, so emitted files can be
-//!   checked without external dependencies.
+//!   formatting) plus a tiny validating parser and a [`json::Value`]
+//!   tree parser, so emitted files can be checked — and read back —
+//!   without external dependencies.
+//! - [`profile`]: a strict, versioned reader for the
+//!   `ade-site-profile-v1` JSON the interpreter emits, with a typed
+//!   error; feeds `adec --profile-in`.
+//! - [`ledger`]: the selection ledger — structured records of every
+//!   backend decision the selection pass makes, plus the deterministic
+//!   `--explain` report renderer.
 //! - [`timeline::Timeline`]: a wall-clock recorder for coarse parallel
 //!   work (one complete event per evaluation-matrix cell) that exports
 //!   Chrome-trace-format JSON loadable in `chrome://tracing`/Perfetto.
@@ -23,8 +30,12 @@
 #![forbid(unsafe_code)]
 
 pub mod json;
+pub mod ledger;
+pub mod profile;
 pub mod timeline;
 
+pub use ledger::{CandidateEval, DecisionSource, SelectionDecision, SelectionLedger};
+pub use profile::{read_profile, OpMix, ProfileData, ProfileReadError};
 pub use timeline::{Timeline, TimelineEvent};
 
 use std::sync::atomic::{AtomicU32, Ordering};

@@ -1,0 +1,105 @@
+//! Profile-reader robustness, in the parser-fuzz corpus style: any
+//! input must produce `Ok` or a typed [`ProfileReadError`], never a
+//! panic, and every truncation or point mutation of a valid profile is
+//! handled the same way.
+
+use proptest::prelude::*;
+
+use ade_obs::{read_profile, ProfileReadError};
+
+/// A representative valid `ade-site-profile-v1` document (two
+/// functions, a null modeled field, a word-granular op).
+const VALID: &str = r#"{"schema":"ade-site-profile-v1","functions":[{"name":"main","sites":[{"inst":4,"ops":{"BitSet.Insert":12,"BitSet.IterWord":96},"total_ops":108,"size_hwm":40,"modeled_intel_ns":81.3,"modeled_aarch64_ns":null}]},{"name":"helper","sites":[{"inst":1,"ops":{"HashSet.Has":7},"total_ops":7,"size_hwm":3,"modeled_intel_ns":210.0,"modeled_aarch64_ns":210.0}]}],"totals":{"total_ops":115,"sparse_accesses":7,"dense_accesses":12,"modeled_intel_ns":291.3,"modeled_aarch64_ns":null}}"#;
+
+#[test]
+fn the_corpus_document_is_valid() {
+    let data = read_profile(VALID).expect("corpus document parses");
+    assert_eq!(data.functions.len(), 2);
+    assert_eq!(data.total_ops, 115);
+}
+
+#[test]
+fn every_truncation_is_rejected_without_panicking() {
+    // A strict reader cannot accept any proper prefix of a complete
+    // document: the final `}` is load-bearing.
+    for end in 0..VALID.len() {
+        let err = read_profile(&VALID[..end])
+            .expect_err("proper prefixes are incomplete JSON or incomplete schema");
+        match err {
+            ProfileReadError::Json(_) | ProfileReadError::Schema(_) | ProfileReadError::Version { .. } => {}
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn arbitrary_input_never_panics(input in ".{0,400}") {
+        let _ = read_profile(&input);
+    }
+
+    #[test]
+    fn json_like_token_soup_never_panics(
+        tokens in prop::collection::vec(
+            prop_oneof![
+                Just("{".to_string()), Just("}".to_string()),
+                Just("[".to_string()), Just("]".to_string()),
+                Just(":".to_string()), Just(",".to_string()),
+                Just("\"schema\"".to_string()),
+                Just("\"ade-site-profile-v1\"".to_string()),
+                Just("\"functions\"".to_string()),
+                Just("\"sites\"".to_string()),
+                Just("\"ops\"".to_string()),
+                Just("\"totals\"".to_string()),
+                Just("\"total_ops\"".to_string()),
+                Just("\"BitSet.Insert\"".to_string()),
+                Just("null".to_string()), Just("0".to_string()),
+                Just("12".to_string()), Just("-1".to_string()),
+                Just("81.3".to_string()), Just("1e999".to_string()),
+            ],
+            0..60,
+        )
+    ) {
+        let _ = read_profile(&tokens.join(""));
+    }
+
+    #[test]
+    fn mutated_valid_profile_never_panics(pos in 0usize..600, insert in ".{0,10}") {
+        let boundary = (0..=pos.min(VALID.len()))
+            .rev()
+            .find(|&i| VALID.is_char_boundary(i))
+            .unwrap_or(0);
+        let mut mutated = String::new();
+        mutated.push_str(&VALID[..boundary]);
+        mutated.push_str(&insert);
+        mutated.push_str(&VALID[boundary..]);
+        // Parsing may succeed (the insertion can be whitespace) or fail
+        // with a typed error; it must never panic, and success must mean
+        // the totals invariant still holds.
+        if let Ok(data) = read_profile(&mutated) {
+            let sum: u64 = data
+                .functions
+                .iter()
+                .flat_map(|f| f.sites.iter())
+                .map(|s| s.total_ops)
+                .sum();
+            prop_assert_eq!(sum, data.total_ops);
+        }
+    }
+
+    #[test]
+    fn byte_deletions_never_panic(start in 0usize..600, len in 1usize..40) {
+        let start = (0..=start.min(VALID.len()))
+            .rev()
+            .find(|&i| VALID.is_char_boundary(i))
+            .unwrap_or(0);
+        let end = (start..=VALID.len())
+            .find(|&i| i >= start + len.min(VALID.len() - start) && VALID.is_char_boundary(i))
+            .unwrap_or(VALID.len());
+        let mut mutated = String::new();
+        mutated.push_str(&VALID[..start]);
+        mutated.push_str(&VALID[end..]);
+        let _ = read_profile(&mutated);
+    }
+}

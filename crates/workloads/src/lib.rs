@@ -22,6 +22,7 @@
 
 pub mod bench;
 pub mod config;
+pub mod feedback;
 pub mod gen;
 
 pub use bench::{all_benchmarks, Benchmark};
