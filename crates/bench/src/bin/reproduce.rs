@@ -4,7 +4,8 @@
 //! ```text
 //! reproduce [--scale N] [--trials N] [--jobs N] [--no-wall]
 //!           [--strict] [--checkpoint FILE] [--inject-fault SPEC]
-//!           [--timeline FILE] [--obs-dir DIR] [--feedback]
+//!           [--cell-timeout MS] [--timeline FILE] [--obs-dir DIR]
+//!           [--feedback]
 //!           [fig4|fig5|fig6|fig7|fig8|fig9|table2|table3|rq4|feedback|all]
 //! ```
 //!
@@ -26,11 +27,18 @@
 //! and the exit code stays 0. `--strict` restores fail-fast: the first
 //! failing cell aborts the run with exit code 1. `--checkpoint FILE`
 //! appends each completed cell as it finishes and resumes from a
-//! compatible file (same scale/trials), recomputing only missing cells.
-//! `--inject-fault cell=K,kind=panic|fuel` deterministically fails the
-//! K-th scheduled cell (worker panic, or a 100-instruction fuel budget
-//! that trips the interpreter's typed limit) — the CI smoke hook for
-//! the isolation machinery.
+//! compatible file (same scale/trials), recomputing only missing
+//! cells; a corrupt or unusable checkpoint degrades to a fresh run
+//! with a warning, never an abort. `--cell-timeout MS` arms a per-cell
+//! wall-clock budget: trials run preemptibly (quantum-sliced sessions
+//! polling a cancellation token, which is observationally inert — the
+//! figure text of surviving cells is unchanged) and a cell that
+//! overruns degrades to `✗(timeout)` instead of hanging the run.
+//! `--inject-fault cell=K,kind=panic|fuel|hang` deterministically
+//! fails the K-th scheduled cell (worker panic, a 100-instruction fuel
+//! budget that trips the interpreter's typed limit, or a fuel-free
+//! busy-wait that only a `--cell-timeout` cancellation ends) — the CI
+//! smoke hooks for the isolation and timeout machinery.
 //!
 //! `--feedback` (or the `feedback` target) runs the profile → compile
 //! loop RQ: per benchmark, profile the static `ade` configuration, feed
@@ -59,6 +67,7 @@ fn main() {
     let mut strict = false;
     let mut checkpoint_path: Option<String> = None;
     let mut fault: Option<FaultSpec> = None;
+    let mut cell_timeout: Option<u64> = None;
     let mut timeline_path: Option<String> = None;
     let mut obs_dir: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
@@ -96,6 +105,14 @@ fn main() {
                 fault = Some(
                     FaultSpec::parse(&spec)
                         .unwrap_or_else(|e| usage(&format!("--inject-fault: {e}"))),
+                );
+            }
+            "--cell-timeout" => {
+                cell_timeout = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&ms| ms >= 1)
+                        .unwrap_or_else(|| usage("missing or invalid value for --cell-timeout")),
                 );
             }
             "--timeline" => {
@@ -147,11 +164,13 @@ fn main() {
     if let Some(f) = fault {
         session = session.inject_fault(f);
     }
+    if let Some(ms) = cell_timeout {
+        session = session.cell_timeout(std::time::Duration::from_millis(ms));
+    }
     if let Some(path) = &checkpoint_path {
-        session = session.checkpoint(std::path::Path::new(path)).unwrap_or_else(|e| {
-            eprintln!("error: cannot open checkpoint {path}: {e}");
-            std::process::exit(1);
-        });
+        // A damaged or unopenable checkpoint must never cost the run:
+        // degrade to a fresh, unpersisted session with a warning.
+        session = session.checkpoint_lenient(std::path::Path::new(path));
     }
     if let Some(tl) = &timeline {
         session = session.timeline(Arc::clone(tl));
@@ -231,7 +250,7 @@ fn write_file(path: &str, contents: &str) {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: reproduce [--scale N] [--trials N] [--jobs N] [--no-wall] [--strict] [--checkpoint FILE] [--inject-fault cell=K,kind=panic|fuel] [--timeline FILE] [--obs-dir DIR] [--feedback] [fig4|fig5|fig6|fig7|fig8|fig9|table2|table3|rq4|feedback|all]"
+        "usage: reproduce [--scale N] [--trials N] [--jobs N] [--no-wall] [--strict] [--checkpoint FILE] [--inject-fault cell=K,kind=panic|fuel|hang] [--cell-timeout MS] [--timeline FILE] [--obs-dir DIR] [--feedback] [fig4|fig5|fig6|fig7|fig8|fig9|table2|table3|rq4|feedback|all]"
     );
     std::process::exit(2);
 }

@@ -39,14 +39,21 @@ use crate::runner::RunResult;
 
 /// An open checkpoint file: restored cells on open, incremental appends
 /// while running (shareable across pool workers).
-pub(crate) struct Checkpoint {
+pub struct Checkpoint {
     file: Mutex<File>,
 }
 
 impl Checkpoint {
     /// Opens (or creates) `path`. Returns the writer plus every cell
-    /// restored from a compatible existing file.
-    pub(crate) fn open(
+    /// restored from a compatible existing file. Corruption *inside*
+    /// the file never errors — a bad header discards the file, bad
+    /// lines are skipped — so the error cases are genuine I/O failures
+    /// (unreadable path, unwritable directory).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating or opening the file for append.
+    pub fn open(
         path: &Path,
         scale: u32,
         trials: u32,
@@ -79,7 +86,7 @@ impl Checkpoint {
 
     /// Appends one completed cell and flushes, so a kill loses at most
     /// the cells still in flight.
-    pub(crate) fn record(&self, r: &RunResult) {
+    pub fn record(&self, r: &RunResult) {
         let line = encode_line(r);
         let mut file = self.file.lock().expect("checkpoint file poisoned");
         let _ = writeln!(file, "{line}");
@@ -87,7 +94,9 @@ impl Checkpoint {
     }
 }
 
-fn encode_line(r: &RunResult) -> String {
+/// Encodes one completed cell as a single checkpoint line (public so
+/// the fuzz suite can round-trip and mutate real records).
+pub fn encode_line(r: &RunResult) -> String {
     format!(
         "{}|{}|{}|{}|{}|{}|{}|{}|{}",
         r.abbrev,
@@ -102,7 +111,10 @@ fn encode_line(r: &RunResult) -> String {
     )
 }
 
-fn decode_line(line: &str) -> Option<RunResult> {
+/// Decodes one checkpoint line, `None` for anything malformed — the
+/// loader's total-function contract: *no* input line may panic or
+/// abort, only fail to restore (the fuzz suite hammers this).
+pub fn decode_line(line: &str) -> Option<RunResult> {
     if line.is_empty() || line.starts_with('#') {
         return None;
     }

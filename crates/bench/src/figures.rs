@@ -93,6 +93,12 @@ pub enum FaultKind {
     /// Run the cell with a tiny instruction budget so the interpreter
     /// returns a typed limit error (degrades to `✗(limit)`).
     Fuel,
+    /// Busy-wait in the worker until the cell's [`CancelToken`] fires —
+    /// a deterministic, fuel-free hung cell. With `--cell-timeout` the
+    /// watchdog fires the token and the cell degrades to `✗(timeout)`;
+    /// without one it reproduces the original hang (that is the point:
+    /// the smoke proves the timeout machinery, not the fault).
+    Hang,
 }
 
 /// Deterministic fault injection (`--inject-fault cell=K,kind=...`):
@@ -107,7 +113,8 @@ pub struct FaultSpec {
 }
 
 impl FaultSpec {
-    /// Parses the `--inject-fault` argument form `cell=K,kind=panic|fuel`.
+    /// Parses the `--inject-fault` argument form
+    /// `cell=K,kind=panic|fuel|hang`.
     ///
     /// # Errors
     ///
@@ -124,12 +131,13 @@ impl FaultSpec {
                 }
                 Some(("kind", "panic")) => kind = Some(FaultKind::Panic),
                 Some(("kind", "fuel")) => kind = Some(FaultKind::Fuel),
+                Some(("kind", "hang")) => kind = Some(FaultKind::Hang),
                 _ => return Err(format!("bad fault spec part: {part}")),
             }
         }
         match (cell, kind) {
             (Some(cell), Some(kind)) => Ok(FaultSpec { cell, kind }),
-            _ => Err("fault spec needs cell=K and kind=panic|fuel".to_string()),
+            _ => Err("fault spec needs cell=K and kind=panic|fuel|hang".to_string()),
         }
     }
 }
@@ -148,6 +156,7 @@ pub struct Session {
     profile: bool,
     strict: bool,
     fault: Option<FaultSpec>,
+    cell_timeout: Option<std::time::Duration>,
     /// Cells handed to workers so far (the `FaultSpec::cell` index).
     scheduled: usize,
     timeline: Option<Arc<Timeline>>,
@@ -173,6 +182,7 @@ impl Session {
             profile: false,
             strict: false,
             fault: None,
+            cell_timeout: None,
             scheduled: 0,
             timeline: None,
             checkpoint: None,
@@ -209,6 +219,19 @@ impl Session {
         self
     }
 
+    /// Arms per-cell wall-clock timeouts (`--cell-timeout`): each cell
+    /// gets a [`CancelToken`]-carrying watchdog, benchmark trials run
+    /// preemptibly (an [`ade_interp::ExecSession`] stepped by fuel
+    /// quanta, polling the token at each boundary), and a cell whose
+    /// budget elapses degrades to `✗(timeout)` — or fails fast under
+    /// strict mode. Quantum slicing is observationally inert, so cells
+    /// that finish in time produce byte-identical figure text.
+    #[must_use]
+    pub fn cell_timeout(mut self, timeout: std::time::Duration) -> Self {
+        self.cell_timeout = Some(timeout);
+        self
+    }
+
     /// Attaches an incremental checkpoint (`--checkpoint`): completed
     /// cells append to `path` as they finish, and a compatible existing
     /// file (same format version, scale and trials) pre-fills the cache
@@ -227,6 +250,33 @@ impl Session {
         }
         self.checkpoint = Some(Arc::new(ck));
         Ok(self)
+    }
+
+    /// [`Session::checkpoint`], degrading instead of failing: an
+    /// unusable checkpoint file (unreadable path, unwritable directory)
+    /// prints a warning and the session continues as a fresh run
+    /// without persistence. Corruption *inside* a readable file never
+    /// errors in the first place — a bad header discards the file and
+    /// bad lines are skipped. This is the `reproduce --checkpoint`
+    /// behavior: a damaged resume artifact must never cost the run.
+    #[must_use]
+    pub fn checkpoint_lenient(mut self, path: &std::path::Path) -> Self {
+        match Checkpoint::open(path, self.scale, self.trials) {
+            Ok((ck, restored)) => {
+                for r in restored {
+                    self.cache
+                        .insert((r.abbrev.to_string(), r.config), CellResult::Ok(r));
+                }
+                self.checkpoint = Some(Arc::new(ck));
+            }
+            Err(e) => {
+                eprintln!(
+                    "warning: checkpoint {} unusable ({e}); continuing without persistence",
+                    path.display()
+                );
+            }
+        }
+        self
     }
 
     /// Sets how many worker threads [`Session::prewarm`] (and `rq4`'s
@@ -333,9 +383,9 @@ impl Session {
 
     /// Runs a batch of indexed cells on the worker pool and folds every
     /// outcome into the cache. Default mode isolates: a cell that
-    /// panics (retried once) or returns a typed error becomes
-    /// [`CellResult::Failed`] and the rest of the batch completes.
-    /// Strict mode fails fast instead.
+    /// panics (retried once), times out (with `--cell-timeout` armed),
+    /// or returns a typed error becomes [`CellResult::Failed`] and the
+    /// rest of the batch completes. Strict mode fails fast instead.
     fn execute_batch(&mut self, pending: Vec<(usize, (&'static str, ConfigKind))>) {
         if pending.is_empty() {
             return;
@@ -347,42 +397,70 @@ impl Session {
         let fault = self.fault;
         let checkpoint = self.checkpoint.clone();
         let interp_opts = self.interp_opts;
-        let work =
-            move |worker: usize, (idx, (abbrev, kind)): (usize, (&'static str, ConfigKind))| {
-                if matches!(fault, Some(f) if f.cell == idx && f.kind == FaultKind::Panic) {
-                    panic!(
-                        "injected fault: panic at cell {idx} ({abbrev}/{})",
-                        kind.name()
-                    );
+        let timeout = self.cell_timeout;
+        let work = move |worker: usize,
+                         (idx, (abbrev, kind)): (usize, (&'static str, ConfigKind)),
+                         cancel: &crate::pool::CancelToken| {
+            if matches!(fault, Some(f) if f.cell == idx && f.kind == FaultKind::Panic) {
+                panic!(
+                    "injected fault: panic at cell {idx} ({abbrev}/{})",
+                    kind.name()
+                );
+            }
+            if matches!(fault, Some(f) if f.cell == idx && f.kind == FaultKind::Hang) {
+                // Deterministic hung cell: no fuel burned, no wall-time
+                // dependence in the result — the cell only ends when the
+                // watchdog fires the token (or never, without one). The
+                // pool discards this cell's outcome (its token fired),
+                // so any error value serves; Preempted matches what a
+                // cancelled real cell returns.
+                while !cancel.is_cancelled() {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
                 }
-                let fuel = match fault {
-                    Some(f) if f.cell == idx && f.kind == FaultKind::Fuel => Some(INJECTED_FUEL),
-                    _ => None,
-                };
-                let r = try_run_cell(
-                    scale,
-                    trials,
-                    profile,
-                    timeline.as_deref(),
-                    worker,
-                    abbrev,
-                    kind,
-                    fuel,
-                    interp_opts,
-                )?;
+                return Err(CellError::Exec(ade_interp::ExecError::Preempted {
+                    reason: ade_interp::StopReason::Cancelled,
+                }));
+            }
+            let fuel = match fault {
+                Some(f) if f.cell == idx && f.kind == FaultKind::Fuel => Some(INJECTED_FUEL),
+                _ => None,
+            };
+            let r = try_run_cell(
+                scale,
+                trials,
+                profile,
+                timeline.as_deref(),
+                worker,
+                abbrev,
+                kind,
+                fuel,
+                interp_opts,
+                timeout.is_some().then_some(cancel),
+            )?;
+            // A result that raced the watchdog is discarded by the pool;
+            // keep the checkpoint consistent with what the run reports.
+            if !cancel.is_cancelled() {
                 if let Some(ck) = checkpoint.as_deref() {
                     ck.record(&r);
                 }
-                Ok(r)
-            };
+            }
+            Ok(r)
+        };
         let outcomes: Vec<Result<Result<RunResult, CellError>, crate::pool::CellFailure>> =
-            if self.strict {
-                crate::pool::run_ordered_with(pending, self.jobs, work)
-                    .into_iter()
-                    .map(Ok)
-                    .collect()
+            if self.strict && self.cell_timeout.is_none() {
+                crate::pool::run_ordered_with(pending, self.jobs, |worker, item| {
+                    work(worker, item, &crate::pool::CancelToken::new())
+                })
+                .into_iter()
+                .map(Ok)
+                .collect()
             } else {
-                crate::pool::run_ordered_isolated(pending, self.jobs, work)
+                crate::pool::run_ordered_isolated_timeout(
+                    pending,
+                    self.jobs,
+                    self.cell_timeout,
+                    work,
+                )
             };
         for ((abbrev, kind), outcome) in plan.into_iter().zip(outcomes) {
             let cell = match outcome {
@@ -398,6 +476,9 @@ impl Session {
                     }
                 }
                 Err(f) => {
+                    if self.strict {
+                        panic!("[{abbrev} {}] cell failed ({}): {}", kind.name(), f.code, f.reason);
+                    }
                     eprintln!(
                         "[cell {abbrev}/{}] failed after {} attempts: {}",
                         kind.name(),
@@ -405,7 +486,7 @@ impl Session {
                         f.reason
                     );
                     CellResult::Failed {
-                        code: "panic",
+                        code: f.code,
                         detail: f.reason,
                     }
                 }
@@ -1030,10 +1111,11 @@ fn try_run_cell(
     kind: ConfigKind,
     fuel_override: Option<u64>,
     interp_opts: crate::runner::InterpOpts,
+    cancel: Option<&crate::pool::CancelToken>,
 ) -> Result<RunResult, CellError> {
     let bench = benchmark_by_abbrev(abbrev).expect("known benchmark");
     let started = timeline.map(Timeline::now_ns);
-    let r = crate::runner::try_run_benchmark_cell(
+    let r = crate::runner::try_run_benchmark_cell_cancellable(
         &bench,
         kind,
         scale,
@@ -1041,7 +1123,13 @@ fn try_run_cell(
         profile,
         fuel_override,
         interp_opts,
+        cancel,
     );
+    if cancel.is_some_and(crate::pool::CancelToken::is_cancelled) {
+        // The watchdog fired: the pool reports `timeout` and discards
+        // this outcome, so don't record an event for it either.
+        return r;
+    }
     if let (Some(t), Some(started)) = (timeline, started) {
         let mut args = vec![
             ("scale".to_string(), scale.to_string()),

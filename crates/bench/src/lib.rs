@@ -6,7 +6,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-mod checkpoint;
+pub mod checkpoint;
 pub mod figures;
 pub mod pool;
 pub mod runner;

@@ -15,14 +15,20 @@
 //! Fault isolation: the evaluation harness schedules cells through
 //! [`run_ordered_isolated`], which catches a panicking cell, retries it
 //! once, and on a second panic records a [`CellFailure`] in that cell's
-//! slot while the rest of the matrix keeps running. The propagating
-//! variants ([`run_ordered`] / [`run_ordered_with`]) remain the strict
-//! contract — `reproduce --strict` and the transformation pipeline use
-//! them so a genuine host bug still fails fast.
+//! slot while the rest of the matrix keeps running.
+//! [`run_ordered_isolated_timeout`] additionally arms a per-cell
+//! wall-clock budget: a watchdog fires the cell's [`CancelToken`], the
+//! work function unwinds at its next preemption point, and the cell
+//! degrades to a `timeout`-coded failure instead of wedging its
+//! worker. The propagating variants ([`run_ordered`] /
+//! [`run_ordered_with`]) remain the strict contract — `reproduce
+//! --strict` and the transformation pipeline use them so a genuine
+//! host bug still fails fast.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
 
 /// Stack size for pool workers. Workers run the ADE pipeline (whose
 /// transformation passes recurse over regions) but not the interpreter
@@ -115,13 +121,43 @@ where
         .collect()
 }
 
-/// Why an isolated cell failed: the rendered panic payload of the
-/// first attempt, plus how many attempts were made before giving up.
+/// A cooperative cancellation token handed to every isolated work item.
+/// The pool fires it when the cell's wall-clock timeout elapses; work
+/// functions poll it at natural preemption points (the interpreter's
+/// fuel-quantum boundaries, the injected-hang busy loop) and unwind
+/// promptly, so a hung cell degrades instead of wedging its worker.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-fired token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Fires the token.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has fired.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Why an isolated cell failed: a stable failure code, the rendered
+/// reason, and how many attempts were made before giving up.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CellFailure {
-    /// Rendering of the first attempt's panic payload.
+    /// Stable failure class: `panic` (the work function panicked twice)
+    /// or `timeout` (the cell's wall-clock budget elapsed).
+    pub code: &'static str,
+    /// Rendering of the failure (the first attempt's panic payload, or
+    /// the timeout description).
     pub reason: String,
-    /// Attempts made (always 2: the initial run and one retry).
+    /// Attempts made (2 for panics — the initial run and one retry;
+    /// 1 for timeouts, which are never retried).
     pub attempts: u32,
 }
 
@@ -145,13 +181,71 @@ where
     R: Send,
     F: Fn(usize, T) -> R + Sync,
 {
+    run_ordered_isolated_timeout(items, jobs, None, |worker, item, _cancel| work(worker, item))
+}
+
+/// [`run_ordered_isolated`], with per-cell wall-clock timeouts. Every
+/// attempt gets a fresh [`CancelToken`]; with `timeout` set, a detached
+/// watchdog thread fires the token once the budget elapses (and exits
+/// as soon as the cell finishes). A cell whose token fired is recorded
+/// as `Err(CellFailure { code: "timeout", .. })` — whatever the work
+/// function returned after cancellation is discarded, and timeouts are
+/// not retried (a deterministic hang would just hang twice).
+///
+/// Cancellation is cooperative: the work function must poll the token
+/// at its preemption points. Benchmark cells run the interpreter
+/// through [`ade_interp::ExecSession`] when a timeout is armed, which
+/// checks the token at every fuel-quantum boundary, so guest programs
+/// — including non-terminating ones — are always cancellable.
+pub fn run_ordered_isolated_timeout<T, R, F>(
+    items: Vec<T>,
+    jobs: usize,
+    timeout: Option<Duration>,
+    work: F,
+) -> Vec<Result<R, CellFailure>>
+where
+    T: Send + Clone,
+    R: Send,
+    F: Fn(usize, T, &CancelToken) -> R + Sync,
+{
+    let attempt = |worker: usize, item: T| -> Result<Result<R, CellFailure>, Box<dyn std::any::Any + Send>> {
+        let cancel = CancelToken::new();
+        let watchdog = timeout.map(|budget| {
+            let token = cancel.clone();
+            let (done_tx, done_rx) = mpsc::channel::<()>();
+            let handle = std::thread::Builder::new()
+                .name("ade-cell-watchdog".to_string())
+                .spawn(move || {
+                    if done_rx.recv_timeout(budget).is_err() {
+                        token.cancel();
+                    }
+                })
+                .expect("spawn watchdog");
+            (done_tx, handle)
+        });
+        let outcome = catch_unwind(AssertUnwindSafe(|| work(worker, item, &cancel)));
+        if let Some((done_tx, handle)) = watchdog {
+            let _ = done_tx.send(());
+            let _ = handle.join();
+        }
+        if cancel.is_cancelled() {
+            let ms = timeout.expect("only armed timeouts cancel").as_millis();
+            return Ok(Err(CellFailure {
+                code: "timeout",
+                reason: format!("cell timed out after {ms}ms"),
+                attempts: 1,
+            }));
+        }
+        outcome.map(Ok)
+    };
     run_ordered_with(items, jobs, |worker, item: T| {
         let retry = item.clone();
-        match catch_unwind(AssertUnwindSafe(|| work(worker, item))) {
-            Ok(r) => Ok(r),
-            Err(first) => match catch_unwind(AssertUnwindSafe(|| work(worker, retry))) {
-                Ok(r) => Ok(r),
+        match attempt(worker, item) {
+            Ok(r) => r,
+            Err(first) => match attempt(worker, retry) {
+                Ok(r) => r,
                 Err(_) => Err(CellFailure {
+                    code: "panic",
                     reason: payload_str(first.as_ref()),
                     attempts: 2,
                 }),
@@ -254,9 +348,48 @@ mod tests {
         assert_eq!(results[0], Ok(10));
         assert_eq!(results[2], Ok(30));
         let failure = results[1].as_ref().expect_err("cell 2 must fail");
+        assert_eq!(failure.code, "panic");
         assert_eq!(failure.reason, "boom on 2");
         assert_eq!(failure.attempts, 2);
         assert_eq!(attempts.load(Ordering::Relaxed), 2, "initial run + one retry");
+    }
+
+    /// A cell that only finishes when cancelled (the injected-hang
+    /// shape) degrades to a deterministic `timeout` failure while its
+    /// neighbors complete.
+    #[test]
+    fn timeout_degrades_hung_cells() {
+        let results = run_ordered_isolated_timeout(
+            vec![1, 2, 3],
+            2,
+            Some(Duration::from_millis(50)),
+            |_w, x, cancel| {
+                if x == 2 {
+                    while !cancel.is_cancelled() {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+                x * 10
+            },
+        );
+        assert_eq!(results[0], Ok(10));
+        assert_eq!(results[2], Ok(30));
+        let failure = results[1].as_ref().expect_err("cell 2 must time out");
+        assert_eq!(failure.code, "timeout");
+        assert_eq!(failure.reason, "cell timed out after 50ms");
+        assert_eq!(failure.attempts, 1, "timeouts are not retried");
+    }
+
+    /// With no timeout armed, the token never fires and the semantics
+    /// are exactly `run_ordered_isolated`'s.
+    #[test]
+    fn unarmed_timeout_is_inert() {
+        let results =
+            run_ordered_isolated_timeout(vec![5u64], 1, None, |_w, x, cancel| {
+                assert!(!cancel.is_cancelled());
+                x + 1
+            });
+        assert_eq!(results, vec![Ok(6)]);
     }
 
     /// A transient panic (fails once, succeeds on retry) is absorbed.

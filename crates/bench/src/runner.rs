@@ -7,6 +7,8 @@ use ade_interp::cost::CostModel;
 use ade_interp::{ExecError, Interpreter, Phase, SiteProfile, Stats};
 use ade_workloads::{Benchmark, Config, ConfigKind};
 
+use crate::pool::CancelToken;
+
 /// The measurements from one run.
 #[derive(Clone, Debug)]
 pub struct RunResult {
@@ -53,13 +55,16 @@ pub enum CellError {
 
 impl CellError {
     /// Short deterministic reason code, the figure placeholder text
-    /// (`✗(code)`). `"verify"`, `"limit"`, `"trap"` or `"exec"`;
-    /// panicking cells are reported as `"panic"` by the pool layer.
+    /// (`✗(code)`). `"verify"`, `"limit"`, `"trap"`, `"exec"`, or a
+    /// preemption reason (`"deadline"` / `"cancelled"` / `"shed"`);
+    /// panicking and timed-out cells are reported as `"panic"` /
+    /// `"timeout"` by the pool layer.
     pub fn code(&self) -> &'static str {
         match self {
             CellError::Verify(_) => "verify",
             CellError::Exec(e) if e.is_limit() => "limit",
             CellError::Exec(ExecError::GuestTrap { .. }) => "trap",
+            CellError::Exec(ExecError::Preempted { reason }) => reason.code(),
             CellError::Exec(_) => "exec",
         }
     }
@@ -197,6 +202,42 @@ pub fn try_run_benchmark_cell(
     fuel_override: Option<u64>,
     opts: InterpOpts,
 ) -> Result<RunResult, CellError> {
+    try_run_benchmark_cell_cancellable(bench, kind, scale, trials, profile, fuel_override, opts, None)
+}
+
+/// Fuel quantum for cancellable cell runs: large enough that the
+/// park/grant handshake is noise next to real work, small enough that
+/// a hung guest loop reaches a boundary (and sees a fired token)
+/// promptly.
+const CELL_QUANTUM: u64 = 1 << 16;
+
+/// [`try_run_benchmark_cell`], optionally preemptible. With `cancel`
+/// set the trials run through [`ade_interp::ExecSession`], stepping
+/// [`CELL_QUANTUM`] instructions at a time and polling the token at
+/// every boundary — the `--cell-timeout` machinery. Quantum slicing is
+/// observationally inert, so an uncancelled run returns exactly the
+/// batch path's stats and output (the robustness suite pins the figure
+/// text). With `cancel == None` the batch path runs unchanged.
+///
+/// # Errors
+///
+/// As [`try_run_benchmark_cell`]; a fired token additionally surfaces
+/// as `CellError::Exec(ExecError::Preempted { .. })`.
+///
+/// # Panics
+///
+/// Panics if `trials == 0` (a harness bug, not a cell fault).
+#[allow(clippy::too_many_arguments)]
+pub fn try_run_benchmark_cell_cancellable(
+    bench: &Benchmark,
+    kind: ConfigKind,
+    scale: u32,
+    trials: u32,
+    profile: bool,
+    fuel_override: Option<u64>,
+    opts: InterpOpts,
+    cancel: Option<&CancelToken>,
+) -> Result<RunResult, CellError> {
     assert!(trials > 0, "at least one trial");
     let config = Config::new(kind);
     let mut module = (bench.build)(scale);
@@ -220,11 +261,14 @@ pub fn try_run_benchmark_cell(
             loop_fuse: exec.loop_fuse,
         },
     );
+    let decoded = std::sync::Arc::new(decoded);
     let mut best: Option<ade_interp::Outcome> = None;
     for _ in 0..trials {
-        let outcome = Interpreter::new(&module, exec.clone())
-            .run_decoded(&decoded, "main")
-            .map_err(CellError::Exec)?;
+        let outcome = match cancel {
+            Some(token) => run_preemptible(&decoded, exec.clone(), token),
+            None => Interpreter::new(&module, exec.clone()).run_decoded(&decoded, "main"),
+        }
+        .map_err(CellError::Exec)?;
         let better = best
             .as_ref()
             .is_none_or(|b| outcome.stats.wall_total_ns() < b.stats.wall_total_ns());
@@ -240,6 +284,27 @@ pub fn try_run_benchmark_cell(
         stats: outcome.stats,
         profile: outcome.profile,
     })
+}
+
+/// One preemptible trial: an [`ade_interp::ExecSession`] stepped one
+/// [`CELL_QUANTUM`] at a time, cancelling at the first boundary after
+/// the token fires.
+fn run_preemptible(
+    decoded: &std::sync::Arc<ade_interp::DecodedModule>,
+    exec: ade_interp::ExecConfig,
+    token: &CancelToken,
+) -> Result<ade_interp::Outcome, ExecError> {
+    let mut session =
+        ade_interp::ExecSession::spawn(std::sync::Arc::clone(decoded), "main", exec)?;
+    loop {
+        if token.is_cancelled() {
+            session.cancel(ade_interp::StopReason::Cancelled);
+        }
+        match session.step(Some(CELL_QUANTUM))? {
+            ade_interp::Step::Running => {}
+            ade_interp::Step::Done(outcome) => return Ok(*outcome),
+        }
+    }
 }
 
 /// Runs the profile → compile loop for one benchmark: profile the

@@ -124,6 +124,91 @@ fn checkpoint_resume_reproduces_figure_text() {
     let _ = std::fs::remove_dir(&dir);
 }
 
+/// An injected hang (fuel-free busy wait) would stall the run forever;
+/// with `--cell-timeout` armed it degrades to a deterministic
+/// `✗(timeout)` row while the rest of the matrix completes, identically
+/// across runs and job counts.
+#[test]
+fn injected_hang_with_timeout_degrades_to_timeout_marker() {
+    let fault = FaultSpec { cell: 2, kind: FaultKind::Hang };
+    let timed = |jobs: usize| {
+        let mut s = Session::new(SCALE)
+            .include_wall(false)
+            .jobs(jobs)
+            .inject_fault(fault)
+            // Generous budget: only the injected hang (which never
+            // finishes on its own) can exceed it, even in debug builds.
+            .cell_timeout(std::time::Duration::from_secs(2));
+        s.prewarm(&["fig5"]);
+        s.fig5_or_6(false)
+    };
+    let first = timed(2);
+    assert_eq!(first.matches("✗(timeout)").count(), 1, "{first}");
+    assert!(first.contains("GEO"), "matrix must complete: {first}");
+    assert_eq!(first, timed(2), "degraded figure text must be deterministic");
+    assert_eq!(first, timed(1), "degraded figure text must not depend on --jobs");
+}
+
+/// The timed-out cell is observable through the typed API with the
+/// stable `timeout` code.
+#[test]
+fn cell_result_reports_the_timeout_code() {
+    let cells = cells_for_target("fig5");
+    let (abbrev, kind) = cells[0];
+    let mut s = Session::new(SCALE)
+        .include_wall(false)
+        .inject_fault(FaultSpec { cell: 0, kind: FaultKind::Hang })
+        .cell_timeout(std::time::Duration::from_secs(2));
+    match s.cell_result(abbrev, kind) {
+        ade_bench::CellResult::Failed { code, detail } => {
+            assert_eq!(code, "timeout");
+            assert!(detail.contains("timed out"), "{detail}");
+        }
+        ade_bench::CellResult::Ok(_) => panic!("hung cell 0 must time out"),
+    }
+    // Other cells are unaffected.
+    let (abbrev2, kind2) = cells[1];
+    assert!(matches!(s.cell_result(abbrev2, kind2), ade_bench::CellResult::Ok(_)));
+}
+
+/// `--strict --cell-timeout` fails fast on the timed-out cell instead
+/// of degrading it.
+#[test]
+#[should_panic(expected = "timed out")]
+fn strict_mode_fails_fast_on_timeout() {
+    let mut s = Session::new(SCALE)
+        .include_wall(false)
+        .jobs(2)
+        .strict(true)
+        .inject_fault(FaultSpec { cell: 0, kind: FaultKind::Hang })
+        .cell_timeout(std::time::Duration::from_secs(2));
+    s.prewarm(&["fig5"]);
+}
+
+/// An armed timeout that never fires is observationally inert: the
+/// quantum-sliced preemptible trial path renders the same bytes as the
+/// plain path, for any job count.
+#[test]
+fn unfired_timeout_is_observationally_inert() {
+    let reference = {
+        let mut s = Session::new(SCALE).include_wall(false).jobs(2);
+        s.prewarm(&["fig5"]);
+        s.fig5_or_6(false)
+    };
+    for jobs in [1, 2] {
+        let mut s = Session::new(SCALE)
+            .include_wall(false)
+            .jobs(jobs)
+            .cell_timeout(std::time::Duration::from_secs(600));
+        s.prewarm(&["fig5"]);
+        assert_eq!(
+            reference,
+            s.fig5_or_6(false),
+            "cell_timeout must not perturb figure text (jobs={jobs})"
+        );
+    }
+}
+
 /// With no faults injected and limits off (the defaults), the isolation
 /// machinery is invisible: default and strict sessions render the same
 /// bytes.

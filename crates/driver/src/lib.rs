@@ -90,6 +90,13 @@ pub struct Options {
     /// Abort execution past this call depth (`--max-depth`; default:
     /// unlimited).
     pub max_depth: Option<u32>,
+    /// Preempt execution after this many wall-clock milliseconds
+    /// (`--deadline-ms`; default: unlimited). Unlike the deterministic
+    /// limits above this one races the host clock: the run is sliced
+    /// into fuel quanta on a resumable session and cancelled at the
+    /// first quantum boundary past the deadline, surfacing the stable
+    /// `deadline` reason code (exit 1, like any runtime limit).
+    pub deadline_ms: Option<u64>,
     /// Fuse hot instruction pairs/triples into superinstructions at
     /// decode time (`--no-fuse` clears it; default: on). Counts, figures
     /// and traps are identical either way — the flag exists to isolate
@@ -120,6 +127,7 @@ impl Default for Options {
             fuel: None,
             max_heap_cells: None,
             max_depth: None,
+            deadline_ms: None,
             fuse: true,
             unbox: true,
             loop_fuse: true,
@@ -291,9 +299,7 @@ pub fn drive(source: &str, options: &Options) -> Result<DriveOutput, DriveError>
         exec.loop_fuse = options.loop_fuse && exec.loop_fuse;
         let outcome = {
             let _span = tracer.span("driver", "exec");
-            Interpreter::new(&module, exec)
-                .run(&options.entry)
-                .map_err(|e| err("exec", e))?
+            execute(&module, exec, options).map_err(|e| err("exec", e))?
         };
         if options.stats {
             out.stats = Some(format_stats(&outcome.stats));
@@ -303,6 +309,49 @@ pub fn drive(source: &str, options: &Options) -> Result<DriveOutput, DriveError>
     }
     out.events = tracer.events();
     Ok(out)
+}
+
+/// Fuel quantum for deadline-sliced runs: coarse enough that the
+/// session handshake is noise, fine enough to react to a deadline
+/// within milliseconds on any realistic instruction rate.
+const DEADLINE_QUANTUM: u64 = 1 << 16;
+
+/// Runs the program, batch or preemptibly depending on `--deadline-ms`.
+///
+/// Without a deadline this is the plain inline interpreter. With one,
+/// the run goes through a resumable [`ExecSession`] (the serve layer's
+/// primitive, which is quantum-size invariant: output, statistics and
+/// trap sites are byte-identical to the batch path) and is cancelled
+/// with [`StopReason::Deadline`] at the first quantum boundary past
+/// the wall deadline.
+fn execute(
+    module: &ade_ir::Module,
+    exec: ade_interp::ExecConfig,
+    options: &Options,
+) -> Result<ade_interp::Outcome, ade_interp::ExecError> {
+    use ade_interp::{DecodeOptions, DecodedModule, ExecSession, Step, StopReason};
+
+    let Some(ms) = options.deadline_ms else {
+        return Interpreter::new(module, exec).run(&options.entry);
+    };
+    let decoded = std::sync::Arc::new(DecodedModule::decode_with(
+        module,
+        &DecodeOptions {
+            fuse: exec.fuse,
+            loop_fuse: exec.loop_fuse,
+        },
+    ));
+    let deadline = std::time::Instant::now() + std::time::Duration::from_millis(ms);
+    let mut session = ExecSession::spawn(decoded, &options.entry, exec)?;
+    loop {
+        if std::time::Instant::now() >= deadline {
+            session.cancel(StopReason::Deadline);
+        }
+        match session.step(Some(DEADLINE_QUANTUM))? {
+            Step::Running => {}
+            Step::Done(outcome) => return Ok(*outcome),
+        }
+    }
 }
 
 fn format_stats(stats: &ade_interp::Stats) -> String {
@@ -324,10 +373,10 @@ fn format_stats(stats: &ade_interp::Stats) -> String {
 /// The `adec` usage text (`--help`, and the trailer of usage errors).
 pub const USAGE: &str = "\
 usage: adec [--config NAME] [--run] [--emit-ir] [--stats] [--entry F]
-            [--fuel N] [--max-heap-cells N] [--max-depth N] [--no-fuse]
-            [--no-unbox] [--no-loop-fuse] [--trace[=FILE]]
-            [--trace-json FILE] [--profile FILE] [--profile-in FILE]
-            [--explain[=FILE]] INPUT.memoir
+            [--fuel N] [--max-heap-cells N] [--max-depth N]
+            [--deadline-ms N] [--no-fuse] [--no-unbox] [--no-loop-fuse]
+            [--trace[=FILE]] [--trace-json FILE] [--profile FILE]
+            [--profile-in FILE] [--explain[=FILE]] INPUT.memoir
 
   --config NAME, -c    artifact configuration (memoir, ade, ade-sparse, ...)
   --run, -r            execute the program after compilation
@@ -337,6 +386,9 @@ usage: adec [--config NAME] [--run] [--emit-ir] [--stats] [--entry F]
   --fuel N             abort execution after N interpreted instructions
   --max-heap-cells N   abort execution past N live heap cells
   --max-depth N        abort execution past call depth N
+  --deadline-ms N      preempt execution after N wall-clock milliseconds
+                       (quantum-sliced resumable session; stops with the
+                       stable `deadline` reason code and exit 1)
   --no-fuse            disable interpreter superinstruction fusion (counts,
                        figures and traps are identical; isolates dispatch)
   --no-unbox           disable unboxed scalar collection storage (identical
@@ -355,7 +407,7 @@ usage: adec [--config NAME] [--run] [--emit-ir] [--stats] [--entry F]
                        static and measured inputs, winner and deciding term
   --help, -h           show this message
 
-exit codes: 0 success, 1 guest trap or limit at runtime, 2 usage error
+exit codes: 0 success, 1 guest trap, limit or deadline at runtime, 2 usage error
 (including unknown --config, unreadable input, an invalid --profile-in
 file, and unwritable output paths), 3 parse or verify error
 ";
@@ -411,6 +463,13 @@ pub fn parse_args<I: Iterator<Item = String>>(args: I) -> Result<Cli, String> {
                 let depth = u32::try_from(depth)
                     .map_err(|_| "value for --max-depth out of range".to_string())?;
                 options.max_depth = Some(depth);
+            }
+            "--deadline-ms" => {
+                let ms = parse_limit(args.next(), "--deadline-ms")?;
+                if ms == 0 {
+                    return Err("value for --deadline-ms must be at least 1".to_string());
+                }
+                options.deadline_ms = Some(ms);
             }
             "--no-fuse" => options.fuse = false,
             "--no-unbox" => options.unbox = false,
@@ -653,6 +712,54 @@ fn @main() -> void {
             parse_drive(&["--max-depth", "5000000000", "p.memoir"]).is_err(),
             "overflow"
         );
+
+        let (opts, _) = parse_drive(&["--deadline-ms", "250", "p.memoir"]).expect("parses");
+        assert_eq!(opts.deadline_ms, Some(250));
+        assert!(parse_drive(&["--deadline-ms"]).is_err(), "missing value");
+        assert!(
+            parse_drive(&["--deadline-ms", "0", "p.memoir"]).is_err(),
+            "a zero deadline is a usage error, not an instant trap"
+        );
+    }
+
+    /// An infinite loop (no fuel budget) trips `--deadline-ms` with the
+    /// stable `deadline` reason code; a generous deadline over a finite
+    /// program changes nothing about the batch-path output.
+    #[test]
+    fn deadline_preempts_unbounded_execution() {
+        const SPIN: &str = "\
+fn @main() -> u64 {
+  %zero = const 0u64
+  %one = const 1u64
+  %count = dowhile carry(%zero) as (%c: u64) {
+    %c1 = add %c, %one
+    %go = lt %zero, %one
+    yield %go, %c1
+  }
+  print %count
+  ret %count
+}
+";
+        let opts = Options {
+            run: true,
+            deadline_ms: Some(100),
+            ..Options::default()
+        };
+        let e = drive(SPIN, &opts).expect_err("the spin loop must be preempted");
+        assert_eq!(e.phase, "exec");
+        assert_eq!(e.exit_code(), 1);
+        assert!(e.message.contains("deadline"), "{e}");
+
+        let finite = drive(
+            PROGRAM,
+            &Options {
+                run: true,
+                deadline_ms: Some(600_000),
+                ..Options::default()
+            },
+        )
+        .expect("an unfired deadline is inert");
+        assert_eq!(finite.program_output.as_deref(), Some("5\n"));
     }
 
     #[test]

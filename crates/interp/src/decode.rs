@@ -1207,6 +1207,10 @@ pub struct DRegion {
 /// A decoded function.
 #[derive(Clone, Debug)]
 pub struct DFunc {
+    /// Function name (without the `@`), copied out of the source IR so
+    /// trap sites and profiles can be attributed without keeping the
+    /// [`Module`] alive alongside the decoded stream.
+    pub name: String,
     /// Number of frame slots (one per SSA value).
     pub frame_size: u32,
     /// Frame slots of the parameters, in order.
@@ -1223,13 +1227,20 @@ pub struct DFunc {
     pub types: Box<[Type]>,
 }
 
-/// A fully decoded module, borrowing the source IR it was built from.
+/// A fully decoded module.
+///
+/// Owns everything execution needs (instruction streams, constant
+/// pools, pooled types, function names), so it is `'static`, `Send`
+/// and `Sync`: decode a module once, wrap it in an `Arc`, and share it
+/// across concurrent [`crate::ExecSession`]s — the serving engine's
+/// load-module-once contract.
 #[derive(Debug)]
-pub struct DecodedModule<'m> {
-    /// The source module.
-    pub module: &'m Module,
+pub struct DecodedModule {
     /// Decoded functions, indexed by [`FuncId`].
     pub funcs: Box<[DFunc]>,
+    /// Number of enumeration classes declared by the source module
+    /// (the interpreter allocates one runtime `Enum` pair per class).
+    pub enum_count: usize,
 }
 
 /// Options for [`DecodedModule::decode_with`].
@@ -1257,7 +1268,7 @@ impl Default for DecodeOptions {
     }
 }
 
-impl<'m> DecodedModule<'m> {
+impl DecodedModule {
     /// Decodes every function of `module`.
     ///
     /// In debug builds this first runs the IR verifier: the decoded
@@ -1268,7 +1279,7 @@ impl<'m> DecodedModule<'m> {
     /// # Panics
     ///
     /// Panics in debug builds if the module fails verification.
-    pub fn decode(module: &'m Module) -> Self {
+    pub fn decode(module: &Module) -> Self {
         Self::decode_with(
             module,
             &DecodeOptions {
@@ -1284,7 +1295,7 @@ impl<'m> DecodedModule<'m> {
     /// # Panics
     ///
     /// Panics in debug builds if the module fails verification.
-    pub fn decode_with(module: &'m Module, options: &DecodeOptions) -> Self {
+    pub fn decode_with(module: &Module, options: &DecodeOptions) -> Self {
         #[cfg(debug_assertions)]
         if let Err(e) = ade_ir::verify::verify_module(module) {
             panic!("refusing to decode an unverifiable module: {e}");
@@ -1303,13 +1314,25 @@ impl<'m> DecodedModule<'m> {
                 d
             })
             .collect();
-        DecodedModule { module, funcs }
+        DecodedModule {
+            funcs,
+            enum_count: module.enums.len(),
+        }
     }
 
     /// The decoded function behind an id.
     #[inline]
     pub fn func(&self, f: FuncId) -> &DFunc {
         &self.funcs[f.index()]
+    }
+
+    /// Looks up a decoded function by name (the entry-point lookup,
+    /// mirroring `Module::function_by_name`).
+    pub fn function_by_name(&self, name: &str) -> Option<FuncId> {
+        self.funcs
+            .iter()
+            .position(|f| f.name == name)
+            .map(FuncId::from_index)
     }
 }
 
@@ -1342,6 +1365,7 @@ fn decode_function(func: &Function) -> DFunc {
         d.decode_region(RegionId::from_index(r));
     }
     DFunc {
+        name: func.name.clone(),
         frame_size: u32::try_from(func.values.len()).expect("frame fits u32"),
         params: func.params.iter().map(|p| slot(p.index())).collect(),
         body: u32::try_from(func.body.index()).expect("region fits u32"),

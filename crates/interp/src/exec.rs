@@ -23,7 +23,7 @@ use crate::decode::{
 use crate::heap::{CollId, Collection, SelectionDefaults};
 use crate::profile::{Recorder, SiteProfile};
 use crate::stats::{CollOp, ImplKind, Phase, Stats};
-use crate::trap::{Limit, TrapKind, TrapSite, ENC_SENTINEL};
+use crate::trap::{Limit, StopReason, TrapKind, TrapSite, ENC_SENTINEL};
 use crate::value::{Res, ScalarVal, Value};
 
 /// Interpreter configuration.
@@ -118,17 +118,27 @@ pub enum ExecError {
         /// Human-readable description.
         message: String,
     },
+    /// Execution was stopped by the host scheduler before completion
+    /// (deadline, cancellation, or load shedding — see [`StopReason`]).
+    /// Like [`ExecError::LimitExceeded`], this is not guest UB: the
+    /// program was well-behaved, the host chose to stop it.
+    Preempted {
+        /// Why the scheduler stopped the run.
+        reason: StopReason,
+    },
 }
 
 impl ExecError {
     /// Short machine-readable failure code, stable across releases:
-    /// `no-entry`, `host`, a [`TrapKind`] code, or a [`Limit`] code.
+    /// `no-entry`, `host`, a [`TrapKind`] code, a [`Limit`] code, or a
+    /// [`StopReason`] code (`deadline`, `cancelled`, `shed`).
     pub fn code(&self) -> &'static str {
         match self {
             ExecError::NoEntry { .. } => "no-entry",
             ExecError::GuestTrap { kind, .. } => kind.code(),
             ExecError::LimitExceeded { limit, .. } => limit.code(),
             ExecError::Host { .. } => "host",
+            ExecError::Preempted { reason } => reason.code(),
         }
     }
 
@@ -171,6 +181,9 @@ impl fmt::Display for ExecError {
                 "execution error: region/call depth limit exceeded ({budget})"
             ),
             ExecError::Host { message } => write!(f, "execution error: {message}"),
+            ExecError::Preempted { reason } => {
+                write!(f, "execution preempted: {reason}")
+            }
         }
     }
 }
@@ -223,7 +236,12 @@ enum Flow {
 /// Executes IR modules against instrumented runtime collections.
 #[derive(Debug)]
 pub struct Interpreter<'m> {
-    module: &'m Module,
+    /// The source module — only needed to decode on the fly
+    /// ([`Interpreter::run`] / [`Interpreter::run_inline`]). Session
+    /// execution over a shared [`DecodedModule`] runs detached
+    /// (`None`): everything the hot paths read lives in the decoded
+    /// stream.
+    module: Option<&'m Module>,
     config: ExecConfig,
     heap: Vec<Collection>,
     /// Implementation kind per heap slot. A collection's implementation
@@ -239,9 +257,21 @@ pub struct Interpreter<'m> {
     tracked_bytes: usize,
     fuel_used: u64,
     depth: u32,
+    /// Function names copied from the decoded module at run start, so
+    /// trap sites can be attributed without the source [`Module`].
+    func_names: Box<[String]>,
     /// `Some` only when [`ExecConfig::profile`]; boxed so the disabled
     /// case costs one word in the interpreter struct.
     profiler: Option<Box<Recorder>>,
+    /// Preemption handshake ([`crate::ExecSession`]); `None` for plain
+    /// batch runs. When set, the instruction dispatch loop counts down
+    /// `quantum_left` and parks on the shared state at exhaustion, and
+    /// the bulk/fused fast paths are disabled so every instruction
+    /// passes a quantum boundary check.
+    preempt: Option<std::sync::Arc<crate::session::SessionShared>>,
+    /// Instructions left in the current quantum grant (meaningful only
+    /// with `preempt` attached).
+    quantum_left: u64,
     /// Free list of spent [`Flow::Yield`] buffers. Every loop iteration
     /// and branch join yields a `Vec<Value>`; recycling them turns the
     /// hottest allocation in the dispatch loop into a pop/push pair.
@@ -252,7 +282,7 @@ impl<'m> Interpreter<'m> {
     /// Creates an interpreter over `module`.
     pub fn new(module: &'m Module, config: ExecConfig) -> Self {
         Self {
-            module,
+            module: Some(module),
             config,
             heap: Vec::new(),
             coll_impls: Vec::new(),
@@ -264,7 +294,38 @@ impl<'m> Interpreter<'m> {
             tracked_bytes: 0,
             fuel_used: 0,
             depth: 0,
+            func_names: Box::new([]),
             profiler: None,
+            preempt: None,
+            quantum_left: 0,
+            flow_pool: Vec::new(),
+        }
+    }
+
+    /// A module-less interpreter for session execution over a shared
+    /// [`DecodedModule`], with the preemption handshake attached. Only
+    /// [`Interpreter::run_decoded_inline`] may be called on it.
+    pub(crate) fn for_session(
+        config: ExecConfig,
+        shared: std::sync::Arc<crate::session::SessionShared>,
+    ) -> Interpreter<'static> {
+        Interpreter {
+            module: None,
+            config,
+            heap: Vec::new(),
+            coll_impls: Vec::new(),
+            coll_bytes: Vec::new(),
+            enums: Vec::new(),
+            stats: Stats::default(),
+            output: String::new(),
+            phase: Phase::Init,
+            tracked_bytes: 0,
+            fuel_used: 0,
+            depth: 0,
+            func_names: Box::new([]),
+            profiler: None,
+            preempt: Some(shared),
+            quantum_left: 0,
             flow_pool: Vec::new(),
         }
     }
@@ -306,7 +367,7 @@ impl<'m> Interpreter<'m> {
     /// As [`Interpreter::run`].
     pub fn run_decoded(
         self,
-        decoded: &DecodedModule<'m>,
+        decoded: &DecodedModule,
         entry: &str,
     ) -> Result<Outcome, ExecError> {
         self.run_threaded(Some(decoded), entry)
@@ -314,7 +375,7 @@ impl<'m> Interpreter<'m> {
 
     fn run_threaded(
         self,
-        decoded: Option<&DecodedModule<'m>>,
+        decoded: Option<&DecodedModule>,
         entry: &str,
     ) -> Result<Outcome, ExecError> {
         // Guest programs may recurse deeply (the IR has first-class
@@ -355,8 +416,9 @@ impl<'m> Interpreter<'m> {
     /// (e.g. benchmarks measuring non-recursive programs that want to
     /// avoid per-run thread-spawn overhead).
     pub fn run_inline(self, entry: &str) -> Result<Outcome, ExecError> {
+        let module = self.module.expect("run_inline needs a source module");
         let decoded = DecodedModule::decode_with(
-            self.module,
+            module,
             &crate::decode::DecodeOptions {
                 fuse: self.config.fuse,
                 loop_fuse: self.config.loop_fuse,
@@ -373,31 +435,23 @@ impl<'m> Interpreter<'m> {
     /// As [`Interpreter::run`].
     pub fn run_decoded_inline(
         mut self,
-        decoded: &DecodedModule<'m>,
+        decoded: &DecodedModule,
         entry: &str,
     ) -> Result<Outcome, ExecError> {
         debug_assert!(
-            std::ptr::eq(decoded.module, self.module),
+            self.module.is_none_or(|m| m.funcs.len() == decoded.funcs.len()),
             "decoded stream must come from this interpreter's module"
         );
-        let Some(fid) = self.module.function_by_name(entry) else {
+        let Some(fid) = decoded.function_by_name(entry) else {
             return Err(ExecError::NoEntry {
                 entry: entry.to_string(),
             });
         };
-        self.enums = self
-            .module
-            .enums
-            .iter()
-            .map(|_| RuntimeEnum::default())
-            .collect();
+        self.enums = (0..decoded.enum_count).map(|_| RuntimeEnum::default()).collect();
+        self.func_names = decoded.funcs.iter().map(|d| d.name.clone()).collect();
         if self.config.profile {
             self.profiler = Some(Box::new(Recorder::new(
-                self.module
-                    .funcs
-                    .iter()
-                    .zip(decoded.funcs.iter())
-                    .map(|(f, d)| (f.name.clone(), d.code.len())),
+                decoded.funcs.iter().map(|d| (d.name.clone(), d.code.len())),
             )));
         }
         let start = Instant::now();
@@ -598,7 +652,7 @@ impl<'m> Interpreter<'m> {
 
     fn call_function(
         &mut self,
-        d: &DecodedModule<'_>,
+        d: &DecodedModule,
         fid: FuncId,
         args: Vec<Value>,
         phase_start: &mut Instant,
@@ -625,7 +679,7 @@ impl<'m> Interpreter<'m> {
 
     fn exec_region(
         &mut self,
-        d: &DecodedModule<'_>,
+        d: &DecodedModule,
         fid: FuncId,
         func: &DFunc,
         frame: &mut Vec<Value>,
@@ -648,7 +702,7 @@ impl<'m> Interpreter<'m> {
 
     fn exec_region_inner(
         &mut self,
-        d: &DecodedModule<'_>,
+        d: &DecodedModule,
         fid: FuncId,
         func: &DFunc,
         frame: &mut Vec<Value>,
@@ -672,6 +726,15 @@ impl<'m> Interpreter<'m> {
                     });
                 }
             }
+            // Quantum countdown piggybacks on the fuel tick: one unit
+            // per executed instruction, checked only when a session is
+            // attached (one branch on an `Option` discriminant, like
+            // the profiler). Parking at quantum exhaustion has no
+            // observable effect, so results are byte-identical for
+            // every quantum size.
+            if self.preempt.is_some() {
+                self.quantum_tick()?;
+            }
             // Point the profiler's attribution cursor at this site.
             // Nested regions re-aim it per instruction, so work done by a
             // loop body lands on the body's sites, not the loop header's.
@@ -688,7 +751,7 @@ impl<'m> Interpreter<'m> {
                 Err(ExecError::GuestTrap { site: None, kind }) => {
                     return Err(ExecError::GuestTrap {
                         site: Some(TrapSite {
-                            func: self.module.funcs[fid.index()].name.clone(),
+                            func: func.name.clone(),
                             inst: idx as u32,
                         }),
                         kind,
@@ -710,7 +773,7 @@ impl<'m> Interpreter<'m> {
     /// programs would otherwise exhaust the stack in debug builds).
     fn exec_inst(
         &mut self,
-        d: &DecodedModule<'_>,
+        d: &DecodedModule,
         fid: FuncId,
         func: &DFunc,
         frame: &mut Vec<Value>,
@@ -877,7 +940,7 @@ impl<'m> Interpreter<'m> {
         // bookkeeping has no observable effect (`fuel_used` is only
         // ever compared against `config.fuel`), so the straight-line
         // window skips it — this is where fusion buys its wall time.
-        if self.config.fuel.is_none() && self.profiler.is_none() {
+        if self.config.fuel.is_none() && self.profiler.is_none() && self.preempt.is_none() {
             return Ok(());
         }
         self.fuel_used += 1;
@@ -889,9 +952,39 @@ impl<'m> Interpreter<'m> {
                 });
             }
         }
+        if self.preempt.is_some() {
+            self.quantum_tick()?;
+        }
         if let Some(p) = self.profiler.as_deref_mut() {
             p.set_site(fid.0, site as u32);
         }
+        Ok(())
+    }
+
+    /// One quantum unit consumed; refills (parking if necessary) at
+    /// exhaustion. Split so the common decrement inlines into the
+    /// dispatch loop and the handshake stays out of line.
+    #[inline]
+    fn quantum_tick(&mut self) -> Result<(), ExecError> {
+        if self.quantum_left > 0 {
+            self.quantum_left -= 1;
+            return Ok(());
+        }
+        self.quantum_refill()
+    }
+
+    /// Blocks until the session controller grants the next quantum (or
+    /// returns the cancellation it requested). Pausing here is the only
+    /// thing that distinguishes sliced execution from a straight run —
+    /// and it touches no interpreter state, which is why checksums,
+    /// stats, profiles and trap sites are byte-identical for every
+    /// quantum size.
+    #[cold]
+    fn quantum_refill(&mut self) -> Result<(), ExecError> {
+        let shared = std::sync::Arc::clone(self.preempt.as_ref().expect("preempt attached"));
+        let granted = shared.take_grant()?;
+        // The instruction that triggered the refill consumes one unit.
+        self.quantum_left = granted.saturating_sub(1);
         Ok(())
     }
 
@@ -901,7 +994,7 @@ impl<'m> Interpreter<'m> {
     fn trap_at(&self, fid: FuncId, inst: usize, kind: TrapKind) -> ExecError {
         ExecError::GuestTrap {
             site: Some(TrapSite {
-                func: self.module.funcs[fid.index()].name.clone(),
+                func: self.func_names[fid.index()].clone(),
                 inst: inst as u32,
             }),
             kind,
@@ -1322,7 +1415,7 @@ impl<'m> Interpreter<'m> {
     #[inline(never)]
     fn exec_foreach(
         &mut self,
-        d: &DecodedModule<'_>,
+        d: &DecodedModule,
         fid: FuncId,
         func: &DFunc,
         frame: &mut Vec<Value>,
@@ -1422,7 +1515,7 @@ impl<'m> Interpreter<'m> {
     #[inline(never)]
     fn exec_forrange(
         &mut self,
-        d: &DecodedModule<'_>,
+        d: &DecodedModule,
         fid: FuncId,
         func: &DFunc,
         frame: &mut Vec<Value>,
@@ -1502,7 +1595,7 @@ impl<'m> Interpreter<'m> {
     #[inline(never)]
     fn exec_dowhile(
         &mut self,
-        d: &DecodedModule<'_>,
+        d: &DecodedModule,
         fid: FuncId,
         func: &DFunc,
         frame: &mut Vec<Value>,
@@ -1552,13 +1645,17 @@ impl<'m> Interpreter<'m> {
     /// Whether bulk loop kernels may run. Any configuration that makes
     /// per-iteration accounting observable — a fuel budget (each body
     /// instruction ticks fuel), an attached profiler (per-site
-    /// attribution and size high-water marks), or a depth limit (each
-    /// iteration enters the body region) — routes bulk headers through
-    /// the generic loop instead, which replays those observables
-    /// per-instruction and byte-identically.
+    /// attribution and size high-water marks), a depth limit (each
+    /// iteration enters the body region), or a preemption session
+    /// (each instruction is a quantum boundary) — routes bulk headers
+    /// through the generic loop instead, which replays those
+    /// observables per-instruction and byte-identically.
     #[inline]
     fn bulk_enabled(&self) -> bool {
-        self.config.fuel.is_none() && self.profiler.is_none() && self.config.max_depth.is_none()
+        self.config.fuel.is_none()
+            && self.profiler.is_none()
+            && self.config.max_depth.is_none()
+            && self.preempt.is_none()
     }
 
     /// Bulk `foreach`: one header dispatch for the whole nest. The

@@ -48,6 +48,7 @@ pub mod decode;
 mod exec;
 mod heap;
 pub mod profile;
+mod session;
 mod stats;
 pub mod trap;
 mod value;
@@ -56,6 +57,7 @@ pub use decode::{DecodeOptions, DecodedModule};
 pub use exec::{ExecConfig, ExecError, Interpreter, Outcome};
 pub use heap::{CollId, Collection, SelectionDefaults};
 pub use profile::{FuncProfile, HotSite, SiteProfile, SiteStats};
+pub use session::{ExecSession, Step};
 pub use stats::{CollOp, ImplKind, OpCounts, Phase, Stats};
-pub use trap::{Limit, TrapKind, TrapSite, ENC_SENTINEL};
+pub use trap::{Limit, StopReason, TrapKind, TrapSite, ENC_SENTINEL};
 pub use value::{ScalarVal, Value};

@@ -113,6 +113,38 @@ impl fmt::Display for TrapSite {
     }
 }
 
+/// Why a preemptible execution was stopped before completion
+/// (carried by [`crate::ExecError::Preempted`]). These are *scheduler*
+/// decisions, not guest faults: the program was well-behaved but the
+/// host chose (or was asked) to stop it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The request's wall-clock deadline passed.
+    Deadline,
+    /// The request was cancelled (a cancellation token fired).
+    Cancelled,
+    /// The executor refused admission under load.
+    Shed,
+}
+
+impl StopReason {
+    /// Short machine-readable code (stable across releases; the serve
+    /// layer's typed-error taxonomy and figure placeholders use it).
+    pub fn code(self) -> &'static str {
+        match self {
+            StopReason::Deadline => "deadline",
+            StopReason::Cancelled => "cancelled",
+            StopReason::Shed => "shed",
+        }
+    }
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
 /// Which execution limit was exceeded.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Limit {
@@ -150,6 +182,9 @@ mod tests {
         assert_eq!(TrapKind::SentinelInsert.code(), "sentinel-insert");
         assert_eq!(TrapKind::DivideByZero.code(), "div-by-zero");
         assert_eq!(Limit::Fuel.code(), "fuel");
+        assert_eq!(StopReason::Deadline.code(), "deadline");
+        assert_eq!(StopReason::Cancelled.code(), "cancelled");
+        assert_eq!(StopReason::Shed.code(), "shed");
     }
 
     #[test]

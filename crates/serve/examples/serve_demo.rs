@@ -1,0 +1,88 @@
+//! Deterministic serving demo: a fixed multi-tenant batch — success,
+//! per-request budgets, deterministic cancellation, a zero deadline,
+//! load shedding, a bad entry — over one shared decoded module, with
+//! the transcript printed to stdout.
+//!
+//! The transcript depends only on each request's program, budgets, and
+//! deterministic cancellation, so it is byte-identical across runs and
+//! worker counts — the CI smoke runs this twice (different `--workers`)
+//! and diffs the output.
+//!
+//! ```text
+//! cargo run --release -p ade-serve --example serve_demo -- [--workers N] [--quantum N]
+//! ```
+
+use std::sync::Arc;
+
+use ade_interp::{DecodedModule, ExecConfig};
+use ade_serve::{transcript, Request, ServeConfig, Server};
+
+const GUESTS: &str = r#"
+fn @main() -> void {
+  %s = new Set<u64>
+  %zero = const 0u64
+  %n = const 500u64
+  %sf = forrange %zero, %n carry(%s) as (%i: u64, %ss: Set<u64>) {
+    %s1 = insert %ss, %i
+    yield %s1
+  }
+  %count = size %sf
+  print %count
+  ret
+}
+
+fn @small() -> void {
+  %a = const 2u64
+  %b = const 3u64
+  %c = add %a, %b
+  print %c
+  ret
+}
+"#;
+
+fn main() {
+    let mut workers = 2usize;
+    let mut quantum = 64u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .filter(|&v| v >= 1)
+                .unwrap_or_else(|| {
+                    eprintln!("error: missing or invalid value for {flag}");
+                    std::process::exit(2);
+                })
+        };
+        match arg.as_str() {
+            "--workers" => workers = value("--workers") as usize,
+            "--quantum" => quantum = value("--quantum"),
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprintln!("usage: serve_demo [--workers N] [--quantum N]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let module = ade_ir::parse::parse_module(GUESTS).expect("demo module parses");
+    ade_ir::verify::verify_module(&module).expect("demo module verifies");
+    let decoded = Arc::new(DecodedModule::decode_with(&module, &Default::default()));
+    let server = Server::new(
+        decoded,
+        ExecConfig::default(),
+        ServeConfig { quantum, workers, capacity: 6 },
+    );
+
+    let responses = server.serve(vec![
+        Request::new(0, "main"),
+        Request::new(1, "small"),
+        Request::new(2, "main").with_fuel(100),
+        Request::new(3, "main").with_max_heap_cells(0),
+        Request::new(4, "main").with_cancel_after_quanta(2),
+        Request::new(5, "main").with_deadline_ms(0),
+        Request::new(6, "small"), // over capacity: shed unexecuted
+        Request::new(7, "nope"),  // over capacity: shed before lookup
+    ]);
+    print!("{}", transcript(&responses));
+}
