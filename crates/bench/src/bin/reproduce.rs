@@ -5,7 +5,7 @@
 //! reproduce [--scale N] [--trials N] [--jobs N] [--no-wall]
 //!           [--strict] [--checkpoint FILE] [--inject-fault SPEC]
 //!           [--cell-timeout MS] [--timeline FILE] [--obs-dir DIR]
-//!           [--feedback]
+//!           [--metrics FILE] [--feedback]
 //!           [fig4|fig5|fig6|fig7|fig8|fig9|table2|table3|rq4|feedback|all]
 //! ```
 //!
@@ -52,12 +52,26 @@
 //! one complete event per matrix cell, one lane per worker — that
 //! `chrome://tracing` or Perfetto loads directly. `--obs-dir DIR`
 //! collects a per-site interpreter profile for every cell and writes
-//! one `<bench>_<config>.profile.json` per cell into DIR.
+//! one `<bench>_<config>.profile.json` per cell into DIR — plus one
+//! `postmortem-<bench>_<config>.json` flight-recorder dump for every
+//! cell that degraded to `✗(code)`. `--metrics FILE` writes the run's
+//! metrics snapshot (schema `ade-metrics-v1`): cell scheduling and
+//! degradation counters plus the worker pool's attempt/retry/timeout
+//! accounting. Every deterministic metric is order-independent, so the
+//! snapshot is byte-identical across `--jobs` values; `--no-wall` also
+//! excludes the wall-class series (per-worker cell counts) exactly as
+//! it blanks wall ratios in figures.
+//!
+//! An unwritable `--timeline`/`--obs-dir`/`--metrics` output exits with
+//! code 2 and `error: cannot write <path>` — the same usage-error
+//! contract as `adec`'s output flags. `--checkpoint` is the deliberate
+//! exception (see above): a damaged resume artifact degrades to a
+//! fresh run, because it must never cost the evaluation.
 
 use std::sync::Arc;
 
 use ade_bench::figures::{FaultSpec, Session};
-use ade_obs::Timeline;
+use ade_obs::{MetricsRegistry, Timeline};
 
 fn main() {
     let mut scale = 9u32;
@@ -70,6 +84,7 @@ fn main() {
     let mut cell_timeout: Option<u64> = None;
     let mut timeline_path: Option<String> = None;
     let mut obs_dir: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -122,6 +137,10 @@ fn main() {
             "--obs-dir" => {
                 obs_dir = Some(args.next().unwrap_or_else(|| usage("missing value for --obs-dir")));
             }
+            "--metrics" => {
+                metrics_path =
+                    Some(args.next().unwrap_or_else(|| usage("missing value for --metrics")));
+            }
             "--feedback" => {
                 if !targets.iter().any(|t| t == "feedback") {
                     targets.push("feedback".to_string());
@@ -156,11 +175,15 @@ fn main() {
         .map(str::to_string)
         .collect();
     let timeline = timeline_path.as_ref().map(|_| Arc::new(Timeline::new()));
+    let metrics = metrics_path.as_ref().map(|_| MetricsRegistry::enabled());
     let mut session = Session::with_trials(scale, trials)
         .jobs(jobs)
         .include_wall(include_wall)
         .profile(obs_dir.is_some())
         .strict(strict);
+    if let Some(m) = &metrics {
+        session = session.metrics(m.clone());
+    }
     if let Some(f) = fault {
         session = session.inject_fault(f);
     }
@@ -228,8 +251,8 @@ fn main() {
     }
     if let Some(dir) = &obs_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("error: cannot create {dir}: {e}");
-            std::process::exit(1);
+            eprintln!("error: cannot write {dir}: {e}");
+            std::process::exit(2);
         }
         let profiles = session.cached_profiles();
         for (abbrev, kind, profile) in &profiles {
@@ -237,20 +260,35 @@ fn main() {
             write_file(&path, &profile.to_json());
         }
         eprintln!("[obs] profiles: {} file(s) in {dir}", profiles.len());
+        let postmortems = session.postmortems();
+        if !postmortems.is_empty() {
+            for (key, dump) in &postmortems {
+                write_file(&format!("{dir}/postmortem-{key}.json"), dump);
+            }
+            eprintln!("[obs] post-mortems: {} file(s) in {dir}", postmortems.len());
+        }
+    }
+    if let (Some(path), Some(m)) = (&metrics_path, &metrics) {
+        let snapshot = m.snapshot();
+        write_file(path, &snapshot.to_json(include_wall));
+        eprintln!("[obs] metrics: {path} ({} series)", snapshot.len(include_wall));
     }
 }
 
+/// Writes an observability artifact, mirroring `adec`'s output-flag
+/// contract: an unwritable path is a usage error (`exit 2`) with a
+/// uniform `cannot write` message.
 fn write_file(path: &str, contents: &str) {
     if let Err(e) = std::fs::write(path, contents) {
         eprintln!("error: cannot write {path}: {e}");
-        std::process::exit(1);
+        std::process::exit(2);
     }
 }
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: reproduce [--scale N] [--trials N] [--jobs N] [--no-wall] [--strict] [--checkpoint FILE] [--inject-fault cell=K,kind=panic|fuel|hang] [--cell-timeout MS] [--timeline FILE] [--obs-dir DIR] [--feedback] [fig4|fig5|fig6|fig7|fig8|fig9|table2|table3|rq4|feedback|all]"
+        "usage: reproduce [--scale N] [--trials N] [--jobs N] [--no-wall] [--strict] [--checkpoint FILE] [--inject-fault cell=K,kind=panic|fuel|hang] [--cell-timeout MS] [--timeline FILE] [--obs-dir DIR] [--metrics FILE] [--feedback] [fig4|fig5|fig6|fig7|fig8|fig9|table2|table3|rq4|feedback|all]"
     );
     std::process::exit(2);
 }

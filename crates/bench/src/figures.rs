@@ -10,11 +10,11 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use ade_interp::cost::CostModel;
 use ade_interp::{CollOp, ImplKind, SiteProfile};
-use ade_obs::Timeline;
+use ade_obs::{FieldValue, FlightRecorder, MetricsRegistry, Timeline};
 use ade_workloads::bench::{all_benchmarks, benchmark_by_abbrev};
 use ade_workloads::ConfigKind;
 
@@ -146,6 +146,11 @@ impl FaultSpec {
 /// small enough that every benchmark at every scale trips it.
 const INJECTED_FUEL: u64 = 100;
 
+/// How many flight-recorder events each cell retains for its
+/// post-mortem (oldest evicted first; eviction is visible as sequence
+/// gaps in the dump).
+const FLIGHT_CAPACITY: usize = 64;
+
 /// A memo of run results so one `reproduce all` never repeats a run.
 #[derive(Default)]
 pub struct Session {
@@ -162,6 +167,9 @@ pub struct Session {
     timeline: Option<Arc<Timeline>>,
     checkpoint: Option<Arc<Checkpoint>>,
     interp_opts: crate::runner::InterpOpts,
+    metrics: MetricsRegistry,
+    /// Flight-recorder dumps for degraded cells, keyed `abbrev_config`.
+    postmortems: Arc<Mutex<BTreeMap<String, String>>>,
     cache: BTreeMap<(String, ConfigKind), CellResult>,
 }
 
@@ -187,6 +195,8 @@ impl Session {
             timeline: None,
             checkpoint: None,
             interp_opts: crate::runner::InterpOpts::default(),
+            metrics: MetricsRegistry::disabled(),
+            postmortems: Arc::new(Mutex::new(BTreeMap::new())),
             cache: BTreeMap::new(),
         }
     }
@@ -314,6 +324,21 @@ impl Session {
         self
     }
 
+    /// Attaches a metrics registry (`--metrics`): the session publishes
+    /// scheduling counters (`cells_scheduled/completed/degraded_total`)
+    /// and the worker pool publishes attempt/retry/panic/timeout
+    /// accounting into it. Every counter is order-independent, so the
+    /// non-wall snapshot is byte-identical across `--jobs` values;
+    /// per-worker cell counts are wall-classed (scheduling noise) and
+    /// excluded unless wall metrics are requested. Figure text is
+    /// byte-identical with metrics on or off.
+    #[must_use]
+    pub fn metrics(mut self, metrics: MetricsRegistry) -> Self {
+        metrics.mark_wall("pool_worker_cells_total");
+        self.metrics = metrics;
+        self
+    }
+
     /// Every cached per-site profile, keyed by `(benchmark, config)` —
     /// what `reproduce --obs-dir` writes out, one file per cell.
     pub fn cached_profiles(&self) -> Vec<(&str, ConfigKind, &SiteProfile)> {
@@ -323,6 +348,20 @@ impl Session {
                 CellResult::Ok(r) => r.profile.as_ref().map(|p| (abbrev.as_str(), *kind, p)),
                 CellResult::Failed { .. } => None,
             })
+            .collect()
+    }
+
+    /// Post-mortem flight-recorder dumps for every degraded cell, keyed
+    /// `abbrev_config` — what `reproduce --obs-dir` writes out as
+    /// `postmortem-<key>.json`, one file per failed cell. Sorted by key
+    /// and free of timestamps, so the set is byte-identical across
+    /// `--jobs` values and repeat runs.
+    pub fn postmortems(&self) -> Vec<(String, String)> {
+        self.postmortems
+            .lock()
+            .expect("postmortem map poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
             .collect()
     }
 
@@ -391,6 +430,8 @@ impl Session {
             return;
         }
         self.scheduled += pending.len();
+        self.metrics
+            .add("cells_scheduled_total", &[], pending.len() as u64);
         let plan: Vec<(&'static str, ConfigKind)> = pending.iter().map(|&(_, c)| c).collect();
         let (scale, trials, profile) = (self.scale, self.trials, self.profile);
         let timeline = self.timeline.clone();
@@ -398,10 +439,37 @@ impl Session {
         let checkpoint = self.checkpoint.clone();
         let interp_opts = self.interp_opts;
         let timeout = self.cell_timeout;
+        let postmortems = Arc::clone(&self.postmortems);
         let work = move |worker: usize,
                          (idx, (abbrev, kind)): (usize, (&'static str, ConfigKind)),
                          cancel: &crate::pool::CancelToken| {
+            // One flight recorder per cell *attempt*: events are scoped
+            // to a deterministic entity and carry no timestamps, so a
+            // retried attempt produces a byte-identical dump.
+            let key = format!("{abbrev}_{}", kind.name());
+            let flight = FlightRecorder::new(FLIGHT_CAPACITY);
+            flight.record(
+                "pool",
+                "start",
+                &[
+                    ("cell", FieldValue::from(key.as_str())),
+                    ("index", FieldValue::from(idx as u64)),
+                    ("scale", FieldValue::from(u64::from(scale))),
+                    ("trials", FieldValue::from(u64::from(trials))),
+                ],
+            );
             if matches!(fault, Some(f) if f.cell == idx && f.kind == FaultKind::Panic) {
+                // Dump *before* panicking so the degraded cell has a
+                // post-mortem; the retry overwrites it identically.
+                flight.record("pool", "fault", &[("kind", FieldValue::from("panic"))]);
+                let dump = flight.dump_json(&[
+                    ("cell", FieldValue::from(key.as_str())),
+                    ("code", FieldValue::from("panic")),
+                ]);
+                postmortems
+                    .lock()
+                    .expect("postmortem map poisoned")
+                    .insert(key, dump);
                 panic!(
                     "injected fault: panic at cell {idx} ({abbrev}/{})",
                     kind.name()
@@ -414,15 +482,28 @@ impl Session {
                 // pool discards this cell's outcome (its token fired),
                 // so any error value serves; Preempted matches what a
                 // cancelled real cell returns.
+                flight.record("pool", "fault", &[("kind", FieldValue::from("hang"))]);
                 while !cancel.is_cancelled() {
                     std::thread::sleep(std::time::Duration::from_millis(1));
                 }
+                flight.record("pool", "trip", &[("code", FieldValue::from("timeout"))]);
+                let dump = flight.dump_json(&[
+                    ("cell", FieldValue::from(key.as_str())),
+                    ("code", FieldValue::from("timeout")),
+                ]);
+                postmortems
+                    .lock()
+                    .expect("postmortem map poisoned")
+                    .insert(key, dump);
                 return Err(CellError::Exec(ade_interp::ExecError::Preempted {
                     reason: ade_interp::StopReason::Cancelled,
                 }));
             }
             let fuel = match fault {
-                Some(f) if f.cell == idx && f.kind == FaultKind::Fuel => Some(INJECTED_FUEL),
+                Some(f) if f.cell == idx && f.kind == FaultKind::Fuel => {
+                    flight.record("pool", "fault", &[("kind", FieldValue::from("fuel"))]);
+                    Some(INJECTED_FUEL)
+                }
                 _ => None,
             };
             let r = try_run_cell(
@@ -436,15 +517,39 @@ impl Session {
                 fuel,
                 interp_opts,
                 timeout.is_some().then_some(cancel),
-            )?;
-            // A result that raced the watchdog is discarded by the pool;
-            // keep the checkpoint consistent with what the run reports.
-            if !cancel.is_cancelled() {
-                if let Some(ck) = checkpoint.as_deref() {
-                    ck.record(&r);
+            );
+            if cancel.is_cancelled() {
+                // The watchdog fired: the pool discards this outcome and
+                // reports `timeout` itself (the fold loop synthesizes
+                // the post-mortem so its event list never depends on how
+                // far the racing cell got).
+                return r;
+            }
+            match &r {
+                Ok(result) => {
+                    // A retried cell that now succeeds clears the dump
+                    // its panicking first attempt left behind.
+                    postmortems
+                        .lock()
+                        .expect("postmortem map poisoned")
+                        .remove(&key);
+                    if let Some(ck) = checkpoint.as_deref() {
+                        ck.record(result);
+                    }
+                }
+                Err(e) => {
+                    flight.record("pool", "trip", &[("code", FieldValue::from(e.code()))]);
+                    let dump = flight.dump_json(&[
+                        ("cell", FieldValue::from(key.as_str())),
+                        ("code", FieldValue::from(e.code())),
+                    ]);
+                    postmortems
+                        .lock()
+                        .expect("postmortem map poisoned")
+                        .insert(key, dump);
                 }
             }
-            Ok(r)
+            r
         };
         let outcomes: Vec<Result<Result<RunResult, CellError>, crate::pool::CellFailure>> =
             if self.strict && self.cell_timeout.is_none() {
@@ -455,10 +560,11 @@ impl Session {
                 .map(Ok)
                 .collect()
             } else {
-                crate::pool::run_ordered_isolated_timeout(
+                crate::pool::run_ordered_isolated_metered(
                     pending,
                     self.jobs,
                     self.cell_timeout,
+                    &self.metrics,
                     work,
                 )
             };
@@ -491,6 +597,26 @@ impl Session {
                     }
                 }
             };
+            match &cell {
+                CellResult::Ok(_) => self.metrics.add("cells_completed_total", &[], 1),
+                CellResult::Failed { code, .. } => {
+                    self.metrics
+                        .add("cells_degraded_total", &[("code", code)], 1);
+                    // A cell the pool failed without a worker-side dump
+                    // (a pool-propagated panic, a watchdog-discarded
+                    // result) still gets a post-mortem: an empty ring
+                    // with the cell key and reason code as context.
+                    let key = format!("{abbrev}_{}", kind.name());
+                    let mut dumps = self.postmortems.lock().expect("postmortem map poisoned");
+                    if !dumps.contains_key(&key) {
+                        let dump = FlightRecorder::new(FLIGHT_CAPACITY).dump_json(&[
+                            ("cell", FieldValue::from(key.as_str())),
+                            ("code", FieldValue::from(*code)),
+                        ]);
+                        dumps.insert(key, dump);
+                    }
+                }
+            }
             self.cache.insert((abbrev.to_string(), kind), cell);
         }
     }

@@ -208,7 +208,38 @@ where
     R: Send,
     F: Fn(usize, T, &CancelToken) -> R + Sync,
 {
+    run_ordered_isolated_metered(items, jobs, timeout, &ade_obs::MetricsRegistry::disabled(), work)
+}
+
+/// [`run_ordered_isolated_timeout`], publishing pool accounting into
+/// `metrics`:
+///
+/// * `pool_attempts_total` — work-function invocations (including
+///   retries), `pool_retries_total` — panicked first attempts that got a
+///   second chance, `pool_cell_panics_total` / `pool_cell_timeouts_total`
+///   — cells recorded as failed. All scheduling-independent for
+///   deterministic work, since retry/failure classification is.
+/// * `pool_worker_cells_total{worker=…}` — cells completed per worker.
+///   Which worker claims which cell depends on scheduling, so the metric
+///   is marked wall-class (excluded from deterministic snapshots).
+///
+/// A disabled registry makes this exactly
+/// [`run_ordered_isolated_timeout`].
+pub fn run_ordered_isolated_metered<T, R, F>(
+    items: Vec<T>,
+    jobs: usize,
+    timeout: Option<Duration>,
+    metrics: &ade_obs::MetricsRegistry,
+    work: F,
+) -> Vec<Result<R, CellFailure>>
+where
+    T: Send + Clone,
+    R: Send,
+    F: Fn(usize, T, &CancelToken) -> R + Sync,
+{
+    metrics.mark_wall("pool_worker_cells_total");
     let attempt = |worker: usize, item: T| -> Result<Result<R, CellFailure>, Box<dyn std::any::Any + Send>> {
+        metrics.add("pool_attempts_total", &[], 1);
         let cancel = CancelToken::new();
         let watchdog = timeout.map(|budget| {
             let token = cancel.clone();
@@ -230,6 +261,7 @@ where
         }
         if cancel.is_cancelled() {
             let ms = timeout.expect("only armed timeouts cancel").as_millis();
+            metrics.add("pool_cell_timeouts_total", &[], 1);
             return Ok(Err(CellFailure {
                 code: "timeout",
                 reason: format!("cell timed out after {ms}ms"),
@@ -240,17 +272,26 @@ where
     };
     run_ordered_with(items, jobs, |worker, item: T| {
         let retry = item.clone();
-        match attempt(worker, item) {
+        let result = match attempt(worker, item) {
             Ok(r) => r,
-            Err(first) => match attempt(worker, retry) {
-                Ok(r) => r,
-                Err(_) => Err(CellFailure {
-                    code: "panic",
-                    reason: payload_str(first.as_ref()),
-                    attempts: 2,
-                }),
-            },
-        }
+            Err(first) => {
+                metrics.add("pool_retries_total", &[], 1);
+                match attempt(worker, retry) {
+                    Ok(r) => r,
+                    Err(_) => {
+                        metrics.add("pool_cell_panics_total", &[], 1);
+                        Err(CellFailure {
+                            code: "panic",
+                            reason: payload_str(first.as_ref()),
+                            attempts: 2,
+                        })
+                    }
+                }
+            }
+        };
+        let lane = worker.to_string();
+        metrics.add("pool_worker_cells_total", &[("worker", &lane)], 1);
+        result
     })
 }
 
@@ -390,6 +431,59 @@ mod tests {
                 x + 1
             });
         assert_eq!(results, vec![Ok(6)]);
+    }
+
+    /// The metered runner publishes attempt/retry/failure accounting;
+    /// the deterministic counters are identical across job counts, and
+    /// the per-worker lane counter is wall-classed.
+    #[test]
+    fn metered_pool_publishes_deterministic_accounting() {
+        let run = |jobs: usize| {
+            let metrics = ade_obs::MetricsRegistry::enabled();
+            let results = run_ordered_isolated_metered(
+                (0..6).collect::<Vec<i32>>(),
+                jobs,
+                Some(Duration::from_millis(50)),
+                &metrics,
+                |_w, x, cancel| {
+                    match x {
+                        2 => panic!("boom"),
+                        4 => {
+                            while !cancel.is_cancelled() {
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                        }
+                        _ => {}
+                    }
+                    x
+                },
+            );
+            assert_eq!(results[2].as_ref().expect_err("panic cell").code, "panic");
+            assert_eq!(results[4].as_ref().expect_err("hung cell").code, "timeout");
+            metrics.snapshot()
+        };
+        let serial = run(1);
+        let parallel = run(3);
+        assert_eq!(
+            serial.to_json(false),
+            parallel.to_json(false),
+            "deterministic pool counters are jobs-independent"
+        );
+        let by_id: std::collections::BTreeMap<String, ade_obs::MetricValue> = serial
+            .rows
+            .iter()
+            .map(|r| (r.id.clone(), r.value.clone()))
+            .collect();
+        // 6 cells + 1 retry of the panicking cell = 7 attempts.
+        assert_eq!(by_id["pool_attempts_total"], ade_obs::MetricValue::Counter(7));
+        assert_eq!(by_id["pool_retries_total"], ade_obs::MetricValue::Counter(1));
+        assert_eq!(by_id["pool_cell_panics_total"], ade_obs::MetricValue::Counter(1));
+        assert_eq!(by_id["pool_cell_timeouts_total"], ade_obs::MetricValue::Counter(1));
+        // Worker lanes are recorded but wall-classed out of the
+        // deterministic rendering.
+        assert!(serial.rows.iter().any(|r| r.name == "pool_worker_cells_total" && r.wall));
+        assert!(!serial.to_json(false).contains("pool_worker_cells_total"));
+        assert!(serial.to_json(true).contains("pool_worker_cells_total"));
     }
 
     /// A transient panic (fails once, succeeds on retry) is absorbed.

@@ -1,0 +1,107 @@
+//! One round trip over every JSON artifact the toolchain emits — the
+//! Chrome-trace timeline, pipeline trace events, per-site interpreter
+//! profiles (plus the strict `ade-site-profile-v1` reader), the
+//! selection ledger, metrics snapshots (both wall settings) and
+//! flight-recorder post-mortems — validated with the shared `ade-obs`
+//! JSON validator, so a malformed emitter fails here before any
+//! external consumer sees it.
+
+use ade_bench::figures::{cells_for_target, Session};
+use ade_obs::{json, FieldValue, FlightRecorder, MetricsRegistry, Timeline, Tracer};
+
+const SCALE: u32 = 4;
+
+#[test]
+fn timeline_chrome_trace_validates() {
+    let tl = Timeline::new();
+    let started = tl.now_ns();
+    tl.complete(
+        "BFS/ade",
+        "cell",
+        0,
+        started,
+        vec![("scale".to_string(), SCALE.to_string())],
+    );
+    json::validate(&tl.to_chrome_json()).expect("chrome trace is valid JSON");
+}
+
+#[test]
+fn pipeline_trace_events_validate() {
+    let tracer = Tracer::enabled();
+    {
+        let _span = tracer.span("driver", "compile");
+        tracer
+            .event("ade", "selection")
+            .field("backend", FieldValue::from("bitset"))
+            .emit();
+    }
+    json::validate(&ade_obs::events_to_json(&tracer.events()))
+        .expect("trace events are valid JSON");
+}
+
+/// A real profiled cell's JSON export validates *and* round-trips
+/// through the strict `ade-site-profile-v1` reader (the `--profile-in`
+/// ingestion path), preserving the site count.
+#[test]
+fn site_profile_validates_and_round_trips() {
+    let (abbrev, kind) = cells_for_target("fig5")[0];
+    let mut s = Session::new(SCALE).include_wall(false).profile(true);
+    let result = s.cell(abbrev, kind);
+    let profile = result.profile.expect("profiled cell");
+    let text = profile.to_json();
+    json::validate(&text).expect("site profile is valid JSON");
+    let data = ade_obs::read_profile(&text).expect("strict reader accepts the emitter");
+    let sites: usize = data.functions.iter().map(|f| f.sites.len()).sum();
+    assert!(sites > 0, "benchmark cell has collection sites");
+}
+
+/// The selection ledger a real ADE compile produces exports valid JSON
+/// with one decision per keyed site.
+#[test]
+fn selection_ledger_validates() {
+    let bench = ade_workloads::bench::benchmark_by_abbrev("BFS").expect("known benchmark");
+    let (_result, ledger) =
+        ade_bench::runner::try_run_feedback_cell(&bench, SCALE, 1, Default::default())
+            .expect("feedback cell runs");
+    let text = ledger.to_json();
+    json::validate(&text).expect("selection ledger is valid JSON");
+    assert!(text.contains("\"schema\":\"ade-selection-ledger-v1\""), "{text}");
+    assert!(!ledger.decisions.is_empty(), "BFS has keyed selection sites");
+}
+
+/// Metrics snapshots validate under both wall settings, including the
+/// histogram shape.
+#[test]
+fn metrics_snapshot_validates() {
+    let m = MetricsRegistry::enabled();
+    m.add("requests_total", &[("tenant", "1")], 3);
+    m.gauge_max("queue_depth_hwm", &[], 7);
+    m.observe("cost_ns", &[], &[10, 100, 1000], 42);
+    m.add("wall_cells_total", &[("worker", "0")], 1);
+    m.mark_wall("wall_cells_total");
+    let snapshot = m.snapshot();
+    for include_wall in [false, true] {
+        json::validate(&snapshot.to_json(include_wall)).expect("metrics snapshot is valid JSON");
+    }
+    json::validate(&ade_obs::MetricsRegistry::disabled().snapshot().to_json(true))
+        .expect("empty snapshot is valid JSON");
+}
+
+#[test]
+fn flight_recorder_dump_validates() {
+    let fr = FlightRecorder::new(4);
+    fr.record("pool", "start", &[("cell", FieldValue::from("BFS_ade"))]);
+    fr.record(
+        "pool",
+        "trip",
+        &[("code", FieldValue::from("limit")), ("fuel", FieldValue::from(100u64))],
+    );
+    let dump = fr.dump_json(&[
+        ("cell", FieldValue::from("BFS_ade")),
+        ("code", FieldValue::from("limit")),
+    ]);
+    json::validate(&dump).expect("post-mortem is valid JSON");
+    // An empty, fold-synthesized dump validates too.
+    json::validate(&FlightRecorder::new(64).dump_json(&[("code", FieldValue::from("timeout"))]))
+        .expect("empty post-mortem is valid JSON");
+}

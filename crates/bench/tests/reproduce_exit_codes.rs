@@ -1,0 +1,93 @@
+//! The `reproduce` binary's output-path contract, end to end: an
+//! unwritable `--timeline`/`--obs-dir`/`--metrics` artifact is a usage
+//! error (exit 2, uniform `cannot write` message — the same contract as
+//! `adec`'s output flags), while an unusable `--checkpoint` is the
+//! deliberate exception: it degrades to a fresh run with a warning and
+//! exit 0, because a damaged resume artifact must never cost the
+//! evaluation (`checkpoint_fuzz.rs` pins the in-process side).
+//!
+//! These run the cheapest real target (`fig4` needs only the memoir
+//! configuration) at a tiny scale.
+
+use std::process::Command;
+
+fn reproduce(args: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .args(["--scale", "3", "--no-wall", "fig4"])
+        .args(args)
+        .output()
+        .expect("reproduce runs");
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    (out.status.code().expect("exit code, not a signal"), stderr)
+}
+
+/// A path whose parent is a regular file: unwritable for everyone,
+/// including the root user CI runs as (plain `/nonexistent/...` paths
+/// are creatable by root, so they cannot pin the `--obs-dir` case).
+fn enotdir_path(name: &str) -> (std::path::PathBuf, String) {
+    let file = std::env::temp_dir().join(format!("reproduce-exit-{}-{name}", std::process::id()));
+    std::fs::write(&file, "not a directory").expect("write blocker file");
+    let inner = format!("{}/sub", file.display());
+    (file, inner)
+}
+
+#[test]
+fn unwritable_timeline_is_two() {
+    let (blocker, path) = enotdir_path("timeline");
+    let (code, err) = reproduce(&["--timeline", &path]);
+    assert_eq!(code, 2, "{err}");
+    assert!(err.contains("cannot write"), "{err}");
+    let _ = std::fs::remove_file(blocker);
+}
+
+#[test]
+fn unwritable_metrics_is_two() {
+    let (blocker, path) = enotdir_path("metrics");
+    let (code, err) = reproduce(&["--metrics", &path]);
+    assert_eq!(code, 2, "{err}");
+    assert!(err.contains("cannot write"), "{err}");
+    let _ = std::fs::remove_file(blocker);
+}
+
+#[test]
+fn unwritable_obs_dir_is_two() {
+    let (blocker, dir) = enotdir_path("obsdir");
+    let (code, err) = reproduce(&["--obs-dir", &dir]);
+    assert_eq!(code, 2, "{err}");
+    assert!(err.contains("cannot write"), "{err}");
+    let _ = std::fs::remove_file(blocker);
+}
+
+#[test]
+fn unusable_checkpoint_degrades_to_exit_zero() {
+    let (blocker, path) = enotdir_path("checkpoint");
+    let (code, err) = reproduce(&["--checkpoint", &path]);
+    assert_eq!(code, 0, "{err}");
+    assert!(err.contains("unusable"), "{err}");
+    assert!(err.contains("continuing without persistence"), "{err}");
+    let _ = std::fs::remove_file(blocker);
+}
+
+/// The happy path: every observability artifact lands, the metrics
+/// snapshot is deterministic across job counts, and the exit code is 0.
+#[test]
+fn writable_observability_outputs_succeed() {
+    let dir = std::env::temp_dir().join(format!("reproduce-exit-ok-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let metrics = |jobs: &str| {
+        let path = dir.join(format!("metrics-{jobs}.json"));
+        let (code, err) = reproduce(&["--jobs", jobs, "--metrics", path.to_str().unwrap()]);
+        assert_eq!(code, 0, "{err}");
+        assert!(err.contains("[obs] metrics:"), "{err}");
+        std::fs::read_to_string(&path).expect("metrics snapshot written")
+    };
+    let serial = metrics("1");
+    ade_obs::json::validate(&serial).expect("metrics snapshot is valid JSON");
+    assert!(serial.contains("cells_scheduled_total"), "{serial}");
+    assert_eq!(
+        serial,
+        metrics("4"),
+        "--no-wall metrics snapshot must be byte-identical across --jobs"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

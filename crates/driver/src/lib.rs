@@ -26,7 +26,7 @@
 use std::fmt;
 
 use ade_interp::Interpreter;
-use ade_obs::Tracer;
+use ade_obs::{MetricsRegistry, Tracer};
 use ade_workloads::{Config, ConfigKind};
 
 /// Where the human-readable pipeline trace goes (`--trace[=FILE]`).
@@ -74,6 +74,11 @@ pub struct Options {
     /// Write a per-site interpreter profile (JSON) to this path
     /// (implies `run`).
     pub profile: Option<String>,
+    /// Write the execution's metrics snapshot (JSON, schema
+    /// `ade-metrics-v1`) to this path (implies `run`): stop-reason
+    /// tallies, fuel ticks, quantum grants and the heap high-water
+    /// mark.
+    pub metrics: Option<String>,
     /// Read a previously written `ade-site-profile-v1` profile and feed
     /// its measured op mixes into selection (`--profile-in FILE`).
     pub profile_in: Option<String>,
@@ -122,6 +127,7 @@ impl Default for Options {
             trace: TraceMode::Off,
             trace_json: None,
             profile: None,
+            metrics: None,
             profile_in: None,
             explain: ExplainMode::Off,
             fuel: None,
@@ -162,6 +168,8 @@ pub struct DriveOutput {
     pub events: Vec<ade_obs::Event>,
     /// Per-site interpreter profile (when `Options::profile` is set).
     pub profile: Option<ade_interp::SiteProfile>,
+    /// Rendered metrics snapshot JSON (when `Options::metrics` is set).
+    pub metrics: Option<String>,
     /// Rendered selection-ledger explain report (when
     /// [`Options::wants_explain`]).
     pub explain: Option<String>,
@@ -297,6 +305,10 @@ pub fn drive(source: &str, options: &Options) -> Result<DriveOutput, DriveError>
         exec.fuse = options.fuse && exec.fuse;
         exec.unbox = options.unbox && exec.unbox;
         exec.loop_fuse = options.loop_fuse && exec.loop_fuse;
+        let metrics = options.metrics.as_ref().map(|_| MetricsRegistry::enabled());
+        if let Some(m) = &metrics {
+            exec.metrics = m.clone();
+        }
         let outcome = {
             let _span = tracer.span("driver", "exec");
             execute(&module, exec, options).map_err(|e| err("exec", e))?
@@ -306,6 +318,7 @@ pub fn drive(source: &str, options: &Options) -> Result<DriveOutput, DriveError>
         }
         out.program_output = Some(outcome.output);
         out.profile = outcome.profile;
+        out.metrics = metrics.map(|m| m.snapshot().to_json(true));
     }
     out.events = tracer.events();
     Ok(out)
@@ -376,7 +389,8 @@ usage: adec [--config NAME] [--run] [--emit-ir] [--stats] [--entry F]
             [--fuel N] [--max-heap-cells N] [--max-depth N]
             [--deadline-ms N] [--no-fuse] [--no-unbox] [--no-loop-fuse]
             [--trace[=FILE]] [--trace-json FILE] [--profile FILE]
-            [--profile-in FILE] [--explain[=FILE]] INPUT.memoir
+            [--metrics FILE] [--profile-in FILE] [--explain[=FILE]]
+            INPUT.memoir
 
   --config NAME, -c    artifact configuration (memoir, ade, ade-sparse, ...)
   --run, -r            execute the program after compilation
@@ -399,6 +413,9 @@ usage: adec [--config NAME] [--run] [--emit-ir] [--stats] [--entry F]
   --trace-json FILE    machine-readable trace events as JSON
   --profile FILE       per-site interpreter profile as JSON (implies --run);
                        also prints a hot-site summary to stderr
+  --metrics FILE       execution metrics snapshot as JSON (implies --run):
+                       stop-reason tallies, fuel ticks, quantum grants and
+                       the heap high-water mark (schema ade-metrics-v1)
   --profile-in FILE    feed a previously written profile (ade-site-profile-v1)
                        back into selection: measured op mixes bias the
                        per-class backend choice
@@ -480,6 +497,10 @@ pub fn parse_args<I: Iterator<Item = String>>(args: I) -> Result<Cli, String> {
             }
             "--profile" => {
                 options.profile = Some(args.next().ok_or("missing value for --profile")?);
+                options.run = true;
+            }
+            "--metrics" => {
+                options.metrics = Some(args.next().ok_or("missing value for --metrics")?);
                 options.run = true;
             }
             "--profile-in" => {
@@ -571,6 +592,31 @@ fn @main() -> void {
         assert!(ir.contains("Set{Bit}<idx>"), "{ir}");
         assert!(ade.stats.expect("stats").contains("sparse accesses"));
         assert_eq!(ade.report.expect("report").enums_created, 1);
+    }
+
+    #[test]
+    fn metrics_snapshot_is_valid_deterministic_json() {
+        let run = || {
+            drive(
+                PROGRAM,
+                &Options {
+                    run: true,
+                    metrics: Some("m.json".to_string()),
+                    fuel: Some(1_000_000),
+                    ..Options::default()
+                },
+            )
+            .expect("drives")
+            .metrics
+            .expect("metrics snapshot rendered")
+        };
+        let snapshot = run();
+        ade_obs::json::validate(&snapshot).expect("valid JSON");
+        assert!(snapshot.contains("\"schema\":\"ade-metrics-v1\""), "{snapshot}");
+        assert!(snapshot.contains(r#"exec_stops_total{reason=\"ok\"}"#), "{snapshot}");
+        assert!(snapshot.contains("exec_fuel_ticks_total"), "{snapshot}");
+        assert!(snapshot.contains("exec_heap_hwm_bytes"), "{snapshot}");
+        assert_eq!(snapshot, run(), "snapshot is run-to-run deterministic");
     }
 
     #[test]
@@ -821,6 +867,12 @@ fn @main() -> u64 {
         let (opts, _) = parse_drive(&["--profile", "p.json", "p.memoir"]).expect("parses");
         assert_eq!(opts.profile.as_deref(), Some("p.json"));
         assert!(opts.run && !opts.emit_ir);
+
+        // --metrics implies --run too.
+        let (opts, _) = parse_drive(&["--metrics", "m.json", "p.memoir"]).expect("parses");
+        assert_eq!(opts.metrics.as_deref(), Some("m.json"));
+        assert!(opts.run && !opts.emit_ir);
+        assert!(parse_drive(&["--metrics"]).is_err(), "missing value");
     }
 
     #[test]

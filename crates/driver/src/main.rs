@@ -4,8 +4,8 @@
 //! adec [--config NAME] [--run] [--emit-ir] [--stats] [--entry F]
 //!      [--fuel N] [--max-heap-cells N] [--max-depth N] [--no-fuse]
 //!      [--no-unbox] [--no-loop-fuse] [--trace[=FILE]]
-//!      [--trace-json FILE] [--profile FILE] [--profile-in FILE]
-//!      [--explain[=FILE]] INPUT.memoir
+//!      [--trace-json FILE] [--profile FILE] [--metrics FILE]
+//!      [--profile-in FILE] [--explain[=FILE]] INPUT.memoir
 //! ```
 //!
 //! With no action flags the transformed IR is printed (`--emit-ir`).
@@ -14,6 +14,9 @@
 //! — `--trace=FILE` redirects it, `--trace-json FILE` dumps the raw
 //! events as JSON. `--profile FILE` executes the program with per-site
 //! profiling and writes a JSON profile plus a hot-site summary;
+//! `--metrics FILE` executes the program with a metrics registry
+//! attached and writes the snapshot (stop-reason tallies, fuel ticks,
+//! quantum grants, heap high-water mark) as JSON.
 //! `--profile-in FILE` feeds such a profile back into selection so
 //! measured op mixes pick the backend per enumeration class, and
 //! `--explain[=FILE]` renders the selection ledger (candidates, modeled
@@ -84,6 +87,9 @@ fn main() {
                 write_file(path, &profile.to_json());
                 let model = ade_interp::cost::CostModel::intel_x64();
                 eprint!("{}", profile.report(&model, 10));
+            }
+            if let Some(path) = &options.metrics {
+                write_file(path, out.metrics.as_deref().unwrap_or(""));
             }
             match &options.explain {
                 ExplainMode::Off => {}

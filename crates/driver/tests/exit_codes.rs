@@ -66,6 +66,7 @@ fn unwritable_output_paths_are_two() {
     for flag in [
         "--trace-json",
         "--profile",
+        "--metrics",
         "--trace=/nonexistent/dir/out.txt",
         "--explain=/nonexistent/dir/out.txt",
     ] {

@@ -66,6 +66,20 @@ pub struct ExecConfig {
     /// backends report the boxed twin's [`ImplKind`] and byte
     /// accounting and preserve iteration order.
     pub unbox: bool,
+    /// Runtime metrics registry (default disabled). When enabled, the
+    /// run publishes quantum grants (`exec_quanta_total`), counted fuel
+    /// ticks (`exec_fuel_ticks_total`; see [`Outcome::fuel_ticks`] for
+    /// when ticks are counted), the heap high-water mark
+    /// (`exec_heap_hwm_bytes`) and per-reason stop tallies
+    /// (`exec_stops_total{reason=…}`). Every update is commutative, so
+    /// the published values are independent of scheduling; execution
+    /// itself is untouched either way.
+    pub metrics: ade_obs::MetricsRegistry,
+    /// Flight recorder for post-mortem dumps (default `None`). When
+    /// attached, the run records structured `exec` events — entry
+    /// (`enter`), quantum grants (`grant`), the final stop (`stop`) —
+    /// into the bounded ring; the owner dumps it on degradation.
+    pub flight: Option<std::sync::Arc<ade_obs::FlightRecorder>>,
 }
 
 impl Default for ExecConfig {
@@ -79,6 +93,8 @@ impl Default for ExecConfig {
             fuse: true,
             unbox: true,
             loop_fuse: true,
+            metrics: ade_obs::MetricsRegistry::disabled(),
+            flight: None,
         }
     }
 }
@@ -207,6 +223,11 @@ pub struct Outcome {
     pub result: Option<Value>,
     /// Per-instruction-site profile (when [`ExecConfig::profile`]).
     pub profile: Option<SiteProfile>,
+    /// Instruction (fuel) ticks the run counted. Tick counting is only
+    /// live when something observes it — a fuel limit, a profiler, or a
+    /// preemption session; a plain unlimited run skips the bookkeeping
+    /// in its fused fast paths and reports `0` here.
+    pub fuel_ticks: u64,
 }
 
 /// The runtime state of one enumeration class: the paper's
@@ -454,23 +475,73 @@ impl<'m> Interpreter<'m> {
                 decoded.funcs.iter().map(|d| (d.name.clone(), d.code.len())),
             )));
         }
+        if let Some(fr) = &self.config.flight {
+            fr.record("exec", "enter", &[("entry", ade_obs::FieldValue::from(entry))]);
+        }
         let start = Instant::now();
         let mut phase_start = start;
         // Wall-time bookkeeping happens at ROI transitions; we thread the
         // phase-start instant through a cell on self via a small closure
         // protocol: exec notes transitions in `stats.wall_ns` directly.
-        let result = self.call_function(decoded, fid, Vec::new(), &mut phase_start)?;
+        let result = match self.call_function(decoded, fid, Vec::new(), &mut phase_start) {
+            Ok(result) => result,
+            Err(e) => {
+                self.record_stop(Some(&e));
+                return Err(e);
+            }
+        };
         let elapsed = Stats::clamp_ns(phase_start.elapsed().as_nanos());
         self.stats.wall_ns[self.phase as usize] =
             self.stats.wall_ns[self.phase as usize].saturating_add(elapsed);
         self.stats.final_bytes = self.tracked_bytes;
         self.sample_peak();
+        self.record_stop(None);
         Ok(Outcome {
             output: self.output,
             stats: self.stats,
             result,
             profile: self.profiler.map(|r| r.finish()),
+            fuel_ticks: self.fuel_used,
         })
+    }
+
+    /// Whether instruction ticks are being counted (see
+    /// [`Outcome::fuel_ticks`]): the fused fast paths skip the
+    /// bookkeeping when nothing observes it.
+    fn counting_ticks(&self) -> bool {
+        self.config.fuel.is_some() || self.profiler.is_some() || self.preempt.is_some()
+    }
+
+    /// Publishes the run's terminal accounting — reason tally, counted
+    /// fuel ticks, heap high-water mark — into the metrics registry and
+    /// the flight recorder. Called exactly once per run, on both the
+    /// success and the error path; a disabled registry and a detached
+    /// recorder make this a pair of cheap branches.
+    fn record_stop(&mut self, err: Option<&ExecError>) {
+        let reason = err.map_or("ok", ExecError::code);
+        self.sample_peak();
+        let m = &self.config.metrics;
+        if m.is_enabled() {
+            m.add("exec_stops_total", &[("reason", reason)], 1);
+            if self.counting_ticks() {
+                m.add("exec_fuel_ticks_total", &[], self.fuel_used);
+            }
+            m.gauge_max("exec_heap_hwm_bytes", &[], self.stats.peak_bytes as u64);
+        }
+        if let Some(fr) = &self.config.flight {
+            fr.record(
+                "exec",
+                "stop",
+                &[
+                    ("reason", ade_obs::FieldValue::from(reason)),
+                    ("fuel_ticks", ade_obs::FieldValue::from(self.fuel_used)),
+                    (
+                        "heap_hwm_bytes",
+                        ade_obs::FieldValue::from(self.stats.peak_bytes),
+                    ),
+                ],
+            );
+        }
     }
 
     fn sample_peak(&mut self) {
@@ -983,6 +1054,14 @@ impl<'m> Interpreter<'m> {
     fn quantum_refill(&mut self) -> Result<(), ExecError> {
         let shared = std::sync::Arc::clone(self.preempt.as_ref().expect("preempt attached"));
         let granted = shared.take_grant()?;
+        self.config.metrics.add("exec_quanta_total", &[], 1);
+        if let Some(fr) = &self.config.flight {
+            fr.record(
+                "exec",
+                "grant",
+                &[("fuel", ade_obs::FieldValue::from(granted))],
+            );
+        }
         // The instruction that triggered the refill consumes one unit.
         self.quantum_left = granted.saturating_sub(1);
         Ok(())

@@ -88,6 +88,53 @@ impl SelectionLedger {
         self.decisions.iter().filter(|d| d.source == source).count()
     }
 
+    /// Serializes the ledger as JSON (schema `ade-selection-ledger-v1`),
+    /// decisions in pass order. Like the text report, everything is
+    /// modeled, so the output is byte-identical across runs.
+    pub fn to_json(&self) -> String {
+        use crate::json::{write_f64, write_string};
+        let mut out = String::from("{\"schema\":\"ade-selection-ledger-v1\",\"decisions\":[");
+        for (i, d) in self.decisions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  {\"func\":");
+            write_string(&mut out, &d.func);
+            out.push_str(",\"member\":");
+            write_string(&mut out, &d.member);
+            out.push_str(&format!(
+                ",\"depth\":{},\"enum_class\":{},\"set_impl\":",
+                d.depth, d.enum_class
+            ));
+            write_string(&mut out, &d.set_impl);
+            out.push_str(",\"map_impl\":");
+            write_string(&mut out, &d.map_impl);
+            out.push_str(",\"source\":");
+            write_string(&mut out, &d.source.to_string());
+            out.push_str(",\"deciding\":");
+            write_string(&mut out, &d.deciding);
+            out.push_str(",\"candidates\":[");
+            for (j, c) in d.candidates.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"backend\":");
+                write_string(&mut out, &c.backend);
+                out.push_str(",\"static_ns\":");
+                write_f64(&mut out, c.static_ns);
+                out.push_str(",\"measured_ns\":");
+                match c.measured_ns {
+                    Some(ns) => write_f64(&mut out, ns),
+                    None => out.push_str("null"),
+                }
+                out.push('}');
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
     /// Renders the human-readable explain report: one block per decision
     /// plus a per-function summary. Deterministic for a deterministic
     /// pass (everything is modeled; no wall times).
@@ -234,5 +281,19 @@ mod tests {
         let text = SelectionLedger::default().render_report();
         assert!(text.contains("0 decision(s)"), "{text}");
         assert!(text.contains("(no keyed sites)"), "{text}");
+    }
+
+    #[test]
+    fn json_dump_is_valid_and_complete() {
+        let ledger = sample();
+        let dump = ledger.to_json();
+        crate::json::validate(&dump).expect("valid JSON");
+        assert_eq!(dump, ledger.to_json(), "deterministic");
+        assert!(dump.contains("\"schema\":\"ade-selection-ledger-v1\""), "{dump}");
+        assert!(dump.contains("\"set_impl\":\"SparseBit\""), "{dump}");
+        assert!(dump.contains("\"source\":\"measured\""), "{dump}");
+        assert!(dump.contains("\"measured_ns\":130"), "{dump}");
+        assert!(dump.contains("\"measured_ns\":null") || dump.contains("\"candidates\":[]"), "{dump}");
+        crate::json::validate(&SelectionLedger::default().to_json()).expect("empty valid");
     }
 }

@@ -1,0 +1,544 @@
+//! A zero-dependency runtime metrics registry.
+//!
+//! [`MetricsRegistry`] is the always-on accounting surface the serving
+//! executor, the interpreter, and the evaluation pool publish into:
+//! monotonic counters, gauges with high-water-mark semantics, and
+//! fixed-bucket histograms, each addressed by a name plus a small,
+//! sorted label set. Like [`crate::Tracer`], the default handle is
+//! *disabled* and every operation on it is a branch on an `Option`
+//! discriminant — attaching telemetry costs nothing until someone asks
+//! for it. Clones share the underlying store, so one registry can be
+//! threaded through many layers and threads.
+//!
+//! Determinism: every update is a commutative aggregate (addition,
+//! maximum, bucket increment), so the snapshot's *values* are
+//! independent of thread interleaving — a parallel run publishes the
+//! same numbers as a serial one as long as the work itself is
+//! deterministic. The snapshot renders metrics sorted by id, making the
+//! JSON ([`MetricsSnapshot::to_json`]) and Prometheus-style text
+//! ([`MetricsSnapshot::to_prometheus`]) byte-identical across runs,
+//! worker counts, and `--jobs` values. The one escape hatch is the
+//! *wall class*: metrics whose base name was [`MetricsRegistry::
+//! mark_wall`]ed carry scheduling- or wall-clock-dependent values
+//! (worker utilization, busy nanoseconds) and are excluded whenever a
+//! snapshot is rendered with `include_wall == false` — the `--no-wall`
+//! discipline the figures already follow.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
+
+/// What one metric holds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetricValue {
+    /// A monotonically increasing count.
+    Counter(u64),
+    /// A last-write or high-water-mark sample.
+    Gauge(u64),
+    /// A fixed-bucket histogram: `counts[i]` observations fell in
+    /// `(bounds[i-1], bounds[i]]`; the final slot is the overflow
+    /// (`+Inf`) bucket.
+    Histogram {
+        /// Upper bucket bounds, strictly increasing.
+        bounds: Vec<u64>,
+        /// Per-bucket observation counts (`bounds.len() + 1` slots).
+        counts: Vec<u64>,
+        /// Saturating sum of every observed value.
+        sum: u64,
+        /// Number of observations.
+        count: u64,
+    },
+}
+
+/// One metric as captured by [`MetricsRegistry::snapshot`].
+#[derive(Clone, Debug)]
+pub struct MetricRow {
+    /// Full id: `name` or `name{k="v",…}` with labels sorted by key.
+    pub id: String,
+    /// Base metric name (id without labels).
+    pub name: String,
+    /// Label pairs, sorted by key.
+    pub labels: Vec<(String, String)>,
+    /// Whether the base name was marked wall-class (scheduling- or
+    /// wall-clock-dependent; excluded from deterministic renderings).
+    pub wall: bool,
+    /// The captured value.
+    pub value: MetricValue,
+}
+
+#[derive(Debug, Default)]
+struct Store {
+    metrics: BTreeMap<String, (String, Vec<(String, String)>, MetricValue)>,
+    wall: BTreeSet<String>,
+}
+
+/// A cheaply clonable metrics handle; see the module docs. The default
+/// handle is disabled and every operation on it is a near-free early
+/// return.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    store: Option<Arc<Mutex<Store>>>,
+}
+
+fn metric_id(name: &str, labels: &[(&str, &str)]) -> (String, Vec<(String, String)>) {
+    let mut sorted: Vec<(String, String)> = labels
+        .iter()
+        .map(|&(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    sorted.sort();
+    if sorted.is_empty() {
+        return (name.to_string(), sorted);
+    }
+    let mut id = String::with_capacity(name.len() + 16);
+    id.push_str(name);
+    id.push('{');
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            id.push(',');
+        }
+        id.push_str(k);
+        id.push_str("=\"");
+        id.push_str(v);
+        id.push('"');
+    }
+    id.push('}');
+    (id, sorted)
+}
+
+impl MetricsRegistry {
+    /// A disabled registry (same as `MetricsRegistry::default()`).
+    pub fn disabled() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// An enabled registry with an empty store.
+    pub fn enabled() -> MetricsRegistry {
+        MetricsRegistry {
+            store: Some(Arc::new(Mutex::new(Store::default()))),
+        }
+    }
+
+    /// Whether updates are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.store.is_some()
+    }
+
+    fn with_store(&self, f: impl FnOnce(&mut Store)) {
+        if let Some(store) = &self.store {
+            f(&mut store.lock().expect("metrics store poisoned"));
+        }
+    }
+
+    /// Adds `n` to the counter `name{labels}` (creating it at zero).
+    pub fn add(&self, name: &str, labels: &[(&str, &str)], n: u64) {
+        self.with_store(|s| {
+            let (id, sorted) = metric_id(name, labels);
+            match s
+                .metrics
+                .entry(id)
+                .or_insert_with(|| (name.to_string(), sorted, MetricValue::Counter(0)))
+            {
+                (_, _, MetricValue::Counter(c)) => *c = c.saturating_add(n),
+                _ => debug_assert!(false, "metric {name} is not a counter"),
+            }
+        });
+    }
+
+    /// Sets the gauge `name{labels}` to `v` (last write wins).
+    pub fn gauge_set(&self, name: &str, labels: &[(&str, &str)], v: u64) {
+        self.with_store(|s| {
+            let (id, sorted) = metric_id(name, labels);
+            match s
+                .metrics
+                .entry(id)
+                .or_insert_with(|| (name.to_string(), sorted, MetricValue::Gauge(v)))
+            {
+                (_, _, MetricValue::Gauge(g)) => *g = v,
+                _ => debug_assert!(false, "metric {name} is not a gauge"),
+            }
+        });
+    }
+
+    /// Raises the gauge `name{labels}` to `v` if `v` exceeds its current
+    /// value — high-water-mark semantics, commutative across threads.
+    pub fn gauge_max(&self, name: &str, labels: &[(&str, &str)], v: u64) {
+        self.with_store(|s| {
+            let (id, sorted) = metric_id(name, labels);
+            match s
+                .metrics
+                .entry(id)
+                .or_insert_with(|| (name.to_string(), sorted, MetricValue::Gauge(v)))
+            {
+                (_, _, MetricValue::Gauge(g)) => *g = (*g).max(v),
+                _ => debug_assert!(false, "metric {name} is not a gauge"),
+            }
+        });
+    }
+
+    /// Records `v` into the histogram `name{labels}` with the given
+    /// upper bucket `bounds` (strictly increasing; an overflow bucket is
+    /// implicit). The first observation fixes the bounds; later calls
+    /// with different bounds keep the original ones.
+    pub fn observe(&self, name: &str, labels: &[(&str, &str)], bounds: &[u64], v: u64) {
+        self.with_store(|s| {
+            let (id, sorted) = metric_id(name, labels);
+            let entry = s.metrics.entry(id).or_insert_with(|| {
+                (
+                    name.to_string(),
+                    sorted,
+                    MetricValue::Histogram {
+                        bounds: bounds.to_vec(),
+                        counts: vec![0; bounds.len() + 1],
+                        sum: 0,
+                        count: 0,
+                    },
+                )
+            });
+            match entry {
+                (
+                    _,
+                    _,
+                    MetricValue::Histogram {
+                        bounds,
+                        counts,
+                        sum,
+                        count,
+                    },
+                ) => {
+                    let slot = bounds.iter().position(|&b| v <= b).unwrap_or(bounds.len());
+                    counts[slot] += 1;
+                    *sum = sum.saturating_add(v);
+                    *count += 1;
+                }
+                _ => debug_assert!(false, "metric {name} is not a histogram"),
+            }
+        });
+    }
+
+    /// Classifies the base metric `name` as wall-class: its value
+    /// depends on wall time or scheduling (worker utilization, busy
+    /// nanoseconds) and is excluded from deterministic renderings
+    /// (`include_wall == false`).
+    pub fn mark_wall(&self, name: &str) {
+        self.with_store(|s| {
+            s.wall.insert(name.to_string());
+        });
+    }
+
+    /// Captures every metric, sorted by id. A disabled registry
+    /// snapshots empty.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let rows = match &self.store {
+            None => Vec::new(),
+            Some(store) => {
+                let s = store.lock().expect("metrics store poisoned");
+                s.metrics
+                    .iter()
+                    .map(|(id, (name, labels, value))| MetricRow {
+                        id: id.clone(),
+                        name: name.clone(),
+                        labels: labels.clone(),
+                        wall: s.wall.contains(name),
+                        value: value.clone(),
+                    })
+                    .collect()
+            }
+        };
+        MetricsSnapshot { rows }
+    }
+}
+
+/// An immutable, id-sorted capture of a [`MetricsRegistry`].
+#[derive(Clone, Debug)]
+pub struct MetricsSnapshot {
+    /// Captured metrics, sorted by id.
+    pub rows: Vec<MetricRow>,
+}
+
+impl MetricsSnapshot {
+    fn visible(&self, include_wall: bool) -> impl Iterator<Item = &MetricRow> {
+        self.rows.iter().filter(move |r| include_wall || !r.wall)
+    }
+
+    /// Number of metrics a rendering with this `include_wall` setting
+    /// would contain.
+    pub fn len(&self, include_wall: bool) -> usize {
+        self.visible(include_wall).count()
+    }
+
+    /// Whether a rendering with this `include_wall` setting would be
+    /// empty.
+    pub fn is_empty(&self, include_wall: bool) -> bool {
+        self.len(include_wall) == 0
+    }
+
+    /// Serializes the snapshot as JSON (schema `ade-metrics-v1`),
+    /// metrics sorted by id. With `include_wall == false` wall-class
+    /// metrics are omitted and the output is byte-identical across
+    /// runs, worker counts and scheduling for a deterministic workload.
+    pub fn to_json(&self, include_wall: bool) -> String {
+        use crate::json::write_string;
+        let mut out = String::from("{\"schema\":\"ade-metrics-v1\",\"metrics\":[");
+        let mut first = true;
+        for r in self.visible(include_wall) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n  {\"id\":");
+            write_string(&mut out, &r.id);
+            out.push_str(",\"name\":");
+            write_string(&mut out, &r.name);
+            out.push_str(",\"labels\":{");
+            for (i, (k, v)) in r.labels.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(&mut out, k);
+                out.push(':');
+                write_string(&mut out, v);
+            }
+            out.push('}');
+            if r.wall {
+                out.push_str(",\"wall\":true");
+            }
+            match &r.value {
+                MetricValue::Counter(c) => {
+                    out.push_str(&format!(",\"type\":\"counter\",\"value\":{c}"));
+                }
+                MetricValue::Gauge(g) => {
+                    out.push_str(&format!(",\"type\":\"gauge\",\"value\":{g}"));
+                }
+                MetricValue::Histogram {
+                    bounds,
+                    counts,
+                    sum,
+                    count,
+                } => {
+                    out.push_str(",\"type\":\"histogram\",\"bounds\":[");
+                    for (i, b) in bounds.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&b.to_string());
+                    }
+                    out.push_str("],\"counts\":[");
+                    for (i, c) in counts.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&c.to_string());
+                    }
+                    out.push_str(&format!("],\"sum\":{sum},\"count\":{count}"));
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Renders the snapshot in Prometheus text exposition style: one
+    /// `# TYPE` line per base name, samples sorted by id, histograms
+    /// expanded into cumulative `_bucket`/`_sum`/`_count` series. Same
+    /// `include_wall` discipline as [`MetricsSnapshot::to_json`].
+    pub fn to_prometheus(&self, include_wall: bool) -> String {
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for r in self.visible(include_wall) {
+            if last_name != Some(r.name.as_str()) {
+                let kind = match r.value {
+                    MetricValue::Counter(_) => "counter",
+                    MetricValue::Gauge(_) => "gauge",
+                    MetricValue::Histogram { .. } => "histogram",
+                };
+                out.push_str(&format!("# TYPE {} {kind}\n", r.name));
+                last_name = Some(r.name.as_str());
+            }
+            let label_str = |extra: Option<(&str, &str)>| {
+                let mut pairs: Vec<String> = r
+                    .labels
+                    .iter()
+                    .map(|(k, v)| format!("{k}=\"{v}\""))
+                    .collect();
+                if let Some((k, v)) = extra {
+                    pairs.push(format!("{k}=\"{v}\""));
+                }
+                if pairs.is_empty() {
+                    String::new()
+                } else {
+                    format!("{{{}}}", pairs.join(","))
+                }
+            };
+            match &r.value {
+                MetricValue::Counter(c) => {
+                    out.push_str(&format!("{}{} {c}\n", r.name, label_str(None)));
+                }
+                MetricValue::Gauge(g) => {
+                    out.push_str(&format!("{}{} {g}\n", r.name, label_str(None)));
+                }
+                MetricValue::Histogram {
+                    bounds,
+                    counts,
+                    sum,
+                    count,
+                } => {
+                    let mut cumulative = 0u64;
+                    for (i, c) in counts.iter().enumerate() {
+                        cumulative += c;
+                        let le = match bounds.get(i) {
+                            Some(b) => b.to_string(),
+                            None => "+Inf".to_string(),
+                        };
+                        out.push_str(&format!(
+                            "{}_bucket{} {cumulative}\n",
+                            r.name,
+                            label_str(Some(("le", &le)))
+                        ));
+                    }
+                    out.push_str(&format!("{}_sum{} {sum}\n", r.name, label_str(None)));
+                    out.push_str(&format!("{}_count{} {count}\n", r.name, label_str(None)));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let m = MetricsRegistry::disabled();
+        assert!(!m.is_enabled());
+        m.add("a", &[], 3);
+        m.gauge_max("b", &[], 9);
+        m.observe("c", &[], &[10], 5);
+        assert!(m.snapshot().rows.is_empty());
+        assert_eq!(m.snapshot().to_json(true), "{\"schema\":\"ade-metrics-v1\",\"metrics\":[\n]}\n");
+    }
+
+    #[test]
+    fn counters_gauges_and_histograms_aggregate() {
+        let m = MetricsRegistry::enabled();
+        m.add("req_total", &[("code", "ok")], 2);
+        m.add("req_total", &[("code", "ok")], 3);
+        m.add("req_total", &[("code", "shed")], 1);
+        m.gauge_max("depth_hwm", &[], 4);
+        m.gauge_max("depth_hwm", &[], 2); // lower sample does not regress
+        m.gauge_set("last", &[], 7);
+        m.gauge_set("last", &[], 5); // last write wins
+        m.observe("cost_ns", &[], &[10, 100], 7);
+        m.observe("cost_ns", &[], &[10, 100], 70);
+        m.observe("cost_ns", &[], &[10, 100], 700);
+        let snap = m.snapshot();
+        let by_id: BTreeMap<&str, &MetricValue> =
+            snap.rows.iter().map(|r| (r.id.as_str(), &r.value)).collect();
+        assert_eq!(by_id["req_total{code=\"ok\"}"], &MetricValue::Counter(5));
+        assert_eq!(by_id["req_total{code=\"shed\"}"], &MetricValue::Counter(1));
+        assert_eq!(by_id["depth_hwm"], &MetricValue::Gauge(4));
+        assert_eq!(by_id["last"], &MetricValue::Gauge(5));
+        assert_eq!(
+            by_id["cost_ns"],
+            &MetricValue::Histogram {
+                bounds: vec![10, 100],
+                counts: vec![1, 1, 1],
+                sum: 777,
+                count: 3,
+            }
+        );
+    }
+
+    #[test]
+    fn label_order_is_normalized_into_one_id() {
+        let m = MetricsRegistry::enabled();
+        m.add("x", &[("b", "2"), ("a", "1")], 1);
+        m.add("x", &[("a", "1"), ("b", "2")], 1);
+        let snap = m.snapshot();
+        assert_eq!(snap.rows.len(), 1);
+        assert_eq!(snap.rows[0].id, "x{a=\"1\",b=\"2\"}");
+        assert_eq!(snap.rows[0].value, MetricValue::Counter(2));
+    }
+
+    #[test]
+    fn snapshot_values_are_interleaving_independent() {
+        // Commutative updates from racing threads publish the same
+        // totals as a serial run — the registry's core determinism
+        // claim.
+        let m = MetricsRegistry::enabled();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let m = m.clone();
+                scope.spawn(move || {
+                    for i in 0..100u64 {
+                        m.add("n", &[], 1);
+                        m.gauge_max("hwm", &[], i);
+                        m.observe("h", &[], &[50], i);
+                    }
+                });
+            }
+        });
+        let snap = m.snapshot();
+        let by_id: BTreeMap<&str, &MetricValue> =
+            snap.rows.iter().map(|r| (r.id.as_str(), &r.value)).collect();
+        assert_eq!(by_id["n"], &MetricValue::Counter(400));
+        assert_eq!(by_id["hwm"], &MetricValue::Gauge(99));
+        match by_id["h"] {
+            MetricValue::Histogram { counts, count, .. } => {
+                assert_eq!(counts, &vec![204, 196]);
+                assert_eq!(*count, 400);
+            }
+            other => panic!("not a histogram: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn json_is_valid_sorted_and_wall_filtered() {
+        let m = MetricsRegistry::enabled();
+        m.add("z_total", &[], 1);
+        m.add("a_total", &[], 2);
+        m.add("worker_busy_ns", &[("worker", "0")], 123);
+        m.mark_wall("worker_busy_ns");
+        m.observe("h", &[], &[10], 3);
+        let snap = m.snapshot();
+        let full = snap.to_json(true);
+        crate::json::validate(&full).expect("valid JSON");
+        assert!(full.contains("\"wall\":true"));
+        assert!(full.find("\"a_total\"").expect("a") < full.find("\"z_total\"").expect("z"));
+        let stable = snap.to_json(false);
+        crate::json::validate(&stable).expect("valid JSON");
+        assert!(!stable.contains("worker_busy_ns"));
+        assert_eq!(snap.len(false), 3);
+        assert_eq!(snap.len(true), 4);
+    }
+
+    #[test]
+    fn prometheus_rendering_expands_histograms_cumulatively() {
+        let m = MetricsRegistry::enabled();
+        m.add("req_total", &[("code", "ok")], 5);
+        m.observe("cost", &[("t", "0")], &[10, 100], 7);
+        m.observe("cost", &[("t", "0")], &[10, 100], 70);
+        let text = m.snapshot().to_prometheus(true);
+        assert!(text.contains("# TYPE req_total counter\n"), "{text}");
+        assert!(text.contains("req_total{code=\"ok\"} 5\n"), "{text}");
+        assert!(text.contains("# TYPE cost histogram\n"), "{text}");
+        assert!(text.contains("cost_bucket{t=\"0\",le=\"10\"} 1\n"), "{text}");
+        assert!(text.contains("cost_bucket{t=\"0\",le=\"100\"} 2\n"), "{text}");
+        assert!(text.contains("cost_bucket{t=\"0\",le=\"+Inf\"} 2\n"), "{text}");
+        assert!(text.contains("cost_sum{t=\"0\"} 77\n"), "{text}");
+        assert!(text.contains("cost_count{t=\"0\"} 2\n"), "{text}");
+    }
+
+    #[test]
+    fn clones_share_one_store() {
+        let m = MetricsRegistry::enabled();
+        let clone = m.clone();
+        clone.add("shared", &[], 1);
+        m.add("shared", &[], 1);
+        assert_eq!(
+            m.snapshot().rows[0].value,
+            MetricValue::Counter(2)
+        );
+    }
+}

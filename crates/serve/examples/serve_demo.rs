@@ -1,12 +1,14 @@
 //! Deterministic serving demo: a fixed multi-tenant batch — success,
 //! per-request budgets, deterministic cancellation, a zero deadline,
 //! load shedding, a bad entry — over one shared decoded module, with
-//! the transcript printed to stdout.
+//! the transcript and the per-tenant metrics snapshot printed to
+//! stdout.
 //!
 //! The transcript depends only on each request's program, budgets, and
-//! deterministic cancellation, so it is byte-identical across runs and
-//! worker counts — the CI smoke runs this twice (different `--workers`)
-//! and diffs the output.
+//! deterministic cancellation, and the metrics section excludes
+//! wall-class metrics, so the whole output is byte-identical across
+//! runs and worker counts — the CI smoke runs this twice (different
+//! `--workers`) and diffs the output.
 //!
 //! ```text
 //! cargo run --release -p ade-serve --example serve_demo -- [--workers N] [--quantum N]
@@ -15,7 +17,8 @@
 use std::sync::Arc;
 
 use ade_interp::{DecodedModule, ExecConfig};
-use ade_serve::{transcript, Request, ServeConfig, Server};
+use ade_obs::{MetricsRegistry, Tracer};
+use ade_serve::{transcript_with_metrics, Request, ServeConfig, Server};
 
 const GUESTS: &str = r#"
 fn @main() -> void {
@@ -68,21 +71,32 @@ fn main() {
     let module = ade_ir::parse::parse_module(GUESTS).expect("demo module parses");
     ade_ir::verify::verify_module(&module).expect("demo module verifies");
     let decoded = Arc::new(DecodedModule::decode_with(&module, &Default::default()));
+    // One registry sees both layers: the serve layer's per-tenant
+    // request accounting and (via the base ExecConfig) the
+    // interpreter's exec_* counters.
+    let metrics = MetricsRegistry::enabled();
+    let mut base = ExecConfig::default();
+    base.metrics = metrics.clone();
     let server = Server::new(
         decoded,
-        ExecConfig::default(),
+        base,
         ServeConfig { quantum, workers, capacity: 6 },
     );
 
-    let responses = server.serve(vec![
-        Request::new(0, "main"),
-        Request::new(1, "small"),
-        Request::new(2, "main").with_fuel(100),
-        Request::new(3, "main").with_max_heap_cells(0),
-        Request::new(4, "main").with_cancel_after_quanta(2),
-        Request::new(5, "main").with_deadline_ms(0),
-        Request::new(6, "small"), // over capacity: shed unexecuted
-        Request::new(7, "nope"),  // over capacity: shed before lookup
-    ]);
-    print!("{}", transcript(&responses));
+    let responses = server.serve_observed(
+        vec![
+            Request::new(0, "main").with_tenant(1),
+            Request::new(1, "small").with_tenant(2),
+            Request::new(2, "main").with_tenant(1).with_fuel(100),
+            Request::new(3, "main").with_tenant(1).with_max_heap_cells(0),
+            Request::new(4, "main").with_tenant(2).with_cancel_after_quanta(2),
+            Request::new(5, "main").with_tenant(2).with_deadline_ms(0),
+            Request::new(6, "small").with_tenant(1), // over capacity: shed unexecuted
+            Request::new(7, "nope").with_tenant(2),  // over capacity: shed before lookup
+        ],
+        &Tracer::disabled(),
+        &metrics,
+        None,
+    );
+    print!("{}", transcript_with_metrics(&responses, &metrics));
 }

@@ -41,7 +41,12 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use ade_interp::{DecodedModule, ExecConfig, ExecError, ExecSession, Outcome, Step, StopReason};
-use ade_obs::Tracer;
+use ade_obs::{FieldValue, FlightRecorder, MetricsRegistry, Tracer};
+
+/// Upper bucket bounds (nanoseconds) for the per-tenant modeled-cost
+/// histogram `serve_modeled_cost_ns`. Modeled cost is derived from the
+/// deterministic op counts, so the histogram is scheduling-independent.
+pub const MODELED_COST_BOUNDS_NS: [u64; 5] = [1_000, 10_000, 100_000, 1_000_000, 10_000_000];
 
 /// Executor tuning.
 #[derive(Clone, Debug)]
@@ -98,6 +103,9 @@ pub struct Request {
     /// Caller-chosen identifier; echoed in the [`Response`] and used to
     /// order [`transcript`] lines.
     pub id: u64,
+    /// Tenant the request is accounted to (default `0`); only used as a
+    /// metrics label, never for scheduling.
+    pub tenant: u64,
     /// Entry function name (without the `@`).
     pub entry: String,
     /// Per-request instruction budget (reason code `fuel` on trip).
@@ -123,6 +131,7 @@ impl Request {
     pub fn new(id: u64, entry: impl Into<String>) -> Request {
         Request {
             id,
+            tenant: 0,
             entry: entry.into(),
             fuel: None,
             max_heap_cells: None,
@@ -130,6 +139,13 @@ impl Request {
             cancel: None,
             cancel_after_quanta: None,
         }
+    }
+
+    /// Accounts the request to `tenant` in the metrics registry.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: u64) -> Request {
+        self.tenant = tenant;
+        self
     }
 
     /// Sets the instruction budget.
@@ -173,6 +189,9 @@ impl Request {
 pub struct Response {
     /// The request's id.
     pub id: u64,
+    /// The tenant the request was accounted to (echoed from
+    /// [`Request::tenant`]).
+    pub tenant: u64,
     /// Fuel quanta granted before the request finished (0 for shed
     /// requests and pre-execution failures).
     pub quanta: u64,
@@ -205,6 +224,7 @@ pub struct Server {
 /// Per-request scheduling state owned by one worker.
 struct Slot {
     id: u64,
+    tenant: u64,
     session: ExecSession,
     quanta: u64,
     deadline: Option<Instant>,
@@ -239,6 +259,98 @@ impl Server {
     /// request order; completion events are in completion order, which
     /// depends on scheduling — responses never do.
     pub fn serve_traced(&self, requests: Vec<Request>, tracer: &Tracer) -> Vec<Response> {
+        self.serve_observed(requests, tracer, &MetricsRegistry::disabled(), None)
+    }
+
+    /// [`Server::serve_traced`], additionally publishing per-tenant
+    /// accounting into `metrics` and preemption events into `flight`.
+    ///
+    /// All serve-layer recording happens after the batch completes, by
+    /// walking the responses in request-id order, so both artifacts are
+    /// deterministic for deterministic workloads regardless of worker
+    /// count or scheduling:
+    ///
+    /// * counters `serve_requests_total`, `serve_responses_total{code}`
+    ///   and `serve_quanta_total`, all labeled by tenant;
+    /// * on success, `serve_fuel_ticks_total{tenant}` (sessions always
+    ///   count ticks), the modeled-cost histogram
+    ///   `serve_modeled_cost_ns{tenant}` (bounds
+    ///   [`MODELED_COST_BOUNDS_NS`]) and the `serve_heap_hwm_bytes`
+    ///   high-water gauge;
+    /// * the queue-depth high-water gauge `serve_queue_depth_hwm`
+    ///   (admitted requests this batch);
+    /// * one `serve`/`preempt` flight event per preempted request
+    ///   (reason `deadline`/`cancelled`/`shed`).
+    ///
+    /// The interpreter's own `exec_*` metrics flow through
+    /// [`ExecConfig::metrics`] on the server's base config; those
+    /// updates are commutative, so they too are scheduling-independent.
+    pub fn serve_observed(
+        &self,
+        requests: Vec<Request>,
+        tracer: &Tracer,
+        metrics: &MetricsRegistry,
+        flight: Option<&FlightRecorder>,
+    ) -> Vec<Response> {
+        let responses = self.serve_inner(requests, tracer);
+        if metrics.is_enabled() || flight.is_some() {
+            let mut ordered: Vec<&Response> = responses.iter().collect();
+            ordered.sort_by_key(|r| r.id);
+            let admitted = ordered.iter().filter(|r| r.code() != "shed").count();
+            metrics.gauge_max("serve_queue_depth_hwm", &[], admitted as u64);
+            for r in ordered {
+                let tenant = r.tenant.to_string();
+                let tl: &[(&str, &str)] = &[("tenant", &tenant)];
+                metrics.add("serve_requests_total", tl, 1);
+                metrics.add(
+                    "serve_responses_total",
+                    &[("code", r.code()), ("tenant", &tenant)],
+                    1,
+                );
+                metrics.add("serve_quanta_total", tl, r.quanta);
+                match &r.outcome {
+                    Ok(o) => {
+                        metrics.add("serve_fuel_ticks_total", tl, o.fuel_ticks);
+                        let model = ade_interp::cost::CostModel::intel_x64();
+                        let modeled = model.time_ns(&o.stats.totals());
+                        metrics.observe(
+                            "serve_modeled_cost_ns",
+                            tl,
+                            &MODELED_COST_BOUNDS_NS,
+                            if modeled.is_finite() && modeled >= 0.0 {
+                                modeled as u64
+                            } else {
+                                0
+                            },
+                        );
+                        metrics.gauge_max(
+                            "serve_heap_hwm_bytes",
+                            &[],
+                            o.stats.peak_bytes as u64,
+                        );
+                    }
+                    Err(ExecError::Preempted { reason }) => {
+                        if let Some(fr) = flight {
+                            fr.record(
+                                "serve",
+                                "preempt",
+                                &[
+                                    ("id", FieldValue::from(r.id)),
+                                    ("tenant", FieldValue::from(r.tenant)),
+                                    ("reason", FieldValue::from(reason.code())),
+                                    ("quanta", FieldValue::from(r.quanta)),
+                                ],
+                            );
+                        }
+                    }
+                    Err(_) => {}
+                }
+            }
+        }
+        responses
+    }
+
+    fn serve_inner(&self, requests: Vec<Request>, tracer: &Tracer) -> Vec<Response> {
         let total = requests.len();
         let mut slots: Vec<Option<Response>> = Vec::with_capacity(total);
         slots.resize_with(total, || None);
@@ -265,6 +377,7 @@ impl Server {
                     .emit();
                 *results[idx].lock().expect("serve slot poisoned") = Some(Response {
                     id: req.id,
+                    tenant: req.tenant,
                     quanta: 0,
                     outcome: Err(ExecError::Preempted {
                         reason: StopReason::Shed,
@@ -314,6 +427,7 @@ impl Server {
                     idx,
                     Slot {
                         id: req.id,
+                        tenant: req.tenant,
                         session,
                         quanta: 0,
                         deadline: req
@@ -324,7 +438,12 @@ impl Server {
                     },
                 )),
                 Err(e) => {
-                    self.resolve(results, idx, Response { id: req.id, quanta: 0, outcome: Err(e) }, tracer);
+                    self.resolve(
+                        results,
+                        idx,
+                        Response { id: req.id, tenant: req.tenant, quanta: 0, outcome: Err(e) },
+                        tracer,
+                    );
                 }
             }
         }
@@ -359,7 +478,12 @@ impl Server {
                         self.resolve(
                             results,
                             idx,
-                            Response { id: slot.id, quanta: slot.quanta, outcome: Ok(outcome) },
+                            Response {
+                                id: slot.id,
+                                tenant: slot.tenant,
+                                quanta: slot.quanta,
+                                outcome: Ok(outcome),
+                            },
                             tracer,
                         );
                     }
@@ -368,7 +492,12 @@ impl Server {
                         self.resolve(
                             results,
                             idx,
-                            Response { id: slot.id, quanta: slot.quanta, outcome: Err(e) },
+                            Response {
+                                id: slot.id,
+                                tenant: slot.tenant,
+                                quanta: slot.quanta,
+                                outcome: Err(e),
+                            },
                             tracer,
                         );
                     }
@@ -409,6 +538,21 @@ pub fn transcript(responses: &[Response]) -> String {
             r.quanta,
             output
         ));
+    }
+    out
+}
+
+/// [`transcript`] followed by a metrics section: the registry's
+/// Prometheus-style exposition under a `--- metrics ---` separator.
+/// Wall-class metrics are excluded, so for deterministic workloads the
+/// whole rendering — transcript and metrics — is byte-identical across
+/// runs and worker counts (the serving smoke diffs it). A disabled
+/// registry renders the plain transcript with no separator.
+pub fn transcript_with_metrics(responses: &[Response], metrics: &MetricsRegistry) -> String {
+    let mut out = transcript(responses);
+    if metrics.is_enabled() {
+        out.push_str("--- metrics ---\n");
+        out.push_str(&metrics.snapshot().to_prometheus(false));
     }
     out
 }
@@ -533,6 +677,81 @@ fn @small() -> void {
             );
             assert_eq!(t, reference, "workers={workers}");
         }
+    }
+
+    #[test]
+    fn observed_serving_publishes_deterministic_metrics() {
+        let requests = || {
+            vec![
+                Request::new(0, "main").with_tenant(1),
+                Request::new(1, "small").with_tenant(2),
+                Request::new(2, "main").with_tenant(1).with_fuel(25),
+                Request::new(3, "main").with_tenant(2).with_cancel_after_quanta(0),
+            ]
+        };
+        let run = |workers: usize| {
+            let mut base = ExecConfig::default();
+            base.metrics = MetricsRegistry::enabled();
+            let metrics = base.metrics.clone();
+            let flight = FlightRecorder::new(32);
+            let s = Server::new(
+                decoded(WORK),
+                base,
+                ServeConfig { quantum: 32, workers, capacity: 3 },
+            );
+            let responses =
+                s.serve_observed(requests(), &Tracer::disabled(), &metrics, Some(&flight));
+            (
+                transcript(&responses),
+                metrics.snapshot().to_json(false),
+                flight.dump_json(&[]),
+            )
+        };
+        let (t1, m1, f1) = run(1);
+        let (t4, m4, f4) = run(4);
+        assert_eq!(t1, t4, "transcript unchanged with metrics attached");
+        assert_eq!(m1, m4, "metric snapshot is worker-count independent");
+        assert_eq!(f1, f4, "flight dump is worker-count independent");
+        // Per-tenant accounting: capacity 3 sheds the fourth arrival
+        // (id 3, tenant 2); id 2 trips its fuel budget (a limit, not a
+        // preemption).
+        // The snapshot is JSON, so the ids' label quotes arrive escaped.
+        assert!(m1.contains(r#"serve_requests_total{tenant=\"1\"}"#), "{m1}");
+        assert!(
+            m1.contains(r#"serve_responses_total{code=\"shed\",tenant=\"2\"}"#),
+            "{m1}"
+        );
+        assert!(
+            m1.contains(r#"serve_responses_total{code=\"fuel\",tenant=\"1\"}"#),
+            "{m1}"
+        );
+        assert!(m1.contains("serve_queue_depth_hwm"), "{m1}");
+        assert!(m1.contains("serve_modeled_cost_ns"), "{m1}");
+        assert!(m1.contains(r#"exec_stops_total{reason=\"ok\"}"#), "{m1}");
+        assert!(m1.contains("exec_quanta_total"), "{m1}");
+        assert!(m1.contains("exec_fuel_ticks_total"), "{m1}");
+        // The shed request leaves a serve-layer flight event.
+        assert!(f1.contains("\"name\":\"preempt\""), "{f1}");
+        assert!(f1.contains("\"reason\":\"shed\""), "{f1}");
+    }
+
+    #[test]
+    fn transcript_metrics_section_appears_only_when_enabled() {
+        let s = server(ServeConfig { quantum: 64, workers: 2, capacity: 8 });
+        let responses = s.serve(vec![Request::new(0, "small")]);
+        let plain = transcript_with_metrics(&responses, &MetricsRegistry::disabled());
+        assert_eq!(plain, transcript(&responses));
+        let metrics = MetricsRegistry::enabled();
+        let responses = s.serve_observed(
+            vec![Request::new(0, "small")],
+            &Tracer::disabled(),
+            &metrics,
+            None,
+        );
+        let with = transcript_with_metrics(&responses, &metrics);
+        assert!(with.starts_with(&transcript(&responses)), "{with}");
+        assert!(with.contains("--- metrics ---\n"), "{with}");
+        assert!(with.contains("serve_requests_total"), "{with}");
     }
 
     #[test]
