@@ -2,17 +2,19 @@
 //! execution loop on small kernels that isolate one dispatch shape each
 //! (scalar arithmetic, set churn, map read/write, seq push + sum, dense
 //! read-modify-write, data-dependent branching, sequence filter-sum
-//! streaming, bulk set probing).
+//! streaming, bulk set probing, tuple field-projection folds).
 //!
 //! Unlike `collection_ops` (which times the collection library
 //! natively), this times the *interpreter* end to end, so it is the
 //! regression gate for the decoded instruction stream, the borrow-based
-//! operand path, superinstruction fusion, unboxed scalar storage and
-//! loop-granular stream fusion. Every kernel runs under six
-//! optimization configurations; results go to `BENCH_interp.json` at
-//! the workspace root: per-kernel best wall seconds and logical ops/sec
-//! per configuration, the fully-optimized speedup over the unoptimized
-//! interpreter, and the geometric-mean speedup across kernels.
+//! operand path, superinstruction fusion, unboxed scalar storage,
+//! loop-granular stream fusion and columnar (SoA) tuple storage. Every
+//! kernel runs under seven optimization configurations; results go to
+//! `BENCH_interp.json` at the workspace root: per-kernel best wall
+//! seconds and logical ops/sec per configuration, the fully-optimized
+//! speedup over the unoptimized interpreter, the `full` vs `no_soa`
+//! speedup (the tuple kernels' CI floor), and the geometric-mean
+//! speedup across kernels.
 //!
 //! Self-timed (`harness = false`): run via `cargo bench --bench
 //! interp_dispatch`.
@@ -21,7 +23,7 @@ use std::time::Instant;
 
 use ade_interp::{ExecConfig, Interpreter};
 use ade_ir::builder::FunctionBuilder;
-use ade_ir::{MapSel, Module, Type};
+use ade_ir::{BinOp, CmpOp, MapSel, Module, Operand, Type};
 
 /// Iteration count per kernel — large enough that dispatch dominates
 /// the fixed per-run setup (decode + frame allocation).
@@ -29,15 +31,19 @@ const N: u64 = 200_000;
 const RUNS: usize = 9;
 
 /// The optimization sweep: `base` is the unoptimized interpreter, the
-/// rest toggle superinstruction fusion, unboxed scalar storage and
-/// loop-granular stream fusion. `full` is the production default.
-const CONFIGS: [(&str, bool, bool, bool); 6] = [
-    ("base", false, false, false),
-    ("fused", true, false, false),
-    ("unboxed", false, true, false),
-    ("fused_unboxed", true, true, false),
-    ("loop_fused", false, false, true),
-    ("full", true, true, true),
+/// rest toggle superinstruction fusion, unboxed scalar storage,
+/// loop-granular stream fusion and columnar (SoA) tuple storage.
+/// `no_soa` is the production default minus columnar tuples — the
+/// reference the tuple kernels' CI floor compares `full` against —
+/// and `full` is the production default.
+const CONFIGS: [(&str, bool, bool, bool, bool); 7] = [
+    ("base", false, false, false, false),
+    ("fused", true, false, false, false),
+    ("unboxed", false, true, false, false),
+    ("fused_unboxed", true, true, false, false),
+    ("loop_fused", false, false, true, false),
+    ("no_soa", true, true, true, false),
+    ("full", true, true, true, true),
 ];
 
 struct Kernel {
@@ -342,11 +348,97 @@ fn set_bulk_probe() -> Kernel {
     }
 }
 
-fn run_once(k: &Kernel, fuse: bool, unbox: bool, loop_fuse: bool) -> usize {
+/// Folds a built `Seq<(u64, u64)>` repeats every tuple-kernel fold so
+/// the projection loop — where the layouts differ — dominates wall
+/// time over the one-off build (which pays the same tuple-pack cost
+/// under every configuration).
+const TUPLE_FOLDS: u64 = 16;
+
+/// Build a `Seq<(u64, u64)>` with `for_range` pushes, then fold its
+/// second field [`TUPLE_FOLDS`] times with a `foreach` whose body is
+/// exactly `add %acc, %t.1` — the projected `Reduce` streaming kernel.
+/// With columnar storage on, each fold streams the flat payload column
+/// and never materializes a tuple; `full` vs `no_soa` isolates the
+/// layout win (the CI floor for this kernel).
+fn tuple_project_sum() -> Kernel {
+    let mut b = FunctionBuilder::new("main", &[], Type::Void);
+    let pair = Type::Tuple(vec![Type::U64, Type::U64]);
+    let seq = b.new_collection(Type::seq(pair));
+    let lo = b.const_u64(0);
+    let hi = b.const_u64(N);
+    let seq = b.for_range(lo, hi, &[seq], |b, i, c| {
+        let three = b.const_u64(3);
+        let payload = b.mul(i, three);
+        let t = b.make_tuple(&[i, payload]);
+        vec![b.push(c[0], t)]
+    })[0];
+    let mut acc = b.const_u64(0);
+    for _ in 0..TUPLE_FOLDS {
+        acc = b.for_each(seq, &[acc], |b, _i, v, c| {
+            let t = v.expect("sequence iteration binds values");
+            vec![b.bin_at(BinOp::Add, c[0], Operand::field(t, 1))]
+        })[0];
+    }
+    b.print(&[acc]);
+    b.ret_void();
+    let mut module = Module::new();
+    module.add_function(b.finish());
+    Kernel {
+        name: "tuple_project_sum",
+        ops: N * (2 + TUPLE_FOLDS), // tuple pack + push, then projected adds
+        module,
+    }
+}
+
+/// Filter a `Seq<(u64, u64)>` on its first field and fold the second,
+/// [`TUPLE_FOLDS`] times — `lt %t.0, %cut` / `if`(`add %acc, %t.1` |
+/// pass), the projected `FilterReduce` streaming kernel. Both fields
+/// stream as flat columns under columnar storage; half the keys pass,
+/// so the branch is unpredictable for the dispatch-based
+/// configurations.
+fn tuple_filter_by_field() -> Kernel {
+    let mut b = FunctionBuilder::new("main", &[], Type::Void);
+    let pair = Type::Tuple(vec![Type::U64, Type::U64]);
+    let seq = b.new_collection(Type::seq(pair));
+    let lo = b.const_u64(0);
+    let hi = b.const_u64(N);
+    let seq = b.for_range(lo, hi, &[seq], |b, i, c| {
+        let three = b.const_u64(3);
+        let payload = b.mul(i, three);
+        let t = b.make_tuple(&[i, payload]);
+        vec![b.push(c[0], t)]
+    })[0];
+    let mut acc = b.const_u64(0);
+    let cut = b.const_u64(N / 2); // half the keys pass the filter
+    for _ in 0..TUPLE_FOLDS {
+        acc = b.for_each(seq, &[acc], |b, _i, v, c| {
+            let t = v.expect("sequence iteration binds values");
+            let keep = b.cmp_at(CmpOp::Lt, Operand::field(t, 0), cut);
+            b.if_else(
+                keep,
+                |b| vec![b.bin_at(BinOp::Add, c[0], Operand::field(t, 1))],
+                |_b| vec![c[0]],
+            )
+        })[0];
+    }
+    b.print(&[acc]);
+    b.ret_void();
+    let mut module = Module::new();
+    module.add_function(b.finish());
+    Kernel {
+        // tuple pack + push, then per fold: N compares + ~N/2 taken adds
+        ops: N * 2 + TUPLE_FOLDS * (N + N / 2),
+        name: "tuple_filter_by_field",
+        module,
+    }
+}
+
+fn run_once(k: &Kernel, fuse: bool, unbox: bool, loop_fuse: bool, soa: bool) -> usize {
     let config = ExecConfig {
         fuse,
         unbox,
         loop_fuse,
+        soa,
         ..ExecConfig::default()
     };
     Interpreter::new(&k.module, config)
@@ -360,15 +452,15 @@ fn run_once(k: &Kernel, fuse: bool, unbox: bool, loop_fuse: bool) -> usize {
 /// (one timed run per config per round) so slow drift — frequency
 /// scaling, co-tenant noise — hits all configs alike instead of
 /// whichever happened to run last.
-fn time_kernel(k: &Kernel) -> [f64; 6] {
-    for (_, fuse, unbox, loop_fuse) in CONFIGS {
-        run_once(k, fuse, unbox, loop_fuse); // warm-up (decode, allocator, caches)
+fn time_kernel(k: &Kernel) -> [f64; 7] {
+    for (_, fuse, unbox, loop_fuse, soa) in CONFIGS {
+        run_once(k, fuse, unbox, loop_fuse, soa); // warm-up (decode, allocator, caches)
     }
-    let mut best = [f64::INFINITY; 6];
+    let mut best = [f64::INFINITY; 7];
     for _ in 0..RUNS {
-        for (slot, (_, fuse, unbox, loop_fuse)) in CONFIGS.into_iter().enumerate() {
+        for (slot, (_, fuse, unbox, loop_fuse, soa)) in CONFIGS.into_iter().enumerate() {
             let t = Instant::now();
-            std::hint::black_box(run_once(k, fuse, unbox, loop_fuse));
+            std::hint::black_box(run_once(k, fuse, unbox, loop_fuse, soa));
             best[slot] = best[slot].min(t.elapsed().as_secs_f64());
         }
     }
@@ -386,6 +478,8 @@ fn main() {
         branchy_classify(),
         seq_filter_sum(),
         set_bulk_probe(),
+        tuple_project_sum(),
+        tuple_filter_by_field(),
     ];
     let mut rows = Vec::new();
     let mut log_speedup_sum = 0.0;
@@ -394,7 +488,7 @@ fn main() {
             .unwrap_or_else(|e| panic!("[{}] verify: {e}", k.name));
         let best = time_kernel(k);
         let mut walls = Vec::new();
-        for (slot, (cname, _, _, _)) in CONFIGS.into_iter().enumerate() {
+        for (slot, (cname, _, _, _, _)) in CONFIGS.into_iter().enumerate() {
             let wall = best[slot];
             println!(
                 "{:>16} {:>14}  {:>12.1} ops/s  {:.4} s",
@@ -406,10 +500,13 @@ fn main() {
             walls.push((cname, wall));
         }
         let base = walls[0].1;
+        let no_soa = walls[walls.len() - 2].1;
         let optimized = walls[walls.len() - 1].1;
         let speedup = base / optimized;
+        let speedup_soa = no_soa / optimized;
         log_speedup_sum += speedup.ln();
         println!("{:>16} {:>14}  {speedup:>11.2}x", k.name, "speedup");
+        println!("{:>16} {:>14}  {speedup_soa:>11.2}x", k.name, "soa speedup");
         let wall_fields: Vec<String> = walls
             .iter()
             .map(|(c, w)| format!("\"{c}\": {w:.6}"))
@@ -422,13 +519,14 @@ fn main() {
             concat!(
                 "    {{\"kernel\": \"{}\", \"ops\": {}, ",
                 "\"wall_seconds\": {{{}}}, \"ops_per_sec\": {{{}}}, ",
-                "\"speedup_full\": {:.3}}}"
+                "\"speedup_full\": {:.3}, \"speedup_soa\": {:.3}}}"
             ),
             k.name,
             k.ops,
             wall_fields.join(", "),
             rate_fields.join(", "),
-            speedup
+            speedup,
+            speedup_soa
         ));
     }
     let geomean = (log_speedup_sum / kernels.len() as f64).exp();
@@ -437,7 +535,7 @@ fn main() {
         concat!(
             "{{\n  \"iterations\": {},\n  \"runs\": {},\n",
             "  \"configs\": [\"base\", \"fused\", \"unboxed\", \"fused_unboxed\", ",
-            "\"loop_fused\", \"full\"],\n",
+            "\"loop_fused\", \"no_soa\", \"full\"],\n",
             "  \"kernels\": [\n{}\n  ],\n",
             "  \"geomean_speedup_full\": {:.3}\n}}\n"
         ),

@@ -125,7 +125,7 @@ pub fn run_benchmark_trials_profiled(
 }
 
 /// Interpreter-optimization toggles the harness threads through to
-/// [`ade_interp::ExecConfig`]. Production runs keep all three on (the
+/// [`ade_interp::ExecConfig`]. Production runs keep all four on (the
 /// default); the differential tests sweep every combination to pin
 /// down that figures and statistics are independent of them.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -137,6 +137,8 @@ pub struct InterpOpts {
     /// Loop-granular stream fusion
     /// ([`ade_interp::ExecConfig::loop_fuse`]).
     pub loop_fuse: bool,
+    /// Columnar tuple storage ([`ade_interp::ExecConfig::soa`]).
+    pub soa: bool,
 }
 
 impl Default for InterpOpts {
@@ -145,6 +147,7 @@ impl Default for InterpOpts {
             fuse: true,
             unbox: true,
             loop_fuse: true,
+            soa: true,
         }
     }
 }
@@ -248,6 +251,7 @@ pub fn try_run_benchmark_cell_cancellable(
     exec.fuse = opts.fuse;
     exec.unbox = opts.unbox;
     exec.loop_fuse = opts.loop_fuse;
+    exec.soa = opts.soa;
     if let Some(fuel) = fuel_override {
         exec.fuel = Some(fuel);
     }
@@ -344,6 +348,7 @@ pub fn try_run_feedback_cell(
     exec.fuse = opts.fuse;
     exec.unbox = opts.unbox;
     exec.loop_fuse = opts.loop_fuse;
+    exec.soa = opts.soa;
     let decoded = ade_interp::DecodedModule::decode_with(
         &module,
         &ade_interp::DecodeOptions {

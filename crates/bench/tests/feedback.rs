@@ -36,11 +36,13 @@ fn feedback_figure_is_byte_identical_across_interp_opts() {
             fuse: false,
             unbox: false,
             loop_fuse: false,
+            soa: false,
         },
         InterpOpts {
             fuse: true,
             unbox: false,
             loop_fuse: true,
+            soa: false,
         },
         InterpOpts::default(),
     ];

@@ -1,9 +1,10 @@
-//! Superinstruction fusion, unboxed scalar storage and loop-granular
-//! stream fusion must be invisible everywhere except wall time: every
-//! figure byte, operation count, program output (checksums), memory
-//! highwater and per-site profile is identical across all eight
-//! `InterpOpts` combinations. These tests are the tentpole's safety net
-//! — never weaken them to make a change pass.
+//! Superinstruction fusion, unboxed scalar storage, loop-granular
+//! stream fusion and columnar (SoA) tuple storage must be invisible
+//! everywhere except wall time: every figure byte, operation count,
+//! program output (checksums), memory highwater and per-site profile is
+//! identical across all sixteen `InterpOpts` combinations. These tests
+//! are the tentpole's safety net — never weaken them to make a change
+//! pass.
 
 use ade_bench::figures::{cells_for_target, Session};
 use ade_bench::runner::{try_run_benchmark_cell, InterpOpts};
@@ -11,62 +12,37 @@ use ade_workloads::bench::benchmark_by_abbrev;
 
 const SCALE: u32 = 5;
 
-const COMBOS: [InterpOpts; 8] = [
-    InterpOpts {
-        fuse: false,
-        unbox: false,
-        loop_fuse: false,
-    },
-    InterpOpts {
-        fuse: true,
-        unbox: false,
-        loop_fuse: false,
-    },
-    InterpOpts {
-        fuse: false,
-        unbox: true,
-        loop_fuse: false,
-    },
-    InterpOpts {
-        fuse: true,
-        unbox: true,
-        loop_fuse: false,
-    },
-    InterpOpts {
-        fuse: false,
-        unbox: false,
-        loop_fuse: true,
-    },
-    InterpOpts {
-        fuse: true,
-        unbox: false,
-        loop_fuse: true,
-    },
-    InterpOpts {
-        fuse: false,
-        unbox: true,
-        loop_fuse: true,
-    },
-    InterpOpts {
-        fuse: true,
-        unbox: true,
-        loop_fuse: true,
-    },
-];
+/// All sixteen fuse × unbox × loop_fuse × soa combinations, the all-off
+/// baseline first.
+fn combos() -> impl Iterator<Item = InterpOpts> {
+    (0u8..16).map(|b| InterpOpts {
+        fuse: b & 1 != 0,
+        unbox: b & 2 != 0,
+        loop_fuse: b & 4 != 0,
+        soa: b & 8 != 0,
+    })
+}
+
+const ALL_OFF: InterpOpts = InterpOpts {
+    fuse: false,
+    unbox: false,
+    loop_fuse: false,
+    soa: false,
+};
 
 fn combo_name(o: InterpOpts) -> String {
     format!(
-        "fuse={} unbox={} loop_fuse={}",
-        o.fuse, o.unbox, o.loop_fuse
+        "fuse={} unbox={} loop_fuse={} soa={}",
+        o.fuse, o.unbox, o.loop_fuse, o.soa
     )
 }
 
 /// Fig. 5 text (wall ratios suppressed) is byte-identical under every
-/// combination of the three interpreter optimizations.
+/// combination of the four interpreter optimizations.
 #[test]
 fn fig5_text_is_byte_identical_across_interp_opts() {
     let mut reference: Option<String> = None;
-    for opts in COMBOS {
+    for opts in combos() {
         let mut session = Session::new(SCALE).include_wall(false).interp_opts(opts);
         session.prewarm(&["fig5"]);
         let text = session.fig5_or_6(false);
@@ -84,20 +60,16 @@ fn fig5_text_is_byte_identical_across_interp_opts() {
 
 /// Every fig5 cell carries identical per-phase operation counts,
 /// program output (order-insensitive checksums) and memory highwater
-/// for every combination of the three optimizations.
+/// for every combination of the four optimizations.
 #[test]
 fn cell_stats_match_exactly_across_interp_opts() {
     let cells = cells_for_target("fig5");
     assert!(!cells.is_empty(), "fig5 must plan a non-empty matrix");
 
-    let mut baseline = Session::new(SCALE).interp_opts(InterpOpts {
-        fuse: false,
-        unbox: false,
-        loop_fuse: false,
-    });
+    let mut baseline = Session::new(SCALE).interp_opts(ALL_OFF);
     baseline.prewarm(&["fig5"]);
 
-    for opts in COMBOS.into_iter().skip(1) {
+    for opts in combos().skip(1) {
         let mut optimized = Session::new(SCALE).jobs(2).interp_opts(opts);
         optimized.prewarm(&["fig5"]);
         for &(abbrev, kind) in &cells {
@@ -124,11 +96,7 @@ fn cell_stats_match_exactly_across_interp_opts() {
 fn site_profiles_are_identical_fused_vs_unfused() {
     let cells = cells_for_target("fig5");
 
-    let mut unfused = Session::new(SCALE).profile(true).interp_opts(InterpOpts {
-        fuse: false,
-        unbox: false,
-        loop_fuse: false,
-    });
+    let mut unfused = Session::new(SCALE).profile(true).interp_opts(ALL_OFF);
     unfused.prewarm(&["fig5"]);
     let mut fused = Session::new(SCALE)
         .profile(true)
@@ -156,10 +124,11 @@ fn site_profiles_are_identical_fused_vs_unfused() {
 }
 
 /// A fuel budget that trips mid-loop must trip at the identical point
-/// whether or not loop fusion is on: bulk kernels never change where a
-/// limit (or any trap) lands. Sweeps budgets from "trips immediately"
-/// through "completes" and requires bit-identical outcomes — same error
-/// text on the trapping side, same output/stats on the completing side.
+/// whether loop fusion or columnar storage is on: bulk kernels never
+/// change where a limit (or any trap) lands. Sweeps budgets from
+/// "trips immediately" through "completes" and requires bit-identical
+/// outcomes — same error text on the trapping side, same output/stats
+/// on the completing side.
 #[test]
 fn fuel_trap_point_is_identical_with_and_without_loop_fusion() {
     let cells = cells_for_target("fig5");
@@ -167,40 +136,39 @@ fn fuel_trap_point_is_identical_with_and_without_loop_fusion() {
     let bench = benchmark_by_abbrev(abbrev).expect("known benchmark");
 
     for fuel in [1u64, 37, 1_000, 25_000, u64::MAX] {
-        let run = |loop_fuse: bool| {
-            try_run_benchmark_cell(
-                &bench,
-                kind,
-                SCALE,
-                1,
-                false,
-                Some(fuel),
-                InterpOpts {
-                    loop_fuse,
-                    ..InterpOpts::default()
-                },
-            )
+        let run = |opts: InterpOpts| {
+            try_run_benchmark_cell(&bench, kind, SCALE, 1, false, Some(fuel), opts)
         };
-        match (run(false), run(true)) {
-            (Ok(off), Ok(on)) => {
-                assert_eq!(
-                    off.output, on.output,
-                    "[{abbrev} fuel={fuel}] output diverged under loop fusion"
-                );
-                assert_eq!(
-                    off.stats.per_phase, on.stats.per_phase,
-                    "[{abbrev} fuel={fuel}] op counts diverged under loop fusion"
-                );
+        let reference = run(ALL_OFF);
+        for opts in [
+            InterpOpts {
+                loop_fuse: true,
+                ..ALL_OFF
+            },
+            InterpOpts {
+                soa: true,
+                ..ALL_OFF
+            },
+            InterpOpts::default(),
+        ] {
+            let tag = format!("[{abbrev} fuel={fuel} under {}]", combo_name(opts));
+            match (&reference, run(opts)) {
+                (Ok(off), Ok(on)) => {
+                    assert_eq!(off.output, on.output, "{tag} output diverged");
+                    assert_eq!(
+                        off.stats.per_phase, on.stats.per_phase,
+                        "{tag} op counts diverged"
+                    );
+                }
+                (Err(off), Err(on)) => assert_eq!(
+                    off.to_string(),
+                    on.to_string(),
+                    "{tag} trap point diverged"
+                ),
+                (off, on) => panic!(
+                    "{tag} one side trapped, the other did not: off={off:?} on={on:?}"
+                ),
             }
-            (Err(off), Err(on)) => assert_eq!(
-                off.to_string(),
-                on.to_string(),
-                "[{abbrev} fuel={fuel}] trap point diverged under loop fusion"
-            ),
-            (off, on) => panic!(
-                "[{abbrev} fuel={fuel}] one side trapped, the other did not: \
-                 off={off:?} on={on:?}"
-            ),
         }
     }
 }

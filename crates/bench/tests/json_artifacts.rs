@@ -87,6 +87,72 @@ fn metrics_snapshot_validates() {
         .expect("empty snapshot is valid JSON");
 }
 
+/// The interpreter's metrics snapshot counts one backend instantiation
+/// per collection by kind (`exec_backend_selected_total{kind=…}`),
+/// including the columnar (SoA) kinds, and the snapshot is
+/// byte-deterministic: two identical runs render identical JSON.
+#[test]
+fn backend_selection_metrics_are_deterministic_by_kind() {
+    use ade_interp::{ExecConfig, Interpreter};
+    use ade_ir::builder::FunctionBuilder;
+    use ade_ir::{BinOp, Module, Operand, Type};
+
+    let build = || {
+        let mut b = FunctionBuilder::new("main", &[], Type::Void);
+        let pair = Type::Tuple(vec![Type::U64, Type::U64]);
+        let seq = b.new_collection(Type::seq(pair));
+        let lo = b.const_u64(0);
+        let hi = b.const_u64(64);
+        let seq = b.for_range(lo, hi, &[seq], |b, i, c| {
+            let t = b.make_tuple(&[i, i]);
+            vec![b.push(c[0], t)]
+        })[0];
+        let zero = b.const_u64(0);
+        let sum = b.for_each(seq, &[zero], |b, _i, v, c| {
+            let t = v.expect("bound");
+            vec![b.bin_at(BinOp::Add, c[0], Operand::field(t, 1))]
+        })[0];
+        b.print(&[sum]);
+        b.ret_void();
+        let mut module = Module::new();
+        module.add_function(b.finish());
+        module
+    };
+
+    let snapshot = |soa: bool| {
+        let m = MetricsRegistry::enabled();
+        let config = ExecConfig {
+            soa,
+            metrics: m.clone(),
+            ..ExecConfig::default()
+        };
+        Interpreter::new(&build(), config)
+            .run_inline("main")
+            .expect("kernel runs");
+        m.snapshot().to_json(false)
+    };
+
+    let with_soa = snapshot(true);
+    json::validate(&with_soa).expect("metrics snapshot is valid JSON");
+    assert!(
+        with_soa.contains("exec_backend_selected_total{kind=\\\"soa_seq\\\"}")
+            || with_soa.contains("soa_seq"),
+        "SoA kind counted: {with_soa}"
+    );
+    assert_eq!(with_soa, snapshot(true), "snapshot must be deterministic");
+
+    let without_soa = snapshot(false);
+    assert!(
+        without_soa.contains("exec_backend_selected_total"),
+        "backend instantiations counted: {without_soa}"
+    );
+    assert!(
+        !without_soa.contains("soa"),
+        "no SoA backend without `soa`: {without_soa}"
+    );
+    assert_eq!(without_soa, snapshot(false), "snapshot must be deterministic");
+}
+
 #[test]
 fn flight_recorder_dump_validates() {
     let fr = FlightRecorder::new(4);

@@ -51,6 +51,7 @@ mod flat;
 pub mod fx;
 mod hash;
 mod seq;
+mod soa;
 mod sparsebit;
 mod swiss;
 
@@ -59,6 +60,7 @@ pub use bitset::DynamicBitSet;
 pub use flat::FlatSet;
 pub use hash::{ChainedHashMap, ChainedHashSet};
 pub use seq::ArraySeq;
+pub use soa::{ColumnMap, ColumnSeq};
 pub use sparsebit::SparseBitSet;
 pub use swiss::{SwissMap, SwissSet};
 

@@ -1,0 +1,375 @@
+//! Columnar (structure-of-arrays) storage for fixed-arity rows.
+//!
+//! [`ColumnSeq`] is the sequence layout and [`ColumnMap`] the dense
+//! enumerated-key map layout: one flat array per field instead of one
+//! boxed row object per element, so a loop projecting a single field
+//! streams exactly one contiguous column. Both are row-oriented in
+//! their *API* (rows go in and come out as `&[T]` slices) and
+//! column-oriented in their *storage*.
+
+use crate::{bitset::DynamicBitSet, HeapSize};
+
+/// A fixed-arity sequence of rows stored one column per field.
+///
+/// # Examples
+///
+/// ```
+/// use ade_collections::ColumnSeq;
+///
+/// let mut s = ColumnSeq::new(2);
+/// s.push_row(&[1, 10]);
+/// s.push_row(&[2, 20]);
+/// assert_eq!(s.col(1), &[10, 20]);
+/// assert_eq!(s.row(1), Some(vec![2, 20]));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColumnSeq<T> {
+    cols: Box<[Vec<T>]>,
+}
+
+impl<T: Clone> ColumnSeq<T> {
+    /// Creates an empty sequence of `arity`-field rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity` is zero.
+    pub fn new(arity: usize) -> Self {
+        assert!(arity > 0, "rows need at least one field");
+        Self {
+            cols: (0..arity).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Number of fields per row.
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.cols[0].len()
+    }
+
+    /// Returns `true` if the sequence contains no rows.
+    pub fn is_empty(&self) -> bool {
+        self.cols[0].is_empty()
+    }
+
+    /// Removes all rows, keeping the allocations.
+    pub fn clear(&mut self) {
+        for col in self.cols.iter_mut() {
+            col.clear();
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` does not match the arity.
+    #[inline]
+    pub fn push_row(&mut self, row: &[T]) {
+        assert_eq!(row.len(), self.cols.len(), "row arity mismatch");
+        for (col, v) in self.cols.iter_mut().zip(row) {
+            col.push(v.clone());
+        }
+    }
+
+    /// Inserts a row at `index`, shifting later rows right (`O(n)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > len` or `row` does not match the arity.
+    pub fn insert_row(&mut self, index: usize, row: &[T]) {
+        assert_eq!(row.len(), self.cols.len(), "row arity mismatch");
+        for (col, v) in self.cols.iter_mut().zip(row) {
+            col.insert(index, v.clone());
+        }
+    }
+
+    /// Overwrites the row at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds or `row` does not match the
+    /// arity.
+    #[inline]
+    pub fn set_row(&mut self, index: usize, row: &[T]) {
+        assert_eq!(row.len(), self.cols.len(), "row arity mismatch");
+        for (col, v) in self.cols.iter_mut().zip(row) {
+            col[index] = v.clone();
+        }
+    }
+
+    /// Removes the row at `index`, shifting later rows left (`O(n)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn remove_row(&mut self, index: usize) {
+        for col in self.cols.iter_mut() {
+            col.remove(index);
+        }
+    }
+
+    /// One field of one row, if in bounds.
+    #[inline]
+    pub fn get(&self, index: usize, field: usize) -> Option<&T> {
+        self.cols.get(field)?.get(index)
+    }
+
+    /// The row at `index` gathered across columns, if in bounds.
+    pub fn row(&self, index: usize) -> Option<Vec<T>> {
+        if index >= self.len() {
+            return None;
+        }
+        Some(self.cols.iter().map(|col| col[index].clone()).collect())
+    }
+
+    /// One whole column as a flat slice — the streaming entry point for
+    /// projection kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `field` is out of range.
+    #[inline]
+    pub fn col(&self, field: usize) -> &[T] {
+        &self.cols[field]
+    }
+
+    /// Constant-time heap-footprint estimate priced as if each *row*
+    /// were `row_bytes` wide. All columns share one capacity trajectory
+    /// (they see identical push/insert histories), and `Vec` growth is
+    /// element-size independent in the small-element class, so pricing
+    /// `capacity × row_bytes` reports exactly the boxed row-per-element
+    /// twin's footprint.
+    pub fn heap_bytes_fast_as(&self, row_bytes: usize) -> usize {
+        self.cols[0].capacity() * row_bytes
+    }
+}
+
+impl<T: HeapSize> HeapSize for ColumnSeq<T> {
+    fn heap_bytes(&self) -> usize {
+        self.cols.iter().map(HeapSize::heap_bytes).sum()
+    }
+}
+
+/// A dense enumerated-key map storing fixed-arity rows one column per
+/// field, with a bitset tracking which keys are present — the columnar
+/// twin of [`crate::BitMap`].
+///
+/// # Examples
+///
+/// ```
+/// use ade_collections::ColumnMap;
+///
+/// let mut m = ColumnMap::new(2);
+/// m.insert(3, &[30, 300]);
+/// m.insert(1, &[10, 100]);
+/// assert_eq!(m.row(3), Some(vec![30, 300]));
+/// assert_eq!(m.keys().collect::<Vec<_>>(), vec![1, 3]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ColumnMap<T> {
+    present: DynamicBitSet,
+    cols: Box<[Vec<T>]>,
+}
+
+impl<T: Clone + Default> ColumnMap<T> {
+    /// Creates an empty map of `arity`-field rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity` is zero.
+    pub fn new(arity: usize) -> Self {
+        assert!(arity > 0, "rows need at least one field");
+        Self {
+            present: DynamicBitSet::new(),
+            cols: (0..arity).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Number of fields per row.
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Number of present keys.
+    pub fn len(&self) -> usize {
+        self.present.len()
+    }
+
+    /// Returns `true` if no keys are present.
+    pub fn is_empty(&self) -> bool {
+        self.present.is_empty()
+    }
+
+    /// Whether `key` is present.
+    #[inline]
+    pub fn contains_key(&self, key: usize) -> bool {
+        self.present.contains(key)
+    }
+
+    /// Inserts or overwrites the row at `key`, growing the dense columns
+    /// to cover it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is `usize::MAX` (the reserved sentinel key; see
+    /// [`crate::BitMap::insert`]) or `row` does not match the arity.
+    pub fn insert(&mut self, key: usize, row: &[T]) {
+        assert_ne!(key, usize::MAX, "reserved sentinel key");
+        assert_eq!(row.len(), self.cols.len(), "row arity mismatch");
+        for (col, v) in self.cols.iter_mut().zip(row) {
+            if key >= col.len() {
+                col.resize_with(key + 1, T::default);
+            }
+            col[key] = v.clone();
+        }
+        self.present.insert(key);
+    }
+
+    /// One field of the row at `key`, if present.
+    #[inline]
+    pub fn get(&self, key: usize, field: usize) -> Option<&T> {
+        if !self.present.contains(key) {
+            return None;
+        }
+        self.cols.get(field)?.get(key)
+    }
+
+    /// The row at `key` gathered across columns, if present.
+    pub fn row(&self, key: usize) -> Option<Vec<T>> {
+        if !self.present.contains(key) {
+            return None;
+        }
+        Some(self.cols.iter().map(|col| col[key].clone()).collect())
+    }
+
+    /// Removes `key`, resetting its slots to the default filler.
+    pub fn remove(&mut self, key: usize) {
+        if self.present.contains(key) {
+            for col in self.cols.iter_mut() {
+                col[key] = T::default();
+            }
+            self.present.remove(key);
+        }
+    }
+
+    /// Removes all keys, keeping the allocations.
+    pub fn clear(&mut self) {
+        self.present.clear();
+        for col in self.cols.iter_mut() {
+            col.clear();
+        }
+    }
+
+    /// Present keys in ascending order.
+    pub fn keys(&self) -> impl Iterator<Item = usize> + '_ {
+        self.present.iter()
+    }
+
+    /// One whole column as a flat slice (dense storage: absent keys hold
+    /// the default filler) — the streaming entry point for projection
+    /// kernels, masked by [`ColumnMap::keys`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `field` is out of range.
+    #[inline]
+    pub fn col(&self, field: usize) -> &[T] {
+        &self.cols[field]
+    }
+
+    /// Constant-time heap-footprint estimate priced as if each *row*
+    /// were `row_bytes` wide: presence bits plus `capacity × row_bytes`
+    /// (see [`ColumnSeq::heap_bytes_fast_as`] for why the capacity
+    /// trajectory matches the boxed [`crate::BitMap`] twin).
+    pub fn heap_bytes_fast_as(&self, row_bytes: usize) -> usize {
+        self.present.heap_bytes_fast() + self.cols[0].capacity() * row_bytes
+    }
+}
+
+impl<T: HeapSize> HeapSize for ColumnMap<T> {
+    fn heap_bytes(&self) -> usize {
+        self.present.heap_bytes_fast() + self.cols.iter().map(HeapSize::heap_bytes).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_rows_round_trip() {
+        let mut s = ColumnSeq::new(3);
+        s.push_row(&[1, 2, 3]);
+        s.push_row(&[4, 5, 6]);
+        s.insert_row(1, &[7, 8, 9]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.row(1), Some(vec![7, 8, 9]));
+        assert_eq!(s.col(2), &[3, 9, 6]);
+        s.set_row(1, &[0, 0, 0]);
+        assert_eq!(s.get(1, 0), Some(&0));
+        s.remove_row(0);
+        assert_eq!(s.row(0), Some(vec![0, 0, 0]));
+        assert_eq!(s.row(2), None);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn seq_rejects_wrong_arity() {
+        let mut s = ColumnSeq::new(2);
+        s.push_row(&[1]);
+    }
+
+    /// The twin-pricing contract: a `ColumnSeq` priced at the boxed row
+    /// width reports the same bytes as a single `Vec` of that width
+    /// under the same push history, for any arity.
+    #[test]
+    fn seq_capacity_matches_single_vec_trajectory() {
+        const ROW_BYTES: usize = 16;
+        for arity in 1..4 {
+            let mut s = ColumnSeq::new(arity);
+            let mut twin: Vec<[u8; ROW_BYTES]> = Vec::new();
+            let row: Vec<u64> = (0..arity as u64).collect();
+            for i in 0..300 {
+                s.push_row(&row);
+                twin.push([0; ROW_BYTES]);
+                assert_eq!(
+                    s.heap_bytes_fast_as(ROW_BYTES),
+                    twin.capacity() * ROW_BYTES,
+                    "arity {arity} diverged at push {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn map_rows_round_trip() {
+        let mut m = ColumnMap::new(2);
+        m.insert(5, &[50, 500]);
+        m.insert(2, &[20, 200]);
+        assert_eq!(m.len(), 2);
+        assert!(m.contains_key(5));
+        assert!(!m.contains_key(3));
+        assert_eq!(m.row(5), Some(vec![50, 500]));
+        assert_eq!(m.get(2, 1), Some(&200));
+        assert_eq!(m.row(3), None);
+        assert_eq!(m.keys().collect::<Vec<_>>(), vec![2, 5]);
+        m.remove(2);
+        assert_eq!(m.row(2), None);
+        assert_eq!(m.len(), 1);
+        m.clear();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved sentinel key")]
+    fn map_rejects_the_sentinel_key() {
+        let mut m = ColumnMap::new(1);
+        m.insert(usize::MAX, &[1]);
+    }
+}

@@ -114,6 +114,10 @@ pub struct Options {
     /// at decode time (`--no-loop-fuse` clears it; default: on).
     /// Observationally inert like `fuse`.
     pub loop_fuse: bool,
+    /// Store tuple-of-scalar collections as columns (structure of
+    /// arrays; `--no-soa` clears it; default: on). Observationally
+    /// inert like `fuse`.
+    pub soa: bool,
 }
 
 impl Default for Options {
@@ -137,6 +141,7 @@ impl Default for Options {
             fuse: true,
             unbox: true,
             loop_fuse: true,
+            soa: true,
         }
     }
 }
@@ -305,6 +310,7 @@ pub fn drive(source: &str, options: &Options) -> Result<DriveOutput, DriveError>
         exec.fuse = options.fuse && exec.fuse;
         exec.unbox = options.unbox && exec.unbox;
         exec.loop_fuse = options.loop_fuse && exec.loop_fuse;
+        exec.soa = options.soa && exec.soa;
         let metrics = options.metrics.as_ref().map(|_| MetricsRegistry::enabled());
         if let Some(m) = &metrics {
             exec.metrics = m.clone();
@@ -388,7 +394,7 @@ pub const USAGE: &str = "\
 usage: adec [--config NAME] [--run] [--emit-ir] [--stats] [--entry F]
             [--fuel N] [--max-heap-cells N] [--max-depth N]
             [--deadline-ms N] [--no-fuse] [--no-unbox] [--no-loop-fuse]
-            [--trace[=FILE]] [--trace-json FILE] [--profile FILE]
+            [--no-soa] [--trace[=FILE]] [--trace-json FILE] [--profile FILE]
             [--metrics FILE] [--profile-in FILE] [--explain[=FILE]]
             INPUT.memoir
 
@@ -409,6 +415,8 @@ usage: adec [--config NAME] [--run] [--emit-ir] [--stats] [--entry F]
                        observables; isolates the storage representation)
   --no-loop-fuse       disable bulk collection-loop kernels (identical
                        observables; isolates loop-granular stream fusion)
+  --no-soa             disable columnar (structure-of-arrays) tuple storage
+                       (identical observables; isolates the tuple layout)
   --trace[=FILE]       human-readable pass/decision log to stderr (or FILE)
   --trace-json FILE    machine-readable trace events as JSON
   --profile FILE       per-site interpreter profile as JSON (implies --run);
@@ -491,6 +499,7 @@ pub fn parse_args<I: Iterator<Item = String>>(args: I) -> Result<Cli, String> {
             "--no-fuse" => options.fuse = false,
             "--no-unbox" => options.unbox = false,
             "--no-loop-fuse" => options.loop_fuse = false,
+            "--no-soa" => options.soa = false,
             "--trace" => options.trace = TraceMode::Stderr,
             "--trace-json" => {
                 options.trace_json = Some(args.next().ok_or("missing value for --trace-json")?);
@@ -810,11 +819,17 @@ fn @main() -> u64 {
 
     #[test]
     fn cli_optimization_toggles_parse_and_stay_inert() {
-        let (opts, _) = parse_drive(&["--no-fuse", "--no-unbox", "--no-loop-fuse", "p.memoir"])
-            .expect("parses");
-        assert!(!opts.fuse && !opts.unbox && !opts.loop_fuse);
+        let (opts, _) = parse_drive(&[
+            "--no-fuse",
+            "--no-unbox",
+            "--no-loop-fuse",
+            "--no-soa",
+            "p.memoir",
+        ])
+        .expect("parses");
+        assert!(!opts.fuse && !opts.unbox && !opts.loop_fuse && !opts.soa);
 
-        let run = |fuse: bool, unbox: bool, loop_fuse: bool| {
+        let run = |fuse: bool, unbox: bool, loop_fuse: bool, soa: bool| {
             drive(
                 PROGRAM,
                 &Options {
@@ -822,23 +837,25 @@ fn @main() -> u64 {
                     fuse,
                     unbox,
                     loop_fuse,
+                    soa,
                     ..Options::default()
                 },
             )
             .expect("drives")
             .program_output
         };
-        let reference = run(true, true, true);
-        for (fuse, unbox, loop_fuse) in [
-            (false, false, false),
-            (false, true, true),
-            (true, false, true),
-            (true, true, false),
+        let reference = run(true, true, true, true);
+        for (fuse, unbox, loop_fuse, soa) in [
+            (false, false, false, false),
+            (false, true, true, true),
+            (true, false, true, true),
+            (true, true, false, true),
+            (true, true, true, false),
         ] {
             assert_eq!(
-                run(fuse, unbox, loop_fuse),
+                run(fuse, unbox, loop_fuse, soa),
                 reference,
-                "fuse={fuse} unbox={unbox} loop_fuse={loop_fuse}"
+                "fuse={fuse} unbox={unbox} loop_fuse={loop_fuse} soa={soa}"
             );
         }
     }

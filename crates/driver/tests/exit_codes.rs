@@ -31,6 +31,31 @@ fn success_is_zero() {
 }
 
 #[test]
+fn optimization_toggles_are_accepted_and_listed_in_help() {
+    let (code, err) = adec(&[
+        "--config",
+        "ade",
+        "--run",
+        "--no-fuse",
+        "--no-unbox",
+        "--no-loop-fuse",
+        "--no-soa",
+        &sample(),
+    ]);
+    assert_eq!(code, 0, "{err}");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_adec"))
+        .arg("--help")
+        .output()
+        .expect("adec runs");
+    assert_eq!(out.status.code(), Some(0));
+    let help = String::from_utf8_lossy(&out.stdout);
+    for flag in ["--no-fuse", "--no-unbox", "--no-loop-fuse", "--no-soa"] {
+        assert!(help.contains(flag), "--help must list {flag}");
+    }
+}
+
+#[test]
 fn usage_errors_are_two() {
     let (code, err) = adec(&["--nope"]);
     assert_eq!(code, 2, "{err}");

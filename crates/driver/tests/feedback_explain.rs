@@ -71,12 +71,13 @@ fn profile_round_trips_into_explain() {
 
 #[test]
 fn explain_report_is_byte_identical_across_runs_and_interp_opts() {
-    let combos: [&[&str]; 5] = [
+    let combos: [&[&str]; 6] = [
         &[],
         &["--no-fuse"],
         &["--no-unbox"],
         &["--no-loop-fuse"],
-        &["--no-fuse", "--no-unbox", "--no-loop-fuse"],
+        &["--no-soa"],
+        &["--no-fuse", "--no-unbox", "--no-loop-fuse", "--no-soa"],
     ];
     let mut reference: Option<String> = None;
     for (i, combo) in combos.iter().enumerate() {

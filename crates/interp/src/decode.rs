@@ -232,6 +232,13 @@ pub enum DInst {
         /// Destination slot.
         dst: u32,
     },
+    /// Pack operands into a tuple value.
+    MkTuple {
+        /// Field operands, in order.
+        srcs: Box<[DOp]>,
+        /// Destination slot.
+        dst: u32,
+    },
     /// Direct call.
     Call {
         /// Callee.
@@ -604,6 +611,12 @@ pub struct BulkPlan {
     /// op, which already skips per-component dispatch and region
     /// machinery).
     pub fast: Option<FastKind>,
+    /// When `fast` was classified over a tuple-element loop, the field
+    /// projections its roles read (`for t in c { acc += t.k }` and
+    /// friends). The kernels then stream single flat columns of a
+    /// columnar source; any other runtime representation falls back to
+    /// the op-by-op plan, which materializes rows exactly.
+    pub fast_proj: Option<FastProj>,
     /// A register-specialized twin of the body (`forrange` plans whose
     /// every slot is statically scalar or a linearly threaded
     /// collection handle) — the tier between the streaming kernels and
@@ -669,6 +682,20 @@ pub enum BulkOp {
         /// Operand slot.
         a: u32,
         /// Destination slot.
+        dst: u32,
+    },
+    /// Project one tuple field into a scratch slot — the decomposition
+    /// of a single-`Field` path operand (`t.k`). The scratch slot lives
+    /// past the function's SSA slots and is dead outside the plan, and
+    /// the op shares its consumer's site: it replays that component's
+    /// operand resolution, so a bad projection traps exactly where the
+    /// unfused instruction would.
+    Proj {
+        /// Slot holding the tuple.
+        base: u32,
+        /// Field index.
+        field: u32,
+        /// Destination (scratch) slot.
         dst: u32,
     },
     /// `read(c, k)`.
@@ -827,6 +854,23 @@ pub enum FastKind {
     },
 }
 
+/// The tuple fields a projected streaming shape reads — the loop binds
+/// a tuple element but every use is a single-field projection, so a
+/// columnar source can stream one flat column per role instead of
+/// materializing a boxed row per iteration.
+#[derive(Clone, Copy, Debug)]
+pub struct FastProj {
+    /// Field standing in for the element in the shape's primary role:
+    /// the reduce/fold operand, the filter comparison's element side,
+    /// the probed key, or the inserted element.
+    pub elem: u32,
+    /// Field for the secondary role when a filter shape reads a
+    /// *different* field there (`FilterReduce`'s fold operand,
+    /// `FilterInto`'s inserted element); `None` reuses `elem`'s
+    /// column or the shape's loop-invariant operand.
+    pub other: Option<u32>,
+}
+
 /// Static scalar kind of a specialized register. Register payloads are
 /// raw `u64`s; the tag records how to rebox them (and how inputs must
 /// be tagged at loop entry).
@@ -855,6 +899,10 @@ pub enum SpecBackend {
     HashMap,
     /// [`crate::heap::Collection::UnboxedBitMap`].
     BitMap,
+    /// [`crate::heap::Collection::SoaSeq`] — a columnar tuple sequence.
+    /// Reads stay abstract ([`SpecVal::Row`]) and field projections
+    /// resolve to column base + index, so no row is ever gathered.
+    SoaSeq,
 }
 
 /// Abstract content of a specialized frame slot at loop exit: either a
@@ -866,6 +914,18 @@ pub enum SpecVal {
     /// Collection handle; the group index names the `CollId` resolved
     /// at loop entry.
     Coll(u8),
+    /// A tuple row read from a columnar sequence, kept abstract: the
+    /// group plus the register holding the row index. Only field
+    /// projections may consume it (each fetches one column cell); a
+    /// slot abstracted as a row can never be yielded, carried, or
+    /// reboxed — the builder rejects those plans.
+    Row {
+        /// The [`SpecVal::Coll`] group of the columnar sequence.
+        grp: u8,
+        /// Register holding the row index (bounds-checked by the
+        /// [`SpecKind::SoaRead`] that produced this abstraction).
+        index: u32,
+    },
 }
 
 /// One specialized operation with its trap/profile site.
@@ -960,6 +1020,32 @@ pub enum SpecKind {
         /// Index register.
         index: u32,
         /// Static element tag (what the loaded scalar must unpack as).
+        vtag: SpecTag,
+        /// Destination register.
+        dst: u32,
+    },
+    /// `read(seq, i)` on a columnar tuple sequence: the read's stats
+    /// bump and bounds check, with no data movement — the row stays
+    /// abstract ([`SpecVal::Row`]) and each consuming projection
+    /// fetches its own column cell.
+    SoaRead {
+        /// Collection group.
+        grp: u8,
+        /// Index register.
+        index: u32,
+    },
+    /// One field of an abstract row: `cols[field][index]` of the
+    /// columnar sequence. In-bounds by the producing [`SpecKind::SoaRead`]
+    /// (no columnar mutator exists in the spec tier, so the length
+    /// cannot change in between).
+    SoaField {
+        /// Collection group.
+        grp: u8,
+        /// Index register (same register the `SoaRead` checked).
+        index: u32,
+        /// Field / column index.
+        field: u32,
+        /// Static field tag (what the loaded scalar must unpack as).
         vtag: SpecTag,
         /// Destination register.
         dst: u32,
@@ -1553,6 +1639,10 @@ impl FuncDecoder<'_> {
                 a: self.op(&inst.operands[0]),
                 dst: self.dst(inst),
             },
+            InstKind::Tuple => DInst::MkTuple {
+                srcs: inst.operands.iter().map(|o| self.op(o)).collect(),
+                dst: self.dst(inst),
+            },
             InstKind::Call(callee) => DInst::Call {
                 callee: *callee,
                 args: inst.operands.iter().map(|o| self.op(o)).collect(),
@@ -1909,22 +1999,33 @@ fn match_window(w: &[DInst]) -> Option<DInst> {
 /// expansion in [`compile_ops`] makes the result independent of whether
 /// the peephole ran.
 fn loop_fuse_function(d: &mut DFunc, f: &Function) {
+    // Field-projection operands decompose into `BulkOp::Proj` writes to
+    // scratch slots past the function's SSA slots. Each loop allocates
+    // its own run starting at the original frame size (bulk loops never
+    // nest, so runs can overlap); the frame grows to the widest run.
+    let ssa_slots = d.frame_size;
+    let mut frame_size = d.frame_size;
     for ri in 0..d.regions.len() {
         let (start, end) = (d.regions[ri].start as usize, d.regions[ri].end as usize);
         let mut i = start;
         while i < end {
             let adv = d.code[i].advance();
-            if let Some(bulk) = try_bulk_loop(d, f, i) {
+            let mut scratch = ssa_slots;
+            if let Some(bulk) = try_bulk_loop(d, f, i, &mut scratch) {
                 d.code[i] = bulk;
+                frame_size = frame_size.max(scratch);
             }
             i += adv;
         }
     }
+    d.frame_size = frame_size;
 }
 
 /// Compiles the loop header at `idx` into its bulk twin, if its body is
 /// a straight-line single-level window the plan language can express.
-fn try_bulk_loop(d: &DFunc, f: &Function, idx: usize) -> Option<DInst> {
+/// `scratch` is the loop's projection-slot allocator, seeded at the
+/// function's SSA slot count.
+fn try_bulk_loop(d: &DFunc, f: &Function, idx: usize, scratch: &mut u32) -> Option<DInst> {
     match &d.code[idx] {
         DInst::ForEach {
             coll,
@@ -1937,10 +2038,11 @@ fn try_bulk_loop(d: &DFunc, f: &Function, idx: usize) -> Option<DInst> {
             let region = &d.regions[*body as usize];
             let skip = 1 + usize::from(*binds_value);
             let carried_args = region.args.get(skip..)?;
-            let mut plan = compile_plan(d, region, carried_args)?;
+            let mut plan = compile_plan(d, region, carried_args, scratch)?;
             if carried.len() == 1 {
                 let elem = if *binds_value { region.args[1] } else { region.args[0] };
-                plan.fast = classify_fast(d, &plan, region.args[0], elem, carried_args[0]);
+                (plan.fast, plan.fast_proj) =
+                    classify_fast(d, &plan, region.args[0], elem, carried_args[0]);
             }
             Some(DInst::ForEachBulk {
                 coll: coll.clone(),
@@ -1961,8 +2063,8 @@ fn try_bulk_loop(d: &DFunc, f: &Function, idx: usize) -> Option<DInst> {
         } => {
             let region = &d.regions[*body as usize];
             let carried_args = region.args.get(1..)?;
-            let mut plan = compile_plan(d, region, carried_args)?;
-            plan.spec = specialize_forrange(f, d, &plan, &region.args);
+            let mut plan = compile_plan(d, region, carried_args, scratch)?;
+            plan.spec = specialize_forrange(f, d, &plan, &region.args, *scratch);
             Some(DInst::ForRangeBulk {
                 lo: lo.clone(),
                 hi: hi.clone(),
@@ -1982,13 +2084,18 @@ fn try_bulk_loop(d: &DFunc, f: &Function, idx: usize) -> Option<DInst> {
 /// carried argument slots must be hazard-free (the same rule
 /// [`direct_yields`] applies). Top-level `const` components are hoisted
 /// into the prelude.
-fn compile_plan(d: &DFunc, region: &DRegion, carried_args: &[u32]) -> Option<BulkPlan> {
+fn compile_plan(
+    d: &DFunc,
+    region: &DRegion,
+    carried_args: &[u32],
+    scratch: &mut u32,
+) -> Option<BulkPlan> {
     let (start, end) = (region.start as usize, region.end as usize);
     if end == start {
         return None;
     }
     let term = end - 1;
-    let body = compile_ops(d, start, term, true)?;
+    let body = compile_ops(d, start, term, true, scratch)?;
     let yield_srcs = yield_slots(&d.code[term], carried_args)?;
     let (prelude, ops): (Vec<PlanOp>, Vec<PlanOp>) = body
         .into_iter()
@@ -1998,6 +2105,7 @@ fn compile_plan(d: &DFunc, region: &DRegion, carried_args: &[u32]) -> Option<Bul
         ops: ops.into_boxed_slice(),
         yield_srcs: yield_srcs.into_boxed_slice(),
         fast: None,
+        fast_proj: None,
         spec: None,
     })
 }
@@ -2026,7 +2134,13 @@ fn yield_slots(term: &DInst, dsts: &[u32]) -> Option<Vec<u32>> {
 /// original code indices. `allow_if` is `true` only at the top level:
 /// branch arms must be straight-line (one nesting level keeps the plan
 /// executor non-recursive in spirit and the inertness argument short).
-fn compile_ops(d: &DFunc, start: usize, end: usize, allow_if: bool) -> Option<Vec<PlanOp>> {
+fn compile_ops(
+    d: &DFunc,
+    start: usize,
+    end: usize,
+    allow_if: bool,
+    scratch: &mut u32,
+) -> Option<Vec<PlanOp>> {
     let mut out = Vec::new();
     let mut i = start;
     while i < end {
@@ -2035,7 +2149,7 @@ fn compile_ops(d: &DFunc, start: usize, end: usize, allow_if: bool) -> Option<Ve
         if i + adv > end {
             return None;
         }
-        push_components(d, i, inst, allow_if, &mut out)?;
+        push_components(d, i, inst, allow_if, scratch, &mut out)?;
         i += adv;
     }
     Some(out)
@@ -2043,30 +2157,64 @@ fn compile_ops(d: &DFunc, start: usize, end: usize, allow_if: bool) -> Option<Ve
 
 /// Compiles one branch arm: straight-line components plus a terminal
 /// yield of the branch's destination count.
-fn compile_arm(d: &DFunc, r: u32, if_dsts: &[u32]) -> Option<(Box<[PlanOp]>, Box<[u32]>)> {
+fn compile_arm(
+    d: &DFunc,
+    r: u32,
+    if_dsts: &[u32],
+    scratch: &mut u32,
+) -> Option<(Box<[PlanOp]>, Box<[u32]>)> {
     let region = &d.regions[r as usize];
     let (start, end) = (region.start as usize, region.end as usize);
     if end == start {
         return None;
     }
     let term = end - 1;
-    let ops = compile_ops(d, start, term, false)?;
+    let ops = compile_ops(d, start, term, false, scratch)?;
     let srcs = yield_slots(&d.code[term], if_dsts)?;
     Some((ops.into_boxed_slice(), srcs.into_boxed_slice()))
+}
+
+/// Resolves a scalar-position operand to a plan slot: plain slots pass
+/// through; a single-`Field` path (`t.k`) decomposes into a
+/// [`BulkOp::Proj`] into a fresh scratch slot, emitted in operand order
+/// at the consuming component's site. Deeper paths (any `Index` step
+/// touches a collection and bumps read counts) reject the loop.
+fn scalar_operand(op: &DOp, site: u32, scratch: &mut u32, out: &mut Vec<PlanOp>) -> Option<u32> {
+    match op {
+        DOp::Slot(s) => Some(*s),
+        DOp::Path(p) => match p.path.as_ref() {
+            [DAccess::Field(f)] => {
+                let dst = *scratch;
+                *scratch = scratch.checked_add(1)?;
+                out.push(PlanOp {
+                    site,
+                    op: BulkOp::Proj {
+                        base: p.base,
+                        field: *f,
+                        dst,
+                    },
+                });
+                Some(dst)
+            }
+            _ => None,
+        },
+    }
 }
 
 /// Appends the plan components of the instruction (or peephole window)
 /// at `idx`. Component `j` of a window gets site `idx + j` — the code
 /// slot of the original instruction it replays — so bulk execution
-/// traps at exactly the site the unfused loop would. Anything with a
-/// nesting-path operand, observable side channel (print, ROI, calls,
-/// enumeration ops), allocation, or nested control flow rejects the
-/// whole loop.
+/// traps at exactly the site the unfused loop would. Single-`Field`
+/// path operands in scalar positions decompose into projections (see
+/// [`scalar_operand`]); anything with a deeper path operand, observable
+/// side channel (print, ROI, calls, enumeration ops), allocation, or
+/// nested control flow rejects the whole loop.
 fn push_components(
     d: &DFunc,
     idx: usize,
     inst: &DInst,
     allow_if: bool,
+    scratch: &mut u32,
     out: &mut Vec<PlanOp>,
 ) -> Option<()> {
     let site = |j: usize| slot(idx + j);
@@ -2078,113 +2226,154 @@ fn push_components(
                 dst: *dst,
             },
         }),
-        DInst::Bin { op, a, b, dst } => out.push(PlanOp {
-            site: site(0),
-            op: BulkOp::Bin {
-                op: *op,
-                a: sl(a)?,
-                b: sl(b)?,
-                dst: *dst,
-            },
-        }),
-        DInst::Cmp { op, a, b, dst } => out.push(PlanOp {
-            site: site(0),
-            op: BulkOp::Cmp {
-                op: *op,
-                a: sl(a)?,
-                b: sl(b)?,
-                dst: *dst,
-            },
-        }),
-        DInst::Not { a, dst } => out.push(PlanOp {
-            site: site(0),
-            op: BulkOp::Not {
-                a: sl(a)?,
-                dst: *dst,
-            },
-        }),
-        DInst::Cast { ty, a, dst } => out.push(PlanOp {
-            site: site(0),
-            op: BulkOp::Cast {
-                ty: *ty,
-                a: sl(a)?,
-                dst: *dst,
-            },
-        }),
-        DInst::Read { coll, key, dst } => out.push(PlanOp {
-            site: site(0),
-            op: BulkOp::Read {
-                coll: sl(coll)?,
-                key: sl(key)?,
-                dst: *dst,
-            },
-        }),
+        DInst::Bin { op, a, b, dst } => {
+            let a = scalar_operand(a, site(0), scratch, out)?;
+            let b = scalar_operand(b, site(0), scratch, out)?;
+            out.push(PlanOp {
+                site: site(0),
+                op: BulkOp::Bin {
+                    op: *op,
+                    a,
+                    b,
+                    dst: *dst,
+                },
+            });
+        }
+        DInst::Cmp { op, a, b, dst } => {
+            let a = scalar_operand(a, site(0), scratch, out)?;
+            let b = scalar_operand(b, site(0), scratch, out)?;
+            out.push(PlanOp {
+                site: site(0),
+                op: BulkOp::Cmp {
+                    op: *op,
+                    a,
+                    b,
+                    dst: *dst,
+                },
+            });
+        }
+        DInst::Not { a, dst } => {
+            let a = scalar_operand(a, site(0), scratch, out)?;
+            out.push(PlanOp {
+                site: site(0),
+                op: BulkOp::Not { a, dst: *dst },
+            });
+        }
+        DInst::Cast { ty, a, dst } => {
+            let a = scalar_operand(a, site(0), scratch, out)?;
+            out.push(PlanOp {
+                site: site(0),
+                op: BulkOp::Cast {
+                    ty: *ty,
+                    a,
+                    dst: *dst,
+                },
+            });
+        }
+        DInst::Read { coll, key, dst } => {
+            let coll = sl(coll)?;
+            let key = scalar_operand(key, site(0), scratch, out)?;
+            out.push(PlanOp {
+                site: site(0),
+                op: BulkOp::Read {
+                    coll,
+                    key,
+                    dst: *dst,
+                },
+            });
+        }
         DInst::Write {
             coll,
             key,
             val,
             dst,
-        } => out.push(PlanOp {
-            site: site(0),
-            op: BulkOp::Write {
-                coll: sl(coll)?,
-                key: sl(key)?,
-                val: sl(val)?,
-                dst: *dst,
-            },
-        }),
-        DInst::Has { coll, key, dst } => out.push(PlanOp {
-            site: site(0),
-            op: BulkOp::Has {
-                coll: sl(coll)?,
-                key: sl(key)?,
-                dst: *dst,
-            },
-        }),
-        DInst::InsertSet { coll, elem, dst } => out.push(PlanOp {
-            site: site(0),
-            op: BulkOp::InsertSet {
-                coll: sl(coll)?,
-                elem: sl(elem)?,
-                dst: *dst,
-            },
-        }),
+        } => {
+            let coll = sl(coll)?;
+            let key = scalar_operand(key, site(0), scratch, out)?;
+            let val = scalar_operand(val, site(0), scratch, out)?;
+            out.push(PlanOp {
+                site: site(0),
+                op: BulkOp::Write {
+                    coll,
+                    key,
+                    val,
+                    dst: *dst,
+                },
+            });
+        }
+        DInst::Has { coll, key, dst } => {
+            let coll = sl(coll)?;
+            let key = scalar_operand(key, site(0), scratch, out)?;
+            out.push(PlanOp {
+                site: site(0),
+                op: BulkOp::Has {
+                    coll,
+                    key,
+                    dst: *dst,
+                },
+            });
+        }
+        DInst::InsertSet { coll, elem, dst } => {
+            let coll = sl(coll)?;
+            let elem = scalar_operand(elem, site(0), scratch, out)?;
+            out.push(PlanOp {
+                site: site(0),
+                op: BulkOp::InsertSet {
+                    coll,
+                    elem,
+                    dst: *dst,
+                },
+            });
+        }
         DInst::InsertMap {
             coll,
             key,
             val_ty,
             dst,
-        } => out.push(PlanOp {
-            site: site(0),
-            op: BulkOp::InsertMap {
-                coll: sl(coll)?,
-                key: sl(key)?,
-                val_ty: *val_ty,
-                dst: *dst,
-            },
-        }),
+        } => {
+            let coll = sl(coll)?;
+            let key = scalar_operand(key, site(0), scratch, out)?;
+            out.push(PlanOp {
+                site: site(0),
+                op: BulkOp::InsertMap {
+                    coll,
+                    key,
+                    val_ty: *val_ty,
+                    dst: *dst,
+                },
+            });
+        }
         DInst::InsertSeq {
             coll,
             index,
             val,
             dst,
-        } => out.push(PlanOp {
-            site: site(0),
-            op: BulkOp::InsertSeq {
-                coll: sl(coll)?,
-                index: sl(index)?,
-                val: sl(val)?,
-                dst: *dst,
-            },
-        }),
-        DInst::Remove { coll, key, dst } => out.push(PlanOp {
-            site: site(0),
-            op: BulkOp::Remove {
-                coll: sl(coll)?,
-                key: sl(key)?,
-                dst: *dst,
-            },
-        }),
+        } => {
+            let coll = sl(coll)?;
+            let index = scalar_operand(index, site(0), scratch, out)?;
+            let val = scalar_operand(val, site(0), scratch, out)?;
+            out.push(PlanOp {
+                site: site(0),
+                op: BulkOp::InsertSeq {
+                    coll,
+                    index,
+                    val,
+                    dst: *dst,
+                },
+            });
+        }
+        DInst::Remove { coll, key, dst } => {
+            let coll = sl(coll)?;
+            let key = scalar_operand(key, site(0), scratch, out)?;
+            out.push(PlanOp {
+                site: site(0),
+                op: BulkOp::Remove {
+                    coll,
+                    key,
+                    dst: *dst,
+                },
+            });
+        }
         DInst::Size { coll, dst } => out.push(PlanOp {
             site: site(0),
             op: BulkOp::Size {
@@ -2198,12 +2387,13 @@ fn push_components(
             else_r,
             dsts,
         } if allow_if => {
-            let (then_ops, then_srcs) = compile_arm(d, *then_r, dsts)?;
-            let (else_ops, else_srcs) = compile_arm(d, *else_r, dsts)?;
+            let cond = sl(cond)?;
+            let (then_ops, then_srcs) = compile_arm(d, *then_r, dsts, scratch)?;
+            let (else_ops, else_srcs) = compile_arm(d, *else_r, dsts, scratch)?;
             out.push(PlanOp {
                 site: site(0),
                 op: BulkOp::If {
-                    cond: sl(cond)?,
+                    cond,
                     then_ops,
                     then_srcs,
                     else_ops,
@@ -2337,8 +2527,8 @@ fn push_components(
             else_r,
             dsts,
         } if allow_if => {
-            let (then_ops, then_srcs) = compile_arm(d, *then_r, dsts)?;
-            let (else_ops, else_srcs) = compile_arm(d, *else_r, dsts)?;
+            let (then_ops, then_srcs) = compile_arm(d, *then_r, dsts, scratch)?;
+            let (else_ops, else_srcs) = compile_arm(d, *else_r, dsts, scratch)?;
             out.push(PlanOp {
                 site: site(0),
                 op: BulkOp::Has {
@@ -2368,8 +2558,8 @@ fn push_components(
             else_r,
             dsts,
         } if allow_if => {
-            let (then_ops, then_srcs) = compile_arm(d, *then_r, dsts)?;
-            let (else_ops, else_srcs) = compile_arm(d, *else_r, dsts)?;
+            let (then_ops, then_srcs) = compile_arm(d, *then_r, dsts, scratch)?;
+            let (else_ops, else_srcs) = compile_arm(d, *else_r, dsts, scratch)?;
             out.push(PlanOp {
                 site: site(0),
                 op: BulkOp::Cmp {
@@ -2406,6 +2596,7 @@ fn collect_dsts(ops: &[PlanOp], out: &mut Vec<u32>) {
             | BulkOp::Cmp { dst, .. }
             | BulkOp::Not { dst, .. }
             | BulkOp::Cast { dst, .. }
+            | BulkOp::Proj { dst, .. }
             | BulkOp::Read { dst, .. }
             | BulkOp::Write { dst, .. }
             | BulkOp::Has { dst, .. }
@@ -2497,17 +2688,45 @@ fn arm_shape(
 /// Recognizes the streaming shapes of a single-carry `foreach` plan
 /// (see [`FastKind`]). Operands that must be loop-invariant are checked
 /// against the set of slots written per iteration; prelude-const slots
-/// count as invariant (the prelude runs once, before the loop).
+/// count as invariant (the prelude runs once, before the loop). A plan
+/// opening with a projection of the element routes through the
+/// proj-aware matcher, which surfaces the consumed fields as
+/// [`FastProj`].
 fn classify_fast(
     d: &DFunc,
     plan: &BulkPlan,
     key_slot: u32,
     elem: u32,
     acc: u32,
-) -> Option<FastKind> {
+) -> (Option<FastKind>, Option<FastProj>) {
     let mut variant = vec![key_slot, elem, acc];
     collect_dsts(&plan.ops, &mut variant);
     let inv = |s: u32| !variant.contains(&s);
+    if let [PlanOp {
+        op: BulkOp::Proj { base, field, dst },
+        ..
+    }, rest @ ..] = &plan.ops[..]
+    {
+        if *base != elem {
+            return (None, None);
+        }
+        return match classify_fast_proj(d, plan, rest, elem, *dst, *field, acc, &inv) {
+            Some((fast, proj)) => (Some(fast), Some(proj)),
+            None => (None, None),
+        };
+    }
+    (classify_fast_scalar(d, plan, elem, acc, &inv), None)
+}
+
+/// The scalar-element streaming shapes (the element slot itself fills
+/// every element role).
+fn classify_fast_scalar(
+    d: &DFunc,
+    plan: &BulkPlan,
+    elem: u32,
+    acc: u32,
+    inv: &dyn Fn(u32) -> bool,
+) -> Option<FastKind> {
     match &plan.ops[..] {
         // acc = op(acc, elem)
         [PlanOp {
@@ -2660,6 +2879,243 @@ fn classify_fast(
     }
 }
 
+/// [`arm_shape`] with an optional leading projection of the tuple
+/// element: `[Proj(tuple.f -> q), rest]` classifies `rest` with `q` in
+/// the element role and surfaces `f`. A projection the matched shape
+/// does not consume rejects the arm — dead work stays on the generic
+/// path. Without a projection the arm may not touch the element at all
+/// (`u32::MAX` never names a real slot).
+fn arm_shape_proj(
+    ops: &[PlanOp],
+    srcs: &[u32],
+    tuple: u32,
+    acc: u32,
+    inv: &dyn Fn(u32) -> bool,
+) -> Option<(ArmShape, Option<u32>)> {
+    if let [PlanOp {
+        op: BulkOp::Proj { base, field, dst },
+        ..
+    }, tail @ ..] = ops
+    {
+        if *base != tuple {
+            return None;
+        }
+        let shape = arm_shape(tail, srcs, *dst, acc, inv)?;
+        let consumed = match &shape {
+            ArmShape::Fold { bin_elem, .. } => *bin_elem,
+            ArmShape::Insert => true,
+            ArmShape::Pass => false,
+        };
+        return consumed.then_some((shape, Some(*field)));
+    }
+    Some((arm_shape(ops, srcs, u32::MAX, acc, inv)?, None))
+}
+
+/// The projected-tuple streaming shapes: the element is a tuple and
+/// every element role is filled by a single-field projection of it
+/// (`rest` is the plan after the leading `tuple.pf -> p`), so the
+/// kernels can stream flat columns instead of materializing rows.
+#[allow(clippy::too_many_arguments)]
+fn classify_fast_proj(
+    d: &DFunc,
+    plan: &BulkPlan,
+    rest: &[PlanOp],
+    tuple: u32,
+    p: u32,
+    pf: u32,
+    acc: u32,
+    inv: &dyn Fn(u32) -> bool,
+) -> Option<(FastKind, FastProj)> {
+    let one = FastProj {
+        elem: pf,
+        other: None,
+    };
+    match rest {
+        // acc = op(acc, t.pf)
+        [PlanOp {
+            site,
+            op: BulkOp::Bin { op, a, b, dst },
+        }] if plan.yield_srcs.as_ref() == [*dst] => {
+            let elem_first = if *a == p && *b == acc {
+                true
+            } else if *a == acc && *b == p {
+                false
+            } else {
+                return None;
+            };
+            Some((
+                FastKind::Reduce {
+                    op: *op,
+                    elem_first,
+                    site: *site,
+                },
+                one,
+            ))
+        }
+        // set = insert(set, t.pf)
+        [PlanOp {
+            op: BulkOp::InsertSet { coll, elem: e, dst },
+            ..
+        }] if *coll == acc && *e == p && plan.yield_srcs.as_ref() == [*dst] => {
+            Some((FastKind::CopyInto, one))
+        }
+        // acc = acc + (has(set, t.pf) as u64)
+        [PlanOp {
+            op:
+                BulkOp::Has {
+                    coll: set,
+                    key,
+                    dst: hdst,
+                },
+            ..
+        }, PlanOp {
+            op:
+                BulkOp::Cast {
+                    ty,
+                    a: cast_a,
+                    dst: cdst,
+                },
+            ..
+        }, PlanOp {
+            op:
+                BulkOp::Bin {
+                    op: BinOp::Add,
+                    a: ba,
+                    b: bb,
+                    dst: sum,
+                },
+            ..
+        }] if *key == p
+            && inv(*set)
+            && *cast_a == *hdst
+            && d.types.get(*ty as usize) == Some(&Type::U64)
+            && ((*ba == acc && *bb == *cdst) || (*ba == *cdst && *bb == acc))
+            && plan.yield_srcs.as_ref() == [*sum] =>
+        {
+            Some((FastKind::ProbeCount { set: *set }, one))
+        }
+        // if cmp(t.pf, rhs) { fold or insert (possibly of t.f2) } else
+        // { pass } (either arm)
+        [PlanOp {
+            op:
+                BulkOp::Cmp {
+                    op: cmp,
+                    a: ca,
+                    b: cb,
+                    dst: cdst,
+                },
+            ..
+        }, PlanOp {
+            op:
+                BulkOp::If {
+                    cond,
+                    then_ops,
+                    then_srcs,
+                    else_ops,
+                    else_srcs,
+                    dsts,
+                },
+            ..
+        }] if *cond == *cdst && dsts.len() == 1 && plan.yield_srcs.as_ref() == [dsts[0]] => {
+            let (elem_lhs, rhs) = if *ca == p && inv(*cb) {
+                (true, *cb)
+            } else if *cb == p && inv(*ca) {
+                (false, *ca)
+            } else {
+                return None;
+            };
+            let then_arm = arm_shape_proj(then_ops, then_srcs, tuple, acc, inv)?;
+            let else_arm = arm_shape_proj(else_ops, else_srcs, tuple, acc, inv)?;
+            match (then_arm, else_arm) {
+                (
+                    (
+                        ArmShape::Fold {
+                            bin,
+                            acc_lhs,
+                            bin_elem,
+                            bin_other,
+                            site,
+                        },
+                        fold_field,
+                    ),
+                    (ArmShape::Pass, None),
+                ) => Some((
+                    FastKind::FilterReduce {
+                        cmp: *cmp,
+                        elem_lhs,
+                        rhs,
+                        acc_on_true: true,
+                        bin,
+                        acc_lhs,
+                        bin_elem,
+                        bin_other,
+                        bin_site: site,
+                    },
+                    FastProj {
+                        elem: pf,
+                        other: fold_field,
+                    },
+                )),
+                (
+                    (ArmShape::Pass, None),
+                    (
+                        ArmShape::Fold {
+                            bin,
+                            acc_lhs,
+                            bin_elem,
+                            bin_other,
+                            site,
+                        },
+                        fold_field,
+                    ),
+                ) => Some((
+                    FastKind::FilterReduce {
+                        cmp: *cmp,
+                        elem_lhs,
+                        rhs,
+                        acc_on_true: false,
+                        bin,
+                        acc_lhs,
+                        bin_elem,
+                        bin_other,
+                        bin_site: site,
+                    },
+                    FastProj {
+                        elem: pf,
+                        other: fold_field,
+                    },
+                )),
+                ((ArmShape::Insert, Some(f)), (ArmShape::Pass, None)) => Some((
+                    FastKind::FilterInto {
+                        cmp: *cmp,
+                        elem_lhs,
+                        rhs,
+                        insert_on_true: true,
+                    },
+                    FastProj {
+                        elem: pf,
+                        other: Some(f),
+                    },
+                )),
+                ((ArmShape::Pass, None), (ArmShape::Insert, Some(f))) => Some((
+                    FastKind::FilterInto {
+                        cmp: *cmp,
+                        elem_lhs,
+                        rhs,
+                        insert_on_true: false,
+                    },
+                    FastProj {
+                        elem: pf,
+                        other: Some(f),
+                    },
+                )),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
 /// What a collection group statically is: the required unboxed backend
 /// plus the value/element tag its static type prescribes (key tags are
 /// taken from the key *operand*'s static type at each use, which is
@@ -2686,10 +3142,25 @@ fn spec_tag(ty: &Type) -> Option<SpecTag> {
 /// simply abandons the specialization there.
 fn spec_backend(ty: &Type) -> Option<GroupInfo> {
     match ty {
-        Type::Seq(elem) => Some(GroupInfo {
-            backend: SpecBackend::Seq,
-            vtag: spec_tag(elem)?,
-        }),
+        Type::Seq(elem) => match spec_tag(elem) {
+            Some(vtag) => Some(GroupInfo {
+                backend: SpecBackend::Seq,
+                vtag,
+            }),
+            // Tuple-of-scalar elements select the columnar backend; the
+            // vtag is unused (projections carry their own field tags).
+            None => match elem.as_ref() {
+                Type::Tuple(fields)
+                    if !fields.is_empty() && fields.iter().all(|t| spec_tag(t).is_some()) =>
+                {
+                    Some(GroupInfo {
+                        backend: SpecBackend::SoaSeq,
+                        vtag: SpecTag::U64,
+                    })
+                }
+                _ => None,
+            },
+        },
         Type::Set {
             elem,
             sel: SetSel::Auto | SetSel::Hash,
@@ -2765,15 +3236,28 @@ impl SpecBuilder<'_> {
     fn read_reg(&mut self, slot: u32) -> Option<SpecTag> {
         match self.read(slot)? {
             SpecVal::Reg(t) => Some(t),
-            SpecVal::Coll(_) => None,
+            SpecVal::Coll(_) | SpecVal::Row { .. } => None,
         }
     }
 
     fn read_coll(&mut self, slot: u32) -> Option<(u8, GroupInfo)> {
         match self.read(slot)? {
             SpecVal::Coll(g) => Some((g, self.groups[g as usize])),
-            SpecVal::Reg(_) => None,
+            SpecVal::Reg(_) | SpecVal::Row { .. } => None,
         }
+    }
+
+    /// The register tag of one field of a columnar group's row type,
+    /// read off the group slot's static `Seq<Tuple<..>>` type.
+    fn soa_field_tag(&self, grp: u8, field: u32) -> Option<SpecTag> {
+        let slot = self.coll_inputs.get(grp as usize)?.0;
+        let Type::Seq(elem) = self.f.value_ty(ValueId::from_index(slot as usize)) else {
+            return None;
+        };
+        let Type::Tuple(fields) = elem.as_ref() else {
+            return None;
+        };
+        spec_tag(fields.get(field as usize)?)
     }
 
     fn write(&mut self, slot: u32, v: SpecVal) {
@@ -2870,30 +3354,60 @@ impl SpecBuilder<'_> {
             }
             BulkOp::Read { coll, key, dst } => {
                 let (grp, info) = self.read_coll(*coll)?;
-                let kind = match info.backend {
-                    SpecBackend::Seq => SpecKind::SeqRead {
+                if info.backend == SpecBackend::SoaSeq {
+                    // The row is never materialized: the abstract value
+                    // records where it lives and later projections fetch
+                    // single column cells. The key register is SSA-stable
+                    // for the rest of the iteration, and no compiled op
+                    // mutates a columnar group, so the recorded position
+                    // stays valid.
+                    let kind = SpecKind::SoaRead {
                         grp,
                         index: self.dense_key_reg(*key)?,
-                        vtag: info.vtag,
-                        dst: *dst,
-                    },
-                    SpecBackend::HashMap => SpecKind::MapRead {
-                        grp,
-                        key: *key,
-                        ktag: self.read_reg(*key)?,
-                        vtag: info.vtag,
-                        dst: *dst,
-                    },
-                    SpecBackend::BitMap => SpecKind::DenseRead {
-                        grp,
-                        key: self.dense_key_reg(*key)?,
-                        vtag: info.vtag,
-                        dst: *dst,
-                    },
-                    SpecBackend::HashSet => return None,
+                    };
+                    self.write(*dst, SpecVal::Row { grp, index: *key });
+                    kind
+                } else {
+                    let kind = match info.backend {
+                        SpecBackend::Seq => SpecKind::SeqRead {
+                            grp,
+                            index: self.dense_key_reg(*key)?,
+                            vtag: info.vtag,
+                            dst: *dst,
+                        },
+                        SpecBackend::HashMap => SpecKind::MapRead {
+                            grp,
+                            key: *key,
+                            ktag: self.read_reg(*key)?,
+                            vtag: info.vtag,
+                            dst: *dst,
+                        },
+                        SpecBackend::BitMap => SpecKind::DenseRead {
+                            grp,
+                            key: self.dense_key_reg(*key)?,
+                            vtag: info.vtag,
+                            dst: *dst,
+                        },
+                        SpecBackend::HashSet | SpecBackend::SoaSeq => return None,
+                    };
+                    self.write(*dst, SpecVal::Reg(info.vtag));
+                    kind
+                }
+            }
+            BulkOp::Proj { base, field, dst } => {
+                let Some(&Some(SpecVal::Row { grp, index })) = self.abs.get(*base as usize)
+                else {
+                    return None;
                 };
-                self.write(*dst, SpecVal::Reg(info.vtag));
-                kind
+                let vtag = self.soa_field_tag(grp, *field)?;
+                self.write(*dst, SpecVal::Reg(vtag));
+                SpecKind::SoaField {
+                    grp,
+                    index,
+                    field: *field,
+                    vtag,
+                    dst: *dst,
+                }
             }
             BulkOp::Write {
                 coll,
@@ -2923,7 +3437,7 @@ impl SpecBuilder<'_> {
                         val: *val,
                         vtag,
                     },
-                    SpecBackend::HashSet => return None,
+                    SpecBackend::HashSet | SpecBackend::SoaSeq => return None,
                 };
                 self.write(*dst, SpecVal::Coll(grp));
                 kind
@@ -2948,7 +3462,7 @@ impl SpecBuilder<'_> {
                         key: self.dense_key_reg(*key)?,
                         dst: *dst,
                     },
-                    SpecBackend::Seq => return None,
+                    SpecBackend::Seq | SpecBackend::SoaSeq => return None,
                 };
                 self.write(*dst, SpecVal::Reg(SpecTag::Bool));
                 kind
@@ -3028,7 +3542,7 @@ impl SpecBuilder<'_> {
                         grp,
                         key: self.dense_key_reg(*key)?,
                     },
-                    SpecBackend::Seq => return None,
+                    SpecBackend::Seq | SpecBackend::SoaSeq => return None,
                 };
                 self.write(*dst, SpecVal::Coll(grp));
                 kind
@@ -3105,16 +3619,19 @@ impl SpecBuilder<'_> {
 /// Builds the register-specialized twin of a `forrange` plan, or
 /// `None` when any component, operand type, or yield shape needs the
 /// general boxed machinery. `args` are the body region's argument
-/// slots (`args[0]` is the induction variable).
+/// slots (`args[0]` is the induction variable); `scratch_end` is one
+/// past the highest slot the plan touches (projection scratch slots
+/// live beyond the function's SSA frame).
 fn specialize_forrange(
     f: &Function,
     d: &DFunc,
     plan: &BulkPlan,
     args: &[u32],
+    scratch_end: u32,
 ) -> Option<Box<SpecPlan>> {
     let mut b = SpecBuilder {
         f,
-        abs: vec![None; d.frame_size as usize],
+        abs: vec![None; scratch_end.max(d.frame_size) as usize],
         scalar_inputs: Vec::new(),
         coll_inputs: Vec::new(),
         groups: Vec::new(),
@@ -3135,6 +3652,9 @@ fn specialize_forrange(
             // *different* group would rebind the slot to a handle the
             // entry-time resolution never saw.
             (_, Some(prev)) if prev != v => return None,
+            // A recorded row position must not outlive the iteration
+            // that read it.
+            (SpecVal::Row { .. }, _) => return None,
             (SpecVal::Reg(_), _) => {
                 if s != a {
                     scalar_yields.push((a, s));
@@ -3209,6 +3729,145 @@ fn @main() -> void {
             })
             .expect("foreach decoded");
         assert_eq!(fe, (true, true));
+    }
+
+    #[test]
+    fn loop_fuse_classifies_projected_tuple_reduce() {
+        let m = parse_module(
+            r#"
+fn @main() -> void {
+  %s = new Seq<(u64, u64)>
+  %zero = const 0u64
+  %sum = foreach %s carry(%zero) as (%i: u64, %t: (u64, u64), %acc: u64) {
+    %a = add %acc, %t.1
+    yield %a
+  }
+  print %sum
+  ret
+}
+"#,
+        )
+        .expect("parses");
+        ade_ir::verify::verify_module(&m).expect("verifies");
+        let ssa_slots = m.funcs[0].values.len() as u32;
+        let d = DecodedModule::decode_with(&m, &DecodeOptions::default());
+        let f = &d.funcs[0];
+        let plan = f
+            .code
+            .iter()
+            .find_map(|i| match i {
+                DInst::ForEachBulk { plan, .. } => Some(plan),
+                _ => None,
+            })
+            .expect("projected loop still bulk-compiles");
+        assert!(matches!(
+            plan.fast,
+            Some(FastKind::Reduce {
+                op: BinOp::Add,
+                elem_first: false,
+                ..
+            })
+        ));
+        let proj = plan.fast_proj.expect("projection surfaced");
+        assert_eq!((proj.elem, proj.other), (1, None));
+        // The projection's scratch slot lives past the SSA frame.
+        assert!(
+            f.frame_size > ssa_slots,
+            "scratch slots grow the frame ({} vs {ssa_slots})",
+            f.frame_size
+        );
+    }
+
+    #[test]
+    fn loop_fuse_classifies_filter_on_one_field_folding_another() {
+        let m = parse_module(
+            r#"
+fn @main() -> void {
+  %s = new Seq<(u64, u64)>
+  %zero = const 0u64
+  %k = const 10u64
+  %sum = foreach %s carry(%zero) as (%i: u64, %t: (u64, u64), %acc: u64) {
+    %c = lt %t.0, %k
+    %out = if %c then {
+      %a = add %acc, %t.1
+      yield %a
+    } else {
+      yield %acc
+    }
+    yield %out
+  }
+  print %sum
+  ret
+}
+"#,
+        )
+        .expect("parses");
+        ade_ir::verify::verify_module(&m).expect("verifies");
+        let d = DecodedModule::decode_with(&m, &DecodeOptions::default());
+        let plan = d.funcs[0]
+            .code
+            .iter()
+            .find_map(|i| match i {
+                DInst::ForEachBulk { plan, .. } => Some(plan),
+                _ => None,
+            })
+            .expect("bulk-compiles");
+        assert!(matches!(
+            plan.fast,
+            Some(FastKind::FilterReduce {
+                acc_on_true: true,
+                bin_elem: true,
+                ..
+            })
+        ));
+        let proj = plan.fast_proj.expect("projection surfaced");
+        assert_eq!((proj.elem, proj.other), (0, Some(1)));
+    }
+
+    #[test]
+    fn forrange_specializes_columnar_reads() {
+        let m = parse_module(
+            r#"
+fn @main() -> void {
+  %s = new Seq<(u64, u64)>
+  %zero = const 0u64
+  %n = size %s
+  %sum = forrange %zero, %n carry(%zero) as (%i: u64, %acc: u64) {
+    %t = read %s, %i
+    %a = add %acc, %t.0
+    yield %a
+  }
+  print %sum
+  ret
+}
+"#,
+        )
+        .expect("parses");
+        ade_ir::verify::verify_module(&m).expect("verifies");
+        let d = DecodedModule::decode_with(&m, &DecodeOptions::default());
+        let plan = d.funcs[0]
+            .code
+            .iter()
+            .find_map(|i| match i {
+                DInst::ForRangeBulk { plan, .. } => Some(plan),
+                _ => None,
+            })
+            .expect("bulk-compiles");
+        let spec = plan.spec.as_ref().expect("tuple reads specialize");
+        assert!(matches!(
+            spec.coll_inputs.as_ref(),
+            [(_, SpecBackend::SoaSeq)]
+        ));
+        let kinds: Vec<&SpecKind> = spec.ops.iter().map(|o| &o.kind).collect();
+        assert!(matches!(kinds[0], SpecKind::SoaRead { .. }));
+        assert!(matches!(
+            kinds[1],
+            SpecKind::SoaField {
+                field: 0,
+                vtag: SpecTag::U64,
+                ..
+            }
+        ));
     }
 
     #[test]

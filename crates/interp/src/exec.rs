@@ -18,7 +18,7 @@ use ade_ir::{BinOp, CmpOp, FuncId, Module, Type};
 
 use crate::decode::{
     BulkOp, BulkPlan, DAccess, DFunc, DInst, DOp, DPath, DScalar, DecodedModule, EncKeyKind,
-    FastKind, PlanOp, SpecBackend, SpecKind, SpecOp, SpecPlan, SpecTag, SpecVal, UScalar,
+    FastKind, FastProj, PlanOp, SpecBackend, SpecKind, SpecOp, SpecPlan, SpecTag, SpecVal, UScalar,
 };
 use crate::heap::{CollId, Collection, SelectionDefaults};
 use crate::profile::{Recorder, SiteProfile};
@@ -66,6 +66,13 @@ pub struct ExecConfig {
     /// backends report the boxed twin's [`ImplKind`] and byte
     /// accounting and preserve iteration order.
     pub unbox: bool,
+    /// Select columnar structure-of-arrays storage when a collection's
+    /// static element (or map payload) type is a tuple of scalars
+    /// (default `true`; see [`Collection::new_for`]). Observationally
+    /// inert like `unbox`: SoA backends report the boxed twin's
+    /// [`ImplKind`] and byte accounting, keep its hash/iteration order,
+    /// and rematerialize boxed tuples on any escaping read.
+    pub soa: bool,
     /// Runtime metrics registry (default disabled). When enabled, the
     /// run publishes quantum grants (`exec_quanta_total`), counted fuel
     /// ticks (`exec_fuel_ticks_total`; see [`Outcome::fuel_ticks`] for
@@ -93,6 +100,7 @@ impl Default for ExecConfig {
             fuse: true,
             unbox: true,
             loop_fuse: true,
+            soa: true,
             metrics: ade_obs::MetricsRegistry::disabled(),
             flight: None,
         }
@@ -591,7 +599,10 @@ impl<'m> Interpreter<'m> {
                 });
             }
         }
-        let coll = Collection::new_for(ty, self.config.defaults, self.config.unbox);
+        let coll = Collection::new_for(ty, self.config.defaults, self.config.unbox, self.config.soa);
+        self.config
+            .metrics
+            .add("exec_backend_selected_total", &[("kind", coll.kind_label())], 1);
         let bytes = coll.bytes_estimate();
         let id = CollId(u32::try_from(self.heap.len()).expect("heap fits u32"));
         self.coll_impls.push(coll.impl_kind());
@@ -1439,6 +1450,13 @@ impl<'m> Interpreter<'m> {
                 let v = eval_cast(&a, &func.types[*ty as usize]).map_err(trap)?;
                 frame[*dst as usize] = v;
             }
+            DInst::MkTuple { srcs, dst } => {
+                let fields: Vec<Value> = srcs
+                    .iter()
+                    .map(|op| self.resolve(frame, op).map(Res::into_owned))
+                    .collect::<Result<_, _>>()?;
+                frame[*dst as usize] = Value::Tuple(fields.into());
+            }
             DInst::Print { ops } => {
                 let parts: Vec<String> = ops
                     .iter()
@@ -1784,7 +1802,12 @@ impl<'m> Interpreter<'m> {
         let mut done = false;
         if *binds_value {
             if let Some(fast) = plan.fast {
-                done = self.try_fast_foreach(fid, frame, id, fast, plan, args[skip])?;
+                done = match plan.fast_proj {
+                    Some(proj) => {
+                        self.try_fast_foreach_proj(fid, frame, id, fast, proj, plan, args[skip])?
+                    }
+                    None => self.try_fast_foreach(fid, frame, id, fast, plan, args[skip])?,
+                };
             }
         }
         if !done {
@@ -1906,6 +1929,7 @@ impl<'m> Interpreter<'m> {
             let ok = matches!(
                 (backend, &self.heap[id.0 as usize]),
                 (SpecBackend::Seq, Collection::UnboxedSeq(_))
+                    | (SpecBackend::SoaSeq, Collection::SoaSeq(_))
                     | (SpecBackend::HashSet, Collection::UnboxedHashSet(_))
                     | (SpecBackend::HashMap, Collection::UnboxedHashMap(_))
                     | (SpecBackend::BitMap, Collection::UnboxedBitMap(_))
@@ -1941,6 +1965,9 @@ impl<'m> Interpreter<'m> {
             frame[slot as usize] = match v {
                 SpecVal::Reg(tag) => spec_rebox(tag, regs[slot as usize]),
                 SpecVal::Coll(g) => Value::Coll(groups[g as usize]),
+                // The builder rejects any plan that would carry a row
+                // position across iterations.
+                SpecVal::Row { .. } => unreachable!(),
             };
         }
         Ok(true)
@@ -2007,6 +2034,43 @@ impl<'m> Interpreter<'m> {
                 let Some(sv) = got else {
                     return Err(self.trap_at(fid, site, TrapKind::OutOfBounds { index: i, len }));
                 };
+                regs[*dst as usize] =
+                    spec_payload(sv, *vtag).map_err(|k| self.trap_at(fid, site, k))?;
+            }
+            SpecKind::SoaRead { grp, index } => {
+                // The read's bump and bounds check, with no row
+                // materialization — later `SoaField` ops fetch single
+                // column cells from the recorded position.
+                let id = groups[*grp as usize];
+                self.bump(ImplKind::Seq, CollOp::Read, 1);
+                let i = regs[*index as usize];
+                let Collection::SoaSeq(s) = &self.heap[id.0 as usize] else {
+                    unreachable!()
+                };
+                let len = s.len();
+                if i as usize >= len {
+                    return Err(self.trap_at(fid, site, TrapKind::OutOfBounds { index: i, len }));
+                }
+            }
+            SpecKind::SoaField {
+                grp,
+                index,
+                field,
+                vtag,
+                dst,
+            } => {
+                // Field projection bumps no stats (operand paths don't);
+                // the position was bounds-checked by the paired
+                // `SoaRead` and no compiled op mutates a columnar group.
+                let id = groups[*grp as usize];
+                let i = regs[*index as usize] as usize;
+                let Collection::SoaSeq(s) = &self.heap[id.0 as usize] else {
+                    unreachable!()
+                };
+                let sv = *s
+                    .col(*field as usize)
+                    .get(i)
+                    .expect("position validated by the paired SoaRead");
                 regs[*dst as usize] =
                     spec_payload(sv, *vtag).map_err(|k| self.trap_at(fid, site, k))?;
             }
@@ -2297,6 +2361,25 @@ impl<'m> Interpreter<'m> {
             BulkOp::Cast { ty, a, dst } => {
                 let v = eval_cast(&frame[*a as usize], &func.types[*ty as usize])
                     .map_err(|k| self.trap_at(fid, site, k))?;
+                frame[*dst as usize] = v;
+            }
+            BulkOp::Proj { base, field, dst } => {
+                // Mirrors the `Field` step of `resolve_path` (no stats
+                // bump); the shared consumer site matches where the
+                // unfused loop would attribute the trap.
+                let v = match &frame[*base as usize] {
+                    Value::Tuple(t) => {
+                        t.get(*field as usize).cloned().ok_or(TrapKind::OutOfBounds {
+                            index: u64::from(*field),
+                            len: t.len(),
+                        })
+                    }
+                    other => Err(TrapKind::TypeMismatch {
+                        expected: "tuple",
+                        got: format!("{other:?}"),
+                    }),
+                }
+                .map_err(|k| self.trap_at(fid, site, k))?;
                 frame[*dst as usize] = v;
             }
             BulkOp::Read { coll, key, dst } => {
@@ -2859,6 +2942,362 @@ impl<'m> Interpreter<'m> {
         Ok(true)
     }
 
+    /// [`Self::try_fast_foreach`] for projected tuple loops: every
+    /// element role streams a flat column of the columnar sequence
+    /// instead of materializing row tuples. Any other live backend (the
+    /// snapshot path materializes rows correctly everywhere) falls back
+    /// to the plan executor.
+    #[allow(clippy::too_many_arguments)]
+    fn try_fast_foreach_proj(
+        &mut self,
+        fid: FuncId,
+        frame: &mut Vec<Value>,
+        src: CollId,
+        fast: FastKind,
+        proj: FastProj,
+        plan: &BulkPlan,
+        acc_slot: u32,
+    ) -> Result<bool, ExecError> {
+        match fast {
+            FastKind::Reduce {
+                op,
+                elem_first,
+                site,
+            } => self.fast_proj_reduce(fid, frame, src, op, elem_first, site, proj.elem, acc_slot),
+            FastKind::FilterReduce { .. } => {
+                self.fast_proj_filter_reduce(fid, frame, src, fast, proj, acc_slot)
+            }
+            FastKind::ProbeCount { set } => {
+                let has_site = plan.ops[1].site;
+                self.fast_proj_probe_count(fid, frame, src, set, has_site, proj.elem, acc_slot)
+            }
+            FastKind::CopyInto => {
+                let insert_site = plan.ops[1].site;
+                self.fast_proj_copy_into(fid, frame, src, insert_site, proj.elem, acc_slot)
+            }
+            FastKind::FilterInto {
+                cmp,
+                elem_lhs,
+                rhs,
+                insert_on_true,
+            } => {
+                let BulkOp::If {
+                    then_ops, else_ops, ..
+                } = &plan.ops[2].op
+                else {
+                    unreachable!("FilterInto plans end in a branch")
+                };
+                let arm = if insert_on_true { then_ops } else { else_ops };
+                let insert_site = arm.last().expect("insert arm is non-empty").site;
+                self.fast_proj_filter_into(
+                    fid,
+                    frame,
+                    src,
+                    cmp,
+                    elem_lhs,
+                    rhs,
+                    insert_on_true,
+                    insert_site,
+                    proj.elem,
+                    proj.other.unwrap_or(proj.elem),
+                    acc_slot,
+                )
+            }
+        }
+    }
+
+    /// `acc = op(acc, t.field)` streaming one column.
+    #[allow(clippy::too_many_arguments)]
+    fn fast_proj_reduce(
+        &mut self,
+        fid: FuncId,
+        frame: &mut Vec<Value>,
+        src: CollId,
+        op: BinOp,
+        elem_first: bool,
+        site: u32,
+        field: u32,
+        acc_slot: u32,
+    ) -> Result<bool, ExecError> {
+        let Some(col) = soa_col(&self.heap[src.0 as usize], field) else {
+            return Ok(false);
+        };
+        let acc0 = frame[acc_slot as usize].clone();
+        let fastened = match &acc0 {
+            Value::U64(a0) => fold_u64(op, elem_first, *a0, col.iter().map(|sv| sv.as_u64())),
+            _ => None,
+        };
+        let acc = match fastened {
+            Some(r) => Value::U64(r),
+            None => {
+                // Boxed fold over the column: single field cells rebox,
+                // whole rows never do.
+                let site = site as usize;
+                let mut acc = acc0;
+                for sv in col {
+                    let v = sv.to_value();
+                    let (l, r) = if elem_first { (&v, &acc) } else { (&acc, &v) };
+                    acc = eval_bin(op, l, r).map_err(|k| self.trap_at(fid, site, k))?;
+                }
+                acc
+            }
+        };
+        frame[acc_slot as usize] = acc;
+        Ok(true)
+    }
+
+    /// `if cmp(t.a, rhs) { acc = bin(acc, t.b | inv) }` streaming the
+    /// comparison column zipped with the fold column (when the fold
+    /// reads a field) or an invariant operand.
+    fn fast_proj_filter_reduce(
+        &mut self,
+        fid: FuncId,
+        frame: &mut Vec<Value>,
+        src: CollId,
+        fast: FastKind,
+        proj: FastProj,
+        acc_slot: u32,
+    ) -> Result<bool, ExecError> {
+        let FastKind::FilterReduce {
+            cmp,
+            elem_lhs,
+            rhs,
+            acc_on_true,
+            bin,
+            acc_lhs,
+            bin_elem,
+            bin_other,
+            bin_site,
+        } = fast
+        else {
+            unreachable!()
+        };
+        let cell = &self.heap[src.0 as usize];
+        let Some(cmp_col) = soa_col(cell, proj.elem) else {
+            return Ok(false);
+        };
+        let fold_col = if bin_elem {
+            match soa_col(cell, proj.other.unwrap_or(proj.elem)) {
+                Some(c) => Some(c),
+                None => return Ok(false),
+            }
+        } else {
+            None
+        };
+        let acc0 = frame[acc_slot as usize].clone();
+        let rhs_val = frame[rhs as usize].clone();
+        let other_val = if bin_elem {
+            Value::Void
+        } else {
+            frame[bin_other as usize].clone()
+        };
+        let other_u64 = if bin_elem {
+            Some(0)
+        } else if let Value::U64(o) = &other_val {
+            Some(*o)
+        } else {
+            None
+        };
+        let fastened = match (&acc0, &rhs_val, other_u64) {
+            (Value::U64(a0), Value::U64(r0), Some(o)) => filter_fold_cols_u64(
+                cmp, elem_lhs, *r0, acc_on_true, bin, acc_lhs, o, *a0, cmp_col, fold_col,
+            ),
+            _ => None,
+        };
+        let acc = match fastened {
+            Some(r) => Value::U64(r),
+            None => {
+                let site = bin_site as usize;
+                let mut acc = acc0;
+                for (i, sv) in cmp_col.iter().enumerate() {
+                    let v = sv.to_value();
+                    let c = if elem_lhs {
+                        eval_cmp(cmp, &v, &rhs_val)
+                    } else {
+                        eval_cmp(cmp, &rhs_val, &v)
+                    };
+                    if c != acc_on_true {
+                        continue;
+                    }
+                    // The fold operand is only fetched on kept rows,
+                    // like the untaken branch of the unfused loop.
+                    let x = match fold_col {
+                        Some(fc) => fc[i].to_value(),
+                        None => other_val.clone(),
+                    };
+                    let (l, r) = if acc_lhs { (&acc, &x) } else { (&x, &acc) };
+                    acc = eval_bin(bin, l, r).map_err(|k| self.trap_at(fid, site, k))?;
+                }
+                acc
+            }
+        };
+        frame[acc_slot as usize] = acc;
+        Ok(true)
+    }
+
+    /// `acc += has(set, t.field) as u64` streaming one column into the
+    /// membership probes.
+    #[allow(clippy::too_many_arguments)]
+    fn fast_proj_probe_count(
+        &mut self,
+        fid: FuncId,
+        frame: &mut Vec<Value>,
+        src: CollId,
+        set: u32,
+        has_site: u32,
+        field: u32,
+        acc_slot: u32,
+    ) -> Result<bool, ExecError> {
+        let Value::U64(a0) = frame[acc_slot as usize] else {
+            return Ok(false);
+        };
+        let Ok(set_id) = frame[set as usize].try_as_coll() else {
+            return Ok(false);
+        };
+        let set_imp = self.impl_of(set_id);
+        // Hash/swiss probes take any key without coercion and never
+        // trap; other implementations fall back to the plan executor.
+        if !matches!(set_imp, ImplKind::HashSet | ImplKind::SwissSet) {
+            return Ok(false);
+        }
+        if soa_col(&self.heap[src.0 as usize], field).is_none() {
+            return Ok(false);
+        }
+        let n = self.heap[src.0 as usize].len() as u64;
+        self.bump(set_imp, CollOp::Has, n);
+        let col = soa_col(&self.heap[src.0 as usize], field).expect("validated above");
+        let set_ref = &self.heap[set_id.0 as usize];
+        let hits = match set_ref {
+            // Aligned unboxed pair: probe the chained table's groups
+            // directly over the packed column.
+            Collection::UnboxedHashSet(hs) => hs.contains_batch(col),
+            set_ref => col
+                .iter()
+                .filter(|sv| set_ref.try_has(&sv.to_value()).unwrap_or(false))
+                .count() as u64,
+        };
+        let _ = (fid, has_site);
+        frame[acc_slot as usize] = Value::U64(a0.wrapping_add(hits));
+        Ok(true)
+    }
+
+    /// `insert(dst, t.field)` for every row, streaming one column into
+    /// batch insertion (same bump/refresh discipline as
+    /// [`Self::fast_copy_into`]).
+    fn fast_proj_copy_into(
+        &mut self,
+        fid: FuncId,
+        frame: &mut Vec<Value>,
+        src: CollId,
+        insert_site: u32,
+        field: u32,
+        acc_slot: u32,
+    ) -> Result<bool, ExecError> {
+        let Ok(dst_id) = frame[acc_slot as usize].try_as_coll() else {
+            return Ok(false);
+        };
+        if dst_id == src {
+            return Ok(false);
+        }
+        let dst_imp = self.impl_of(dst_id);
+        if !matches!(dst_imp, ImplKind::HashSet | ImplKind::SwissSet) {
+            return Ok(false);
+        }
+        if soa_col(&self.heap[src.0 as usize], field).is_none() {
+            return Ok(false);
+        }
+        let n = self.heap[src.0 as usize].len() as u64;
+        self.bump(dst_imp, CollOp::Insert, n);
+        let (dst_mut, src_ref) = two_heap(&mut self.heap, dst_id, src);
+        let col = soa_col(src_ref, field).expect("validated above");
+        let failed: Option<TrapKind> = match dst_mut {
+            Collection::UnboxedHashSet(hs) => {
+                hs.insert_batch(col.iter().copied());
+                None
+            }
+            dst_mut => {
+                let mut r = None;
+                for sv in col {
+                    if let Err(k) = dst_mut.try_insert_elem(sv.to_value()).map(|_| ()) {
+                        r = Some(k);
+                        break;
+                    }
+                }
+                r
+            }
+        };
+        if let Some(k) = failed {
+            return Err(self.trap_at(fid, insert_site as usize, k));
+        }
+        self.refresh_bytes(dst_id);
+        Ok(true)
+    }
+
+    /// `if cmp(t.a, rhs) { insert(dst, t.b) }` streaming the comparison
+    /// column zipped with the inserted column.
+    #[allow(clippy::too_many_arguments)]
+    fn fast_proj_filter_into(
+        &mut self,
+        fid: FuncId,
+        frame: &mut Vec<Value>,
+        src: CollId,
+        cmp: CmpOp,
+        elem_lhs: bool,
+        rhs: u32,
+        insert_on_true: bool,
+        insert_site: u32,
+        cmp_field: u32,
+        ins_field: u32,
+        acc_slot: u32,
+    ) -> Result<bool, ExecError> {
+        let Ok(dst_id) = frame[acc_slot as usize].try_as_coll() else {
+            return Ok(false);
+        };
+        if dst_id == src {
+            return Ok(false);
+        }
+        let dst_imp = self.impl_of(dst_id);
+        if !matches!(dst_imp, ImplKind::HashSet | ImplKind::SwissSet) {
+            return Ok(false);
+        }
+        {
+            let cell = &self.heap[src.0 as usize];
+            if soa_col(cell, cmp_field).is_none() || soa_col(cell, ins_field).is_none() {
+                return Ok(false);
+            }
+        }
+        let rhs_val = frame[rhs as usize].clone();
+        let (dst_mut, src_ref) = two_heap(&mut self.heap, dst_id, src);
+        let cmp_col = soa_col(src_ref, cmp_field).expect("validated above");
+        let ins_col = soa_col(src_ref, ins_field).expect("validated above");
+        let mut count = 0u64;
+        let mut r: Result<(), TrapKind> = Ok(());
+        for (i, sv) in cmp_col.iter().enumerate() {
+            let v = sv.to_value();
+            let c = if elem_lhs {
+                eval_cmp(cmp, &v, &rhs_val)
+            } else {
+                eval_cmp(cmp, &rhs_val, &v)
+            };
+            if c != insert_on_true {
+                continue;
+            }
+            count += 1;
+            if let Err(k) = dst_mut.try_insert_elem(ins_col[i].to_value()).map(|_| ()) {
+                r = Err(k);
+                break;
+            }
+        }
+        // On a trap the run's statistics are discarded with the error,
+        // so the bump accompanies only successful sweeps.
+        self.bump(dst_imp, CollOp::Insert, count);
+        if let Err(k) = r {
+            return Err(self.trap_at(fid, insert_site as usize, k));
+        }
+        self.refresh_bytes(dst_id);
+        Ok(true)
+    }
+
     fn enum_add(&mut self, e: usize, key: Value) -> usize {
         // Bumps go through `self.bump` (so the profiler sees them too),
         // which means the `&mut self.enums[e]` borrow cannot be held
@@ -3073,6 +3512,58 @@ fn is_stream_src(c: &Collection) -> bool {
             | Collection::BitMap(_)
             | Collection::UnboxedBitMap(_)
     )
+}
+
+/// The named column of a columnar-sequence heap cell, when `c` is one
+/// and the field is in range. `None` sends the caller to the plan
+/// executor, whose projection op raises the proper trap on a malformed
+/// module.
+fn soa_col(c: &Collection, field: u32) -> Option<&[ScalarVal]> {
+    let Collection::SoaSeq(s) = c else {
+        return None;
+    };
+    ((field as usize) < s.arity()).then(|| s.col(field as usize))
+}
+
+/// [`filter_fold_u64`] over parallel columns: the comparison streams
+/// `cmp_col`; the fold operand streams the same row of `fold_col` when
+/// present, else the invariant `other`. Fold cells are only inspected
+/// on kept rows, mirroring the unfused loop's untaken branch.
+#[allow(clippy::too_many_arguments)]
+fn filter_fold_cols_u64(
+    cmp: CmpOp,
+    elem_lhs: bool,
+    rhs: u64,
+    keep_on: bool,
+    bin: BinOp,
+    acc_lhs: bool,
+    other: u64,
+    acc0: u64,
+    cmp_col: &[ScalarVal],
+    fold_col: Option<&[ScalarVal]>,
+) -> Option<u64> {
+    if matches!(bin, BinOp::Div | BinOp::Rem) {
+        return None;
+    }
+    let mut acc = acc0;
+    for (i, sv) in cmp_col.iter().enumerate() {
+        let x = sv.as_u64()?;
+        let c = if elem_lhs {
+            cmp_u64(cmp, x, rhs)
+        } else {
+            cmp_u64(cmp, rhs, x)
+        };
+        if c != keep_on {
+            continue;
+        }
+        let e = match fold_col {
+            Some(fc) => fc[i].as_u64()?,
+            None => other,
+        };
+        let (l, r) = if acc_lhs { (acc, e) } else { (e, acc) };
+        acc = eval_bin_u64(bin, l, r).ok()?;
+    }
+    Some(acc)
 }
 
 /// Disjoint mutable/shared borrows of two distinct heap cells.

@@ -53,6 +53,14 @@ impl Operand {
         }
     }
 
+    /// An operand projecting tuple field `k` of `base` (`x.k`).
+    pub fn field(base: ValueId, k: u32) -> Self {
+        Operand {
+            base,
+            path: vec![Access::Field(k)],
+        }
+    }
+
     /// Whether this operand has a nesting path.
     pub fn is_nested(&self) -> bool {
         !self.path.is_empty()
@@ -204,6 +212,9 @@ pub enum InstKind {
     Not,
     /// Numeric conversion to the given type. Operands `[a]`; one result.
     Cast(Type),
+    /// Pack operands into a tuple value. Operands `[f0, f1, ...]` (at
+    /// least one); one result of type `Tuple(tys...)`.
+    Tuple,
     /// Direct call. Operands are arguments; results match callee returns.
     Call(FuncId),
     /// Write operands to the program output (newline-terminated record).

@@ -884,6 +884,28 @@ impl<'a> Parser<'a> {
                 let ops = self.operand_list_min(ctx, 1)?;
                 self.finish_inst(region, ctx, InstKind::Not, ops, vec![], &lhs, vec![Type::Bool])?;
             }
+            "tuple" => {
+                let ops = self.operand_list_min(ctx, 1)?;
+                let mut field_tys = Vec::with_capacity(ops.len());
+                for o in &ops {
+                    let ty = ctx.values[o.base.index()]
+                        .ty
+                        .at_path(&o.path)
+                        .ok_or_else(|| {
+                            self.error("operand path does not apply to the value's type")
+                        })?;
+                    field_tys.push(ty.clone());
+                }
+                self.finish_inst(
+                    region,
+                    ctx,
+                    InstKind::Tuple,
+                    ops,
+                    vec![],
+                    &lhs,
+                    vec![Type::Tuple(field_tys)],
+                )?;
+            }
             "cast" => {
                 let ops = self.operand_list_min(ctx, 1)?;
                 self.expect_word("to")?;

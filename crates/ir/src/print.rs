@@ -214,6 +214,9 @@ impl Printer<'_> {
             InstKind::Not => {
                 let _ = write!(self.out, "{res}not {}", self.operands(&inst.operands));
             }
+            InstKind::Tuple => {
+                let _ = write!(self.out, "{res}tuple {}", self.operands(&inst.operands));
+            }
             InstKind::Cast(ty) => {
                 let _ = write!(
                     self.out,

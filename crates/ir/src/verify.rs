@@ -413,6 +413,28 @@ impl<'a> Verifier<'a> {
                         return Err(self.err(Some(inst_id), "cast to non-numeric"));
                     }
                 }
+                InstKind::Tuple => {
+                    let field_tys: Vec<Type> =
+                        inst.operands.iter().map(|o| self.op_ty(o)).collect();
+                    for ty in &field_tys {
+                        if ty.is_collection() || matches!(ty, Type::Tuple(_)) {
+                            return Err(self.err(
+                                Some(inst_id),
+                                format!("tuple field of non-scalar type {ty}"),
+                            ));
+                        }
+                    }
+                    let got = self.func.value_ty(inst.result());
+                    if got != &Type::Tuple(field_tys.clone()) {
+                        return Err(self.err(
+                            Some(inst_id),
+                            format!(
+                                "tuple result typed {got}, operands make {}",
+                                Type::Tuple(field_tys)
+                            ),
+                        ));
+                    }
+                }
                 InstKind::Call(callee) => {
                     if let Some(module) = self.module {
                         let Some(target) = module.funcs.get(callee.index()) else {
@@ -573,7 +595,8 @@ impl<'a> Verifier<'a> {
             | InstKind::Cast(_)
             | InstKind::Enc(_)
             | InstKind::Dec(_)
-            | InstKind::EnumAdd(_) => 1,
+            | InstKind::EnumAdd(_)
+            | InstKind::Tuple => 1,
             InstKind::Bin(_) | InstKind::Cmp(_) => 2,
             InstKind::If => 1,
             InstKind::ForEach => 1,
